@@ -1,0 +1,166 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (default), and runs bechamel micro-benchmarks of the kernels
+   behind each experiment (`perf`).
+
+   Usage:
+     main.exe                 regenerate everything (default config)
+     main.exe --quick         same with tight limits
+     main.exe table1 … fig13  individual experiments
+     main.exe perf            bechamel micro-benchmarks
+     main.exe --time-limit S  labeling budget per circuit *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [--quick] [--time-limit S] \
+     [all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|ablation|perf]...";
+  exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one kernel per table/figure.             *)
+
+let cavlc_netlist = lazy ((Circuits.Suite.find "cavlc").generate ())
+let ctrl_netlist = lazy ((Circuits.Suite.find "ctrl").generate ())
+
+let ctrl_graph =
+  lazy
+    (let sbdd = Bdd.Sbdd.of_netlist (Lazy.force ctrl_netlist) in
+     Compact.Preprocess.of_sbdd sbdd)
+
+let int2float_graph =
+  lazy
+    (let nl = (Circuits.Suite.find "int2float").generate () in
+     let sbdd = Bdd.Sbdd.of_netlist nl in
+     Compact.Preprocess.of_sbdd sbdd)
+
+let quickstart_design =
+  lazy
+    (let e = Logic.Parse.expr "(a & b) | c" in
+     let r = Compact.Pipeline.synthesize_expr ~name:"bench" e in
+     r.design)
+
+let perf_tests =
+  let open Bechamel in
+  [
+    (* Table I kernel: SBDD construction. *)
+    Test.make ~name:"table1/sbdd-build-cavlc"
+      (Staged.stage (fun () ->
+           ignore (Bdd.Sbdd.of_netlist (Lazy.force cavlc_netlist))));
+    (* Table II kernel: MIP labeling on a small graph. *)
+    Test.make ~name:"table2/mip-labeling-ctrl"
+      (Staged.stage (fun () ->
+           ignore
+             (Compact.Label_mip.solve ~time_limit:10. ~gamma:0.5
+                ~alignment:true (Lazy.force ctrl_graph))));
+    (* Table III kernel: separate-ROBDD synthesis + diagonal merge. *)
+    Test.make ~name:"table3/robdds-ctrl"
+      (Staged.stage (fun () ->
+           let options =
+             { Compact.Pipeline.default_options with time_limit = 1. }
+           in
+           ignore
+             (Compact.Pipeline.synthesize_separate_robdds ~options
+                (Lazy.force ctrl_netlist))));
+    (* Table IV kernels: the two competing mappers. *)
+    Test.make ~name:"table4/staircase-ctrl"
+      (Staged.stage (fun () ->
+           ignore (Baseline.Staircase.synthesize (Lazy.force ctrl_netlist))));
+    Test.make ~name:"table4/oct-labeling-ctrl"
+      (Staged.stage (fun () ->
+           ignore
+             (Compact.Label_oct.solve ~time_limit:10. ~alignment:true
+                (Lazy.force ctrl_graph))));
+    (* Fig 9 kernel: one gamma point (heuristic labeler). *)
+    Test.make ~name:"fig9/heuristic-labeling-int2float"
+      (Staged.stage (fun () ->
+           ignore
+             (Compact.Label_heuristic.solve ~time_limit:2. ~gamma:0.3
+                ~alignment:true (Lazy.force int2float_graph))));
+    (* Fig 10/11 kernel: exact vertex cover on G□K2. *)
+    Test.make ~name:"fig10/vertex-cover-ctrl"
+      (Staged.stage (fun () ->
+           ignore
+             (Graphs.Vertex_cover.solve ~time_limit:10.
+                (Graphs.Product.with_k2 (Lazy.force ctrl_graph).graph))));
+    (* Fig 12 kernel: digital crossbar evaluation. *)
+    Test.make ~name:"fig12/crossbar-eval"
+      (Staged.stage (fun () ->
+           let d = Lazy.force quickstart_design in
+           ignore (Crossbar.Eval.evaluate d (fun _ -> true))));
+    (* Fig 13 kernel: CONTRA cost model. *)
+    Test.make ~name:"fig13/contra-cost-cavlc"
+      (Staged.stage (fun () ->
+           ignore (Baseline.Contra.estimate (Lazy.force cavlc_netlist))));
+    (* SPICE-lite validation kernel. *)
+    Test.make ~name:"verify/analog-solve"
+      (Staged.stage (fun () ->
+           let d = Lazy.force quickstart_design in
+           ignore (Crossbar.Analog.solve d (fun _ -> true))));
+  ]
+
+let run_perf () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  print_endline "\n== perf: bechamel micro-benchmarks (monotonic clock) ==";
+  List.iter
+    (fun test ->
+       let results = Benchmark.all cfg instances test in
+       let analysis =
+         Analyze.all ols Toolkit.Instance.monotonic_clock results
+       in
+       Hashtbl.iter
+         (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Printf.printf "  %-40s %14.1f ns/run\n%!" name est
+            | Some _ | None -> Printf.printf "  %-40s (no estimate)\n%!" name)
+         analysis)
+    (List.map (fun t -> Test.make_grouped ~name:"perf" [ t ]) perf_tests)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let time_limit = ref None in
+  let rec parse = function
+    | "--time-limit" :: v :: rest ->
+      time_limit := Some (float_of_string v);
+      parse rest
+    | x :: rest -> x :: parse rest
+    | [] -> []
+  in
+  let targets = parse (List.filter (fun a -> a <> "--quick") args) in
+  let config =
+    let base =
+      if quick then Harness.Experiments.quick_config
+      else Harness.Experiments.default_config
+    in
+    match !time_limit with
+    | Some t -> { base with Harness.Experiments.time_limit = t }
+    | None -> base
+  in
+  let dispatch = function
+    | "all" -> Harness.Experiments.run_all config
+    | "table1" -> ignore (Harness.Experiments.table1 config)
+    | "table2" -> ignore (Harness.Experiments.table2 config)
+    | "table3" -> ignore (Harness.Experiments.table3 config)
+    | "table4" -> ignore (Harness.Experiments.table4 config)
+    | "fig9" -> ignore (Harness.Experiments.fig9 config)
+    | "fig10" -> ignore (Harness.Experiments.fig10 config)
+    | "fig11" -> ignore (Harness.Experiments.fig11 config)
+    | "fig12" -> ignore (Harness.Experiments.fig12 config)
+    | "fig13" -> ignore (Harness.Experiments.fig13 config)
+    | "ablation" -> Harness.Ablation.run_all config
+    | "perf" -> run_perf ()
+    | other ->
+      Printf.eprintf "unknown target %s\n" other;
+      usage ()
+  in
+  match targets with
+  | [] -> Harness.Experiments.run_all config
+  | ts -> List.iter dispatch ts

@@ -1,0 +1,381 @@
+(* COMPACT command-line interface.
+
+   Subcommands:
+     synth      synthesise a crossbar from an expression / BLIF / PLA /
+                built-in benchmark
+     sweep      gamma sweep, printing the non-dominated designs
+     validate   synthesise then verify digitally (+ optionally analog)
+     suite      list the built-in benchmark circuits
+     export     write a built-in benchmark as BLIF/PLA, or its BDD as DOT
+     experiments  regenerate the paper's tables and figures *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Input selection *)
+
+type source =
+  | Src_expr of string
+  | Src_blif of string
+  | Src_pla of string
+  | Src_verilog of string
+  | Src_circuit of string
+
+let netlist_of_source = function
+  | Src_expr s ->
+    let e = Logic.Parse.expr s in
+    let inputs = Logic.Expr.vars e in
+    Logic.Netlist.create ~name:"expr" ~inputs ~outputs:[ "f" ]
+      [ Logic.Netlist.n_expr "f" e ]
+  | Src_blif path -> Logic.Blif.parse_file path
+  | Src_pla path -> Logic.Pla.to_netlist (Logic.Pla.parse_file path)
+  | Src_verilog path -> Logic.Verilog.parse_file path
+  | Src_circuit name -> (Circuits.Suite.find name).generate ()
+
+let source_term =
+  let expr =
+    Arg.(value & opt (some string) None
+         & info [ "e"; "expr" ] ~docv:"EXPR" ~doc:"Boolean expression, e.g. '(a & b) | c'.")
+  in
+  let blif =
+    Arg.(value & opt (some file) None
+         & info [ "blif" ] ~docv:"FILE" ~doc:"BLIF netlist file.")
+  in
+  let pla =
+    Arg.(value & opt (some file) None
+         & info [ "pla" ] ~docv:"FILE" ~doc:"PLA file.")
+  in
+  let verilog =
+    Arg.(value & opt (some file) None
+         & info [ "verilog" ] ~docv:"FILE"
+             ~doc:"Structural Verilog netlist file.")
+  in
+  let circuit =
+    Arg.(value & opt (some string) None
+         & info [ "c"; "circuit" ] ~docv:"NAME"
+             ~doc:"Built-in benchmark (see the suite subcommand).")
+  in
+  let combine expr blif pla verilog circuit =
+    match expr, blif, pla, verilog, circuit with
+    | Some e, None, None, None, None -> Ok (Src_expr e)
+    | None, Some f, None, None, None -> Ok (Src_blif f)
+    | None, None, Some f, None, None -> Ok (Src_pla f)
+    | None, None, None, Some f, None -> Ok (Src_verilog f)
+    | None, None, None, None, Some c -> Ok (Src_circuit c)
+    | None, None, None, None, None ->
+      Error
+        (`Msg "one of --expr, --blif, --pla, --verilog, --circuit is required")
+    | _ -> Error (`Msg "give exactly one input source")
+  in
+  Term.(term_result (const combine $ expr $ blif $ pla $ verilog $ circuit))
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis options *)
+
+let solver_conv =
+  let parse = function
+    | "oct" -> Ok Compact.Pipeline.Oct_exact
+    | "oct-greedy" -> Ok Compact.Pipeline.Oct_greedy
+    | "mip" -> Ok Compact.Pipeline.Mip
+    | "heuristic" -> Ok Compact.Pipeline.Heuristic
+    | "auto" -> Ok Compact.Pipeline.Auto
+    | s -> Error (`Msg (Printf.sprintf "unknown solver %s" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with
+       | Compact.Pipeline.Oct_exact -> "oct"
+       | Compact.Pipeline.Oct_greedy -> "oct-greedy"
+       | Compact.Pipeline.Mip -> "mip"
+       | Compact.Pipeline.Heuristic -> "heuristic"
+       | Compact.Pipeline.Auto -> "auto")
+  in
+  Arg.conv (parse, print)
+
+let options_term =
+  let gamma =
+    Arg.(value & opt float 0.5
+         & info [ "g"; "gamma" ] ~docv:"G"
+             ~doc:"Objective weight: minimise G*S + (1-G)*D.")
+  in
+  let solver =
+    Arg.(value & opt solver_conv Compact.Pipeline.Auto
+         & info [ "solver" ] ~docv:"S"
+             ~doc:"VH-labeling solver: auto, oct, oct-greedy, mip, heuristic.")
+  in
+  let time_limit =
+    Arg.(value & opt float 30.
+         & info [ "t"; "time-limit" ] ~docv:"SEC"
+             ~doc:"Labeling time budget in seconds.")
+  in
+  let no_alignment =
+    Arg.(value & flag
+         & info [ "no-alignment" ]
+             ~doc:"Drop the Eq 7 constraints forcing ports onto wordlines.")
+  in
+  let max_rows =
+    Arg.(value & opt (some int) None
+         & info [ "max-rows" ] ~docv:"N"
+             ~doc:"Hard wordline capacity (forces the MIP solver).")
+  in
+  let max_cols =
+    Arg.(value & opt (some int) None
+         & info [ "max-cols" ] ~docv:"N" ~doc:"Hard bitline capacity.")
+  in
+  let make gamma solver time_limit no_alignment max_rows max_cols =
+    {
+      Compact.Pipeline.default_options with
+      gamma;
+      solver;
+      time_limit;
+      alignment = not no_alignment;
+      max_rows;
+      max_cols;
+    }
+  in
+  Term.(
+    const make $ gamma $ solver $ time_limit $ no_alignment $ max_rows
+    $ max_cols)
+
+(* ------------------------------------------------------------------ *)
+
+let print_grid =
+  Arg.(value & flag
+       & info [ "grid" ] ~doc:"Print the crossbar contents (small designs).")
+
+let synth_run source options grid =
+  let nl = netlist_of_source source in
+  match Compact.Pipeline.synthesize ~options nl with
+  | result ->
+    Format.printf "%a@." Compact.Report.pp result.report;
+    if grid then Format.printf "%a@." Crossbar.Design.pp result.design;
+    Ok ()
+  | exception Compact.Label_mip.Infeasible msg ->
+    Error (`Msg ("design constraints are infeasible: " ^ msg))
+
+let synth_cmd =
+  let term =
+    Term.(term_result (const synth_run $ source_term $ options_term $ print_grid))
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesise a crossbar design with COMPACT")
+    term
+
+(* ------------------------------------------------------------------ *)
+
+let sweep_run source options steps =
+  let nl = netlist_of_source source in
+  let points = ref [] in
+  for i = 0 to steps do
+    let gamma = float_of_int i /. float_of_int steps in
+    let options = { options with Compact.Pipeline.gamma } in
+    let r = Compact.Pipeline.synthesize ~options nl in
+    points := (gamma, r.report.rows, r.report.cols) :: !points
+  done;
+  Format.printf "gamma  rows  cols@.";
+  List.iter
+    (fun (g, r, c) -> Format.printf "%5.2f  %4d  %4d@." g r c)
+    (List.rev !points);
+  let dominated (r1, c1) =
+    List.exists
+      (fun (_, r2, c2) -> (r2 <= r1 && c2 < c1) || (r2 < r1 && c2 <= c1))
+      !points
+  in
+  let pareto =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (_, r, c) -> if dominated (r, c) then None else Some (r, c))
+         !points)
+  in
+  Format.printf "non-dominated:@.";
+  List.iter (fun (r, c) -> Format.printf "  (%d, %d)@." r c) pareto;
+  Ok ()
+
+let sweep_cmd =
+  let steps =
+    Arg.(value & opt int 10
+         & info [ "steps" ] ~docv:"N" ~doc:"Number of gamma steps.")
+  in
+  let term =
+    Term.(term_result (const sweep_run $ source_term $ options_term $ steps))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep gamma and report the non-dominated (rows, cols) designs")
+    term
+
+(* ------------------------------------------------------------------ *)
+
+let validate_run source options analog trials =
+  let nl = netlist_of_source source in
+  let result = Compact.Pipeline.synthesize ~options nl in
+  Format.printf "%a@." Compact.Report.pp result.report;
+  let digital =
+    if Logic.Netlist.num_inputs nl <= 14 then begin
+      let tt = Logic.Netlist.to_truth_table nl in
+      Format.printf "digital check: exhaustive over %d assignments@."
+        (1 lsl Logic.Netlist.num_inputs nl);
+      Crossbar.Verify.against_table result.design ~reference:tt
+    end
+    else begin
+      Format.printf "digital check: %d random assignments@." trials;
+      Crossbar.Verify.random ~trials result.design ~inputs:nl.inputs
+        ~reference:(Logic.Netlist.eval_point nl)
+        ~outputs:nl.outputs
+    end
+  in
+  (match digital with
+   | Crossbar.Verify.Ok -> Format.printf "digital check: PASS@."
+   | Crossbar.Verify.Failed cex ->
+     Format.printf "digital check: FAIL (%a)@."
+       Crossbar.Verify.pp_counterexample cex);
+  if analog then begin
+    let agree =
+      Crossbar.Analog.agrees_with_digital ~trials:(min trials 32) result.design
+    in
+    Format.printf "analog (nodal-analysis) check: %s@."
+      (if agree then "PASS" else "FAIL")
+  end;
+  match digital with
+  | Crossbar.Verify.Ok -> Ok ()
+  | Crossbar.Verify.Failed _ -> Error (`Msg "verification failed")
+
+let validate_cmd =
+  let analog =
+    Arg.(value & flag
+         & info [ "analog" ]
+             ~doc:"Also validate electrically with the resistive-network solver.")
+  in
+  let trials =
+    Arg.(value & opt int 256
+         & info [ "trials" ] ~docv:"N" ~doc:"Random trials for large circuits.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const validate_run $ source_term $ options_term $ analog $ trials))
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Synthesise and verify a design functionally")
+    term
+
+(* ------------------------------------------------------------------ *)
+
+let suite_run () =
+  Format.printf "%-10s %-13s %4s %4s  %s@." "name" "category" "in" "out"
+    "description";
+  List.iter
+    (fun (e : Circuits.Suite.entry) ->
+       Format.printf "%-10s %-13s %4d %4d  %s@." e.name
+         (match e.category with
+          | Circuits.Suite.Iscas85 -> "iscas85"
+          | Circuits.Suite.Epfl_control -> "epfl-control")
+         e.paper_inputs e.paper_outputs e.description)
+    Circuits.Suite.all
+
+let suite_cmd =
+  Cmd.v
+    (Cmd.info "suite" ~doc:"List the built-in benchmark circuits")
+    Term.(const suite_run $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let export_run name format path =
+  match Circuits.Suite.find name with
+  | exception Not_found -> Error (`Msg (Printf.sprintf "unknown circuit %s" name))
+  | e ->
+    let nl = e.generate () in
+    (match format with
+     | "blif" ->
+       Logic.Blif.write_file path nl;
+       Ok ()
+     | "pla" ->
+       if Logic.Netlist.num_inputs nl > 14 then
+         Error (`Msg "pla export needs <= 14 inputs")
+       else begin
+         Logic.Pla.write_file path
+           (Logic.Pla.of_truth_table (Logic.Netlist.to_truth_table nl));
+         Ok ()
+       end
+     | "verilog" ->
+       Logic.Verilog.write_file path nl;
+       Ok ()
+     | "dot" ->
+       let sbdd = Bdd.Sbdd.of_netlist nl in
+       Bdd.Dot.write_file path sbdd;
+       Ok ()
+     | f -> Error (`Msg (Printf.sprintf "unknown format %s" f)))
+
+let export_cmd =
+  let circuit_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"CIRCUIT" ~doc:"Benchmark name.")
+  in
+  let format_arg =
+    Arg.(value & opt string "blif"
+         & info [ "f"; "format" ] ~docv:"FMT" ~doc:"blif, pla, verilog or dot.")
+  in
+  let path_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let term =
+    Term.term_result
+      Term.(const export_run $ circuit_arg $ format_arg $ path_arg)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write a benchmark as BLIF/PLA or its BDD as DOT")
+    term
+
+(* ------------------------------------------------------------------ *)
+
+let experiments_run quick targets =
+  let config =
+    if quick then Harness.Experiments.quick_config
+    else Harness.Experiments.default_config
+  in
+  (match targets with
+   | [] -> Harness.Experiments.run_all config
+   | ts ->
+     List.iter
+       (fun t ->
+          match t with
+          | "table1" -> ignore (Harness.Experiments.table1 config)
+          | "table2" -> ignore (Harness.Experiments.table2 config)
+          | "table3" -> ignore (Harness.Experiments.table3 config)
+          | "table4" -> ignore (Harness.Experiments.table4 config)
+          | "fig9" -> ignore (Harness.Experiments.fig9 config)
+          | "fig10" -> ignore (Harness.Experiments.fig10 config)
+          | "fig11" -> ignore (Harness.Experiments.fig11 config)
+          | "fig12" -> ignore (Harness.Experiments.fig12 config)
+          | "fig13" -> ignore (Harness.Experiments.fig13 config)
+          | t -> Format.printf "unknown experiment %s@." t)
+       ts);
+  Ok ()
+
+let experiments_cmd =
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Tight limits.") in
+  let targets =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
+  in
+  let term =
+    Term.(term_result (const experiments_run $ quick $ targets))
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures (same as bench/main.exe)")
+    term
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "COMPACT: flow-based computing on nanoscale crossbars with minimal \
+     semiperimeter"
+  in
+  let info = Cmd.info "compact" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ synth_cmd; sweep_cmd; validate_cmd; suite_cmd; export_cmd;
+            experiments_cmd ]))

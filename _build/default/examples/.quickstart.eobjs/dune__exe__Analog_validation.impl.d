@@ -1,0 +1,1 @@
+examples/analog_validation.ml: Circuits Compact Crossbar Format List Logic String

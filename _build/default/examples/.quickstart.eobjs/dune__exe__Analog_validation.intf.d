@@ -1,0 +1,1 @@
+examples/analog_validation.mli:

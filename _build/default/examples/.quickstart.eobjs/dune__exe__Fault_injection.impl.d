@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Circuits Compact Crossbar Format List Logic

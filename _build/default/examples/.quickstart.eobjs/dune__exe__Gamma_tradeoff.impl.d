@@ -1,0 +1,1 @@
+examples/gamma_tradeoff.ml: Bdd Circuits Compact Format List

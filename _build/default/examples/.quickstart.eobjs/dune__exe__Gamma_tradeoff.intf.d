@@ -1,0 +1,1 @@
+examples/gamma_tradeoff.mli:

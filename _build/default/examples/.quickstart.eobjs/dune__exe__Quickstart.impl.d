@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compact Crossbar Format List Logic

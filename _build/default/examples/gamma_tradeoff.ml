@@ -1,0 +1,51 @@
+(* The semiperimeter / maximum-dimension trade-off (§VI-B, Fig 9).
+
+   Sweeps the objective weight gamma on the int2float benchmark and prints
+   each design's (rows, cols). gamma = 1 minimises the semiperimeter S
+   alone; gamma = 0 minimises the maximum dimension D alone; intermediate
+   values often buy a smaller D for a slightly longer S — the paper's Fig 7
+   "add VH nodes to re-balance" effect.
+
+     dune exec examples/gamma_tradeoff.exe *)
+
+let () =
+  let entry = Circuits.Suite.find "int2float" in
+  let netlist = entry.generate () in
+  Format.printf "circuit: %s (%s)@.@." entry.name entry.description;
+  (* Pick the best static variable order first: the smaller graph lets the
+     exact MIP labeler run instead of the heuristic. *)
+  let order, _ = Bdd.Sbdd.best_order netlist in
+  let points = ref [] in
+  List.iter
+    (fun gamma ->
+       let options =
+         {
+           Compact.Pipeline.default_options with
+           gamma;
+           time_limit = 5.;
+           order = Some order;
+         }
+       in
+       let r = Compact.Pipeline.synthesize ~options netlist in
+       points := (gamma, r.report) :: !points;
+       Format.printf
+         "gamma=%.2f: %3d x %3d   S=%3d  D=%3d  (#VH=%d, %s)@." gamma
+         r.report.rows r.report.cols r.report.semiperimeter
+         r.report.max_dimension r.report.vh_count r.report.method_name)
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ];
+  (* Non-dominated designs, as in the paper's Fig 9. *)
+  let dominated (r1, c1) =
+    List.exists
+      (fun (_, (rep : Compact.Report.t)) ->
+         (rep.rows <= r1 && rep.cols < c1) || (rep.rows < r1 && rep.cols <= c1))
+      !points
+  in
+  Format.printf "@.non-dominated (rows, cols) designs:@.";
+  List.iter
+    (fun (r, c) -> Format.printf "  (%d, %d)@." r c)
+    (List.sort_uniq compare
+       (List.filter_map
+          (fun (_, (rep : Compact.Report.t)) ->
+             if dominated (rep.rows, rep.cols) then None
+             else Some (rep.rows, rep.cols))
+          !points))

@@ -1,0 +1,41 @@
+(* Multi-output synthesis: a 4-bit ripple-carry adder.
+
+   Demonstrates the paper's §VII comparison: synthesising each output as
+   its own ROBDD + crossbar (prior-work style, diagonal merge) versus one
+   shared SBDD crossbar, with the alignment constraints placing all five
+   sum outputs on wordlines. Both designs are exhaustively verified.
+
+     dune exec examples/multi_output_adder.exe *)
+
+let () =
+  let adder = Circuits.Arith.ripple_adder ~bits:4 () in
+  Format.printf "circuit: %a@.@." Logic.Netlist.pp_stats adder;
+  let reference = Logic.Netlist.to_truth_table adder in
+
+  (* Shared SBDD (the COMPACT default). *)
+  let sbdd_result = Compact.Pipeline.synthesize adder in
+  Format.printf "single shared SBDD:@.%a@.@." Compact.Report.pp
+    sbdd_result.report;
+
+  (* One ROBDD and crossbar per output, merged along the diagonal. *)
+  let per_output, merged = Compact.Pipeline.synthesize_separate_robdds adder in
+  Format.printf "multiple ROBDDs (%d blocks), merged design: %d x %d (S=%d)@.@."
+    (List.length per_output)
+    (Crossbar.Design.rows merged) (Crossbar.Design.cols merged)
+    (Crossbar.Design.semiperimeter merged);
+
+  let check name design =
+    match Crossbar.Verify.against_table design ~reference with
+    | Crossbar.Verify.Ok -> Format.printf "%s: exhaustive verification PASS@." name
+    | Crossbar.Verify.Failed cex ->
+      Format.printf "%s: FAIL (%a)@." name Crossbar.Verify.pp_counterexample cex
+  in
+  check "SBDD design" sbdd_result.design;
+  check "merged ROBDD design" merged;
+
+  let s_sbdd = Crossbar.Design.semiperimeter sbdd_result.design in
+  let s_robdd = Crossbar.Design.semiperimeter merged in
+  Format.printf
+    "@.sharing pays off: semiperimeter %d (SBDD) vs %d (separate ROBDDs), %.0f%% smaller@."
+    s_sbdd s_robdd
+    (100. *. (1. -. (float_of_int s_sbdd /. float_of_int s_robdd)))

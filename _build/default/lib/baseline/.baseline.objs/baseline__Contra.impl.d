@@ -1,0 +1,1 @@
+lib/baseline/contra.ml: Array Int List Magic Set

@@ -1,0 +1,1 @@
+lib/baseline/contra.mli: Logic

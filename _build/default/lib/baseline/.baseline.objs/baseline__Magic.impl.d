@@ -1,0 +1,1 @@
+lib/baseline/magic.ml: Array Hashtbl List Logic

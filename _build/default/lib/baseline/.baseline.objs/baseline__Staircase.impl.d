@@ -1,0 +1,1 @@
+lib/baseline/staircase.ml: Array Bdd Compact Crossbar Graphs List Unix

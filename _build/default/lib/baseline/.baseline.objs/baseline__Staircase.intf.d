@@ -1,0 +1,1 @@
+lib/baseline/staircase.mli: Compact Crossbar Logic

@@ -1,0 +1,109 @@
+type params = { k : int; spacing : int; crossbar_dim : int }
+
+let default_params = { k = 4; spacing = 6; crossbar_dim = 128 }
+
+type cost = {
+  num_luts : int;
+  num_levels : int;
+  input_ops : int;
+  nor_ops : int;
+  copy_ops : int;
+  power_ops : int;
+  delay_steps : int;
+}
+
+let estimate ?(params = default_params) nl =
+  let nig = Magic.of_netlist nl in
+  let n = Array.length nig.ops in
+  let module IS = Set.Make (Int) in
+  let is_input i =
+    match nig.ops.(i) with
+    | Magic.Input _ -> true
+    | Magic.Not _ | Magic.Nor _ -> false
+  in
+  let operands i =
+    match nig.ops.(i) with
+    | Magic.Input _ -> []
+    | Magic.Not j -> [ j ]
+    | Magic.Nor js -> js
+  in
+  let fanout = Array.make n 0 in
+  Array.iteri
+    (fun i _ -> List.iter (fun j -> fanout.(j) <- fanout.(j) + 1) (operands i))
+    nig.ops;
+  (* An op's value must materialise (become a LUT root) when it is a
+     primary output, feeds more than one consumer, or was cut because a
+     consumer cone overflowed k inputs. *)
+  let boundary = Array.make n false in
+  List.iter (fun (_, i) -> boundary.(i) <- true) nig.outputs;
+  Array.iteri (fun i f -> if f > 1 then boundary.(i) <- true) fanout;
+  let support = Array.make n IS.empty in
+  Array.iteri
+    (fun i _ ->
+       if not (is_input i) then begin
+         let operand_support j =
+           if is_input j || boundary.(j) then IS.singleton j else support.(j)
+         in
+         let sup =
+           List.fold_left
+             (fun acc j -> IS.union acc (operand_support j))
+             IS.empty (operands i)
+         in
+         if IS.cardinal sup <= params.k then support.(i) <- sup
+         else begin
+           (* Cut: the operands become LUT roots themselves. *)
+           List.iter
+             (fun j -> if not (is_input j) then boundary.(j) <- true)
+             (operands i);
+           support.(i) <- IS.of_list (operands i)
+         end
+       end)
+    nig.ops;
+  let lut_roots =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if boundary.(i) && not (is_input i) then acc := i :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let num_luts = Array.length lut_roots in
+  let op_levels = Magic.levels nig in
+  let distinct_levels =
+    Array.to_list lut_roots
+    |> List.map (fun i -> op_levels.(i))
+    |> List.sort_uniq compare
+  in
+  let num_levels = List.length distinct_levels in
+  (* Per-LUT program: k INPUT writes, one NOR per expected ON-row of the
+     k-LUT (half of 2^k) plus the output NOR; COPY per consumer of the
+     root's value. *)
+  let rows_per_lut = (1 lsl params.k) / 2 in
+  let input_ops = num_luts * params.k in
+  let nor_ops = num_luts * (rows_per_lut + 1) in
+  let copy_ops =
+    Array.fold_left (fun acc i -> acc + max 1 fanout.(i)) 0 lut_roots
+  in
+  let power_ops = input_ops + nor_ops + copy_ops in
+  let lanes = max 1 (params.crossbar_dim / (params.spacing + 2)) in
+  let ops_per_lut = params.k + rows_per_lut + 1 in
+  let delay_steps =
+    List.fold_left
+      (fun acc lvl ->
+         let luts_here =
+           Array.fold_left
+             (fun c i -> if op_levels.(i) = lvl then c + 1 else c)
+             0 lut_roots
+         in
+         let waves = (luts_here + lanes - 1) / lanes in
+         acc + (waves * ops_per_lut) + 1)
+      0 distinct_levels
+  in
+  {
+    num_luts;
+    num_levels;
+    input_ops;
+    nor_ops;
+    copy_ops;
+    power_ops;
+    delay_steps;
+  }

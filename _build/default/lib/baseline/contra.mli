@@ -1,0 +1,36 @@
+(** CONTRA-style cost model for MAGIC in-memory computing [34].
+
+    CONTRA maps a circuit as k-input LUTs placed on a fixed crossbar and
+    executes them as MAGIC operation sequences; the paper's Fig 13
+    compares power (number of write operations: INPUT, COPY, NOR, …) and
+    delay (number of time steps) against COMPACT. The tool itself is
+    closed source, so this module reproduces its *cost model* at the
+    fidelity the comparison uses:
+
+    - the netlist is lowered to a NOR-inverter graph ({!module:Magic}) and
+      greedily covered with single-output cones of ≤ [k] inputs;
+    - each LUT executes as a two-level NOR program: [k] INPUT writes, one
+      NOR per ON-row of its truth table plus the output NOR;
+    - signals consumed by a LUT in a different crossbar region cost one
+      COPY each (fan-out realignment — the effect the paper blames for
+      MAGIC's long schedules);
+    - LUTs of the same topological level run concurrently up to the lane
+      capacity ⌊crossbar_dim / (spacing + 2)⌋; levels are sequential.
+
+    Defaults follow the paper: [k = 4], [spacing = 6], crossbar 128×128. *)
+
+type params = { k : int; spacing : int; crossbar_dim : int }
+
+val default_params : params
+
+type cost = {
+  num_luts : int;
+  num_levels : int;
+  input_ops : int;
+  nor_ops : int;
+  copy_ops : int;
+  power_ops : int;  (** total write operations — the power proxy *)
+  delay_steps : int;  (** schedule length — the delay proxy *)
+}
+
+val estimate : ?params:params -> Logic.Netlist.t -> cost

@@ -1,0 +1,95 @@
+type op = Nor of int list | Not of int | Input of string
+
+type t = {
+  ops : op array;
+  outputs : (string * int) list;
+  num_inputs : int;
+}
+
+(* Lower expressions to NOR/NOT over a growing op list, with structural
+   hashing so shared sub-expressions are emitted once. *)
+let of_netlist (nl : Logic.Netlist.t) =
+  let ops = ref [] in
+  let count = ref 0 in
+  let cache = Hashtbl.create 256 in
+  let emit op =
+    match Hashtbl.find_opt cache op with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      ops := op :: !ops;
+      incr count;
+      Hashtbl.replace cache op i;
+      i
+  in
+  let wires = Hashtbl.create 64 in
+  List.iter
+    (fun v -> Hashtbl.replace wires v (emit (Input v)))
+    nl.inputs;
+  let num_inputs = !count in
+  (* false = NOR of nothing is not expressible; encode constants lazily
+     as NOT(x NOR NOT x)…; simpler: constant folding happens in Expr, so
+     constants only appear as whole node functions. *)
+  let const_false () =
+    (* NOR(x, NOT x) for an arbitrary input, or an empty NOR if there are
+       no inputs (degenerate netlists). *)
+    match nl.inputs with
+    | v :: _ ->
+      let x = Hashtbl.find wires v in
+      emit (Nor [ x; emit (Not x) ])
+    | [] -> emit (Nor [])
+  in
+  let rec lower e =
+    match (e : Logic.Expr.t) with
+    | Const false -> const_false ()
+    | Const true -> emit (Not (const_false ()))
+    | Var v -> Hashtbl.find wires v
+    | Not e -> emit (Not (lower e))
+    | Or es -> emit (Not (emit (Nor (List.map lower es))))
+    | And es ->
+      (* AND = NOR of the negations. *)
+      emit (Nor (List.map (fun e -> emit (Not (lower e))) es))
+    | Xor (a, b) ->
+      (* a⊕b = NOR(NOR(a,b), AND(a,b)) negated twice: use
+         NOT(NOR(AND(a, NOT b), AND(NOT a, b))). *)
+      let ia = lower a and ib = lower b in
+      let na = emit (Not ia) and nb = emit (Not ib) in
+      let t1 = emit (Nor [ na; ib ]) in
+      (* t1 = a AND NOT b *)
+      let t2 = emit (Nor [ ia; nb ]) in
+      emit (Not (emit (Nor [ t1; t2 ])))
+  in
+  List.iter
+    (fun (node : Logic.Netlist.node) ->
+       Hashtbl.replace wires node.wire (lower node.func))
+    nl.nodes;
+  let outputs = List.map (fun o -> o, Hashtbl.find wires o) nl.outputs in
+  { ops = Array.of_list (List.rev !ops); outputs; num_inputs }
+
+let num_gates t = Array.length t.ops - t.num_inputs
+
+let levels t =
+  let lvl = Array.make (Array.length t.ops) 0 in
+  Array.iteri
+    (fun i op ->
+       lvl.(i) <-
+         (match op with
+          | Input _ -> 0
+          | Not j -> lvl.(j) + 1
+          | Nor js -> 1 + List.fold_left (fun m j -> max m lvl.(j)) 0 js))
+    t.ops;
+  lvl
+
+let depth t = Array.fold_left max 0 (levels t)
+
+let eval t env =
+  let values = Array.make (Array.length t.ops) false in
+  Array.iteri
+    (fun i op ->
+       values.(i) <-
+         (match op with
+          | Input v -> env v
+          | Not j -> not values.(j)
+          | Nor js -> not (List.exists (fun j -> values.(j)) js)))
+    t.ops;
+  List.map (fun (o, i) -> o, values.(i)) t.outputs

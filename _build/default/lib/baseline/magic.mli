@@ -1,0 +1,31 @@
+(** MAGIC (memristor-aided logic) synthesis substrate.
+
+    MAGIC evaluates Boolean functions as sequences of in-memory NOR/NOT
+    operations [6]. This module lowers a netlist to a NOR-inverter graph
+    (NIG) — the intermediate form CONTRA-style mappers schedule — and
+    reports its size and depth. Each NIG operation is one crossbar write
+    cycle in the MAGIC execution model. *)
+
+type op = Nor of int list | Not of int | Input of string
+(** Operands are indices of earlier ops. *)
+
+type t = {
+  ops : op array;  (** topologically ordered; inputs first *)
+  outputs : (string * int) list;  (** output name → op index *)
+  num_inputs : int;
+}
+
+val of_netlist : Logic.Netlist.t -> t
+
+val num_gates : t -> int
+(** NOR/NOT operations (excluding inputs). *)
+
+val depth : t -> int
+(** Longest dependency chain through NOR/NOT ops — the lower bound on
+    MAGIC time steps with unlimited parallelism. *)
+
+val levels : t -> int array
+(** Per-op level (inputs are level 0). *)
+
+val eval : t -> (string -> bool) -> (string * bool) list
+(** Reference semantics, for testing the lowering. *)

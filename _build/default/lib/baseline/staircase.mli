@@ -1,0 +1,28 @@
+(** The prior-work baseline [16]: inductive staircase mapping of BDDs.
+
+    In that technique every BDD node is assigned both a wordline and a
+    bitline (the node pair is fused on the main diagonal), and decision
+    edges are realised at the corresponding junctions — crossbars span the
+    staircase from the bottom-left to the top-right corner. The measured
+    semiperimeter in the paper's Table IV is ≈ 1.90·n; our reconstruction
+    gives exactly [rows = n] and [cols = n − 1] (the 1-terminal needs no
+    bitline because all of its incident edges can use the parent's
+    bitline), i.e. semiperimeter [2n − 1].
+
+    Multi-output functions follow the prior-work flow: one ROBDD per
+    output, each mapped separately, merged along the diagonal sharing the
+    input wordline (Fig 8(a)). *)
+
+val of_graph : Compact.Types.bdd_graph -> Crossbar.Design.t
+(** Staircase-map one (single- or multi-rooted) BDD graph: all nodes VH. *)
+
+type result = {
+  designs : Crossbar.Design.t list;  (** one per output *)
+  merged : Crossbar.Design.t;
+  total_bdd_nodes : int;  (** Σ nodes of the per-output ROBDDs *)
+  total_bdd_edges : int;
+  synthesis_time : float;
+}
+
+val synthesize : ?order:string list -> ?node_limit:int -> Logic.Netlist.t -> result
+(** The full prior-work flow on a netlist. *)

@@ -1,0 +1,1 @@
+lib/bdd/build.ml: List Logic Manager

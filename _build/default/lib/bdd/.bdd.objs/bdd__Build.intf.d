@@ -1,0 +1,1 @@
+lib/bdd/build.mli: Logic Manager

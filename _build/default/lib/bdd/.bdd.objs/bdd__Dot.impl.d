@@ -1,0 +1,1 @@
+lib/bdd/dot.ml: Array Buffer List Manager Printf Sbdd

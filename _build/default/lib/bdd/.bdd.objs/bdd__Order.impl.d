@@ -1,0 +1,1 @@
+lib/bdd/order.ml: Hashtbl List Logic Stdlib

@@ -1,0 +1,1 @@
+lib/bdd/order.mli: Logic

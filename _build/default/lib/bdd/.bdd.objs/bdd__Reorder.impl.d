@@ -1,0 +1,1 @@
+lib/bdd/reorder.ml: Array List Logic Manager Random Sbdd

@@ -1,0 +1,1 @@
+lib/bdd/sbdd.ml: Array Build Hashtbl List Logic Manager Order String

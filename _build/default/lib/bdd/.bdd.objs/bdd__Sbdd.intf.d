@@ -1,0 +1,1 @@
+lib/bdd/sbdd.mli: Logic Manager

@@ -1,0 +1,17 @@
+let expr_with_env man ~env e =
+  let rec go e =
+    match (e : Logic.Expr.t) with
+    | Const true -> Manager.one
+    | Const false -> Manager.zero
+    | Var v -> env v
+    | Not e -> Manager.not_ man (go e)
+    | And es ->
+      List.fold_left (fun acc e -> Manager.and_ man acc (go e)) Manager.one es
+    | Or es ->
+      List.fold_left (fun acc e -> Manager.or_ man acc (go e)) Manager.zero es
+    | Xor (a, b) -> Manager.xor man (go a) (go b)
+  in
+  go e
+
+let expr man ~var_level e =
+  expr_with_env man ~env:(fun v -> Manager.var man (var_level v)) e

@@ -1,0 +1,15 @@
+(** Compiling logic front-end objects into BDD nodes. *)
+
+val expr : Manager.t -> var_level:(string -> int) -> Logic.Expr.t -> Manager.node
+(** [expr man ~var_level e] compiles an expression bottom-up. [var_level]
+    maps each variable name to its manager level.
+    @raise Manager.Size_limit if the manager's node budget is exceeded. *)
+
+val expr_with_env :
+  Manager.t ->
+  env:(string -> Manager.node) ->
+  Logic.Expr.t ->
+  Manager.node
+(** Like {!expr} but variables map to arbitrary, already-built nodes —
+    this is the step used for symbolic simulation of netlists, where a
+    "variable" is an internal wire. *)

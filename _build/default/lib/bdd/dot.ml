@@ -1,0 +1,34 @@
+let sbdd (t : Sbdd.t) =
+  let buf = Buffer.create 1024 in
+  let roots = List.map snd t.roots in
+  Buffer.add_string buf "digraph bdd {\n  rankdir=TB;\n";
+  List.iter
+    (fun n ->
+       if Manager.is_terminal n then
+         Buffer.add_string buf
+           (Printf.sprintf "  n%d [shape=box,label=\"%d\"];\n" n n)
+       else begin
+         let name = t.input_order.(Manager.level t.man n) in
+         Buffer.add_string buf
+           (Printf.sprintf "  n%d [shape=circle,label=\"%s\"];\n" n name);
+         Buffer.add_string buf
+           (Printf.sprintf "  n%d -> n%d [style=solid];\n" n
+              (Manager.high t.man n));
+         Buffer.add_string buf
+           (Printf.sprintf "  n%d -> n%d [style=dashed];\n" n
+              (Manager.low t.man n))
+       end)
+    (Manager.reachable t.man roots);
+  List.iter
+    (fun (o, root) ->
+       Buffer.add_string buf
+         (Printf.sprintf "  out_%s [shape=plaintext,label=\"%s\"];\n" o o);
+       Buffer.add_string buf (Printf.sprintf "  out_%s -> n%d;\n" o root))
+    t.roots;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (sbdd t);
+  close_out oc

@@ -1,0 +1,7 @@
+(** Graphviz export of BDDs, for debugging and documentation. *)
+
+val sbdd : Sbdd.t -> string
+(** DOT source: solid edges for then-branches, dashed for else-branches,
+    boxes for terminals, one labelled arrow per output root. *)
+
+val write_file : string -> Sbdd.t -> unit

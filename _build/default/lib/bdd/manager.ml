@@ -1,0 +1,233 @@
+type node = int
+
+exception Size_limit of int
+
+(* Growable parallel arrays indexed by node handle. Handles 0 and 1 are
+   the terminals; their level is max_int so they sort below every
+   variable. *)
+type t = {
+  nvars : int;
+  node_limit : int;
+  mutable levels : int array;
+  mutable lows : int array;
+  mutable highs : int array;
+  mutable next : int;  (* next free handle *)
+  unique : (int * int * int, int) Hashtbl.t;  (* (level, low, high) → node *)
+  ite_cache : (int * int * int, int) Hashtbl.t;
+  quant_cache : (int * int * bool, int) Hashtbl.t;
+}
+
+let zero = 0
+let one = 1
+let is_terminal n = n < 2
+
+let create ?(node_limit = max_int) ~num_vars () =
+  let cap = 1024 in
+  let levels = Array.make cap max_int in
+  let lows = Array.make cap (-1) in
+  let highs = Array.make cap (-1) in
+  {
+    nvars = num_vars;
+    node_limit;
+    levels;
+    lows;
+    highs;
+    next = 2;
+    unique = Hashtbl.create 4096;
+    ite_cache = Hashtbl.create 4096;
+    quant_cache = Hashtbl.create 256;
+  }
+
+let num_vars t = t.nvars
+let allocated t = t.next
+
+let grow t =
+  let cap = Array.length t.levels in
+  let bigger_int a fill =
+    let b = Array.make (2 * cap) fill in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  t.levels <- bigger_int t.levels max_int;
+  t.lows <- bigger_int t.lows (-1);
+  t.highs <- bigger_int t.highs (-1)
+
+let level t n = t.levels.(n)
+
+let low t n =
+  if is_terminal n then invalid_arg "Bdd.Manager.low: terminal";
+  t.lows.(n)
+
+let high t n =
+  if is_terminal n then invalid_arg "Bdd.Manager.high: terminal";
+  t.highs.(n)
+
+(* The single reduction point: no node with equal children, and full
+   sharing through the unique table. *)
+let mk t lvl lo hi =
+  if lo = hi then lo
+  else
+    let key = (lvl, lo, hi) in
+    match Hashtbl.find_opt t.unique key with
+    | Some n -> n
+    | None ->
+      if t.next >= t.node_limit then raise (Size_limit t.node_limit);
+      if t.next >= Array.length t.levels then grow t;
+      let n = t.next in
+      t.next <- n + 1;
+      t.levels.(n) <- lvl;
+      t.lows.(n) <- lo;
+      t.highs.(n) <- hi;
+      Hashtbl.replace t.unique key n;
+      n
+
+let var t i =
+  if i < 0 || i >= t.nvars then invalid_arg "Bdd.Manager.var: out of range";
+  mk t i zero one
+
+let nvar t i =
+  if i < 0 || i >= t.nvars then invalid_arg "Bdd.Manager.nvar: out of range";
+  mk t i one zero
+
+let rec ite t f g h =
+  (* Terminal cases. *)
+  if f = one then g
+  else if f = zero then h
+  else if g = h then g
+  else if g = one && h = zero then f
+  else
+    let key = (f, g, h) in
+    match Hashtbl.find_opt t.ite_cache key with
+    | Some r -> r
+    | None ->
+      let lf = level t f and lg = level t g and lh = level t h in
+      let lvl = min lf (min lg lh) in
+      let cof n ln branch =
+        if ln = lvl then if branch then t.highs.(n) else t.lows.(n) else n
+      in
+      let r_hi = ite t (cof f lf true) (cof g lg true) (cof h lh true) in
+      let r_lo = ite t (cof f lf false) (cof g lg false) (cof h lh false) in
+      let r = mk t lvl r_lo r_hi in
+      Hashtbl.replace t.ite_cache key r;
+      r
+
+let not_ t f = ite t f zero one
+let and_ t f g = ite t f g zero
+let or_ t f g = ite t f one g
+let xor t f g = ite t f (not_ t g) g
+let xnor t f g = ite t f g (not_ t g)
+let nand t f g = not_ t (and_ t f g)
+let nor t f g = not_ t (or_ t f g)
+let imp t f g = ite t f g one
+let and_list t fs = List.fold_left (and_ t) one fs
+let or_list t fs = List.fold_left (or_ t) zero fs
+
+let restrict t f ~var:v b =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    if is_terminal f || level t f > v then f
+    else
+      match Hashtbl.find_opt memo f with
+      | Some r -> r
+      | None ->
+        let r =
+          if level t f = v then if b then t.highs.(f) else t.lows.(f)
+          else mk t (level t f) (go t.lows.(f)) (go t.highs.(f))
+        in
+        Hashtbl.replace memo f r;
+        r
+  in
+  go f
+
+let quantify t ~var:v ~conj f =
+  let key = (f, v, conj) in
+  match Hashtbl.find_opt t.quant_cache key with
+  | Some r -> r
+  | None ->
+    let f0 = restrict t f ~var:v false in
+    let f1 = restrict t f ~var:v true in
+    let r = if conj then and_ t f0 f1 else or_ t f0 f1 in
+    Hashtbl.replace t.quant_cache key r;
+    r
+
+let exists t ~var f = quantify t ~var ~conj:false f
+let forall t ~var f = quantify t ~var ~conj:true f
+
+let rec eval t f env =
+  if f = zero then false
+  else if f = one then true
+  else if env (level t f) then eval t t.highs.(f) env
+  else eval t t.lows.(f) env
+
+let reachable t roots =
+  let seen = Hashtbl.create 1024 in
+  let order = ref [] in
+  let rec visit n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      order := n :: !order;
+      if not (is_terminal n) then begin
+        visit t.lows.(n);
+        visit t.highs.(n)
+      end
+    end
+  in
+  List.iter visit roots;
+  List.rev !order
+
+let size t roots = List.length (reachable t roots)
+
+let iter_edges t roots f =
+  List.iter
+    (fun n ->
+       if not (is_terminal n) then begin
+         f n t.lows.(n) false;
+         f n t.highs.(n) true
+       end)
+    (reachable t roots)
+
+let support t f =
+  let module IS = Set.Make (Int) in
+  let vars = ref IS.empty in
+  List.iter
+    (fun n -> if not (is_terminal n) then vars := IS.add (level t n) !vars)
+    (reachable t [ f ]);
+  IS.elements !vars
+
+let sat_count t f ~nvars =
+  let memo = Hashtbl.create 256 in
+  (* count f = #assignments of variables at levels ≥ level(f). *)
+  let rec go f =
+    if f = zero then 0.
+    else if f = one then 1.
+    else
+      match Hashtbl.find_opt memo f with
+      | Some c -> c
+      | None ->
+        let lvl = level t f in
+        let child g =
+          let lg = min (level t g) nvars in
+          go g *. (2. ** float_of_int (lg - lvl - 1))
+        in
+        let c = child t.lows.(f) +. child t.highs.(f) in
+        Hashtbl.replace memo f c;
+        c
+  in
+  let lf = min (level t f) nvars in
+  go f *. (2. ** float_of_int lf)
+
+let any_sat t f =
+  if f = zero then None
+  else
+    let rec go f acc =
+      if f = one then List.rev acc
+      else
+        let v = level t f in
+        if t.highs.(f) <> zero then go t.highs.(f) ((v, true) :: acc)
+        else go t.lows.(f) ((v, false) :: acc)
+    in
+    Some (go f [])
+
+let clear_caches t =
+  Hashtbl.reset t.ite_cache;
+  Hashtbl.reset t.quant_cache

@@ -1,0 +1,105 @@
+(** Hash-consed reduced ordered binary decision diagrams.
+
+    A manager owns a fixed variable order (variable [i] is at level [i];
+    smaller levels are closer to the roots) and a unique table, so
+    structural equality of node handles coincides with functional
+    equivalence — the classic ROBDD canonicity invariant. Complement edges
+    are deliberately not used: the crossbar mapping needs the plain
+    two-terminal diagram.
+
+    Nodes are integer handles private to their manager. Handle [0] is the
+    0-terminal and handle [1] the 1-terminal. *)
+
+type t
+(** A manager. *)
+
+type node = int
+(** Node handle; only meaningful together with its manager. *)
+
+exception Size_limit of int
+(** Raised by operations when the unique table would exceed the node
+    budget given at creation. *)
+
+val create : ?node_limit:int -> num_vars:int -> unit -> t
+(** [create ~num_vars ()] prepares a manager for variables
+    [0 .. num_vars - 1]. [node_limit] (default: unlimited) bounds the
+    total number of allocated nodes. *)
+
+val num_vars : t -> int
+
+val zero : node
+val one : node
+val is_terminal : node -> bool
+
+val var : t -> int -> node
+(** The projection function of variable [i].
+    @raise Invalid_argument if [i] is out of range. *)
+
+val nvar : t -> int -> node
+(** Negated projection. *)
+
+(** {1 Structure} *)
+
+val level : t -> node -> int
+(** Variable level of an internal node; [max_int] for terminals. *)
+
+val low : t -> node -> node
+(** Else-child (variable = 0).
+    @raise Invalid_argument on terminals. *)
+
+val high : t -> node -> node
+(** Then-child (variable = 1).
+    @raise Invalid_argument on terminals. *)
+
+val allocated : t -> int
+(** Number of nodes ever hash-consed (including both terminals). *)
+
+(** {1 Boolean operations} (all memoised) *)
+
+val ite : t -> node -> node -> node -> node
+val not_ : t -> node -> node
+val and_ : t -> node -> node -> node
+val or_ : t -> node -> node -> node
+val xor : t -> node -> node -> node
+val xnor : t -> node -> node -> node
+val nand : t -> node -> node -> node
+val nor : t -> node -> node -> node
+val imp : t -> node -> node -> node
+
+val and_list : t -> node list -> node
+val or_list : t -> node list -> node
+
+val restrict : t -> node -> var:int -> bool -> node
+(** Cofactor with respect to one variable. *)
+
+val exists : t -> var:int -> node -> node
+val forall : t -> var:int -> node -> node
+
+(** {1 Queries} *)
+
+val eval : t -> node -> (int -> bool) -> bool
+(** Evaluate under an assignment of the variables. *)
+
+val support : t -> node -> int list
+(** Sorted list of variable levels the function depends on. *)
+
+val sat_count : t -> node -> nvars:int -> float
+(** Number of satisfying assignments over [nvars] variables. *)
+
+val any_sat : t -> node -> (int * bool) list option
+(** One satisfying partial assignment (level, value), or [None] for the
+    constant-0 function. *)
+
+val reachable : t -> node list -> node list
+(** All distinct nodes reachable from the given roots (including
+    terminals that are reached), in depth-first discovery order. *)
+
+val size : t -> node list -> int
+(** [List.length (reachable t roots)]. *)
+
+val iter_edges : t -> node list -> (node -> node -> bool -> unit) -> unit
+(** [iter_edges t roots f] calls [f parent child is_then] once per decision
+    edge of the sub-diagram reachable from [roots]. *)
+
+val clear_caches : t -> unit
+(** Drop operation memo tables (the unique table is kept). *)

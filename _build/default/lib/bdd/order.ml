@@ -1,0 +1,87 @@
+let as_given (t : Logic.Netlist.t) = t.inputs
+let reversed (t : Logic.Netlist.t) = List.rev t.inputs
+
+let dfs_from (t : Logic.Netlist.t) roots =
+  let defs = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Logic.Netlist.node) -> Hashtbl.replace defs n.wire n.func)
+    t.nodes;
+  let is_input = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace is_input v ()) t.inputs;
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec visit w =
+    if not (Hashtbl.mem seen w) then begin
+      Hashtbl.replace seen w ();
+      if Hashtbl.mem is_input w then order := w :: !order
+      else
+        match Hashtbl.find_opt defs w with
+        | Some func -> List.iter visit (Logic.Expr.vars func)
+        | None -> ()
+    end
+  in
+  List.iter visit roots;
+  List.rev !order
+
+let complete (t : Logic.Netlist.t) partial =
+  (* Append inputs that do not reach any output. *)
+  let present = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace present v ()) partial;
+  partial @ List.filter (fun v -> not (Hashtbl.mem present v)) t.inputs
+
+let dfs_fanin t = complete t (dfs_from t t.outputs)
+
+let interleaved (t : Logic.Netlist.t) =
+  let per_output = List.map (fun o -> dfs_from t [ o ]) t.outputs in
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec round lists =
+    if lists <> [] then begin
+      let rests =
+        List.filter_map
+          (function
+            | [] -> None
+            | v :: rest ->
+              if not (Hashtbl.mem seen v) then begin
+                Hashtbl.replace seen v ();
+                order := v :: !order
+              end;
+              if rest = [] then None else Some rest)
+          lists
+      in
+      round rests
+    end
+  in
+  round per_output;
+  complete t (List.rev !order)
+
+let by_depth (t : Logic.Netlist.t) =
+  (* Minimum depth of every wire measured from the outputs (outputs have
+     depth 0), propagated backwards through the reversed topological
+     order. *)
+  let depth = Hashtbl.create 64 in
+  let relax w d =
+    match Hashtbl.find_opt depth w with
+    | Some d' when d' <= d -> ()
+    | _ -> Hashtbl.replace depth w d
+  in
+  List.iter (fun o -> relax o 0) t.outputs;
+  List.iter
+    (fun (n : Logic.Netlist.node) ->
+       match Hashtbl.find_opt depth n.wire with
+       | None -> ()
+       | Some d -> List.iter (fun v -> relax v (d + 1)) (Logic.Expr.vars n.func))
+    (List.rev t.nodes);
+  let position = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace position v i) (dfs_fanin t);
+  let key v =
+    ( (match Hashtbl.find_opt depth v with Some d -> d | None -> max_int),
+      match Hashtbl.find_opt position v with Some p -> p | None -> max_int )
+  in
+  List.stable_sort (fun a b -> compare (key a) (key b)) t.inputs
+
+let candidates t =
+  let all =
+    [ dfs_fanin t; interleaved t; by_depth t; as_given t; reversed t ]
+  in
+  List.sort_uniq Stdlib.compare all

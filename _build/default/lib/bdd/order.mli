@@ -1,0 +1,31 @@
+(** Static variable-ordering heuristics for netlists.
+
+    The quality of a BDD depends heavily on the variable order. CUDD offers
+    dynamic reordering; here the order is chosen up front by structural
+    heuristics and, optionally, by building the BDD under several candidate
+    orders and keeping the smallest ({!Sbdd.best_order}). *)
+
+val as_given : Logic.Netlist.t -> string list
+(** The declaration order of the primary inputs. *)
+
+val reversed : Logic.Netlist.t -> string list
+
+val dfs_fanin : Logic.Netlist.t -> string list
+(** Depth-first traversal from the outputs through the fan-in cones,
+    recording primary inputs at first visit. Groups related inputs close
+    together — the classic Malik-style ordering heuristic. *)
+
+val interleaved : Logic.Netlist.t -> string list
+(** Round-robin over the per-output {!dfs_fanin} orders; good for
+    bit-sliced arithmetic circuits where corresponding bits of different
+    words should be adjacent. *)
+
+val by_depth : Logic.Netlist.t -> string list
+(** Inputs sorted by their minimum logic depth below any output (shallow
+    first), ties broken by {!dfs_fanin} position. Inputs that feed the
+    outputs through little logic (pass-through data, strobes) end up close
+    to the roots, where they cost a single node instead of duplicating the
+    deep cones below them. *)
+
+val candidates : Logic.Netlist.t -> string list list
+(** The five heuristics above, deduplicated. *)

@@ -1,0 +1,101 @@
+type stats = {
+  initial_size : int;
+  final_size : int;
+  evaluations : int;
+  accepted : int;
+}
+
+let size_of ?(node_limit = max_int) nl order =
+  match Sbdd.of_netlist ~order ~node_limit nl with
+  | sbdd -> Some (Sbdd.size sbdd)
+  | exception Manager.Size_limit _ -> None
+
+let anneal ?(seed = 0x0d4) ?(budget = 150) ?node_limit ?initial
+    (nl : Logic.Netlist.t) =
+  let rng = Random.State.make [| seed |] in
+  let start_order =
+    match initial with
+    | Some order -> order
+    | None -> fst (Sbdd.best_order ?node_limit nl)
+  in
+  let current = Array.of_list start_order in
+  let n = Array.length current in
+  let evaluations = ref 0 in
+  let accepted = ref 0 in
+  let score order =
+    incr evaluations;
+    size_of ?node_limit nl (Array.to_list order)
+  in
+  let initial_size =
+    match score current with
+    | Some s -> s
+    | None -> max_int
+  in
+  let current_size = ref initial_size in
+  let best = Array.copy current in
+  let best_size = ref initial_size in
+  if n >= 2 then begin
+    (* Geometric cooling; temperature relative to the current size so the
+       schedule is scale-free. *)
+    let temperature = ref 0.05 in
+    for _ = 2 to budget do
+      let candidate = Array.copy current in
+      (match Random.State.int rng 3 with
+       | 0 ->
+         (* adjacent transposition (the sifting move) *)
+         let i = Random.State.int rng (n - 1) in
+         let tmp = candidate.(i) in
+         candidate.(i) <- candidate.(i + 1);
+         candidate.(i + 1) <- tmp
+       | 1 ->
+         (* random transposition *)
+         let i = Random.State.int rng n and j = Random.State.int rng n in
+         let tmp = candidate.(i) in
+         candidate.(i) <- candidate.(j);
+         candidate.(j) <- tmp
+       | _ ->
+         (* move one variable to a random position (a single sift) *)
+         let i = Random.State.int rng n and j = Random.State.int rng n in
+         let v = candidate.(i) in
+         let without =
+           Array.of_list
+             (List.filteri (fun k _ -> k <> i) (Array.to_list candidate))
+         in
+         let j = min j (n - 2) in
+         Array.blit without 0 candidate 0 j;
+         candidate.(j) <- v;
+         Array.blit without j candidate (j + 1) (n - 1 - j));
+      match score candidate with
+      | None -> ()
+      | Some size ->
+        let delta =
+          float_of_int (size - !current_size)
+          /. float_of_int (max 1 !current_size)
+        in
+        let accept =
+          size <= !current_size
+          || Random.State.float rng 1. < exp (-.delta /. !temperature)
+        in
+        if accept then begin
+          incr accepted;
+          Array.blit candidate 0 current 0 n;
+          current_size := size;
+          if size < !best_size then begin
+            best_size := size;
+            Array.blit candidate 0 best 0 n
+          end
+        end;
+        temperature := !temperature *. 0.97
+    done
+  end;
+  ( Array.to_list best,
+    {
+      initial_size;
+      final_size = !best_size;
+      evaluations = !evaluations;
+      accepted = !accepted;
+    } )
+
+let improve_sbdd ?seed ?budget ?node_limit nl =
+  let order, _ = anneal ?seed ?budget ?node_limit nl in
+  Sbdd.of_netlist ~order ?node_limit nl

@@ -1,0 +1,35 @@
+(** Variable-order optimisation by local search.
+
+    CUDD improves orders dynamically (sifting); here the same end is
+    reached by a simulated-annealing search over permutations, scoring
+    each candidate by rebuilding the SBDD (hash-consed construction is
+    fast at the sizes where order search matters). Moves are adjacent
+    transpositions and random block rotations — the neighbourhood sifting
+    explores, without the in-place level-swap machinery.
+
+    Intended for small/medium netlists (rebuild cost × budget); callers
+    gate it by size. *)
+
+type stats = {
+  initial_size : int;
+  final_size : int;
+  evaluations : int;  (** SBDD rebuilds performed *)
+  accepted : int;  (** accepted moves *)
+}
+
+val anneal :
+  ?seed:int ->
+  ?budget:int ->
+  ?node_limit:int ->
+  ?initial:string list ->
+  Logic.Netlist.t ->
+  string list * stats
+(** [anneal nl] searches for a small-SBDD variable order starting from
+    [initial] (default: the best {!Order.candidates} order). [budget]
+    (default 150) bounds the number of rebuilds. The returned order is
+    never worse than the starting one. *)
+
+val improve_sbdd :
+  ?seed:int -> ?budget:int -> ?node_limit:int -> Logic.Netlist.t -> Sbdd.t
+(** Convenience: run {!anneal} and build the SBDD under the winning
+    order. *)

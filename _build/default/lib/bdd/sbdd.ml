@@ -1,0 +1,109 @@
+type t = {
+  man : Manager.t;
+  input_order : string array;
+  roots : (string * Manager.node) list;
+}
+
+let check_order (nl : Logic.Netlist.t) order =
+  let sorted = List.sort String.compare in
+  if sorted order <> sorted nl.inputs then
+    invalid_arg "Sbdd: order is not a permutation of the netlist inputs"
+
+let build_roots man ~levels (nl : Logic.Netlist.t) =
+  let values = Hashtbl.create 64 in
+  List.iter
+    (fun v -> Hashtbl.replace values v (Manager.var man (Hashtbl.find levels v)))
+    nl.inputs;
+  let env w = Hashtbl.find values w in
+  List.iter
+    (fun (node : Logic.Netlist.node) ->
+       Hashtbl.replace values node.wire (Build.expr_with_env man ~env node.func))
+    nl.nodes;
+  List.map (fun o -> o, env o) nl.outputs
+
+let levels_of_order order =
+  let levels = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace levels v i) order;
+  levels
+
+let of_netlist ?order ?(node_limit = max_int) (nl : Logic.Netlist.t) =
+  let order = match order with Some o -> o | None -> Order.dfs_fanin nl in
+  check_order nl order;
+  let man = Manager.create ~node_limit ~num_vars:(List.length order) () in
+  let levels = levels_of_order order in
+  let roots = build_roots man ~levels nl in
+  { man; input_order = Array.of_list order; roots }
+
+let of_exprs ?order ?node_limit ~inputs named =
+  let nodes =
+    List.map (fun (name, e) -> Logic.Netlist.n_expr name e) named
+  in
+  let nl =
+    Logic.Netlist.create ~name:"exprs" ~inputs
+      ~outputs:(List.map fst named) nodes
+  in
+  of_netlist ?order ?node_limit nl
+
+let of_netlist_separate ?order ?(node_limit = max_int) (nl : Logic.Netlist.t) =
+  let order = match order with Some o -> o | None -> Order.dfs_fanin nl in
+  check_order nl order;
+  List.map
+    (fun o ->
+       let man = Manager.create ~node_limit ~num_vars:(List.length order) () in
+       let levels = levels_of_order order in
+       let single =
+         Logic.Netlist.create ~name:(nl.name ^ "." ^ o) ~inputs:nl.inputs
+           ~outputs:[ o ] nl.nodes
+       in
+       let roots = build_roots man ~levels single in
+       { man; input_order = Array.of_list order; roots })
+    nl.outputs
+
+let size t = Manager.size t.man (List.map snd t.roots)
+
+let num_edges t =
+  let c = ref 0 in
+  Manager.iter_edges t.man (List.map snd t.roots) (fun _ _ _ -> incr c);
+  !c
+
+let of_netlist_size ?order ~node_limit nl =
+  match of_netlist ?order ~node_limit nl with
+  | sbdd -> Some (size sbdd)
+  | exception Manager.Size_limit _ -> None
+
+let best_order ?(node_limit = max_int) nl =
+  let candidates = Order.candidates nl in
+  let best = ref None in
+  let last = ref [] in
+  List.iter
+    (fun order ->
+       last := order;
+       match of_netlist_size ~order ~node_limit nl with
+       | None -> ()
+       | Some sz -> (
+           match !best with
+           | Some (_, best_sz) when best_sz <= sz -> ()
+           | _ -> best := Some (order, sz)))
+    candidates;
+  match !best with Some r -> r | None -> !last, max_int
+
+let level_of_input t v =
+  let n = Array.length t.input_order in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if String.equal t.input_order.(i) v then i
+    else go (i + 1)
+  in
+  go 0
+
+let eval t env =
+  let env_lvl lvl = env t.input_order.(lvl) in
+  List.map (fun (o, root) -> o, Manager.eval t.man root env_lvl) t.roots
+
+let to_truth_table t =
+  let inputs = Array.to_list t.input_order in
+  Logic.Truth_table.create ~inputs ~outputs:(List.map fst t.roots)
+    (fun point ->
+       let env_lvl lvl = point.(lvl) in
+       Array.of_list
+         (List.map (fun (_, root) -> Manager.eval t.man root env_lvl) t.roots))

@@ -1,0 +1,56 @@
+(** Shared binary decision diagrams (multi-rooted ROBDD forests).
+
+    An SBDD holds one root per output of a multi-output function over a
+    single manager, so structure common to several outputs is stored once
+    (§VII-A of the paper). Building each output in its own manager instead
+    yields the "multiple ROBDDs" mode the paper compares against
+    (Table III) — see {!of_netlist_separate}. *)
+
+type t = {
+  man : Manager.t;
+  input_order : string array;  (** level → primary-input name *)
+  roots : (string * Manager.node) list;  (** output name → root, in order *)
+}
+
+val of_netlist :
+  ?order:string list -> ?node_limit:int -> Logic.Netlist.t -> t
+(** Symbolic simulation of the netlist in topological order. [order]
+    defaults to {!Order.dfs_fanin}.
+    @raise Manager.Size_limit when the node budget is exhausted.
+    @raise Invalid_argument if [order] is not a permutation of the
+    inputs. *)
+
+val of_exprs :
+  ?order:string list ->
+  ?node_limit:int ->
+  inputs:string list ->
+  (string * Logic.Expr.t) list ->
+  t
+(** Build directly from named output expressions. *)
+
+val of_netlist_separate :
+  ?order:string list -> ?node_limit:int -> Logic.Netlist.t -> t list
+(** One single-output BDD (own manager) per output, all using the same
+    global input order. *)
+
+val best_order :
+  ?node_limit:int -> Logic.Netlist.t -> string list * int
+(** Try every {!Order.candidates} order and return the one whose SBDD is
+    smallest, together with that size. Orders whose build exceeds
+    [node_limit] are skipped; if all do, the last candidate is returned
+    with [max_int]. *)
+
+val size : t -> int
+(** Distinct reachable nodes, including reached terminals. *)
+
+val num_edges : t -> int
+(** Decision edges of the reachable sub-diagram (2 per internal node). *)
+
+val level_of_input : t -> string -> int
+(** @raise Not_found for an unknown input. *)
+
+val eval : t -> (string -> bool) -> (string * bool) list
+(** Evaluate all outputs under an input assignment. *)
+
+val to_truth_table : t -> Logic.Truth_table.t
+(** Exhaustive tabulation over the input order (≤ 20 inputs). *)

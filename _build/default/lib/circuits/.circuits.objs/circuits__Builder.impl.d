@@ -1,0 +1,1 @@
+lib/circuits/builder.ml: Array List Logic Printf

@@ -1,0 +1,1 @@
+lib/circuits/control.ml: Array Builder List Logic Printf

@@ -1,0 +1,1 @@
+lib/circuits/control.mli: Logic

@@ -1,0 +1,1 @@
+lib/circuits/ecc.ml: Array Builder List Logic Printf

@@ -1,0 +1,1 @@
+lib/circuits/suite.ml: Arith Control Ecc List Logic Printf String

@@ -1,0 +1,363 @@
+let v = Logic.Expr.var
+let ( &&& ) a b = Logic.Expr.and_ [ a; b ]
+let ( ||| ) a b = Logic.Expr.or_ [ a; b ]
+let ( ^^^ ) a b = Logic.Expr.xor a b
+let nt = Logic.Expr.not_
+
+(* Emit a ripple-carry chain; returns (sum wires, carry-out expr wire). *)
+let ripple_chain b ~prefix a_bits b_bits carry0 =
+  let bits = Array.length a_bits in
+  let sums = Array.make bits "" in
+  let carry = ref carry0 in
+  for i = 0 to bits - 1 do
+    let ai = v a_bits.(i) and bi = v b_bits.(i) in
+    let c = Builder.wire !carry in
+    sums.(i) <-
+      Builder.emit b (Printf.sprintf "%s_s%d" prefix i) (ai ^^^ bi ^^^ c);
+    carry :=
+      Builder.emit b
+        (Printf.sprintf "%s_c%d" prefix (i + 1))
+        ((ai &&& bi) ||| (c &&& (ai ^^^ bi)))
+  done;
+  sums, !carry
+
+let ripple_adder ?(with_cin = false) ~bits () =
+  let b = Builder.create () in
+  let a_bits = Builder.input_vector "a" bits in
+  let b_bits = Builder.input_vector "b" bits in
+  let cin =
+    if with_cin then "cin"
+    else Builder.emit b "zero" Logic.Expr.fls
+  in
+  let sums, cout = ripple_chain b ~prefix:"add" a_bits b_bits cin in
+  let inputs =
+    Array.to_list a_bits @ Array.to_list b_bits
+    @ (if with_cin then [ "cin" ] else [])
+  in
+  Builder.finish b ~name:(Printf.sprintf "add%d" bits) ~inputs
+    ~outputs:(Array.to_list sums @ [ cout ])
+
+let subtractor ~bits () =
+  let b = Builder.create () in
+  let a_bits = Builder.input_vector "a" bits in
+  let b_bits = Builder.input_vector "b" bits in
+  (* a − b = a + ¬b + 1. *)
+  let nb =
+    Array.mapi
+      (fun i w -> Builder.emit b (Printf.sprintf "nb%d" i) (nt (v w)))
+      b_bits
+  in
+  let one = Builder.emit b "one" Logic.Expr.tru in
+  let sums, cout = ripple_chain b ~prefix:"sub" a_bits nb one in
+  let borrow = Builder.emit b "borrow" (nt (v cout)) in
+  Builder.finish b ~name:(Printf.sprintf "sub%d" bits)
+    ~inputs:(Array.to_list a_bits @ Array.to_list b_bits)
+    ~outputs:(Array.to_list sums @ [ borrow ])
+
+let comparator ~bits () =
+  let b = Builder.create () in
+  let a_bits = Builder.input_vector "a" bits in
+  let b_bits = Builder.input_vector "b" bits in
+  (* Scan from MSB: eq so far, and first difference decides. *)
+  let eq = ref (Builder.emit b "eq_init" Logic.Expr.tru) in
+  let lt = ref (Builder.emit b "lt_init" Logic.Expr.fls) in
+  for i = bits - 1 downto 0 do
+    let ai = v a_bits.(i) and bi = v b_bits.(i) in
+    let bit_eq = Logic.Expr.xnor ai bi in
+    lt :=
+      Builder.emit b
+        (Printf.sprintf "lt_%d" i)
+        (Builder.wire !lt ||| (Builder.wire !eq &&& (nt ai &&& bi)));
+    eq := Builder.emit b (Printf.sprintf "eq_%d" i) (Builder.wire !eq &&& bit_eq)
+  done;
+  let gt =
+    Builder.emit b "gt" (nt (Builder.wire !eq ||| Builder.wire !lt))
+  in
+  let eq_out = Builder.emit b "eq" (Builder.wire !eq) in
+  let lt_out = Builder.emit b "lt" (Builder.wire !lt) in
+  Builder.finish b ~name:(Printf.sprintf "cmp%d" bits)
+    ~inputs:(Array.to_list a_bits @ Array.to_list b_bits)
+    ~outputs:[ eq_out; lt_out; gt ]
+
+let incrementer ~bits () =
+  let b = Builder.create () in
+  let a_bits = Builder.input_vector "a" bits in
+  let carry = ref (Builder.emit b "c0" Logic.Expr.tru) in
+  let sums =
+    Array.mapi
+      (fun i w ->
+         let s =
+           Builder.emit b (Printf.sprintf "s%d" i) (v w ^^^ Builder.wire !carry)
+         in
+         carry :=
+           Builder.emit b (Printf.sprintf "c%d" (i + 1))
+             (v w &&& Builder.wire !carry);
+         s)
+      a_bits
+  in
+  Builder.finish b ~name:(Printf.sprintf "inc%d" bits)
+    ~inputs:(Array.to_list a_bits)
+    ~outputs:(Array.to_list sums @ [ !carry ])
+
+let majority ~width () =
+  let b = Builder.create () in
+  let xs = Builder.input_vector "x" width in
+  (* Tally with a small unary counter capped at the threshold. *)
+  let threshold = (width / 2) + 1 in
+  let count = Array.make (threshold + 1) "" in
+  count.(0) <- Builder.emit b "cnt_base" Logic.Expr.tru;
+  for k = 1 to threshold do
+    count.(k) <- Builder.emit b (Printf.sprintf "cnt0_%d" k) Logic.Expr.fls
+  done;
+  Array.iteri
+    (fun i w ->
+       let prev = Array.copy count in
+       for k = threshold downto 1 do
+         count.(k) <-
+           Builder.emit b
+             (Printf.sprintf "cnt%d_%d" (i + 1) k)
+             (Builder.wire prev.(k) ||| (Builder.wire prev.(k - 1) &&& v w))
+       done)
+    xs;
+  let out = Builder.emit b "maj" (Builder.wire count.(threshold)) in
+  Builder.finish b ~name:(Printf.sprintf "maj%d" width)
+    ~inputs:(Array.to_list xs) ~outputs:[ out ]
+
+let alu ~bits () =
+  let b = Builder.create () in
+  let a_bits = Builder.input_vector "a" bits in
+  let b_bits = Builder.input_vector "b" bits in
+  let op0 = "op0" and op1 = "op1" in
+  let sums, cout = ripple_chain b ~prefix:"add" a_bits b_bits "cin" in
+  let results =
+    Array.init bits (fun i ->
+        let ai = v a_bits.(i) and bi = v b_bits.(i) in
+        let and_i = ai &&& bi in
+        let or_i = ai ||| bi in
+        let xor_i = ai ^^^ bi in
+        let add_i = v sums.(i) in
+        (* op: 00 AND, 01 OR, 10 XOR, 11 ADD *)
+        let sel =
+          Logic.Expr.or_
+            [
+              nt (v op1) &&& nt (v op0) &&& and_i;
+              nt (v op1) &&& v op0 &&& or_i;
+              v op1 &&& nt (v op0) &&& xor_i;
+              v op1 &&& v op0 &&& add_i;
+            ]
+        in
+        Builder.emit b (Printf.sprintf "r%d" i) sel)
+  in
+  let zero =
+    Builder.emit b "zflag"
+      (Logic.Expr.nor (Array.to_list (Array.map Builder.wire results)))
+  in
+  let parity =
+    let p =
+      Array.fold_left
+        (fun acc r -> acc ^^^ Builder.wire r)
+        Logic.Expr.fls results
+    in
+    Builder.emit b "pflag" p
+  in
+  let carry = Builder.emit b "cflag" (v cout &&& v op1 &&& v op0) in
+  Builder.finish b ~name:(Printf.sprintf "alu%d" bits)
+    ~inputs:(Array.to_list a_bits @ Array.to_list b_bits @ [ "cin"; op0; op1 ])
+    ~outputs:(Array.to_list results @ [ carry; zero; parity ])
+
+let alu_with_flags ~bits () =
+  let b = Builder.create () in
+  let a_bits = Builder.input_vector "a" bits in
+  let b_bits = Builder.input_vector "b" bits in
+  let ops = Builder.input_vector "op" 3 in
+  let sel k =
+    (* opcode = k as a 3-bit minterm over op0..op2 *)
+    Logic.Expr.and_
+      (List.init 3 (fun j ->
+           if k land (1 lsl j) <> 0 then v ops.(j) else nt (v ops.(j))))
+  in
+  let zero_in = Builder.emit b "zero" Logic.Expr.fls in
+  let one_in = Builder.emit b "one" Logic.Expr.tru in
+  let add_s, add_c = ripple_chain b ~prefix:"add" a_bits b_bits zero_in in
+  let nb =
+    Array.mapi
+      (fun i w -> Builder.emit b (Printf.sprintf "nb%d" i) (nt (v w)))
+      b_bits
+  in
+  let sub_s, sub_c = ripple_chain b ~prefix:"sub" a_bits nb one_in in
+  let inc_b = Array.map (fun _ -> zero_in) b_bits in
+  let inc_s, inc_c = ripple_chain b ~prefix:"inc" a_bits inc_b one_in in
+  let results =
+    Array.init bits (fun i ->
+        let ai = v a_bits.(i) and bi = v b_bits.(i) in
+        let cases =
+          [
+            sel 0 &&& (ai &&& bi);
+            sel 1 &&& (ai ||| bi);
+            sel 2 &&& (ai ^^^ bi);
+            sel 3 &&& v add_s.(i);
+            sel 4 &&& v sub_s.(i);
+            sel 5 &&& v inc_s.(i);
+            sel 6 &&& ai;
+            sel 7 &&& nt ai;
+          ]
+        in
+        Builder.emit b (Printf.sprintf "r%d" i) (Logic.Expr.or_ cases))
+  in
+  let zero =
+    Builder.emit b "zflag"
+      (Logic.Expr.nor (Array.to_list (Array.map Builder.wire results)))
+  in
+  let negative = Builder.emit b "nflag" (Builder.wire results.(bits - 1)) in
+  let carry =
+    Builder.emit b "cflag"
+      (Logic.Expr.or_
+         [ sel 3 &&& v add_c; sel 4 &&& v sub_c; sel 5 &&& v inc_c ])
+  in
+  let overflow =
+    (* signed overflow of the add path *)
+    let am = v a_bits.(bits - 1) and bm = v b_bits.(bits - 1) in
+    let sm = v add_s.(bits - 1) in
+    Builder.emit b "vflag"
+      (sel 3 &&& (Logic.Expr.xnor am bm &&& (am ^^^ sm)))
+  in
+  let parity =
+    Builder.emit b "pflag"
+      (Array.fold_left
+         (fun acc r -> acc ^^^ Builder.wire r)
+         Logic.Expr.fls results)
+  in
+  Builder.finish b ~name:(Printf.sprintf "aluf%d" bits)
+    ~inputs:(Array.to_list a_bits @ Array.to_list b_bits @ Array.to_list ops)
+    ~outputs:
+      (Array.to_list results @ [ carry; zero; negative; overflow; parity ])
+
+let adder_comparator ~bits () =
+  let b = Builder.create () in
+  let a_bits = Builder.input_vector "a" bits in
+  let b_bits = Builder.input_vector "b" bits in
+  let sums, cout = ripple_chain b ~prefix:"add" a_bits b_bits "cin" in
+  (* Unsigned comparison via the subtract chain. *)
+  let eq = ref (Builder.emit b "eq_init" Logic.Expr.tru) in
+  let lt = ref (Builder.emit b "lt_init" Logic.Expr.fls) in
+  for i = bits - 1 downto 0 do
+    let ai = v a_bits.(i) and bi = v b_bits.(i) in
+    lt :=
+      Builder.emit b
+        (Printf.sprintf "lt_%d" i)
+        (Builder.wire !lt ||| (Builder.wire !eq &&& (nt ai &&& bi)));
+    eq :=
+      Builder.emit b (Printf.sprintf "eq_%d" i)
+        (Builder.wire !eq &&& Logic.Expr.xnor ai bi)
+  done;
+  let parity =
+    Builder.emit b "psum"
+      (Array.fold_left
+         (fun acc s -> acc ^^^ Builder.wire s)
+         Logic.Expr.fls sums)
+  in
+  let eq_o = Builder.emit b "eq" (Builder.wire !eq) in
+  let lt_o = Builder.emit b "lt" (Builder.wire !lt) in
+  Builder.finish b ~name:(Printf.sprintf "addcmp%d" bits)
+    ~inputs:(Array.to_list a_bits @ Array.to_list b_bits @ [ "cin" ])
+    ~outputs:(Array.to_list sums @ [ cout; eq_o; lt_o; parity ])
+
+let log2_ceil w =
+  let rec go k = if 1 lsl k >= w then k else go (k + 1) in
+  go 0
+
+let barrel_shifter ~bits () =
+  let b = Builder.create () in
+  let data = Builder.input_vector "d" bits in
+  let stages = log2_ceil bits in
+  let amount = Builder.input_vector "sh" stages in
+  (* Stage k shifts by 2^k when amount bit k is set. *)
+  let current = ref (Array.map v data) in
+  for k = 0 to stages - 1 do
+    let shift = 1 lsl k in
+    let sel = v amount.(k) in
+    current :=
+      Array.init bits (fun i ->
+          let shifted =
+            if i >= shift then (!current).(i - shift) else Logic.Expr.fls
+          in
+          let w =
+            Builder.emit b
+              (Printf.sprintf "st%d_%d" k i)
+              (Logic.Expr.ite sel shifted (!current).(i))
+          in
+          Builder.wire w)
+  done;
+  let outputs =
+    List.init bits (fun i ->
+        Builder.emit b (Printf.sprintf "q%d" i) (!current).(i))
+  in
+  Builder.finish b
+    ~name:(Printf.sprintf "bshift%d" bits)
+    ~inputs:(Array.to_list data @ Array.to_list amount)
+    ~outputs
+
+let multiplier ~bits () =
+  let b = Builder.create () in
+  let a_bits = Builder.input_vector "a" bits in
+  let b_bits = Builder.input_vector "b" bits in
+  (* Row-by-row accumulation of partial products. *)
+  let acc = ref (Array.make (2 * bits) Logic.Expr.fls) in
+  for j = 0 to bits - 1 do
+    let partial =
+      Array.init (2 * bits) (fun i ->
+          if i >= j && i - j < bits then v a_bits.(i - j) &&& v b_bits.(j)
+          else Logic.Expr.fls)
+    in
+    let carry = ref Logic.Expr.fls in
+    acc :=
+      Array.init (2 * bits) (fun i ->
+          let x = (!acc).(i) and y = partial.(i) in
+          let c = !carry in
+          let sum =
+            Builder.emit b (Printf.sprintf "s%d_%d" j i) (x ^^^ y ^^^ c)
+          in
+          carry :=
+            Builder.wire
+              (Builder.emit b
+                 (Printf.sprintf "c%d_%d" j i)
+                 ((x &&& y) ||| (c &&& (x ^^^ y))));
+          Builder.wire sum)
+  done;
+  let outputs =
+    List.init (2 * bits) (fun i ->
+        Builder.emit b (Printf.sprintf "p%d" i) (!acc).(i))
+  in
+  Builder.finish b
+    ~name:(Printf.sprintf "mul%d" bits)
+    ~inputs:(Array.to_list a_bits @ Array.to_list b_bits)
+    ~outputs
+
+let max_unit ~bits () =
+  let b = Builder.create () in
+  let a_bits = Builder.input_vector "a" bits in
+  let b_bits = Builder.input_vector "b" bits in
+  (* a >= b via the MSB-first scan. *)
+  let eq = ref (Builder.emit b "eq_init" Logic.Expr.tru) in
+  let lt = ref (Builder.emit b "lt_init" Logic.Expr.fls) in
+  for i = bits - 1 downto 0 do
+    let ai = v a_bits.(i) and bi = v b_bits.(i) in
+    lt :=
+      Builder.emit b
+        (Printf.sprintf "lt_%d" i)
+        (Builder.wire !lt ||| (Builder.wire !eq &&& (nt ai &&& bi)));
+    eq :=
+      Builder.emit b (Printf.sprintf "eq_%d" i)
+        (Builder.wire !eq &&& Logic.Expr.xnor ai bi)
+  done;
+  let a_wins = Builder.emit b "a_wins" (nt (Builder.wire !lt)) in
+  let outputs =
+    List.init bits (fun i ->
+        Builder.emit b
+          (Printf.sprintf "m%d" i)
+          (Logic.Expr.ite (Builder.wire a_wins) (v a_bits.(i)) (v b_bits.(i))))
+  in
+  Builder.finish b
+    ~name:(Printf.sprintf "max%d" bits)
+    ~inputs:(Array.to_list a_bits @ Array.to_list b_bits)
+    ~outputs:(outputs @ [ a_wins ])

@@ -1,0 +1,43 @@
+(** Arithmetic circuit generators (little-endian bit vectors).
+
+    These provide the functional analogues of the arithmetic ISCAS85
+    circuits (ALUs, adders, comparators) used in the paper's Table I/IV. *)
+
+val ripple_adder : ?with_cin:bool -> bits:int -> unit -> Logic.Netlist.t
+(** Inputs [a0..], [b0..] (and [cin]); outputs [s0..], [cout]. *)
+
+val subtractor : bits:int -> unit -> Logic.Netlist.t
+(** Two's-complement [a − b]; outputs difference and borrow. *)
+
+val comparator : bits:int -> unit -> Logic.Netlist.t
+(** Outputs [eq], [lt], [gt] of unsigned [a] vs [b]. *)
+
+val incrementer : bits:int -> unit -> Logic.Netlist.t
+
+val majority : width:int -> unit -> Logic.Netlist.t
+(** Single output: at least ⌈(width+1)/2⌉ of the inputs are 1. *)
+
+val alu : bits:int -> unit -> Logic.Netlist.t
+(** A c880/c3540-style ALU slice: two operand words, a 2-bit opcode
+    selecting AND/OR/XOR/ADD, plus carry-in. Outputs: result word, carry,
+    zero flag, parity flag. *)
+
+val alu_with_flags : bits:int -> unit -> Logic.Netlist.t
+(** Wider ALU (3-bit opcode: AND/OR/XOR/ADD/SUB/INC/PASS/NOT) with
+    zero/negative/carry/overflow/parity flags — the c3540 analogue. *)
+
+val adder_comparator : bits:int -> unit -> Logic.Netlist.t
+(** The c7552 flavour: sum of two words plus unsigned comparison flags of
+    the same words and a parity of the sum. *)
+
+val barrel_shifter : bits:int -> unit -> Logic.Netlist.t
+(** Logical left shift of a [bits]-wide word by a ⌈log2 bits⌉-bit amount
+    (zeros shifted in); a log-depth mux network. *)
+
+val multiplier : bits:int -> unit -> Logic.Netlist.t
+(** Unsigned array multiplier: [2·bits] product outputs. BDDs of
+    multipliers blow up by design — this is the stress workload the paper
+    alludes to when excluding arithmetic circuits from Fig 13. *)
+
+val max_unit : bits:int -> unit -> Logic.Netlist.t
+(** Outputs max(a, b) (unsigned) plus an [a_wins] flag. *)

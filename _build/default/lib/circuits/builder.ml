@@ -1,0 +1,21 @@
+type t = { mutable nodes : Logic.Netlist.node list; mutable counter : int }
+
+let create () = { nodes = []; counter = 0 }
+
+let fresh b prefix =
+  let w = Printf.sprintf "%s_%d" prefix b.counter in
+  b.counter <- b.counter + 1;
+  w
+
+let emit b wire e =
+  b.nodes <- Logic.Netlist.n_expr wire e :: b.nodes;
+  wire
+
+let emit_fresh b prefix e = emit b (fresh b prefix) e
+let wire = Logic.Expr.var
+
+let finish b ~name ~inputs ~outputs =
+  Logic.Netlist.create ~name ~inputs ~outputs (List.rev b.nodes)
+
+let input_vector prefix n = Array.init n (fun i -> Printf.sprintf "%s%d" prefix i)
+let vars = Array.map Logic.Expr.var

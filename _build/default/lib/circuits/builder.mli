@@ -1,0 +1,32 @@
+(** Imperative netlist builder used by the circuit generators.
+
+    Accumulates nodes in emission order (which is therefore the topological
+    order) and hands out fresh wire names. *)
+
+type t
+
+val create : unit -> t
+
+val fresh : t -> string -> string
+(** [fresh b prefix] returns a new unique wire name [prefix ^ "_" ^ k]. *)
+
+val emit : t -> string -> Logic.Expr.t -> string
+(** [emit b wire e] adds node [wire = e] and returns [wire]. *)
+
+val emit_fresh : t -> string -> Logic.Expr.t -> string
+(** [emit_fresh b prefix e] emits under a fresh name and returns it. *)
+
+val wire : string -> Logic.Expr.t
+(** [Expr.var]; mnemonic re-export for generator code. *)
+
+val finish :
+  t -> name:string -> inputs:string list -> outputs:string list -> Logic.Netlist.t
+(** Package the accumulated nodes.
+    @raise Logic.Netlist.Ill_formed on validation failure. *)
+
+(** {1 Bit-vector helpers} — vectors are little-endian ([.(0)] is the LSB). *)
+
+val input_vector : string -> int -> string array
+(** [input_vector "a" 4] is [[|"a0"; "a1"; "a2"; "a3"|]]. *)
+
+val vars : string array -> Logic.Expr.t array

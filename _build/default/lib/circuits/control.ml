@@ -1,0 +1,551 @@
+let v = Logic.Expr.var
+let nt = Logic.Expr.not_
+let ( &&& ) a b = Logic.Expr.and_ [ a; b ]
+let ( ||| ) a b = Logic.Expr.or_ [ a; b ]
+let ( ^^^ ) a b = Logic.Expr.xor a b
+
+let minterm wires k =
+  Logic.Expr.and_
+    (List.init (Array.length wires) (fun j ->
+         if k land (1 lsl j) <> 0 then v wires.(j) else nt (v wires.(j))))
+
+let decoder ~select_bits () =
+  let b = Builder.create () in
+  let sel = Builder.input_vector "s" select_bits in
+  let outputs =
+    List.init (1 lsl select_bits) (fun k ->
+        Builder.emit b (Printf.sprintf "y%d" k) (minterm sel k))
+  in
+  Builder.finish b ~name:(Printf.sprintf "dec%d" select_bits)
+    ~inputs:(Array.to_list sel) ~outputs
+
+(* Priority chain: none_before.(i) = no request among 0..i-1. *)
+let priority_chain b ~prefix reqs =
+  let width = Array.length reqs in
+  let none = Array.make (width + 1) "" in
+  none.(0) <- Builder.emit b (prefix ^ "_none0") Logic.Expr.tru;
+  for i = 0 to width - 1 do
+    none.(i + 1) <-
+      Builder.emit b
+        (Printf.sprintf "%s_none%d" prefix (i + 1))
+        (Builder.wire none.(i) &&& nt reqs.(i))
+  done;
+  Array.init width (fun i ->
+      Builder.emit b (Printf.sprintf "%s_first%d" prefix i)
+        (reqs.(i) &&& Builder.wire none.(i)))
+
+let log2_ceil w =
+  let rec go k = if 1 lsl k >= w then k else go (k + 1) in
+  go 0
+
+let priority_encoder ~width () =
+  let b = Builder.create () in
+  let reqs = Builder.input_vector "r" width in
+  let first = priority_chain b ~prefix:"pe" (Builder.vars reqs) in
+  let bits = log2_ceil width in
+  let index =
+    List.init bits (fun j ->
+        let terms =
+          Array.to_list first
+          |> List.mapi (fun i f -> i, f)
+          |> List.filter (fun (i, _) -> i land (1 lsl j) <> 0)
+          |> List.map (fun (_, f) -> Builder.wire f)
+        in
+        Builder.emit b (Printf.sprintf "idx%d" j) (Logic.Expr.or_ terms))
+  in
+  let valid =
+    Builder.emit b "valid"
+      (Logic.Expr.or_ (Array.to_list (Builder.vars reqs)))
+  in
+  Builder.finish b ~name:(Printf.sprintf "priority%d" width)
+    ~inputs:(Array.to_list reqs)
+    ~outputs:(index @ [ valid ])
+
+let round_robin_arbiter ~width () =
+  let b = Builder.create () in
+  let reqs = Builder.input_vector "r" width in
+  let masks = Builder.input_vector "m" width in
+  let masked =
+    Array.init width (fun i ->
+        Builder.emit b (Printf.sprintf "mk%d" i) (v reqs.(i) &&& v masks.(i)))
+  in
+  let any_masked =
+    Builder.emit b "any_masked"
+      (Logic.Expr.or_ (Array.to_list (Array.map Builder.wire masked)))
+  in
+  let first_masked =
+    priority_chain b ~prefix:"fm" (Array.map Builder.wire masked)
+  in
+  let first_any = priority_chain b ~prefix:"fa" (Builder.vars reqs) in
+  let grants =
+    List.init width (fun i ->
+        Builder.emit b
+          (Printf.sprintf "g%d" i)
+          ((Builder.wire any_masked &&& Builder.wire first_masked.(i))
+           ||| (nt (Builder.wire any_masked) &&& Builder.wire first_any.(i))))
+  in
+  let any_grant =
+    Builder.emit b "any_grant"
+      (Logic.Expr.or_ (Array.to_list (Builder.vars reqs)))
+  in
+  Builder.finish b ~name:(Printf.sprintf "arbiter%d" width)
+    ~inputs:(Array.to_list reqs @ Array.to_list masks)
+    ~outputs:(grants @ [ any_grant ])
+
+let interrupt_controller ~channels () =
+  let b = Builder.create () in
+  let groups = (channels + 2) / 3 in
+  let reqs = Builder.input_vector "irq" channels in
+  let enables = Builder.input_vector "en" groups in
+  let enabled =
+    Array.init channels (fun i ->
+        Builder.emit b
+          (Printf.sprintf "act%d" i)
+          (v reqs.(i) &&& v enables.(i / 3)))
+  in
+  let first =
+    priority_chain b ~prefix:"ic" (Array.map Builder.wire enabled)
+  in
+  let bits = log2_ceil channels in
+  let index =
+    List.init bits (fun j ->
+        let terms =
+          Array.to_list first
+          |> List.mapi (fun i f -> i, f)
+          |> List.filter (fun (i, _) -> i land (1 lsl j) <> 0)
+          |> List.map (fun (_, f) -> Builder.wire f)
+        in
+        Builder.emit b (Printf.sprintf "vec%d" j) (Logic.Expr.or_ terms))
+  in
+  let pending =
+    Builder.emit b "pending"
+      (Logic.Expr.or_ (Array.to_list (Array.map Builder.wire enabled)))
+  in
+  let parity =
+    Builder.emit b "parity"
+      (Array.fold_left
+         (fun acc e -> acc ^^^ Builder.wire e)
+         Logic.Expr.fls enabled)
+  in
+  Builder.finish b
+    ~name:(Printf.sprintf "intctl%d" channels)
+    ~inputs:(Array.to_list reqs @ Array.to_list enables)
+    ~outputs:(index @ [ pending; parity ])
+
+(* Unsigned a > b and a = b over equal-width vectors, as expressions
+   emitted through the builder. *)
+let compare_vectors b ~prefix xs ys =
+  let bits = Array.length xs in
+  let eq = ref (Builder.emit b (prefix ^ "_eqi") Logic.Expr.tru) in
+  let gt = ref (Builder.emit b (prefix ^ "_gti") Logic.Expr.fls) in
+  for i = bits - 1 downto 0 do
+    gt :=
+      Builder.emit b
+        (Printf.sprintf "%s_gt%d" prefix i)
+        (Builder.wire !gt ||| (Builder.wire !eq &&& (xs.(i) &&& nt ys.(i))));
+    eq :=
+      Builder.emit b
+        (Printf.sprintf "%s_eq%d" prefix i)
+        (Builder.wire !eq &&& Logic.Expr.xnor xs.(i) ys.(i))
+  done;
+  Builder.wire !gt, Builder.wire !eq
+
+let router ~addr_bits ~payload_bits () =
+  let b = Builder.create () in
+  let dest_x = Builder.input_vector "dx" addr_bits in
+  let dest_y = Builder.input_vector "dy" addr_bits in
+  let local_x = Builder.input_vector "lx" addr_bits in
+  let local_y = Builder.input_vector "ly" addr_bits in
+  let payload = Builder.input_vector "p" payload_bits in
+  let credits = Builder.input_vector "cr" 4 in
+  let gt_x, eq_x = compare_vectors b ~prefix:"x" (Builder.vars dest_x) (Builder.vars local_x) in
+  let gt_y, eq_y = compare_vectors b ~prefix:"y" (Builder.vars dest_y) (Builder.vars local_y) in
+  (* XY routing: resolve X first, then Y. *)
+  let east = Builder.emit b "east" (gt_x &&& v credits.(0)) in
+  let west = Builder.emit b "west" (nt gt_x &&& nt eq_x &&& v credits.(1)) in
+  let north = Builder.emit b "north" (eq_x &&& gt_y &&& v credits.(2)) in
+  let south = Builder.emit b "south" (eq_x &&& nt gt_y &&& nt eq_y &&& v credits.(3)) in
+  let local_out = Builder.emit b "eject" (eq_x &&& eq_y) in
+  let forwarding =
+    Builder.emit b "fwd"
+      (Logic.Expr.or_
+         [
+           Builder.wire east; Builder.wire west; Builder.wire north;
+           Builder.wire south; Builder.wire local_out;
+         ])
+  in
+  let strobes =
+    List.init payload_bits (fun i ->
+        Builder.emit b (Printf.sprintf "q%d" i)
+          (v payload.(i) &&& Builder.wire forwarding))
+  in
+  Builder.finish b ~name:"router"
+    ~inputs:
+      (Array.to_list dest_x @ Array.to_list dest_y @ Array.to_list local_x
+       @ Array.to_list local_y @ Array.to_list payload @ Array.to_list credits)
+    ~outputs:([ east; west; north; south; local_out ] @ strobes @ [ forwarding ])
+
+let int2float ~int_bits () =
+  let b = Builder.create () in
+  let x = Builder.input_vector "x" int_bits in
+  let mag_bits = int_bits - 1 in
+  let sign = x.(int_bits - 1) in
+  (* |x|: conditional two's complement of the low bits. *)
+  let borrow = ref (Builder.emit b "bw0" Logic.Expr.tru) in
+  let mag =
+    Array.init mag_bits (fun i ->
+        let xi = v x.(i) in
+        (* Two's-complement negation by the copy-then-invert scan: bits up
+           to and including the lowest 1 pass through, the rest invert.
+           [borrow] holds "no 1 seen yet below bit i". *)
+        let inverted = xi ^^^ nt (Builder.wire !borrow) in
+        let m =
+          Builder.emit b (Printf.sprintf "mag%d" i)
+            (Logic.Expr.ite (v sign) inverted xi)
+        in
+        borrow :=
+          Builder.emit b (Printf.sprintf "bw%d" (i + 1))
+            (Builder.wire !borrow &&& nt xi);
+        m)
+  in
+  (* Leading-one detection from the MSB down. *)
+  let first =
+    priority_chain b ~prefix:"lod"
+      (Array.init mag_bits (fun i -> Builder.wire mag.(mag_bits - 1 - i)))
+  in
+  (* first.(k) set ⇔ leading one at position mag_bits-1-k; exponent =
+     position, saturated to 3 bits. *)
+  let exp_bits = 3 in
+  let exponent =
+    List.init exp_bits (fun j ->
+        let terms =
+          List.init mag_bits (fun k ->
+              let pos = mag_bits - 1 - k in
+              let value = min pos 7 in
+              if value land (1 lsl j) <> 0 then Builder.wire first.(k)
+              else Logic.Expr.fls)
+        in
+        Builder.emit b (Printf.sprintf "e%d" j) (Logic.Expr.or_ terms))
+  in
+  (* Mantissa: the three bits right below the leading one. *)
+  let mantissa =
+    List.init 3 (fun j ->
+        let terms =
+          List.init mag_bits (fun k ->
+              let pos = mag_bits - 1 - k in
+              let src = pos - 1 - j in
+              if src >= 0 then Builder.wire first.(k) &&& Builder.wire mag.(src)
+              else Logic.Expr.fls)
+        in
+        Builder.emit b (Printf.sprintf "m%d" j) (Logic.Expr.or_ terms))
+  in
+  let sign_out = Builder.emit b "fsign" (v sign) in
+  Builder.finish b ~name:"int2float" ~inputs:(Array.to_list x)
+    ~outputs:((sign_out :: exponent) @ mantissa)
+
+let cavlc_decoder () =
+  let b = Builder.create () in
+  let code = Builder.input_vector "w" 10 in
+  (* Leading zeros of the codeword, MSB first. *)
+  let first =
+    priority_chain b ~prefix:"clz"
+      (Array.init 10 (fun i -> v code.(9 - i)))
+  in
+  (* Suffix bits: the two bits after the leading one. *)
+  let suffix j =
+    let terms =
+      List.init 10 (fun k ->
+          let pos = 9 - k in
+          let src = pos - 1 - j in
+          if src >= 0 then Builder.wire first.(k) &&& v code.(src)
+          else Logic.Expr.fls)
+    in
+    Builder.emit b (Printf.sprintf "sfx%d" j) (Logic.Expr.or_ terms)
+  in
+  let s0 = suffix 0 and s1 = suffix 1 in
+  (* total_coeff = 2·L + suffix0 (saturating 5 bits), L = leading zeros. *)
+  let total_coeff =
+    List.init 5 (fun j ->
+        let terms =
+          List.init 10 (fun k ->
+              (* first.(k) ⇔ L = k *)
+              let base = 2 * k in
+              let with_s0 = (base + 1) land (1 lsl j) <> 0 in
+              let without = base land (1 lsl j) <> 0 in
+              let f = Builder.wire first.(k) in
+              Logic.Expr.or_
+                [
+                  (if with_s0 then f &&& Builder.wire s0 else Logic.Expr.fls);
+                  (if without then f &&& nt (Builder.wire s0) else Logic.Expr.fls);
+                ])
+        in
+        Builder.emit b (Printf.sprintf "tc%d" j) (Logic.Expr.or_ terms))
+  in
+  let t1 =
+    [
+      Builder.emit b "t1_0" (Builder.wire s0 ^^^ Builder.wire s1);
+      Builder.emit b "t1_1" (Builder.wire s0 &&& Builder.wire s1);
+    ]
+  in
+  (* code length = L + 3, saturating at 12 (4 bits). *)
+  let code_len =
+    List.init 4 (fun j ->
+        let terms =
+          List.init 10 (fun k ->
+              let len = min (k + 3) 12 in
+              if len land (1 lsl j) <> 0 then Builder.wire first.(k)
+              else Logic.Expr.fls)
+        in
+        Builder.emit b (Printf.sprintf "len%d" j) (Logic.Expr.or_ terms))
+  in
+  Builder.finish b ~name:"cavlc" ~inputs:(Array.to_list code)
+    ~outputs:(total_coeff @ t1 @ code_len)
+
+let opcode_decoder () =
+  let b = Builder.create () in
+  let op = Builder.input_vector "op" 7 in
+  let opcode = Array.sub op 3 4 in
+  let funct = Array.sub op 0 3 in
+  let is k = minterm opcode k in
+  let fu k = minterm funct k in
+  let emit name e = Builder.emit b name e in
+  let outputs =
+    [
+      emit "is_load" (is 0);
+      emit "is_store" (is 1);
+      emit "is_branch" (is 2);
+      emit "is_jump" (is 3);
+      emit "is_alu_reg" (is 4);
+      emit "is_alu_imm" (is 5);
+      emit "is_lui" (is 6);
+      emit "is_system" (is 7);
+      emit "reg_write"
+        (Logic.Expr.or_ [ is 0; is 3; is 4; is 5; is 6 ]);
+      emit "mem_read" (is 0);
+      emit "mem_write" (is 1);
+      emit "branch_eq" (is 2 &&& fu 0);
+      emit "branch_ne" (is 2 &&& fu 1);
+      emit "branch_lt" (is 2 &&& fu 2);
+      emit "branch_ge" (is 2 &&& fu 3);
+      emit "alu_add" ((is 4 ||| is 5) &&& fu 0);
+      emit "alu_sub" ((is 4 ||| is 5) &&& fu 1);
+      emit "alu_and" ((is 4 ||| is 5) &&& fu 2);
+      emit "alu_or" ((is 4 ||| is 5) &&& fu 3);
+      emit "alu_xor" ((is 4 ||| is 5) &&& fu 4);
+      emit "alu_shl" ((is 4 ||| is 5) &&& fu 5);
+      emit "alu_shr" ((is 4 ||| is 5) &&& fu 6);
+      emit "alu_slt" ((is 4 ||| is 5) &&& fu 7);
+      emit "use_imm" (Logic.Expr.or_ [ is 0; is 1; is 5; is 6 ]);
+      emit "illegal"
+        (Logic.Expr.and_
+           [ nt (is 0); nt (is 1); nt (is 2); nt (is 3); nt (is 4);
+             nt (is 5); nt (is 6); nt (is 7) ]);
+      emit "halt" (is 7 &&& fu 7);
+    ]
+  in
+  Builder.finish b ~name:"ctrl" ~inputs:(Array.to_list op) ~outputs
+
+let bus_controller () =
+  let b = Builder.create () in
+  (* Interface: chosen so the pin count matches the EPFL i2c entry
+     (147 inputs, 142 outputs). *)
+  let state = Builder.input_vector "st" 8 in
+  let cmd = Builder.input_vector "cmd" 8 in
+  let bit_cnt = Builder.input_vector "bc" 4 in
+  let byte_cnt = Builder.input_vector "yc" 8 in
+  let shift = Builder.input_vector "sh" 32 in
+  let load_val = Builder.input_vector "ld" 32 in
+  let prescale = Builder.input_vector "ps" 16 in
+  let prescale_cnt = Builder.input_vector "pc" 16 in
+  let slave_addr = Builder.input_vector "sa" 10 in
+  let addr_reg = Builder.input_vector "ar" 10 in
+  let pins = [| "scl_in"; "sda_in"; "enable" |] in
+  let inputs =
+    Array.to_list state @ Array.to_list cmd @ Array.to_list bit_cnt
+    @ Array.to_list byte_cnt @ Array.to_list shift @ Array.to_list load_val
+    @ Array.to_list prescale @ Array.to_list prescale_cnt
+    @ Array.to_list slave_addr @ Array.to_list addr_reg @ Array.to_list pins
+  in
+  let enable = v pins.(2) and scl_in = v pins.(0) and sda_in = v pins.(1) in
+  (* Command decode. *)
+  let cmd_start = Builder.emit b "c_start" (v cmd.(0) &&& enable) in
+  let cmd_stop = Builder.emit b "c_stop" (v cmd.(1) &&& enable) in
+  let cmd_read = Builder.emit b "c_read" (v cmd.(2) &&& enable) in
+  let cmd_write = Builder.emit b "c_write" (v cmd.(3) &&& enable) in
+  let cmd_ack = Builder.emit b "c_ack" (v cmd.(4)) in
+  (* Prescaler: tick when the counter reaches the divisor. *)
+  let _, tick_eq =
+    compare_vectors b ~prefix:"psc" (Builder.vars prescale_cnt)
+      (Builder.vars prescale)
+  in
+  let tick = Builder.emit b "tick" (tick_eq &&& enable) in
+  (* Prescale counter increment (wraps to 0 on tick). *)
+  let carry = ref (Builder.emit b "pci0" Logic.Expr.tru) in
+  let prescale_next =
+    Array.mapi
+      (fun i w ->
+         let inc = v w ^^^ Builder.wire !carry in
+         carry :=
+           Builder.emit b (Printf.sprintf "pci%d" (i + 1))
+             (v w &&& Builder.wire !carry);
+         Builder.emit b
+           (Printf.sprintf "pcn%d" i)
+           (Logic.Expr.ite (Builder.wire tick) Logic.Expr.fls inc))
+      prescale_cnt
+  in
+  (* Bit counter: increments on tick, clears on byte boundary (=8). *)
+  let bit_is_7 =
+    Builder.emit b "bit7"
+      (v bit_cnt.(0) &&& v bit_cnt.(1) &&& v bit_cnt.(2) &&& nt (v bit_cnt.(3)))
+  in
+  let carry = ref (Builder.wire tick) in
+  let bit_next =
+    Array.mapi
+      (fun i w ->
+         let inc = v w ^^^ !carry in
+         let c = v w &&& !carry in
+         carry := Builder.wire (Builder.emit b (Printf.sprintf "bci%d" (i + 1)) c);
+         Builder.emit b
+           (Printf.sprintf "bcn%d" i)
+           (Logic.Expr.ite
+              (Builder.wire bit_is_7 &&& Builder.wire tick)
+              Logic.Expr.fls inc))
+      bit_cnt
+  in
+  (* Byte counter: increments when a byte completes. *)
+  let byte_done =
+    Builder.emit b "byte_done" (Builder.wire bit_is_7 &&& Builder.wire tick)
+  in
+  let carry = ref (Builder.wire byte_done) in
+  let byte_next =
+    Array.mapi
+      (fun i w ->
+         let inc = v w ^^^ !carry in
+         let c = v w &&& !carry in
+         carry := Builder.wire (Builder.emit b (Printf.sprintf "yci%d" (i + 1)) c);
+         Builder.emit b (Printf.sprintf "ycn%d" i) inc)
+      byte_cnt
+  in
+  (* Address match. *)
+  let _, addr_eq =
+    compare_vectors b ~prefix:"adr" (Builder.vars slave_addr)
+      (Builder.vars addr_reg)
+  in
+  let addr_match = Builder.emit b "addr_match" (addr_eq &&& enable) in
+  (* One-hot-ish state decode over the 8 state bits (3 used as encoded
+     state, 5 as condition flags, in the spirit of a flattened FSM). *)
+  let st_idle = Builder.emit b "st_idle" (minterm (Array.sub state 0 3) 0) in
+  let st_start = Builder.emit b "st_start" (minterm (Array.sub state 0 3) 1) in
+  let st_addr = Builder.emit b "st_addr" (minterm (Array.sub state 0 3) 2) in
+  let st_tx = Builder.emit b "st_tx" (minterm (Array.sub state 0 3) 3) in
+  let st_rx = Builder.emit b "st_rx" (minterm (Array.sub state 0 3) 4) in
+  let st_ack = Builder.emit b "st_ack" (minterm (Array.sub state 0 3) 5) in
+  let st_stop = Builder.emit b "st_stop" (minterm (Array.sub state 0 3) 6) in
+  let st_err = Builder.emit b "st_err" (minterm (Array.sub state 0 3) 7) in
+  let w = Builder.wire in
+  (* Next-state logic (3 encoded bits + 5 flag bits). *)
+  let goto_start = Builder.emit b "goto_start" (w st_idle &&& w cmd_start) in
+  let goto_addr = Builder.emit b "goto_addr" (w st_start &&& w tick) in
+  let goto_tx =
+    Builder.emit b "goto_tx"
+      (w st_addr &&& w byte_done &&& w addr_match &&& w cmd_write)
+  in
+  let goto_rx =
+    Builder.emit b "goto_rx"
+      (w st_addr &&& w byte_done &&& w addr_match &&& w cmd_read)
+  in
+  let goto_ack =
+    Builder.emit b "goto_ack" ((w st_tx ||| w st_rx) &&& w byte_done)
+  in
+  let goto_stop =
+    Builder.emit b "goto_stop" (w st_ack &&& (w cmd_stop ||| nt (w cmd_ack)))
+  in
+  let goto_err =
+    Builder.emit b "goto_err"
+      (w st_addr &&& w byte_done &&& nt (w addr_match))
+  in
+  let encode k sel =
+    List.init 3 (fun j -> if k land (1 lsl j) <> 0 then sel else Logic.Expr.fls)
+  in
+  let next_state_enc =
+    List.init 3 (fun j ->
+        let contributions =
+          List.concat
+            [
+              encode 1 (w goto_start); encode 2 (w goto_addr);
+              encode 3 (w goto_tx); encode 4 (w goto_rx);
+              encode 5 (w goto_ack); encode 6 (w goto_stop);
+              encode 7 (w goto_err);
+            ]
+          |> List.filteri (fun i _ -> i mod 3 = j)
+        in
+        Builder.emit b (Printf.sprintf "nst%d" j) (Logic.Expr.or_ contributions))
+  in
+  let next_flags =
+    List.init 5 (fun j ->
+        Builder.emit b
+          (Printf.sprintf "nfl%d" j)
+          (v state.(3 + j) ^^^ (w tick &&& v cmd.(5 + (j mod 3)))))
+  in
+  (* Shift register: load on command, else shift left on tick with sda_in. *)
+  let loading = Builder.emit b "loading" (w cmd_write &&& w st_idle) in
+  let shifting = Builder.emit b "shifting" ((w st_tx ||| w st_rx) &&& w tick) in
+  let shift_next =
+    Array.mapi
+      (fun i _ ->
+         let shifted = if i = 0 then sda_in else v shift.(i - 1) in
+         Builder.emit b
+           (Printf.sprintf "shn%d" i)
+           (Logic.Expr.or_
+              [
+                w loading &&& v load_val.(i);
+                w shifting &&& shifted;
+                nt (w loading) &&& nt (w shifting) &&& v shift.(i);
+              ]))
+      shift
+  in
+  (* Data out: shift register gated by byte completion in receive state. *)
+  let rx_valid = Builder.emit b "rx_valid" (w st_rx &&& w byte_done) in
+  let data_out =
+    Array.mapi
+      (fun i _ ->
+         Builder.emit b (Printf.sprintf "do%d" i) (w rx_valid &&& v shift.(i)))
+      shift
+  in
+  (* Status + pin drivers. *)
+  let busy = Builder.emit b "busy" (nt (w st_idle) &&& enable) in
+  let done_ = Builder.emit b "done" (w st_stop &&& w tick) in
+  let ack_out = Builder.emit b "ack_out" (w st_ack &&& w cmd_ack) in
+  let arb_lost =
+    Builder.emit b "arb_lost" (w st_tx &&& nt sda_in &&& v shift.(31))
+  in
+  let sda_out =
+    Builder.emit b "sda_out"
+      (Logic.Expr.or_ [ w st_tx &&& v shift.(31); w st_ack &&& w cmd_ack ])
+  in
+  let scl_out =
+    Builder.emit b "scl_out" (nt (w st_idle) &&& (scl_in ||| w tick))
+  in
+  let cmd_decode =
+    List.init 16 (fun k ->
+        Builder.emit b
+          (Printf.sprintf "dec%d" k)
+          (minterm (Array.sub cmd 0 4) k &&& enable))
+  in
+  let counter_flags =
+    List.init 8 (fun k ->
+        Builder.emit b
+          (Printf.sprintf "ycmp%d" k)
+          (minterm (Array.sub byte_cnt 0 3) (k land 7) &&& w byte_done))
+  in
+  let outputs =
+    next_state_enc @ next_flags
+    @ Array.to_list bit_next @ Array.to_list byte_next
+    @ Array.to_list prescale_next @ Array.to_list shift_next
+    @ Array.to_list data_out
+    @ [ tick; addr_match; busy; done_; ack_out; arb_lost; sda_out; scl_out;
+        byte_done; rx_valid ]
+    @ [ st_idle; st_start; st_addr; st_tx; st_rx; st_ack; st_stop; st_err ]
+    @ cmd_decode @ counter_flags
+  in
+  Builder.finish b ~name:"i2c_ctrl" ~inputs ~outputs

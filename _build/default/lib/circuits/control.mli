@@ -1,0 +1,49 @@
+(** Control-dominated circuit generators: the EPFL-control analogues and
+    the c432 interrupt controller flavour.
+
+    Interface sizes are parametric so the suite can instantiate them with
+    the paper's Table I input/output counts. *)
+
+val decoder : select_bits:int -> unit -> Logic.Netlist.t
+(** [dec]: full binary decoder, [2^select_bits] one-hot outputs. *)
+
+val priority_encoder : width:int -> unit -> Logic.Netlist.t
+(** [priority]: index of the highest-priority (lowest-index) asserted
+    request in binary, plus a [valid] line. Outputs ⌈log2 width⌉ + 1. *)
+
+val round_robin_arbiter : width:int -> unit -> Logic.Netlist.t
+(** [arbiter]: [width] request lines and [width] mask (pointer) lines;
+    grants the first masked request, else the first request; outputs the
+    one-hot grant vector plus an [any_grant] line (2·width inputs,
+    width+1 outputs). *)
+
+val interrupt_controller : channels:int -> unit -> Logic.Netlist.t
+(** The c432 flavour: [channels] request lines plus one enable line per
+    group of three channels. Outputs the binary index of the
+    highest-priority enabled request, a [pending] flag, and the parity of
+    the enabled requests. *)
+
+val router : addr_bits:int -> payload_bits:int -> unit -> Logic.Netlist.t
+(** The EPFL [router] flavour: an XY-style route-compute unit comparing a
+    destination address to the local address, plus credit gating of the
+    payload strobes. Inputs: 2·addr_bits + payload_bits + 4 credit lines.
+    Outputs: 5 direction requests, payload strobes, parity. *)
+
+val bus_controller : unit -> Logic.Netlist.t
+(** The [i2c] flavour: a serial bus-master control block — command
+    decoding, next-state logic for a byte/bit counter FSM, shift register
+    steering and status flags. 147 inputs, 142 outputs, fixed interface. *)
+
+val int2float : int_bits:int -> unit -> Logic.Netlist.t
+(** The [int2float] flavour: converts a signed [int_bits]-bit integer to
+    a small float (sign, 3-bit exponent, 3-bit mantissa): leading-one
+    detection + shift. 7 outputs. *)
+
+val cavlc_decoder : unit -> Logic.Netlist.t
+(** The [cavlc] flavour: decodes a 10-bit prefix codeword into
+    coeff-token fields (total coefficients, trailing ones, code length) —
+    10 inputs, 11 outputs, fixed interface. *)
+
+val opcode_decoder : unit -> Logic.Netlist.t
+(** The [ctrl] flavour: a RISC-style 7-bit opcode to 26 one-hot-ish
+    control lines. *)

@@ -1,0 +1,147 @@
+let v = Logic.Expr.var
+let ( ^^^ ) a b = Logic.Expr.xor a b
+
+let xor_all = function
+  | [] -> Logic.Expr.fls
+  | e :: rest -> List.fold_left ( ^^^ ) e rest
+
+let parity_tree ~width () =
+  let b = Builder.create () in
+  let xs = Builder.input_vector "x" width in
+  let out =
+    Builder.emit b "parity" (xor_all (Array.to_list (Builder.vars xs)))
+  in
+  Builder.finish b ~name:(Printf.sprintf "parity%d" width)
+    ~inputs:(Array.to_list xs) ~outputs:[ out ]
+
+let num_check_bits ~data_bits =
+  (* Smallest r with 2^r ≥ data_bits + r + 1. *)
+  let rec go r = if 1 lsl r >= data_bits + r + 1 then r else go (r + 1) in
+  go 1
+
+(* Codeword positions (1-based) of the data bits: the non-powers-of-two,
+   in increasing order. *)
+let data_positions ~data_bits =
+  let is_pow2 x = x land (x - 1) = 0 in
+  let rec go pos acc k =
+    if k = data_bits then List.rev acc
+    else if is_pow2 pos then go (pos + 1) acc k
+    else go (pos + 1) (pos :: acc) (k + 1)
+  in
+  go 1 [] 0
+
+let check_expr ~data_bits data_wires j =
+  let positions = data_positions ~data_bits in
+  let terms =
+    List.mapi (fun i pos -> i, pos) positions
+    |> List.filter (fun (_, pos) -> pos land (1 lsl j) <> 0)
+    |> List.map (fun (i, _) -> v data_wires.(i))
+  in
+  xor_all terms
+
+let hamming_encoder ~data_bits () =
+  let b = Builder.create () in
+  let data = Builder.input_vector "d" data_bits in
+  let r = num_check_bits ~data_bits in
+  let checks =
+    List.init r (fun j ->
+        Builder.emit b (Printf.sprintf "p%d" j) (check_expr ~data_bits data j))
+  in
+  Builder.finish b ~name:(Printf.sprintf "hamenc%d" data_bits)
+    ~inputs:(Array.to_list data) ~outputs:checks
+
+let hamming_corrector ?(extra_inputs = 0) ~data_bits () =
+  let b = Builder.create () in
+  let data = Builder.input_vector "d" data_bits in
+  let r = num_check_bits ~data_bits in
+  let checks = Builder.input_vector "c" r in
+  let enables = Builder.input_vector "en" extra_inputs in
+  (* Syndrome: received check bits vs recomputed parities. *)
+  let syndrome =
+    Array.init r (fun j ->
+        Builder.emit b
+          (Printf.sprintf "syn%d" j)
+          (v checks.(j) ^^^ check_expr ~data_bits data j))
+  in
+  let enable =
+    match Array.to_list enables with
+    | [] -> Logic.Expr.tru
+    | es -> Logic.Expr.and_ (List.map v es)
+  in
+  let positions = Array.of_list (data_positions ~data_bits) in
+  let corrected =
+    Array.mapi
+      (fun i dw ->
+         let pos = positions.(i) in
+         (* Flip data bit i when the syndrome equals its position. *)
+         let hit =
+           Logic.Expr.and_
+             (List.init r (fun j ->
+                  if pos land (1 lsl j) <> 0 then v syndrome.(j)
+                  else Logic.Expr.not_ (v syndrome.(j))))
+         in
+         Builder.emit b
+           (Printf.sprintf "q%d" i)
+           (v dw ^^^ Logic.Expr.and_ [ hit; enable ]))
+      data
+  in
+  Builder.finish b
+    ~name:(Printf.sprintf "hamcor%d" data_bits)
+    ~inputs:(Array.to_list data @ Array.to_list checks @ Array.to_list enables)
+    ~outputs:(Array.to_list corrected)
+
+let sec_ded ~data_bits () =
+  let b = Builder.create () in
+  let data = Builder.input_vector "d" data_bits in
+  let r = num_check_bits ~data_bits in
+  let checks = Builder.input_vector "c" r in
+  let overall = "po" in
+  let syndrome =
+    Array.init r (fun j ->
+        Builder.emit b
+          (Printf.sprintf "syn%d" j)
+          (v checks.(j) ^^^ check_expr ~data_bits data j))
+  in
+  let syndrome_nonzero =
+    Builder.emit b "syn_nz"
+      (Logic.Expr.or_ (Array.to_list (Array.map (fun w -> v w) syndrome)))
+  in
+  let parity_mismatch =
+    let all =
+      Array.to_list (Builder.vars data)
+      @ Array.to_list (Builder.vars checks)
+      @ [ v overall ]
+    in
+    Builder.emit b "pmis" (xor_all all)
+  in
+  (* Extended Hamming decoding: parity mismatch + syndrome ⇒ single
+     (correctable) error; syndrome without parity mismatch ⇒ double. *)
+  let single =
+    Builder.emit b "single_error"
+      (Logic.Expr.and_ [ v parity_mismatch; v syndrome_nonzero ])
+  in
+  let double =
+    Builder.emit b "double_error"
+      (Logic.Expr.and_
+         [ Logic.Expr.not_ (v parity_mismatch); v syndrome_nonzero ])
+  in
+  let positions = Array.of_list (data_positions ~data_bits) in
+  let corrected =
+    Array.mapi
+      (fun i dw ->
+         let pos = positions.(i) in
+         let hit =
+           Logic.Expr.and_
+             (List.init r (fun j ->
+                  if pos land (1 lsl j) <> 0 then v syndrome.(j)
+                  else Logic.Expr.not_ (v syndrome.(j))))
+         in
+         Builder.emit b
+           (Printf.sprintf "q%d" i)
+           (v dw ^^^ Logic.Expr.and_ [ hit; v single ]))
+      data
+  in
+  Builder.finish b
+    ~name:(Printf.sprintf "secded%d" data_bits)
+    ~inputs:(Array.to_list data @ Array.to_list checks @ [ overall ])
+    ~outputs:(Array.to_list corrected @ [ single; double ])

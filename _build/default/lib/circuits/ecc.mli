@@ -1,0 +1,25 @@
+(** Error-control circuits: the c499/c1355/c1908 functional analogues
+    (XOR-dominated single-error-correcting logic). *)
+
+val parity_tree : width:int -> unit -> Logic.Netlist.t
+(** One output: XOR of all inputs. *)
+
+val hamming_encoder : data_bits:int -> unit -> Logic.Netlist.t
+(** Outputs the check bits of a (shortened) Hamming code: check bit [j]
+    is the parity of the data bits whose (1-based) codeword position has
+    bit [j] set. *)
+
+val hamming_corrector :
+  ?extra_inputs:int -> data_bits:int -> unit -> Logic.Netlist.t
+(** The c499/c1355 flavour: receives [data_bits] data bits and the
+    corresponding check bits, recomputes the syndrome and outputs the
+    corrected data word. [extra_inputs] appends enable lines that gate the
+    correction (default 0) so the interface can be padded to a target
+    input count. *)
+
+val sec_ded : data_bits:int -> unit -> Logic.Netlist.t
+(** The c1908 flavour: corrected data word plus [single_error] and
+    [double_error] flags (extended Hamming with overall parity). *)
+
+val num_check_bits : data_bits:int -> int
+(** Check bits of the (shortened) Hamming code for a given data width. *)

@@ -1,0 +1,260 @@
+type category = Iscas85 | Epfl_control
+
+type entry = {
+  name : string;
+  category : category;
+  generate : unit -> Logic.Netlist.t;
+  paper_inputs : int;
+  paper_outputs : int;
+  paper_nodes : int;
+  paper_edges : int;
+  description : string;
+}
+
+let combine ~name netlists =
+  let blocks =
+    List.mapi
+      (fun i nl -> Logic.Netlist.rename nl ~prefix:(Printf.sprintf "u%d_" i))
+      netlists
+  in
+  let inputs = List.concat_map (fun (nl : Logic.Netlist.t) -> nl.inputs) blocks in
+  let outputs = List.concat_map (fun (nl : Logic.Netlist.t) -> nl.outputs) blocks in
+  let nodes = List.concat_map (fun (nl : Logic.Netlist.t) -> nl.nodes) blocks in
+  Logic.Netlist.create ~name ~inputs ~outputs nodes
+
+let renamed name nl = Logic.Netlist.create ~name ~inputs:nl.Logic.Netlist.inputs ~outputs:nl.Logic.Netlist.outputs nl.Logic.Netlist.nodes
+
+let iscas85 =
+  [
+    {
+      name = "c432";
+      category = Iscas85;
+      generate =
+        (fun () -> renamed "c432" (Control.interrupt_controller ~channels:27 ()));
+      paper_inputs = 36;
+      paper_outputs = 7;
+      paper_nodes = 1291;
+      paper_edges = 2578;
+      description = "27-channel interrupt controller";
+    };
+    {
+      name = "c499";
+      category = Iscas85;
+      generate =
+        (fun () ->
+           renamed "c499" (Ecc.hamming_corrector ~extra_inputs:3 ~data_bits:32 ()));
+      paper_inputs = 41;
+      paper_outputs = 32;
+      paper_nodes = 11146;
+      paper_edges = 222164;
+      description = "32-bit single-error-correcting circuit";
+    };
+    {
+      name = "c880";
+      category = Iscas85;
+      generate =
+        (fun () ->
+           combine ~name:"c880"
+             [
+               Arith.alu_with_flags ~bits:16 ();
+               Arith.comparator ~bits:11 ();
+               Ecc.parity_tree ~width:3 ();
+             ]);
+      paper_inputs = 60;
+      paper_outputs = 26;
+      paper_nodes = 4431;
+      paper_edges = 8858;
+      description = "8-bit ALU (composite analogue)";
+    };
+    {
+      name = "c1355";
+      category = Iscas85;
+      generate =
+        (fun () ->
+           renamed "c1355" (Ecc.hamming_corrector ~extra_inputs:3 ~data_bits:32 ()));
+      paper_inputs = 41;
+      paper_outputs = 32;
+      paper_nodes = 11146;
+      paper_edges = 222164;
+      description = "32-bit SEC circuit (c499 expanded to NAND gates)";
+    };
+    {
+      name = "c1908";
+      category = Iscas85;
+      generate = (fun () -> renamed "c1908" (Ecc.sec_ded ~data_bits:26 ()));
+      paper_inputs = 33;
+      paper_outputs = 25;
+      paper_nodes = 28224;
+      paper_edges = 56348;
+      description = "16-bit SEC/DED circuit";
+    };
+    {
+      name = "c2670";
+      category = Iscas85;
+      generate =
+        (fun () ->
+           combine ~name:"c2670"
+             [
+               Arith.alu_with_flags ~bits:32 ();
+               Arith.comparator ~bits:32 ();
+               Control.decoder ~select_bits:6 ();
+               Control.round_robin_arbiter ~width:16 ();
+               Ecc.hamming_encoder ~data_bits:57 ();
+               Arith.incrementer ~bits:7 ();
+             ]);
+      paper_inputs = 233;
+      paper_outputs = 140;
+      paper_nodes = 6764;
+      paper_edges = 12970;
+      description = "12-bit ALU and controller (composite analogue)";
+    };
+    {
+      name = "c3540";
+      category = Iscas85;
+      generate =
+        (fun () ->
+           combine ~name:"c3540"
+             [ Arith.alu_with_flags ~bits:20 (); Ecc.parity_tree ~width:7 () ]);
+      paper_inputs = 50;
+      paper_outputs = 22;
+      paper_nodes = 59265;
+      paper_edges = 118442;
+      description = "8-bit ALU with flags (composite analogue)";
+    };
+    {
+      name = "c5315";
+      category = Iscas85;
+      generate =
+        (fun () ->
+           combine ~name:"c5315"
+             [
+               Arith.alu_with_flags ~bits:36 ();
+               Arith.adder_comparator ~bits:32 ();
+               Control.decoder ~select_bits:4 ();
+               Control.priority_encoder ~width:26 ();
+               Arith.incrementer ~bits:8 ();
+             ]);
+      paper_inputs = 178;
+      paper_outputs = 123;
+      paper_nodes = 14362;
+      paper_edges = 28232;
+      description = "9-bit ALU (composite analogue)";
+    };
+    {
+      name = "c7552";
+      category = Iscas85;
+      generate =
+        (fun () ->
+           combine ~name:"c7552"
+             [
+               Arith.adder_comparator ~bits:48 ();
+               Arith.adder_comparator ~bits:32 ();
+               Arith.comparator ~bits:16 ();
+               Ecc.parity_tree ~width:13 ();
+             ]);
+      paper_inputs = 207;
+      paper_outputs = 108;
+      paper_nodes = 90651;
+      paper_edges = 180870;
+      description = "32-bit adder/comparator (composite analogue)";
+    };
+  ]
+
+let epfl_control =
+  [
+    {
+      name = "arbiter";
+      category = Epfl_control;
+      generate = (fun () -> renamed "arbiter" (Control.round_robin_arbiter ~width:128 ()));
+      paper_inputs = 256;
+      paper_outputs = 129;
+      paper_nodes = 25109;
+      paper_edges = 50214;
+      description = "round-robin arbiter, 128 requesters";
+    };
+    {
+      name = "cavlc";
+      category = Epfl_control;
+      generate = (fun () -> Control.cavlc_decoder ());
+      paper_inputs = 10;
+      paper_outputs = 11;
+      paper_nodes = 436;
+      paper_edges = 868;
+      description = "coeff-token decoder";
+    };
+    {
+      name = "ctrl";
+      category = Epfl_control;
+      generate = (fun () -> Control.opcode_decoder ());
+      paper_inputs = 7;
+      paper_outputs = 26;
+      paper_nodes = 89;
+      paper_edges = 174;
+      description = "opcode decoder";
+    };
+    {
+      name = "dec";
+      category = Epfl_control;
+      generate = (fun () -> renamed "dec" (Control.decoder ~select_bits:8 ()));
+      paper_inputs = 8;
+      paper_outputs = 256;
+      paper_nodes = 512;
+      paper_edges = 1020;
+      description = "8-to-256 decoder";
+    };
+    {
+      name = "i2c";
+      category = Epfl_control;
+      generate = (fun () -> Control.bus_controller ());
+      paper_inputs = 147;
+      paper_outputs = 142;
+      paper_nodes = 1204;
+      paper_edges = 2404;
+      description = "serial bus-master control logic";
+    };
+    {
+      name = "int2float";
+      category = Epfl_control;
+      generate = (fun () -> Control.int2float ~int_bits:11 ());
+      paper_inputs = 11;
+      paper_outputs = 7;
+      paper_nodes = 159;
+      paper_edges = 314;
+      description = "integer-to-float converter";
+    };
+    {
+      name = "priority";
+      category = Epfl_control;
+      generate = (fun () -> renamed "priority" (Control.priority_encoder ~width:128 ()));
+      paper_inputs = 128;
+      paper_outputs = 8;
+      paper_nodes = 772;
+      paper_edges = 1540;
+      description = "128-bit priority encoder";
+    };
+    {
+      name = "router";
+      category = Epfl_control;
+      generate = (fun () -> renamed "router" (Control.router ~addr_bits:8 ~payload_bits:24 ()));
+      paper_inputs = 60;
+      paper_outputs = 30;
+      paper_nodes = 219;
+      paper_edges = 434;
+      description = "NoC route-compute unit";
+    };
+  ]
+
+let all = iscas85 @ epfl_control
+let names = List.map (fun e -> e.name) all
+
+let find name =
+  match List.find_opt (fun e -> String.equal e.name name) all with
+  | Some e -> e
+  | None -> raise Not_found
+
+let small =
+  List.filter
+    (fun e ->
+       List.mem e.name
+         [ "ctrl"; "int2float"; "router"; "cavlc"; "dec"; "priority"; "i2c" ])
+    all

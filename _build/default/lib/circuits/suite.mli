@@ -1,0 +1,40 @@
+(** The benchmark suite: functional analogues of the nine ISCAS85 and
+    eight EPFL-control circuits of the paper's Table I.
+
+    The original netlists are not redistributable in this environment, so
+    each entry is a parametric generator with the same (or near-identical)
+    interface size and the same functional flavour (see DESIGN.md §2 for
+    the substitution rationale). [paper_*] fields record the Table I values
+    for the experiment reports. *)
+
+type category = Iscas85 | Epfl_control
+
+type entry = {
+  name : string;  (** the paper's benchmark name *)
+  category : category;
+  generate : unit -> Logic.Netlist.t;
+  paper_inputs : int;
+  paper_outputs : int;
+  paper_nodes : int;  (** Table I BDD nodes *)
+  paper_edges : int;
+  description : string;
+}
+
+val all : entry list
+(** In the paper's Table I order: ISCAS85 then EPFL control. *)
+
+val iscas85 : entry list
+val epfl_control : entry list
+
+val find : string -> entry
+(** @raise Not_found for an unknown benchmark name. *)
+
+val names : string list
+
+val combine : name:string -> Logic.Netlist.t list -> Logic.Netlist.t
+(** Disjoint parallel composition: wires of the [i]-th block are prefixed
+    with ["uI_"]; inputs and outputs are concatenated. *)
+
+val small : entry list
+(** The benchmarks whose exact MIP labeling finishes quickly — the subset
+    used by the γ-sweep experiments (Table II flavour). *)

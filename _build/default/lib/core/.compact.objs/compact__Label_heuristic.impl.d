@@ -1,0 +1,1 @@
+lib/core/label_heuristic.ml: Array Balance Graphs Label_oct List Types Unix

@@ -1,0 +1,1 @@
+lib/core/label_mip.ml: Array Graphs Label_oct List Lp Milp Printf Types Unix

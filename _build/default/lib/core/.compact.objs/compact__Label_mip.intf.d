@@ -1,0 +1,1 @@
+lib/core/label_mip.mli: Types

@@ -1,0 +1,1 @@
+lib/core/label_oct.ml: Array Balance Graphs List Types

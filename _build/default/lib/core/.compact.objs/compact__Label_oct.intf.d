@@ -1,0 +1,1 @@
+lib/core/label_oct.mli: Types

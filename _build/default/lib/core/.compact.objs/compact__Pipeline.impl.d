@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Bdd Crossbar Graphs Label_heuristic Label_mip Label_oct List Logic Mapping Preprocess Report Types Unix

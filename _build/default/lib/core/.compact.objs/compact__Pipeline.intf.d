@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Bdd Crossbar Logic Report Types

@@ -1,0 +1,1 @@
+lib/core/preprocess.ml: Array Bdd Crossbar Graphs Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/core/report.ml: Crossbar Format Preprocess Printf Types

@@ -1,0 +1,1 @@
+lib/core/types.ml: Array Crossbar Format Graphs List Milp Printf Stdlib

@@ -1,0 +1,205 @@
+let exact_dp_limit = 5_000_000
+
+type component = {
+  members : int list;
+  count0 : int;  (* nodes coloured 0 *)
+  count1 : int;
+  aligned0 : int list;  (* aligned nodes coloured 0 *)
+  aligned1 : int list;
+}
+
+(* Pick signs s_i ∈ {+1, −1} for the free deltas to bring [base + Σ s_i·d_i]
+   as close to 0 as possible. Exact subset-sum DP when affordable. *)
+let choose_signs ~base deltas =
+  let k = Array.length deltas in
+  let total = Array.fold_left (fun acc d -> acc + abs d) 0 deltas in
+  let range = (2 * total) + 1 in
+  if k = 0 then [||]
+  else if k * range <= exact_dp_limit then begin
+    (* reachable.(step) holds the set of achievable partial sums
+       (offset by [total]); parents enable reconstruction. *)
+    let reach = Array.make range false in
+    let parent = Array.make_matrix k range 0 in
+    reach.(total) <- true;
+    for i = 0 to k - 1 do
+      let next = Array.make range false in
+      for s = 0 to range - 1 do
+        if reach.(s) then begin
+          let plus = s + deltas.(i) and minus = s - deltas.(i) in
+          if plus >= 0 && plus < range && not next.(plus) then begin
+            next.(plus) <- true;
+            parent.(i).(plus) <- s
+          end;
+          if minus >= 0 && minus < range && not next.(minus) then begin
+            next.(minus) <- true;
+            parent.(i).(minus) <- s
+          end
+        end
+      done;
+      Array.blit next 0 reach 0 range
+    done;
+    (* Closest achievable sum to −base (so that base + sum ≈ 0). *)
+    let target = -base + total in
+    let best = ref (-1) in
+    for s = 0 to range - 1 do
+      if
+        reach.(s)
+        && (!best < 0 || abs (s - target) < abs (!best - target))
+      then best := s
+    done;
+    let signs = Array.make k 1 in
+    let s = ref !best in
+    for i = k - 1 downto 0 do
+      let prev = parent.(i).(!s) in
+      signs.(i) <- (if !s - prev = deltas.(i) then 1 else -1);
+      s := prev
+    done;
+    signs
+  end
+  else begin
+    (* Greedy: largest |delta| first, pick the sign that shrinks the sum. *)
+    let order = Array.init k (fun i -> i) in
+    Array.sort (fun a b -> compare (abs deltas.(b)) (abs deltas.(a))) order;
+    let signs = Array.make k 1 in
+    let sum = ref base in
+    Array.iter
+      (fun i ->
+         if abs (!sum + deltas.(i)) <= abs (!sum - deltas.(i)) then begin
+           signs.(i) <- 1;
+           sum := !sum + deltas.(i)
+         end
+         else begin
+           signs.(i) <- -1;
+           sum := !sum - deltas.(i)
+         end)
+      order;
+    signs
+  end
+
+let orient ?(alignment = false) ?(balance = true) (bg : Types.bdd_graph)
+    ~transversal ~coloring =
+  let n = Graphs.Ugraph.num_nodes bg.graph in
+  if Array.length transversal <> n || Array.length coloring <> n then
+    invalid_arg "Balance.orient: arity mismatch";
+  Graphs.Ugraph.iter_edges
+    (fun u v ->
+       if
+         (not transversal.(u))
+         && (not transversal.(v))
+         && coloring.(u) = coloring.(v)
+       then invalid_arg "Balance.orient: invalid 2-colouring")
+    bg.graph;
+  let labels =
+    Array.init n (fun v -> if transversal.(v) then Types.VH else Types.V)
+  in
+  (* Aligned nodes (terminal + roots) that survive in the residual. *)
+  let aligned = Array.make n false in
+  if alignment then begin
+    aligned.(bg.terminal) <- true;
+    List.iter
+      (fun (_, root) ->
+         match root with
+         | Types.Node v -> aligned.(v) <- true
+         | Types.Const_false -> ())
+      bg.roots
+  end;
+  (* Components of the residual graph. *)
+  let keep = Array.map not transversal in
+  let sub, map = Graphs.Ugraph.induced bg.graph ~keep in
+  let comp_of_sub, num_comps = Graphs.Bipartite.components sub in
+  let comps =
+    Array.make num_comps
+      { members = []; count0 = 0; count1 = 0; aligned0 = []; aligned1 = [] }
+  in
+  for v = n - 1 downto 0 do
+    if keep.(v) then begin
+      let c = comp_of_sub.(map.(v)) in
+      let comp = comps.(c) in
+      let comp = { comp with members = v :: comp.members } in
+      let comp =
+        if coloring.(v) = 0 then { comp with count0 = comp.count0 + 1 }
+        else { comp with count1 = comp.count1 + 1 }
+      in
+      let comp =
+        if not aligned.(v) then comp
+        else if coloring.(v) = 0 then
+          { comp with aligned0 = v :: comp.aligned0 }
+        else { comp with aligned1 = v :: comp.aligned1 }
+      in
+      comps.(c) <- comp
+    end
+  done;
+  (* Resolve alignment conflicts inside a component by upgrading the
+     minority side's aligned nodes to VH. *)
+  let upgraded = Array.make n false in
+  let comps =
+    Array.map
+      (fun comp ->
+         if comp.aligned0 <> [] && comp.aligned1 <> [] then begin
+           let upgrade_list, keep0 =
+             if List.length comp.aligned0 <= List.length comp.aligned1 then
+               comp.aligned0, false
+             else comp.aligned1, true
+           in
+           List.iter
+             (fun v ->
+                labels.(v) <- Types.VH;
+                upgraded.(v) <- true)
+             upgrade_list;
+           if keep0 then { comp with aligned1 = [] }
+           else { comp with aligned0 = [] }
+         end
+         else comp)
+      comps
+  in
+  (* Contribution of a component to rows − cols. An unflipped component
+     maps colour 0 to H; flipped maps colour 1 to H. Upgraded (VH) members
+     contribute 0 either way. *)
+  let effective comp =
+    let c0 = ref 0 and c1 = ref 0 in
+    List.iter
+      (fun v ->
+         if not upgraded.(v) then
+           if coloring.(v) = 0 then incr c0 else incr c1)
+      comp.members;
+    !c0, !c1
+  in
+  (* Forced components (containing aligned nodes): orientation fixed so the
+     aligned colour becomes H. Free components enter the DP. *)
+  let base = ref 0 in
+  (* VH nodes add 1 to both rows and cols: no effect on rows − cols. *)
+  let flips = Array.make num_comps false in
+  let free = ref [] in
+  Array.iteri
+    (fun c comp ->
+       let c0, c1 = effective comp in
+       let delta_unflipped = c0 - c1 in
+       if comp.aligned0 <> [] then begin
+         flips.(c) <- false;
+         base := !base + delta_unflipped
+       end
+       else if comp.aligned1 <> [] then begin
+         flips.(c) <- true;
+         base := !base - delta_unflipped
+       end
+       else free := (c, delta_unflipped) :: !free)
+    comps;
+  let free = Array.of_list (List.rev !free) in
+  let signs =
+    if balance then choose_signs ~base:!base (Array.map snd free)
+    else Array.make (Array.length free) 1
+  in
+  Array.iteri
+    (fun i (c, _) -> flips.(c) <- signs.(i) < 0)
+    free;
+  (* Materialise labels: colour 0 → H unless the component is flipped. *)
+  Array.iteri
+    (fun c comp ->
+       List.iter
+         (fun v ->
+            if not upgraded.(v) then
+              let is_h = coloring.(v) = 0 <> flips.(c) in
+              labels.(v) <- (if is_h then Types.H else Types.V))
+         comp.members)
+    comps;
+  labels

@@ -1,0 +1,34 @@
+(** Balancing the 2-colouring (the paper's Fig 6 optimisation).
+
+    After the odd-cycle transversal is fixed, each connected component of
+    the residual bipartite graph has exactly two colourings (one is the
+    flip of the other). Choosing the flip per component to minimise the
+    maximum dimension is a subset-sum problem over the per-component
+    colour-count differences — solved exactly by dynamic programming (with
+    a greedy fallback for very large instances).
+
+    Alignment (Eq 7) restricts flips: components containing the terminal
+    or a root must orient those nodes to H. When one component holds
+    aligned nodes of both colours, no flip can satisfy them all; the
+    minority aligned nodes are upgraded to VH (always safe, §V-B).
+
+    [balance] (default true) enables the flip optimisation; with it off,
+    free components keep their BFS colouring — the ablation baseline the
+    paper's Fig 6 improves on. *)
+
+val orient :
+  ?alignment:bool ->
+  ?balance:bool ->
+  Types.bdd_graph ->
+  transversal:bool array ->
+  coloring:int array ->
+  Types.label array
+(** [orient bg ~transversal ~coloring] produces a full label array:
+    transversal nodes become [VH]; each residual component is flipped to
+    balance rows against columns. [coloring.(v)] must be 0/1 for kept
+    nodes (a valid 2-colouring) and is ignored for transversal nodes.
+    @raise Invalid_argument on arity mismatch or invalid colouring. *)
+
+val exact_dp_limit : int
+(** Components × range budget above which the solver falls back to the
+    greedy sign-assignment heuristic. *)

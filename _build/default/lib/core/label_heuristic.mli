@@ -1,0 +1,24 @@
+(** Scalable VH-labeling: OCT pipeline plus local search on the weighted
+    objective.
+
+    Reproduces the behaviour the MIP exhibits on large instances where
+    exact solving is out of reach: starting from a (minimum or greedy)
+    odd-cycle transversal and a balanced 2-colouring, the search repeats
+    the paper's Fig 7 move — upgrade a node to VH, splitting its component
+    and re-balancing — whenever it improves γ·S + (1−γ)·D. With γ = 1 the
+    move never helps and the method reduces to the OCT pipeline. *)
+
+val solve :
+  ?time_limit:float ->
+  ?alignment:bool ->
+  ?gamma:float ->
+  ?max_rounds:int ->
+  ?candidates_per_round:int ->
+  Types.bdd_graph ->
+  Types.labeling
+(** Defaults: [gamma = 0.5], [max_rounds = 25],
+    [candidates_per_round = 24]. Half the [time_limit] goes to the initial
+    OCT (exact for graphs of ≤ [3000] nodes, greedy above), the rest to
+    the local search. *)
+
+val exact_oct_node_threshold : int

@@ -1,0 +1,40 @@
+(** VH-labeling method 2 (§VI-B): the weighted objective γ·S + (1−γ)·D as
+    a mixed-integer program, solved by {!Milp.Branch_bound}.
+
+    The formulation is an equivalent strengthening of the paper's Eq 4:
+    instead of one helper binary per edge, each edge (i, j) contributes the
+    two rows [xH_i + xH_j ≥ 1] and [xV_i + xV_j ≥ 1] — i.e. the H side and
+    the V side must each form a vertex cover — together with
+    [xV_i + xH_i ≥ 1] per node. A case split on the labels of i and j
+    shows this admits exactly the label pairs realisable on a crossbar,
+    so the feasible sets coincide while the LP relaxation is no weaker.
+    Two optional cutting planes tighten the relaxation: [S ≥ n + k_lb]
+    from an OCT lower bound, and [D ≥ ⌈S_lb / 2⌉].
+
+    Alignment (Eq 7) adds [xH_i = 1] for the terminal and all roots. *)
+
+exception Infeasible of string
+(** Raised by {!solve} when user-imposed row/column capacity constraints
+    admit no labeling (§III: "COMPACT would generate a valid design D or
+    return that the specified design constraints are infeasible"). *)
+
+val solve :
+  ?time_limit:float ->
+  ?node_limit:int ->
+  ?alignment:bool ->
+  ?gamma:float ->
+  ?warm_start:Types.labeling ->
+  ?oct_cut:int ->
+  ?max_rows:int ->
+  ?max_cols:int ->
+  Types.bdd_graph ->
+  Types.labeling
+(** [gamma] defaults to 0.5 (the paper's recommended setting);
+    [warm_start] seeds the incumbent (default: {!Label_oct.greedy});
+    [oct_cut] is a known lower bound on the OCT size used for the
+    strengthening cut (default: 0, i.e. only the trivial [S ≥ n] cut).
+    [max_rows]/[max_cols] impose hard capacities on the wordline/bitline
+    counts (the §III constrained formulation); the warm start is dropped
+    when it violates them.
+    The result carries the solver's convergence [trace].
+    @raise Infeasible when capacity constraints cannot be met. *)

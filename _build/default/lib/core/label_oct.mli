@@ -1,0 +1,25 @@
+(** VH-labeling method 1 (§VI-A): minimal semiperimeter via a minimum
+    odd-cycle transversal.
+
+    The OCT is found through a minimum vertex cover of G□K2 (Lemma 1);
+    the residual bipartite graph is 2-coloured and balanced per component
+    with {!module:Balance}. The semiperimeter n + |OCT| is provably
+    minimal when the cover solver converges; the maximum dimension is the
+    best achievable by component flips for that particular transversal. *)
+
+val solve :
+  ?time_limit:float ->
+  ?alignment:bool ->
+  ?gamma:float ->
+  Types.bdd_graph ->
+  Types.labeling
+(** [gamma] (default 1.0) only affects the reported objective value; the
+    method itself always minimises the semiperimeter first. [optimal] in
+    the result means: semiperimeter proven minimal (alignment upgrades can
+    add VH nodes on top of the minimum OCT, in which case optimality is
+    not claimed). *)
+
+val greedy :
+  ?alignment:bool -> ?gamma:float -> Types.bdd_graph -> Types.labeling
+(** Same pipeline with the linear-time greedy OCT; scales to very large
+    BDDs at the cost of a larger (unproven) transversal. *)

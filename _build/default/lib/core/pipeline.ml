@@ -1,0 +1,180 @@
+type solver = Oct_exact | Oct_greedy | Mip | Heuristic | Auto
+
+type options = {
+  gamma : float;
+  solver : solver;
+  alignment : bool;
+  time_limit : float;
+  bdd_node_limit : int;
+  order : string list option;
+  max_rows : int option;
+  max_cols : int option;
+}
+
+let mip_node_threshold = 160
+
+let default_options =
+  {
+    gamma = 0.5;
+    solver = Auto;
+    alignment = true;
+    time_limit = 60.;
+    bdd_node_limit = 2_000_000;
+    order = None;
+    max_rows = None;
+    max_cols = None;
+  }
+
+type result = {
+  design : Crossbar.Design.t;
+  labeling : Types.labeling;
+  bdd_graph : Types.bdd_graph;
+  report : Report.t;
+}
+
+let run_labeler options bg =
+  let { gamma; alignment; time_limit; max_rows; max_cols; _ } = options in
+  let constrained = max_rows <> None || max_cols <> None in
+  let solver =
+    (* Capacity constraints are only expressible in the MIP. *)
+    if constrained then Mip
+    else
+      match options.solver with
+      | Auto ->
+        if Graphs.Ugraph.num_nodes bg.Types.graph <= mip_node_threshold then
+          Mip
+        else Heuristic
+      | s -> s
+  in
+  match solver with
+  | Oct_exact -> Label_oct.solve ~time_limit ~alignment ~gamma bg
+  | Oct_greedy -> Label_oct.greedy ~alignment ~gamma bg
+  | Heuristic -> Label_heuristic.solve ~time_limit ~alignment ~gamma bg
+  | Mip ->
+    (* Warm start and OCT cut from the combinatorial pipeline. *)
+    let warm =
+      Label_heuristic.solve ~time_limit:(time_limit /. 4.) ~alignment ~gamma bg
+    in
+    let oct_cut =
+      (* Lower bound on #VH from the OCT solver's proof. With γ-weighting
+         the warm start's bound is on the objective, not on the OCT, so we
+         recover the transversal bound conservatively. *)
+      if warm.Types.optimal && gamma >= 1. -. 1e-9 then warm.Types.vh_count
+      else 0
+    in
+    Label_mip.solve ~time_limit:(3. *. time_limit /. 4.) ~alignment ~gamma
+      ~warm_start:warm ~oct_cut ?max_rows ?max_cols bg
+  | Auto -> assert false
+
+let synthesize_graph ?(options = default_options) ~name bg =
+  let start = Unix.gettimeofday () in
+  let labeling = run_labeler options bg in
+  let design = Mapping.run bg labeling in
+  let synthesis_time = Unix.gettimeofday () -. start in
+  let report =
+    Report.of_design ~circuit:name ~bdd_graph:bg ~labeling ~synthesis_time
+      design
+  in
+  { design; labeling; bdd_graph = bg; report }
+
+let synthesize_sbdd ?(options = default_options) ~name sbdd =
+  let start = Unix.gettimeofday () in
+  let bg = Preprocess.of_sbdd sbdd in
+  let inner = synthesize_graph ~options ~name bg in
+  let synthesis_time = Unix.gettimeofday () -. start in
+  let report = { inner.report with Report.synthesis_time } in
+  { inner with report }
+
+let synthesize ?(options = default_options) netlist =
+  let start = Unix.gettimeofday () in
+  let sbdd =
+    Bdd.Sbdd.of_netlist ?order:options.order
+      ~node_limit:options.bdd_node_limit netlist
+  in
+  let inner = synthesize_sbdd ~options ~name:netlist.Logic.Netlist.name sbdd in
+  let synthesis_time = Unix.gettimeofday () -. start in
+  let report = { inner.report with Report.synthesis_time } in
+  { inner with report }
+
+let synthesize_expr ?(options = default_options) ~name e =
+  let inputs = Logic.Expr.vars e in
+  let netlist =
+    Logic.Netlist.create ~name ~inputs ~outputs:[ name ^ "_out" ]
+      [ Logic.Netlist.n_expr (name ^ "_out") e ]
+  in
+  synthesize ~options netlist
+
+let merge_diagonal designs =
+  if designs = [] then invalid_arg "merge_diagonal: empty list";
+  let input_row d =
+    match Crossbar.Design.input d with
+    | Crossbar.Design.Row i -> i
+    | Crossbar.Design.Col _ ->
+      invalid_arg "merge_diagonal: input port must be a wordline"
+  in
+  (* Each block keeps its rows except the input row, which is fused into
+     one shared bottom row. *)
+  let total_rows =
+    List.fold_left (fun acc d -> acc + Crossbar.Design.rows d - 1) 1 designs
+  in
+  let total_cols =
+    List.fold_left (fun acc d -> acc + Crossbar.Design.cols d) 0 designs
+  in
+  let shared_input = total_rows - 1 in
+  let outputs = ref [] in
+  let row_offset = ref 0 in
+  let col_offset = ref 0 in
+  let merged_cells = ref [] in
+  List.iter
+    (fun d ->
+       let rows = Crossbar.Design.rows d and cols = Crossbar.Design.cols d in
+       let inp = input_row d in
+       (* Global row of a block-local row: input row → shared row; rows
+          after the input shift up by one. *)
+       let global_row i =
+         if i = inp then shared_input
+         else if i < inp then !row_offset + i
+         else !row_offset + i - 1
+       in
+       Crossbar.Design.iter_programmed d (fun i j lit ->
+           merged_cells :=
+             (global_row i, !col_offset + j, lit) :: !merged_cells);
+       List.iter
+         (fun (o, w) ->
+            let w' =
+              match w with
+              | Crossbar.Design.Row i -> Crossbar.Design.Row (global_row i)
+              | Crossbar.Design.Col j -> Crossbar.Design.Col (!col_offset + j)
+            in
+            outputs := (o, w') :: !outputs)
+         (Crossbar.Design.outputs d);
+       row_offset := !row_offset + rows - 1;
+       col_offset := !col_offset + cols)
+    designs;
+  let merged =
+    Crossbar.Design.create ~rows:total_rows ~cols:total_cols
+      ~input:(Crossbar.Design.Row shared_input) ~outputs:(List.rev !outputs)
+  in
+  List.iter
+    (fun (r, c, lit) -> Crossbar.Design.set merged ~row:r ~col:c lit)
+    !merged_cells;
+  merged
+
+let synthesize_separate_robdds ?(options = default_options) netlist =
+  let options = { options with alignment = true } in
+  let sbdds =
+    Bdd.Sbdd.of_netlist_separate ?order:options.order
+      ~node_limit:options.bdd_node_limit netlist
+  in
+  let results =
+    List.map
+      (fun (sbdd : Bdd.Sbdd.t) ->
+         let name =
+           match sbdd.roots with
+           | [ (o, _) ] -> netlist.Logic.Netlist.name ^ "." ^ o
+           | _ -> netlist.Logic.Netlist.name
+         in
+         synthesize_sbdd ~options ~name sbdd)
+      sbdds
+  in
+  results, merge_diagonal (List.map (fun r -> r.design) results)

@@ -1,0 +1,62 @@
+(** The end-to-end COMPACT flow (Fig 3): Boolean function → SBDD →
+    graph pre-processing → VH-labeling → crossbar mapping. *)
+
+(** Which VH-labeling solver to run. *)
+type solver =
+  | Oct_exact  (** §VI-A: minimum OCT via vertex cover of G□K2 *)
+  | Oct_greedy  (** linear-time transversal, for very large BDDs *)
+  | Mip  (** §VI-B: weighted objective, branch & bound *)
+  | Heuristic  (** OCT + Fig 7 local search on the weighted objective *)
+  | Auto
+      (** Mip below {!mip_node_threshold} graph nodes, otherwise
+          [Heuristic] *)
+
+type options = {
+  gamma : float;  (** objective weight (default 0.5, §VIII-A) *)
+  solver : solver;  (** default [Auto] *)
+  alignment : bool;  (** Eq 7 port alignment (default true, §VIII) *)
+  time_limit : float;  (** labeling budget in seconds (default 60) *)
+  bdd_node_limit : int;  (** abort threshold for BDD construction *)
+  order : string list option;  (** variable order (default: heuristic) *)
+  max_rows : int option;
+      (** §III capacity constraint on wordlines; forces the MIP solver.
+          {!Compact.Label_mip.Infeasible} escapes when unsatisfiable *)
+  max_cols : int option;  (** same for bitlines *)
+}
+
+val default_options : options
+val mip_node_threshold : int
+
+type result = {
+  design : Crossbar.Design.t;
+  labeling : Types.labeling;
+  bdd_graph : Types.bdd_graph;
+  report : Report.t;
+}
+
+val synthesize_graph :
+  ?options:options -> name:string -> Types.bdd_graph -> result
+(** Label and map an already pre-processed graph. *)
+
+val synthesize_sbdd : ?options:options -> name:string -> Bdd.Sbdd.t -> result
+
+val synthesize : ?options:options -> Logic.Netlist.t -> result
+(** Full flow from a netlist (single shared SBDD — the §VII-A default).
+    @raise Bdd.Manager.Size_limit if the BDD exceeds the node budget. *)
+
+val synthesize_expr :
+  ?options:options -> name:string -> Logic.Expr.t -> result
+(** Single-output convenience wrapper. *)
+
+val synthesize_separate_robdds :
+  ?options:options -> Logic.Netlist.t -> result list * Crossbar.Design.t
+(** The multiple-ROBDD mode of Table III / prior work: one single-output
+    ROBDD and crossbar per output, plus their diagonal merge sharing one
+    input wordline. Alignment is forced on (the merge requires ports on
+    wordlines). *)
+
+val merge_diagonal : Crossbar.Design.t list -> Crossbar.Design.t
+(** Block-diagonal composition of single-function designs, fusing all
+    input wordlines into one shared bottom row (the paper's Fig 8(a)).
+    @raise Invalid_argument if a design's input is not a [Row], or on an
+    empty list. *)

@@ -1,0 +1,72 @@
+type t = {
+  circuit : string;
+  bdd_nodes : int;
+  bdd_edges : int;
+  rows : int;
+  cols : int;
+  semiperimeter : int;
+  max_dimension : int;
+  area : int;
+  vh_count : int;
+  power_literals : int;
+  delay_steps : int;
+  synthesis_time : float;
+  label_time : float;
+  optimal : bool;
+  gap : float;
+  method_name : string;
+  gamma : float;
+}
+
+let of_design ~circuit ~bdd_graph ~labeling ~synthesis_time design =
+  let gap =
+    if labeling.Types.optimal then 0.
+    else if labeling.objective <= 0. then 1.
+    else
+      min 1.
+        ((labeling.objective -. labeling.lower_bound)
+         /. max 1e-10 labeling.objective)
+  in
+  {
+    circuit;
+    bdd_nodes = Preprocess.num_bdd_nodes bdd_graph;
+    bdd_edges = Preprocess.num_bdd_edges bdd_graph;
+    rows = Crossbar.Design.rows design;
+    cols = Crossbar.Design.cols design;
+    semiperimeter = Crossbar.Design.semiperimeter design;
+    max_dimension = Crossbar.Design.max_dimension design;
+    area = Crossbar.Design.area design;
+    vh_count = labeling.Types.vh_count;
+    power_literals = Crossbar.Design.num_literal_junctions design;
+    delay_steps = Crossbar.Design.delay_steps design;
+    synthesis_time;
+    label_time = labeling.Types.solve_time;
+    optimal = labeling.Types.optimal;
+    gap;
+    method_name = labeling.Types.method_name;
+    gamma = labeling.Types.gamma;
+  }
+
+let header =
+  Printf.sprintf "%-12s %7s %7s %6s %6s %6s %6s %9s %5s %8s %9s %5s"
+    "circuit" "nodes" "edges" "rows" "cols" "S" "D" "area" "#VH" "time(s)"
+    "method" "opt"
+
+let pp_row ppf r =
+  Format.fprintf ppf "%-12s %7d %7d %6d %6d %6d %6d %9d %5d %8.3f %9s %5s"
+    r.circuit r.bdd_nodes r.bdd_edges r.rows r.cols r.semiperimeter
+    r.max_dimension r.area r.vh_count r.synthesis_time r.method_name
+    (if r.optimal then "yes" else Printf.sprintf "%.0f%%" (r.gap *. 100.))
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>%s (%s, gamma=%.2f):@,\
+     BDD: %d nodes, %d edges@,\
+     crossbar: %d x %d (S=%d, D=%d, area=%d), %d VH nodes@,\
+     power: %d literal junctions; delay: %d steps@,\
+     synthesis: %.3fs (labeling %.3fs), %s@]"
+    r.circuit r.method_name r.gamma r.bdd_nodes r.bdd_edges r.rows r.cols
+    r.semiperimeter r.max_dimension r.area r.vh_count r.power_literals
+    r.delay_steps r.synthesis_time r.label_time
+    (if r.optimal then "optimal"
+     else Printf.sprintf "gap %.1f%%" (r.gap *. 100.))

@@ -1,0 +1,37 @@
+(** Synthesis reports: the metrics the paper's evaluation tables use. *)
+
+type t = {
+  circuit : string;
+  bdd_nodes : int;  (** graph nodes = BDD nodes without the 0-terminal *)
+  bdd_edges : int;
+  rows : int;
+  cols : int;
+  semiperimeter : int;
+  max_dimension : int;
+  area : int;
+  vh_count : int;
+  power_literals : int;
+      (** programmed variable literals — the worst-case number of device
+          writes, the power proxy of Figs 12/13 *)
+  delay_steps : int;  (** rows + 1 (§VIII) *)
+  synthesis_time : float;  (** seconds, whole pipeline *)
+  label_time : float;  (** seconds inside the labeling solver *)
+  optimal : bool;
+  gap : float;  (** relative optimality gap of the labeling, 0 if optimal *)
+  method_name : string;
+  gamma : float;
+}
+
+val of_design :
+  circuit:string ->
+  bdd_graph:Types.bdd_graph ->
+  labeling:Types.labeling ->
+  synthesis_time:float ->
+  Crossbar.Design.t ->
+  t
+
+val header : string
+(** Column header for {!pp_row}. *)
+
+val pp_row : Format.formatter -> t -> unit
+val pp : Format.formatter -> t -> unit

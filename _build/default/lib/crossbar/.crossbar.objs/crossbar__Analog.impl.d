@@ -1,0 +1,1 @@
+lib/crossbar/analog.ml: Array Design Eval Hashtbl List Literal Random String

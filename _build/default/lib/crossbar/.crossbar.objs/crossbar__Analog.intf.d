@@ -1,0 +1,1 @@
+lib/crossbar/analog.mli: Design

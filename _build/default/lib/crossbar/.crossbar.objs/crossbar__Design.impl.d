@@ -1,0 +1,1 @@
+lib/crossbar/design.ml: Format Hashtbl List Literal Set String

@@ -1,0 +1,1 @@
+lib/crossbar/design.mli: Format Literal

@@ -1,0 +1,1 @@
+lib/crossbar/eval.ml: Array Design Hashtbl List Literal Queue

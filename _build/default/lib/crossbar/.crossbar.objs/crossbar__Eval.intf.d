@@ -1,0 +1,1 @@
+lib/crossbar/eval.mli: Design

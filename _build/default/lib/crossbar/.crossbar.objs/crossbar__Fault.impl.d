@@ -1,0 +1,1 @@
+lib/crossbar/fault.ml: Design Format List Literal Random Verify

@@ -1,0 +1,1 @@
+lib/crossbar/fault.mli: Design Format

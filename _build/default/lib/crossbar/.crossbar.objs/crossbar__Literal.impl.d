@@ -1,0 +1,1 @@
+lib/crossbar/literal.ml: Format Stdlib

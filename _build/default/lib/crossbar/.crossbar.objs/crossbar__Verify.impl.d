@@ -1,0 +1,1 @@
+lib/crossbar/verify.ml: Array Eval Format Hashtbl List Logic Printf Random String

@@ -1,0 +1,1 @@
+lib/crossbar/verify.mli: Design Format Logic

@@ -1,0 +1,167 @@
+type params = {
+  r_on : float;
+  r_off : float;
+  r_sense : float;
+  v_in : float;
+  threshold : float;
+}
+
+let default_params =
+  { r_on = 100.; r_off = 1e8; r_sense = 1e4; v_in = 1.0; threshold = 0.01 }
+
+type solution = {
+  v_rows : float array;
+  v_cols : float array;
+  iterations : int;
+  residual : float;
+}
+
+(* Wire numbering: rows are 0..R-1, columns are R..R+C-1. The input wire is
+   a Dirichlet node held at v_in and eliminated from the unknowns. *)
+let solve ?(params = default_params) d env =
+  let rows = Design.rows d and cols = Design.cols d in
+  let n = rows + cols in
+  let g_on = 1. /. params.r_on and g_off = 1. /. params.r_off in
+  let g_sense = 1. /. params.r_sense in
+  let g = Array.make_matrix rows cols g_off in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if Literal.conducts (Design.get d ~row:i ~col:j) env then
+        g.(i).(j) <- g_on
+    done
+  done;
+  let input_node =
+    match Design.input d with
+    | Design.Row i -> i
+    | Design.Col j -> rows + j
+  in
+  let diag = Array.make n 0. in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      diag.(i) <- diag.(i) +. g.(i).(j);
+      diag.(rows + j) <- diag.(rows + j) +. g.(i).(j)
+    done
+  done;
+  List.iter
+    (fun (_, w) ->
+       let node =
+         match w with Design.Row i -> i | Design.Col j -> rows + j
+       in
+       diag.(node) <- diag.(node) +. g_sense)
+    (Design.outputs d);
+  (* A·x where x ranges over all wires but the input node is clamped:
+     treat x.(input_node) as 0 inside the operator and put the coupling on
+     the right-hand side. *)
+  let apply x y =
+    for i = 0 to rows - 1 do
+      y.(i) <- diag.(i) *. x.(i)
+    done;
+    for j = 0 to cols - 1 do
+      y.(rows + j) <- diag.(rows + j) *. x.(rows + j)
+    done;
+    for i = 0 to rows - 1 do
+      let gi = g.(i) in
+      let xi = x.(i) in
+      let acc = ref 0. in
+      for j = 0 to cols - 1 do
+        y.(rows + j) <- y.(rows + j) -. (gi.(j) *. xi);
+        acc := !acc +. (gi.(j) *. x.(rows + j))
+      done;
+      y.(i) <- y.(i) -. !acc
+    done;
+    (* Clamp the Dirichlet node: identity row. *)
+    y.(input_node) <- x.(input_node)
+  in
+  (* The Dirichlet value rides along inside the state vector: the input
+     entry of [x] is pinned at [v_in] (identity row, matching RHS), and the
+     matvec couples it into its neighbours' equations. CG never moves the
+     pinned entry because its residual starts and stays at zero, so the
+     iteration lives in the affine subspace where the operator is the SPD
+     Laplacian block. *)
+  let b = Array.make n 0. in
+  b.(input_node) <- params.v_in;
+  (* Jacobi-preconditioned conjugate gradients. *)
+  let x = Array.make n 0. in
+  x.(input_node) <- params.v_in;
+  let r = Array.make n 0. in
+  let z = Array.make n 0. in
+  let p = Array.make n 0. in
+  let q = Array.make n 0. in
+  let minv k = if k = input_node then 1. else 1. /. diag.(k) in
+  apply x r;
+  for k = 0 to n - 1 do
+    r.(k) <- b.(k) -. r.(k)
+  done;
+  let dot a c =
+    let s = ref 0. in
+    for k = 0 to n - 1 do
+      s := !s +. (a.(k) *. c.(k))
+    done;
+    !s
+  in
+  let bnorm = max (sqrt (dot b b)) 1e-30 in
+  for k = 0 to n - 1 do
+    z.(k) <- minv k *. r.(k);
+    p.(k) <- z.(k)
+  done;
+  let rz = ref (dot r z) in
+  let iterations = ref 0 in
+  let residual = ref (sqrt (dot r r) /. bnorm) in
+  let max_iter = 20 * n in
+  while !residual > 1e-10 && !iterations < max_iter do
+    apply p q;
+    let alpha = !rz /. dot p q in
+    for k = 0 to n - 1 do
+      x.(k) <- x.(k) +. (alpha *. p.(k));
+      r.(k) <- r.(k) -. (alpha *. q.(k))
+    done;
+    for k = 0 to n - 1 do
+      z.(k) <- minv k *. r.(k)
+    done;
+    let rz' = dot r z in
+    let beta = rz' /. !rz in
+    rz := rz';
+    for k = 0 to n - 1 do
+      p.(k) <- z.(k) +. (beta *. p.(k))
+    done;
+    incr iterations;
+    residual := sqrt (dot r r) /. bnorm
+  done;
+  {
+    v_rows = Array.sub x 0 rows;
+    v_cols = Array.sub x rows cols;
+    iterations = !iterations;
+    residual = !residual;
+  }
+
+let read_outputs ?(params = default_params) d env =
+  let sol = solve ~params d env in
+  List.map
+    (fun (o, w) ->
+       let v =
+         match w with
+         | Design.Row i -> sol.v_rows.(i)
+         | Design.Col j -> sol.v_cols.(j)
+       in
+       o, v > params.threshold *. params.v_in, v)
+    (Design.outputs d)
+
+let agrees_with_digital ?(params = default_params) ?(seed = 7) ~trials d =
+  let rng = Random.State.make [| seed |] in
+  let vars = Design.variables d in
+  let ok = ref true in
+  let trial = ref 0 in
+  while !ok && !trial < trials do
+    incr trial;
+    let values = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.replace values v (Random.State.bool rng)) vars;
+    let env v = Hashtbl.find values v in
+    let digital = Eval.evaluate d env in
+    let analog = read_outputs ~params d env in
+    List.iter2
+      (fun (o1, b1) (o2, b2, _) ->
+         assert (String.equal o1 o2);
+         if b1 <> b2 then ok := false)
+      digital analog
+  done;
+  !ok

@@ -1,0 +1,46 @@
+(** DC electrical validation of crossbar designs ("SPICE-lite").
+
+    Replaces the paper's SPICE check. Every junction of the crossbar is a
+    resistor — [r_on] when its literal conducts under the assignment,
+    [r_off] otherwise. The input nanowire is driven at [v_in]; every output
+    nanowire is tied to ground through a sensing resistor [r_sense]. The
+    resulting linear resistive network (a graph Laplacian with a Dirichlet
+    node) is solved with Jacobi-preconditioned conjugate gradients, and an
+    output reads logic 1 when its nanowire voltage exceeds
+    [threshold · v_in]. Flow-based read-out is a DC operating-point
+    question, so a static solve exercises the same physics the paper
+    simulates. *)
+
+type params = {
+  r_on : float;  (** low-resistive state, Ω (default 100) *)
+  r_off : float;  (** high-resistive state, Ω (default 1e8) *)
+  r_sense : float;  (** sensing resistor, Ω (default 1e4) *)
+  v_in : float;  (** drive voltage, V (default 1.0) *)
+  threshold : float;  (** logic threshold as a fraction of [v_in] (0.01) *)
+}
+
+val default_params : params
+
+type solution = {
+  v_rows : float array;  (** wordline voltages *)
+  v_cols : float array;  (** bitline voltages *)
+  iterations : int;  (** CG iterations used *)
+  residual : float;  (** final relative residual *)
+}
+
+val solve : ?params:params -> Design.t -> (string -> bool) -> solution
+(** Nodal analysis under one input assignment. *)
+
+val read_outputs :
+  ?params:params -> Design.t -> (string -> bool) -> (string * bool * float) list
+(** [(output, logic value, voltage)] per design output. *)
+
+val agrees_with_digital :
+  ?params:params ->
+  ?seed:int ->
+  trials:int ->
+  Design.t ->
+  bool
+(** Samples random assignments of the design's variables and checks that
+    the analog read-out equals the digital sneak-path evaluation on every
+    output. *)

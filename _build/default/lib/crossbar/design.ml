@@ -1,0 +1,114 @@
+type wire = Row of int | Col of int
+
+(* Junction storage is sparse: real designs program O(BDD edges) devices
+   on an O(n²) area, and the large staircase baselines would not even fit
+   in memory densely. Unprogrammed junctions read as [Literal.Off]. *)
+type t = {
+  rows : int;
+  cols : int;
+  cells : (int, Literal.t) Hashtbl.t;  (* key: row * cols + col *)
+  input : wire;
+  outputs : (string * wire) list;
+}
+
+let check_wire ~rows ~cols = function
+  | Row i ->
+    if i < 0 || i >= rows then invalid_arg "Design: row port out of range"
+  | Col j ->
+    if j < 0 || j >= cols then invalid_arg "Design: column port out of range"
+
+let create ~rows ~cols ~input ~outputs =
+  if rows <= 0 || cols <= 0 then invalid_arg "Design.create: empty crossbar";
+  check_wire ~rows ~cols input;
+  List.iter (fun (_, w) -> check_wire ~rows ~cols w) outputs;
+  { rows; cols; cells = Hashtbl.create 256; input; outputs }
+
+let rows t = t.rows
+let cols t = t.cols
+let input t = t.input
+let outputs t = t.outputs
+
+let copy t = { t with cells = Hashtbl.copy t.cells }
+let key t row col = (row * t.cols) + col
+
+let set t ~row ~col l =
+  if row < 0 || row >= t.rows || col < 0 || col >= t.cols then
+    invalid_arg "Design.set: out of range";
+  match l with
+  | Literal.Off -> Hashtbl.remove t.cells (key t row col)
+  | Literal.On | Literal.Pos _ | Literal.Neg _ ->
+    Hashtbl.replace t.cells (key t row col) l
+
+let get t ~row ~col =
+  if row < 0 || row >= t.rows || col < 0 || col >= t.cols then
+    invalid_arg "Design.get: out of range";
+  match Hashtbl.find_opt t.cells (key t row col) with
+  | Some l -> l
+  | None -> Literal.Off
+
+let semiperimeter t = t.rows + t.cols
+let max_dimension t = max t.rows t.cols
+let area t = t.rows * t.cols
+
+let iter_programmed t f =
+  (* Deterministic order (row-major) so downstream output is stable. *)
+  let entries =
+    Hashtbl.fold (fun k l acc -> (k, l) :: acc) t.cells []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter (fun (k, l) -> f (k / t.cols) (k mod t.cols) l) entries
+
+let count t pred =
+  Hashtbl.fold (fun _ l acc -> if pred l then acc + 1 else acc) t.cells 0
+
+let num_programmed t = Hashtbl.length t.cells
+let num_literal_junctions t = count t (fun l -> Literal.variable l <> None)
+let num_on_junctions t = count t (fun l -> Literal.equal l Literal.On)
+
+let variables t =
+  let module S = Set.Make (String) in
+  let s =
+    Hashtbl.fold
+      (fun _ l acc ->
+         match Literal.variable l with Some v -> S.add v acc | None -> acc)
+      t.cells S.empty
+  in
+  S.elements s
+
+let delay_steps t = t.rows + 1
+
+let pp ppf t =
+  let cell_width =
+    Hashtbl.fold
+      (fun _ l w -> max w (String.length (Literal.to_string l)))
+      t.cells 1
+  in
+  let pad s = s ^ String.make (cell_width - String.length s) ' ' in
+  let row_marker i =
+    let tags = ref [] in
+    (match t.input with Row r when r = i -> tags := "IN" :: !tags | _ -> ());
+    List.iter
+      (fun (o, w) -> match w with Row r when r = i -> tags := o :: !tags | _ -> ())
+      t.outputs;
+    if !tags = [] then "" else " <- " ^ String.concat "," !tags
+  in
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to t.rows - 1 do
+    Format.fprintf ppf "%3d | " i;
+    for j = 0 to t.cols - 1 do
+      Format.fprintf ppf "%s " (pad (Literal.to_string (get t ~row:i ~col:j)))
+    done;
+    Format.fprintf ppf "|%s@," (row_marker i)
+  done;
+  let col_tags = ref [] in
+  (match t.input with
+   | Col c -> col_tags := (c, "IN") :: !col_tags
+   | Row _ -> ());
+  List.iter
+    (fun (o, w) ->
+       match w with Col c -> col_tags := (c, o) :: !col_tags | Row _ -> ())
+    t.outputs;
+  List.iter
+    (fun (c, tag) -> Format.fprintf ppf "col %d: %s@," c tag)
+    (List.rev !col_tags);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,72 @@
+(* BFS over the wordline/bitline adjacency induced by the programmed
+   junctions only — designs are sparse, so this is O(devices) per
+   assignment rather than O(rows × cols). *)
+
+type adjacency = {
+  row_adj : (int * Literal.t) list array;  (* per row: (col, literal) *)
+  col_adj : (int * Literal.t) list array;
+}
+
+let adjacency d =
+  let row_adj = Array.make (Design.rows d) [] in
+  let col_adj = Array.make (Design.cols d) [] in
+  Design.iter_programmed d (fun i j l ->
+      row_adj.(i) <- (j, l) :: row_adj.(i);
+      col_adj.(j) <- (i, l) :: col_adj.(j));
+  { row_adj; col_adj }
+
+let reach adj d env =
+  let rows = Design.rows d and cols = Design.cols d in
+  let row_reached = Array.make rows false in
+  let col_reached = Array.make cols false in
+  let queue = Queue.create () in
+  (match Design.input d with
+   | Design.Row i ->
+     row_reached.(i) <- true;
+     Queue.add (`Row i) queue
+   | Design.Col j ->
+     col_reached.(j) <- true;
+     Queue.add (`Col j) queue);
+  while not (Queue.is_empty queue) do
+    match Queue.pop queue with
+    | `Row i ->
+      List.iter
+        (fun (j, l) ->
+           if (not col_reached.(j)) && Literal.conducts l env then begin
+             col_reached.(j) <- true;
+             Queue.add (`Col j) queue
+           end)
+        adj.row_adj.(i)
+    | `Col j ->
+      List.iter
+        (fun (i, l) ->
+           if (not row_reached.(i)) && Literal.conducts l env then begin
+             row_reached.(i) <- true;
+             Queue.add (`Row i) queue
+           end)
+        adj.col_adj.(j)
+  done;
+  row_reached, col_reached
+
+let reachable_wires d env = reach (adjacency d) d env
+
+let outputs_of_reach d (row_reached, col_reached) =
+  List.map
+    (fun (o, w) ->
+       ( o,
+         match w with
+         | Design.Row i -> row_reached.(i)
+         | Design.Col j -> col_reached.(j) ))
+    (Design.outputs d)
+
+let evaluate d env = outputs_of_reach d (reachable_wires d env)
+
+let evaluator d =
+  let adj = adjacency d in
+  fun env -> outputs_of_reach d (reach adj d env)
+
+let evaluate_point d ~input_names point =
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace index v i) input_names;
+  let env v = point.(Hashtbl.find index v) in
+  Array.of_list (List.map snd (evaluate d env))

@@ -1,0 +1,25 @@
+(** Digital sneak-path evaluation of a crossbar design.
+
+    Models the flow-based evaluation phase: program every junction from the
+    input assignment, drive the input nanowire, and ask — for each output
+    nanowire — whether a path of low-resistive junctions connects it to the
+    input (§II-C). This is the defining semantics of a valid design
+    (Problem formulation, §III); the analog solver in {!module:Analog}
+    checks the same property electrically. *)
+
+val reachable_wires : Design.t -> (string -> bool) -> bool array * bool array
+(** [(rows_reached, cols_reached)] from the input wire through conducting
+    junctions under the assignment. *)
+
+val evaluate : Design.t -> (string -> bool) -> (string * bool) list
+(** Output values in design output order. *)
+
+val evaluator : Design.t -> (string -> bool) -> (string * bool) list
+(** [evaluator d] precomputes the sparse device adjacency once and returns
+    a closure evaluating assignments in O(devices); use it when the same
+    design is evaluated many times (verification, tables). *)
+
+val evaluate_point :
+  Design.t -> input_names:string list -> bool array -> bool array
+(** Positional variant: input variable [List.nth input_names i] takes the
+    value [point.(i)]. *)

@@ -1,0 +1,25 @@
+type t = Off | On | Pos of string | Neg of string
+
+let conducts l env =
+  match l with
+  | Off -> false
+  | On -> true
+  | Pos v -> env v
+  | Neg v -> not (env v)
+
+let negate = function
+  | Off -> On
+  | On -> Off
+  | Pos v -> Neg v
+  | Neg v -> Pos v
+
+let equal = Stdlib.( = )
+let variable = function Off | On -> None | Pos v | Neg v -> Some v
+
+let to_string = function
+  | Off -> "0"
+  | On -> "1"
+  | Pos v -> v
+  | Neg v -> "!" ^ v
+
+let pp ppf l = Format.pp_print_string ppf (to_string l)

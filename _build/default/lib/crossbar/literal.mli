@@ -1,0 +1,26 @@
+(** Values assigned to the memristors of a crossbar.
+
+    During the one-time initialisation phase each junction is bound to a
+    constant or to a literal of the Boolean input variables; in the
+    evaluation phase the device is programmed to low resistance exactly
+    when its literal is true under the given assignment (§II-C). *)
+
+type t =
+  | Off  (** always high-resistive ('0') *)
+  | On  (** always low-resistive ('1'); used to fuse VH node wire pairs *)
+  | Pos of string  (** the variable itself *)
+  | Neg of string  (** its negation *)
+
+val conducts : t -> (string -> bool) -> bool
+(** Is the device low-resistive under the assignment? *)
+
+val negate : t -> t
+val equal : t -> t -> bool
+
+val variable : t -> string option
+(** The underlying variable of [Pos]/[Neg]; [None] for constants. *)
+
+val to_string : t -> string
+(** ["0"], ["1"], ["a"], ["!a"]. *)
+
+val pp : Format.formatter -> t -> unit

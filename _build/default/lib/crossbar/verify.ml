@@ -1,0 +1,88 @@
+type counterexample = {
+  assignment : (string * bool) list;
+  output : string;
+  expected : bool;
+  got : bool;
+}
+
+type outcome = Ok | Failed of counterexample
+
+exception Found of counterexample
+
+let check_point eval ~inputs ~point ~expected_of_output =
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace index v i) inputs;
+  let env v =
+    match Hashtbl.find_opt index v with
+    | Some i -> point.(i)
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Verify: design variable %s not a reference input" v)
+  in
+  let got = eval env in
+  List.iter
+    (fun (o, g) ->
+       let e = expected_of_output o in
+       if g <> e then
+         raise
+           (Found
+              {
+                assignment = List.mapi (fun i v -> v, point.(i)) inputs;
+                output = o;
+                expected = e;
+                got = g;
+              }))
+    got
+
+let against_table d ~reference =
+  let inputs = Logic.Truth_table.inputs reference in
+  let outputs = Logic.Truth_table.outputs reference in
+  let out_index o =
+    let rec go i = function
+      | [] -> invalid_arg (Printf.sprintf "Verify: unknown output %s" o)
+      | x :: rest -> if String.equal x o then i else go (i + 1) rest
+    in
+    go 0 outputs
+  in
+  let n = List.length inputs in
+  let point = Array.make n false in
+  let eval = Eval.evaluator d in
+  try
+    for row = 0 to (1 lsl n) - 1 do
+      for i = 0 to n - 1 do
+        point.(i) <- row land (1 lsl i) <> 0
+      done;
+      let expected_of_output o =
+        Logic.Truth_table.value reference ~output:(out_index o) row
+      in
+      check_point eval ~inputs ~point ~expected_of_output
+    done;
+    Ok
+  with Found cex -> Failed cex
+
+let random ?(seed = 0x5eed) ~trials d ~inputs ~reference ~outputs =
+  let rng = Random.State.make [| seed |] in
+  let n = List.length inputs in
+  let point = Array.make n false in
+  let out_index = Hashtbl.create 16 in
+  List.iteri (fun i o -> Hashtbl.replace out_index o i) outputs;
+  let eval = Eval.evaluator d in
+  try
+    for _ = 1 to trials do
+      for i = 0 to n - 1 do
+        point.(i) <- Random.State.bool rng
+      done;
+      let expected = reference point in
+      let expected_of_output o = expected.(Hashtbl.find out_index o) in
+      check_point eval ~inputs ~point ~expected_of_output
+    done;
+    Ok
+  with Found cex -> Failed cex
+
+let pp_counterexample ppf cex =
+  Format.fprintf ppf "output %s: expected %b, got %b under {%s}" cex.output
+    cex.expected cex.got
+    (String.concat ", "
+       (List.map
+          (fun (v, b) -> Printf.sprintf "%s=%d" v (if b then 1 else 0))
+          cex.assignment))

@@ -1,0 +1,34 @@
+(** Functional verification of crossbar designs against a reference.
+
+    The paper verifies every synthesised design with SPICE; here designs
+    are checked exhaustively (small input counts) or by random sampling
+    against the reference function, and optionally re-checked electrically
+    with {!module:Analog}. *)
+
+type counterexample = {
+  assignment : (string * bool) list;
+  output : string;
+  expected : bool;
+  got : bool;
+}
+
+type outcome = Ok | Failed of counterexample
+
+val against_table :
+  Design.t -> reference:Logic.Truth_table.t -> outcome
+(** Exhaustive check on all [2^n] assignments of the reference's inputs.
+    Design outputs are matched to reference outputs by name. Design
+    variables must be a subset of the reference inputs.
+    @raise Invalid_argument if an output name is missing. *)
+
+val random :
+  ?seed:int ->
+  trials:int ->
+  Design.t ->
+  inputs:string list ->
+  reference:(bool array -> bool array) ->
+  outputs:string list ->
+  outcome
+(** Monte-Carlo check on [trials] uniform assignments. *)
+
+val pp_counterexample : Format.formatter -> counterexample -> unit

@@ -1,0 +1,1 @@
+lib/graphs/bipartite.ml: Array List Queue Ugraph

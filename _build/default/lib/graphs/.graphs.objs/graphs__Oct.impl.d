@@ -1,0 +1,1 @@
+lib/graphs/oct.ml: Array Bipartite List Product Queue Ugraph Unix Vertex_cover

@@ -1,0 +1,1 @@
+lib/graphs/oct.mli: Ugraph

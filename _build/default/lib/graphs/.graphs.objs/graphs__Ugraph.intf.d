@@ -1,0 +1,1 @@
+lib/graphs/ugraph.mli: Format

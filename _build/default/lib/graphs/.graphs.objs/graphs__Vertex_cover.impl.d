@@ -1,0 +1,1 @@
+lib/graphs/vertex_cover.ml: Array List Matching Ugraph Unix

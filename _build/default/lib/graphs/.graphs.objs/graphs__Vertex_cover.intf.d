@@ -1,0 +1,1 @@
+lib/graphs/vertex_cover.mli: Ugraph

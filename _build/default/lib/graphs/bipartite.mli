@@ -1,0 +1,19 @@
+(** Bipartiteness testing, 2-colouring and connected components. *)
+
+val two_color : Ugraph.t -> int array option
+(** [two_color g] is [Some colors] with [colors.(v) ∈ {0, 1}] and no
+    monochromatic edge, or [None] when [g] has an odd cycle. Isolated
+    vertices get colour 0. *)
+
+val is_bipartite : Ugraph.t -> bool
+
+val odd_cycle : Ugraph.t -> int list option
+(** A witness odd cycle (list of distinct vertices in cycle order) when the
+    graph is not bipartite. *)
+
+val components : Ugraph.t -> int array * int
+(** [(comp, k)] where [comp.(v)] is the component index of [v],
+    [0 <= comp.(v) < k]. *)
+
+val component_members : Ugraph.t -> int list array
+(** Vertices of each component, using the numbering of {!components}. *)

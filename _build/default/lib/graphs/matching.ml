@@ -1,0 +1,108 @@
+let inf = max_int
+
+let hopcroft_karp g ~left =
+  let n = Ugraph.num_nodes g in
+  if Array.length left <> n then invalid_arg "Matching.hopcroft_karp: arity";
+  Ugraph.iter_edges
+    (fun u v ->
+       if left.(u) = left.(v) then
+         invalid_arg "Matching.hopcroft_karp: edge within one side")
+    g;
+  let mate = Array.make n (-1) in
+  let dist = Array.make n inf in
+  let queue = Queue.create () in
+  (* BFS layering over left vertices; returns true if an augmenting path
+     exists. *)
+  let bfs () =
+    Queue.clear queue;
+    let found = ref false in
+    for u = 0 to n - 1 do
+      if left.(u) then
+        if mate.(u) < 0 then begin
+          dist.(u) <- 0;
+          Queue.add u queue
+        end
+        else dist.(u) <- inf
+    done;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+           let w = mate.(v) in
+           if w < 0 then found := true
+           else if dist.(w) = inf then begin
+             dist.(w) <- dist.(u) + 1;
+             Queue.add w queue
+           end)
+        (Ugraph.neighbors g u)
+    done;
+    !found
+  in
+  let rec dfs u =
+    let rec try_neighbors = function
+      | [] ->
+        dist.(u) <- inf;
+        false
+      | v :: rest ->
+        let w = mate.(v) in
+        if (w < 0 || (dist.(w) = dist.(u) + 1 && dfs w)) then begin
+          mate.(u) <- v;
+          mate.(v) <- u;
+          true
+        end
+        else try_neighbors rest
+    in
+    try_neighbors (Ugraph.neighbors g u)
+  in
+  while bfs () do
+    for u = 0 to n - 1 do
+      if left.(u) && mate.(u) < 0 then ignore (dfs u)
+    done
+  done;
+  mate
+
+let matching_size mate =
+  let c = ref 0 in
+  Array.iteri (fun v m -> if m > v then incr c) mate;
+  !c
+
+let koenig_cover g ~left ~mate =
+  let n = Ugraph.num_nodes g in
+  let reached = Array.make n false in
+  let queue = Queue.create () in
+  for u = 0 to n - 1 do
+    if left.(u) && mate.(u) < 0 then begin
+      reached.(u) <- true;
+      Queue.add u queue
+    end
+  done;
+  (* Alternate: unmatched edges left→right, matched edges right→left. *)
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+         if not reached.(v) && mate.(u) <> v then begin
+           reached.(v) <- true;
+           let w = mate.(v) in
+           if w >= 0 && not reached.(w) then begin
+             reached.(w) <- true;
+             Queue.add w queue
+           end
+         end)
+      (Ugraph.neighbors g u)
+  done;
+  Array.init n (fun v ->
+      if left.(v) then not reached.(v) else reached.(v))
+
+let greedy_maximal g =
+  let n = Ugraph.num_nodes g in
+  let used = Array.make n false in
+  Ugraph.fold_edges
+    (fun u v acc ->
+       if used.(u) || used.(v) then acc
+       else begin
+         used.(u) <- true;
+         used.(v) <- true;
+         (u, v) :: acc
+       end)
+    g []

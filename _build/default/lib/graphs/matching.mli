@@ -1,0 +1,19 @@
+(** Maximum bipartite matching (Hopcroft–Karp) and König covers. *)
+
+val hopcroft_karp : Ugraph.t -> left:bool array -> int array
+(** [hopcroft_karp g ~left] computes a maximum matching of the bipartite
+    graph [g] whose sides are given by [left]. Returns [mate] with
+    [mate.(v)] the partner of [v] or [-1]. Runs in O(E·√V).
+    @raise Invalid_argument if some edge joins two vertices of one side. *)
+
+val matching_size : int array -> int
+(** Number of matched pairs in a mate array. *)
+
+val koenig_cover : Ugraph.t -> left:bool array -> mate:int array -> bool array
+(** Minimum vertex cover from a maximum matching via König's theorem:
+    alternating reachability from unmatched left vertices; the cover is
+    (unreached left) ∪ (reached right). Size equals the matching size. *)
+
+val greedy_maximal : Ugraph.t -> (int * int) list
+(** A maximal (not maximum) matching of an arbitrary graph; |M| lower-bounds
+    any vertex cover and 2·|M| upper-bounds the minimum cover. *)

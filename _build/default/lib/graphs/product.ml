@@ -1,0 +1,16 @@
+let with_k2 g =
+  let n = Ugraph.num_nodes g in
+  let p = Ugraph.create (2 * n) in
+  Ugraph.iter_edges
+    (fun u v ->
+       Ugraph.add_edge p u v;
+       Ugraph.add_edge p (u + n) (v + n))
+    g;
+  for v = 0 to n - 1 do
+    Ugraph.add_edge p v (v + n)
+  done;
+  p
+
+let copy0 ~n:_ v = v
+let copy1 ~n v = v + n
+let original ~n v = if v >= n then v - n else v

@@ -1,0 +1,16 @@
+(** Cartesian graph products. *)
+
+val with_k2 : Ugraph.t -> Ugraph.t
+(** [with_k2 g] is G□K2: two copies of [g] (vertex [v] becomes [v] in copy
+    0 and [v + n] in copy 1) plus a rung edge [(v, v + n)] for every
+    vertex. This is the product used by Lemma 1 of the paper to reduce the
+    odd-cycle-transversal problem to vertex cover. *)
+
+val copy0 : n:int -> int -> int
+(** Product vertex of copy 0 for original vertex [v] (identity). *)
+
+val copy1 : n:int -> int -> int
+(** Product vertex of copy 1: [v + n]. *)
+
+val original : n:int -> int -> int
+(** Original vertex of a product vertex. *)

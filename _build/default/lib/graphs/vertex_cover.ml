@@ -1,0 +1,245 @@
+type result = {
+  cover : bool array;
+  size : int;
+  lower_bound : int;
+  optimal : bool;
+  nodes_explored : int;
+  elapsed : float;
+}
+
+let is_cover g cover =
+  let ok = ref true in
+  Ugraph.iter_edges (fun u v -> if not (cover.(u) || cover.(v)) then ok := false) g;
+  !ok
+
+let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0
+
+(* Remove vertices whose neighbourhood is already covered. *)
+let prune_redundant g cover =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = 0 to Ugraph.num_nodes g - 1 do
+      if cover.(v) then begin
+        let needed =
+          List.exists (fun w -> not cover.(w)) (Ugraph.neighbors g v)
+        in
+        if not needed then begin
+          cover.(v) <- false;
+          changed := true
+        end
+      end
+    done
+  done
+
+let greedy_cover g =
+  let n = Ugraph.num_nodes g in
+  let cover = Array.make n false in
+  List.iter
+    (fun (u, v) ->
+       cover.(u) <- true;
+       cover.(v) <- true)
+    (Matching.greedy_maximal g);
+  prune_redundant g cover;
+  cover
+
+(* Bipartite double cover: vertex v becomes L_v = 2v and R_v = 2v+1; each
+   edge (u, v) becomes (L_u, R_v) and (L_v, R_u). König gives its minimum
+   cover; halving yields the half-integral LP optimum of the original. *)
+let double_cover g =
+  let n = Ugraph.num_nodes g in
+  let dc = Ugraph.create (2 * n) in
+  Ugraph.iter_edges
+    (fun u v ->
+       Ugraph.add_edge dc (2 * u) ((2 * v) + 1);
+       Ugraph.add_edge dc (2 * v) ((2 * u) + 1))
+    g;
+  dc
+
+let lp_solution g =
+  (* x.(v) ∈ {0, 1, 2} in half units. *)
+  let n = Ugraph.num_nodes g in
+  let dc = double_cover g in
+  let left = Array.init (2 * n) (fun v -> v land 1 = 0) in
+  let mate = Matching.hopcroft_karp dc ~left in
+  let cover_dc = Matching.koenig_cover dc ~left ~mate in
+  Array.init n (fun v ->
+      (if cover_dc.(2 * v) then 1 else 0)
+      + if cover_dc.((2 * v) + 1) then 1 else 0)
+
+let lp_bound g =
+  let x = lp_solution g in
+  float_of_int (Array.fold_left ( + ) 0 x) /. 2.
+
+exception Out_of_time
+
+(* Branch & bound on an explicit mutable subproblem. Vertices have three
+   states: Undecided, In (in cover), Out (excluded). Excluding a vertex
+   forces all its undecided neighbours In. *)
+let solve ?(time_limit = infinity) ?(kernelize = true) g =
+  let start = Unix.gettimeofday () in
+  let n = Ugraph.num_nodes g in
+  let neighbors = Array.init n (fun v -> Array.of_list (Ugraph.neighbors g v)) in
+  let best_cover = greedy_cover g in
+  let best_size = ref (count best_cover) in
+  let root_lb = int_of_float (ceil (lp_bound g -. 1e-9)) in
+  let explored = ref 0 in
+  let timed_out = ref false in
+  (* state: 0 undecided, 1 in, 2 out *)
+  let state = Array.make n 0 in
+  let in_count = ref 0 in
+  let trail = ref [] in
+  let push v s =
+    state.(v) <- s;
+    if s = 1 then incr in_count;
+    trail := v :: !trail
+  in
+  let undo upto =
+    while !trail != upto do
+      match !trail with
+      | [] -> assert false
+      | v :: rest ->
+        if state.(v) = 1 then decr in_count;
+        state.(v) <- 0;
+        trail := rest
+    done
+  in
+  (* Nemhauser–Trotter at the root: LP value 0 ⇒ exclude, 1 (=2 halves) ⇒
+     include. *)
+  if kernelize then begin
+    let lp = lp_solution g in
+    for v = 0 to n - 1 do
+      if lp.(v) = 2 then push v 1
+    done;
+    for v = 0 to n - 1 do
+      if lp.(v) = 0 && state.(v) = 0 then begin
+        push v 2;
+        Array.iter
+          (fun w -> if state.(w) = 0 then push w 1)
+          neighbors.(v)
+      end
+    done
+  end;
+  (* Matching-based lower bound on the residual graph. *)
+  let residual_lb () =
+    let used = Array.make n false in
+    let lb = ref 0 in
+    for u = 0 to n - 1 do
+      if state.(u) = 0 && not used.(u) then begin
+        let rec pick = function
+          | [] -> ()
+          | w :: rest ->
+            if state.(w) = 0 && not used.(w) then begin
+              used.(u) <- true;
+              used.(w) <- true;
+              incr lb
+            end
+            else pick rest
+        in
+        pick (Array.to_list neighbors.(u))
+      end
+    done;
+    !lb
+  in
+  let record_incumbent () =
+    (* Close the partial solution greedily: cover residual edges. *)
+    let cover = Array.make n false in
+    for v = 0 to n - 1 do
+      cover.(v) <- state.(v) = 1
+    done;
+    for u = 0 to n - 1 do
+      if state.(u) = 0 then
+        Array.iter
+          (fun w ->
+             if (state.(w) = 0 && not (cover.(u) || cover.(w))) then
+               cover.(u) <- true)
+          neighbors.(u)
+    done;
+    prune_redundant g cover;
+    let size = count cover in
+    if size < !best_size then begin
+      best_size := size;
+      Array.blit cover 0 best_cover 0 n
+    end
+  in
+  (* Reduction: degree-0 vertices excluded; degree-1 vertices excluded with
+     their neighbour included. Returns residual degrees freshness lazily. *)
+  let residual_degree v =
+    let d = ref 0 in
+    Array.iter (fun w -> if state.(w) = 0 then incr d) neighbors.(v);
+    !d
+  in
+  let apply_reductions () =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for v = 0 to n - 1 do
+        if state.(v) = 0 then begin
+          match residual_degree v with
+          | 0 -> push v 2; changed := true
+          | 1 ->
+            push v 2;
+            Array.iter (fun w -> if state.(w) = 0 then push w 1) neighbors.(v);
+            changed := true
+          | _ -> ()
+        end
+      done
+    done
+  in
+  let pick_branch_vertex () =
+    let best = ref (-1) in
+    let bestd = ref (-1) in
+    for v = 0 to n - 1 do
+      if state.(v) = 0 then begin
+        let d = residual_degree v in
+        if d > !bestd then begin
+          bestd := d;
+          best := v
+        end
+      end
+    done;
+    !best
+  in
+  let rec branch () =
+    incr explored;
+    if !explored land 255 = 0 && Unix.gettimeofday () -. start > time_limit
+    then begin
+      timed_out := true;
+      raise Out_of_time
+    end;
+    let mark = !trail in
+    apply_reductions ();
+    if !in_count + residual_lb () >= !best_size then undo mark
+    else begin
+      let v = pick_branch_vertex () in
+      if v < 0 then begin
+        record_incumbent ();
+        undo mark
+      end
+      else begin
+        (* Branch 1: v in the cover. *)
+        let mark2 = !trail in
+        push v 1;
+        branch ();
+        undo mark2;
+        (* Branch 2: v out, neighbours in. *)
+        push v 2;
+        Array.iter (fun w -> if state.(w) = 0 then push w 1) neighbors.(v);
+        branch ();
+        undo mark
+      end
+    end
+  in
+  (try branch () with Out_of_time -> ());
+  let elapsed = Unix.gettimeofday () -. start in
+  let optimal = (not !timed_out) || !best_size <= root_lb in
+  let lower_bound = if optimal then !best_size else root_lb in
+  assert (is_cover g best_cover);
+  {
+    cover = best_cover;
+    size = !best_size;
+    lower_bound = min lower_bound !best_size;
+    optimal;
+    nodes_explored = !explored;
+    elapsed;
+  }

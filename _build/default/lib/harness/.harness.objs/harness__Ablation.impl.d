@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Array Circuits Compact Experiments Graphs List Table

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Baseline Bdd Circuits Compact Crossbar Format Graphs Hashtbl List Logic Milp Option Printf Table Unix

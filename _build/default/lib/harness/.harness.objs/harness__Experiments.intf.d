@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Bdd Circuits Compact Milp

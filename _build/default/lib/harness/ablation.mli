@@ -1,0 +1,32 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    Four knobs are toggled on a set of benchmark circuits, each isolating
+    one ingredient of the COMPACT implementation:
+
+    - {b nt-kernel}: Nemhauser–Trotter LP kernelisation inside the exact
+      vertex-cover solver (search-tree size and time);
+    - {b balance-dp}: the Fig 6 component-flip subset-sum DP (maximum
+      dimension of the resulting design);
+    - {b warm-start}: seeding the MIP with the combinatorial incumbent
+      (branch & bound nodes to optimality);
+    - {b oct-cut}: the [S ≥ n + k] strengthening cut in the MIP (root
+      bound and nodes).
+
+    Each function prints its table and returns the measured pairs. *)
+
+val nt_kernel :
+  Experiments.config -> (string * Graphs.Vertex_cover.result * Graphs.Vertex_cover.result) list
+(** (circuit, with kernel, without kernel) on the G□K2 cover instances. *)
+
+val balance_dp :
+  Experiments.config -> (string * int * int) list
+(** (circuit, D with balancing, D without). *)
+
+val warm_start :
+  Experiments.config -> (string * int * int) list
+(** (circuit, B&B nodes with warm start, nodes without). *)
+
+val oct_cut : Experiments.config -> (string * int * int) list
+(** (circuit, B&B nodes with the cut, nodes without). *)
+
+val run_all : Experiments.config -> unit

@@ -1,0 +1,69 @@
+(** Regeneration of every table and figure of the paper's evaluation
+    (§VIII). Each function prints the result to stdout and returns the
+    underlying data so tests and other tools can assert on it.
+
+    Run times are controlled by {!config}: the defaults keep the whole
+    suite to a few minutes on a laptop (the paper used a 3-hour CPLEX
+    limit per instance; the shapes, not the wall-clock, are the target —
+    see EXPERIMENTS.md). *)
+
+type config = {
+  time_limit : float;  (** labeling budget per circuit (seconds) *)
+  bdd_node_limit : int;
+  max_graph_nodes : int;
+      (** skip a circuit/mode when its BDD graph exceeds this bound *)
+  verify_designs : bool;
+      (** sample-verify every synthesised design against its netlist *)
+  anneal_budget : int;
+      (** variable-order annealing rebuilds per circuit (0 = heuristic
+          orders only); applied to circuits below {!anneal_threshold}
+          SBDD nodes *)
+}
+
+val anneal_threshold : int
+
+val default_config : config
+val quick_config : config
+(** Tighter limits for smoke runs / CI. *)
+
+val sbdd_of : config -> Circuits.Suite.entry -> Bdd.Sbdd.t option
+(** Build the benchmark's SBDD under the best candidate order; [None] if
+    every order exceeds the node limit. *)
+
+val table1 : config -> (string * int * int * int * int) list
+(** Benchmark properties: (name, inputs, outputs, SBDD nodes, SBDD edges),
+    printed next to the paper's Table I values. *)
+
+val table2 : config -> (string * float * Compact.Report.t) list
+(** γ ∈ {0, 0.5, 1} on the small benchmarks: rows, cols, D, S, time. *)
+
+val fig9 : config -> (string * (int * int) list) list
+(** Non-dominated (rows, cols) points under a γ sweep for cavlc and
+    int2float. *)
+
+val table3 : config -> (string * Compact.Report.t option * Compact.Report.t option) list
+(** Multiple ROBDDs vs single SBDD per multi-output benchmark. *)
+
+val table4 : config -> (string * Compact.Report.t option * Compact.Report.t option) list
+(** Staircase prior work [16] vs COMPACT (γ = 0.5). The staircase side is
+    reported through a {!Compact.Report.t} whose labeling marks every node
+    VH. *)
+
+val fig10 : config -> Milp.Branch_bound.trace_point list
+(** MIP convergence trace (best integer / best bound / gap vs time) on the
+    largest benchmark whose MIP is tractable here. *)
+
+val fig11 : config -> (string * float) list
+(** Relative gap at the time limit for benchmarks without a proven
+    optimum. *)
+
+val fig12 : config -> (string * float * float) list
+(** (circuit, power ratio, delay ratio) of COMPACT vs the staircase
+    baseline; ratios < 1 mean COMPACT wins. *)
+
+val fig13 : config -> (string * float * float) list
+(** (circuit, power ratio, delay ratio) of COMPACT vs the CONTRA cost
+    model on the EPFL control benchmarks. *)
+
+val run_all : config -> unit
+(** Everything above, in paper order. *)

@@ -1,0 +1,37 @@
+type align = L | R
+
+let render ~columns ~rows =
+  let headers = List.map fst columns in
+  let all = headers :: rows in
+  let ncols = List.length columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+       List.iteri
+         (fun i cell ->
+            if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+         row)
+    all;
+  let pad align w s =
+    let fill = String.make (max 0 (w - String.length s)) ' ' in
+    match align with L -> s ^ fill | R -> fill ^ s
+  in
+  let aligns = Array.of_list (List.map snd columns) in
+  let render_row row =
+    List.mapi (fun i cell -> pad aligns.(i) widths.(i) cell) row
+    |> String.concat "  "
+  in
+  let sep =
+    Array.to_list widths
+    |> List.map (fun w -> String.make w '-')
+    |> String.concat "  "
+  in
+  String.concat "\n" (render_row headers :: sep :: List.map render_row rows)
+
+let print ~title ~columns rows =
+  Printf.printf "\n== %s ==\n%s\n%!" title (render ~columns ~rows)
+
+let fmt_f x =
+  if x >= 100. then Printf.sprintf "%.1f" x else Printf.sprintf "%.3f" x
+
+let fmt_pct x = Printf.sprintf "%.0f%%" (100. *. x)

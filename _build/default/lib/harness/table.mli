@@ -1,0 +1,16 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type align = L | R
+
+val render :
+  columns:(string * align) list -> rows:string list list -> string
+(** Pads every column to its widest cell; header separated by dashes. *)
+
+val print : title:string -> columns:(string * align) list -> string list list -> unit
+(** Renders to stdout with a title banner. *)
+
+val fmt_f : float -> string
+(** Compact float: ["0.123"]. *)
+
+val fmt_pct : float -> string
+(** Ratio as a percentage: [0.55 → "55%"]. *)

@@ -1,0 +1,1 @@
+lib/logic/blif.ml: Array Buffer Cube Expr Format Hashtbl List Netlist Printf String

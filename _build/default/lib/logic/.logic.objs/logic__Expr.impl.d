@@ -1,0 +1,1 @@
+lib/logic/expr.ml: Array Format List Set Stdlib String

@@ -1,0 +1,1 @@
+lib/logic/netlist.ml: Array Expr Format Hashtbl List Set String Truth_table

@@ -1,0 +1,1 @@
+lib/logic/parse.ml: Expr List Printf String

@@ -1,0 +1,1 @@
+lib/logic/parse.mli: Expr

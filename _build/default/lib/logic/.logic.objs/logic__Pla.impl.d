@@ -1,0 +1,1 @@
+lib/logic/pla.ml: Array Buffer Cube Format List Netlist Printf String Truth_table

@@ -1,0 +1,1 @@
+lib/logic/verilog.ml: Buffer Expr Format Hashtbl List Netlist Parse Printf String

@@ -1,0 +1,1 @@
+lib/logic/verilog.mli: Netlist

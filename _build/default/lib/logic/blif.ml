@@ -1,0 +1,205 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* Split into logical lines: strip comments, join continuation lines. *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let strip_comment s =
+    match String.index_opt s '#' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  let rec join acc pending pending_line lineno = function
+    | [] ->
+      let acc =
+        match pending with
+        | Some p -> (pending_line, p) :: acc
+        | None -> acc
+      in
+      List.rev acc
+    | line :: rest ->
+      let line = strip_comment line in
+      let line = String.trim line in
+      let continued = String.length line > 0 && line.[String.length line - 1] = '\\' in
+      let body =
+        if continued then String.sub line 0 (String.length line - 1) else line
+      in
+      let pending', pl' =
+        match pending with
+        | Some p -> Some (p ^ " " ^ body), pending_line
+        | None -> (if body = "" then None else Some body), lineno
+      in
+      if continued then join acc pending' pl' (lineno + 1) rest
+      else
+        let acc =
+          match pending' with Some p -> (pl', p) :: acc | None -> acc
+        in
+        join acc None 0 (lineno + 1) rest
+  in
+  join [] None 0 1 raw
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+type names_block = {
+  line : int;
+  signals : string list;  (* fan-ins then output *)
+  mutable rows : (string * char) list;  (* input pattern, output char *)
+}
+
+let parse_string text =
+  let lines = logical_lines text in
+  let model = ref None in
+  let inputs = ref [] in
+  let outputs = ref [] in
+  let blocks = ref [] in
+  let current = ref None in
+  let finish () =
+    match !current with
+    | Some b ->
+      b.rows <- List.rev b.rows;
+      blocks := b :: !blocks;
+      current := None
+    | None -> ()
+  in
+  List.iter
+    (fun (line, content) ->
+       match words content with
+       | [] -> ()
+       | w :: rest when String.length w > 0 && w.[0] = '.' -> begin
+           finish ();
+           match w with
+           | ".model" ->
+             (match rest with
+              | [ m ] -> model := Some m
+              | _ -> fail line ".model expects one name")
+           | ".inputs" -> inputs := !inputs @ rest
+           | ".outputs" -> outputs := !outputs @ rest
+           | ".names" ->
+             if rest = [] then fail line ".names expects at least an output";
+             current := Some { line; signals = rest; rows = [] }
+           | ".end" -> ()
+           | ".exdc" | ".latch" | ".subckt" | ".gate" ->
+             fail line "unsupported BLIF construct %s" w
+           | _ -> fail line "unknown directive %s" w
+         end
+       | ws -> begin
+           match !current with
+           | None -> fail line "cover row outside of .names"
+           | Some b -> begin
+               match ws with
+               | [ pat; out ] when String.length out = 1 ->
+                 b.rows <- (pat, out.[0]) :: b.rows
+               | [ out ] when String.length out = 1 && List.length b.signals = 1 ->
+                 (* constant node: .names w / 1 *)
+                 b.rows <- ("", out.[0]) :: b.rows
+               | _ -> fail line "malformed cover row"
+             end
+         end)
+    lines;
+  finish ();
+  let blocks = List.rev !blocks in
+  let node_of_block b =
+    match List.rev b.signals with
+    | [] -> assert false
+    | out :: rev_ins ->
+      let ins = Array.of_list (List.rev rev_ins) in
+      let n = Array.length ins in
+      let parse_row (pat, o) =
+        if String.length pat <> n then
+          fail b.line "cover row width %d does not match %d fan-ins"
+            (String.length pat) n;
+        (try Cube.of_string pat
+         with Invalid_argument m -> fail b.line "%s" m), o
+      in
+      let rows = List.map parse_row b.rows in
+      let on_rows = List.filter (fun (_, o) -> o = '1') rows in
+      let off_rows = List.filter (fun (_, o) -> o = '0') rows in
+      let func =
+        match on_rows, off_rows with
+        | [], [] -> Expr.fls (* empty cover = constant 0 *)
+        | on, [] -> Cube.cover_to_expr ~names:ins (List.map fst on)
+        | [], off ->
+          Expr.not_ (Cube.cover_to_expr ~names:ins (List.map fst off))
+        | _ -> fail b.line "mixed 1/0 cover rows in one .names block"
+      in
+      Netlist.n_expr out func
+  in
+  let nodes = List.map node_of_block blocks in
+  (* BLIF does not require topological order; sort the nodes. *)
+  let by_wire = Hashtbl.create 64 in
+  List.iter (fun (n : Netlist.node) -> Hashtbl.replace by_wire n.wire n) nodes;
+  let visited = Hashtbl.create 64 in
+  let sorted = ref [] in
+  let rec visit stack wire =
+    match Hashtbl.find_opt visited wire with
+    | Some `Done -> ()
+    | Some `Active ->
+      raise (Netlist.Ill_formed (Printf.sprintf "combinational cycle at %s" wire))
+    | None -> begin
+        match Hashtbl.find_opt by_wire wire with
+        | None -> () (* primary input *)
+        | Some node ->
+          Hashtbl.replace visited wire `Active;
+          List.iter (visit (wire :: stack)) (Expr.vars node.func);
+          Hashtbl.replace visited wire `Done;
+          sorted := node :: !sorted
+      end
+  in
+  List.iter (fun (n : Netlist.node) -> visit [] n.wire) nodes;
+  let name = match !model with Some m -> m | None -> "anonymous" in
+  Netlist.create ~name ~inputs:!inputs ~outputs:!outputs (List.rev !sorted)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let cover_of_expr ins func =
+  (* Enumerate minterms of the node function; adequate for small fan-in. *)
+  let n = Array.length ins in
+  if n > 12 then invalid_arg "Blif.to_string: node with more than 12 fan-ins";
+  let rows = ref [] in
+  for m = (1 lsl n) - 1 downto 0 do
+    let env v =
+      let rec idx i = if String.equal ins.(i) v then i else idx (i + 1) in
+      m land (1 lsl idx 0) <> 0
+    in
+    if Expr.eval env func then begin
+      let pat =
+        String.init n (fun i -> if m land (1 lsl i) <> 0 then '1' else '0')
+      in
+      rows := pat :: !rows
+    end
+  done;
+  !rows
+
+let to_string (t : Netlist.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" t.name);
+  Buffer.add_string buf (".inputs " ^ String.concat " " t.inputs ^ "\n");
+  Buffer.add_string buf (".outputs " ^ String.concat " " t.outputs ^ "\n");
+  List.iter
+    (fun (n : Netlist.node) ->
+       let ins = Array.of_list (Expr.vars n.func) in
+       Buffer.add_string buf
+         (".names "
+          ^ String.concat " " (Array.to_list ins @ [ n.wire ])
+          ^ "\n");
+       List.iter
+         (fun pat -> Buffer.add_string buf (pat ^ " 1\n"))
+         (cover_of_expr ins n.func))
+    t.nodes;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc

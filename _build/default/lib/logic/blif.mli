@@ -1,0 +1,22 @@
+(** Reader and writer for the combinational subset of BLIF.
+
+    Supported constructs: [.model], [.inputs], [.outputs], [.names] (with
+    single-output covers whose output rows are all [1] or all [0]), line
+    continuations with [\ ] and [#] comments. Latches, subcircuits and
+    multiple models are not supported — flow-based computing targets
+    combinational functions. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> Netlist.t
+(** @raise Parse_error on malformed input.
+    @raise Netlist.Ill_formed if the parsed model is not a well-formed
+    combinational netlist (e.g. contains a cycle). *)
+
+val parse_file : string -> Netlist.t
+
+val to_string : Netlist.t -> string
+(** Prints the netlist as BLIF. Node expressions are expanded to covers via
+    their truth tables, so nodes must have ≤ 12 fan-ins. *)
+
+val write_file : string -> Netlist.t -> unit

@@ -1,0 +1,59 @@
+type tri = Zero | One | Dash
+type t = tri array
+
+let of_string s =
+  Array.init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> Zero
+      | '1' -> One
+      | '-' -> Dash
+      | c -> invalid_arg (Printf.sprintf "Cube.of_string: bad character %C" c))
+
+let to_string c =
+  String.init (Array.length c) (fun i ->
+      match c.(i) with Zero -> '0' | One -> '1' | Dash -> '-')
+
+let matches c inputs =
+  if Array.length c <> Array.length inputs then
+    invalid_arg "Cube.matches: length mismatch";
+  let ok = ref true in
+  for i = 0 to Array.length c - 1 do
+    (match c.(i) with
+     | Zero -> if inputs.(i) then ok := false
+     | One -> if not inputs.(i) then ok := false
+     | Dash -> ())
+  done;
+  !ok
+
+let cover_eval cubes inputs = List.exists (fun c -> matches c inputs) cubes
+
+let to_expr ~names c =
+  let lits = ref [] in
+  for i = Array.length c - 1 downto 0 do
+    match c.(i) with
+    | Zero -> lits := Expr.not_ (Expr.var names.(i)) :: !lits
+    | One -> lits := Expr.var names.(i) :: !lits
+    | Dash -> ()
+  done;
+  Expr.and_ !lits
+
+let cover_to_expr ~names cubes = Expr.or_ (List.map (to_expr ~names) cubes)
+
+let minterms c n =
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let acc' =
+        List.concat_map
+          (fun m ->
+             match if i < Array.length c then c.(i) else Dash with
+             | Zero -> [ m ]
+             | One -> [ m lor (1 lsl i) ]
+             | Dash -> [ m; m lor (1 lsl i) ])
+          acc
+      in
+      go (i + 1) acc'
+  in
+  List.sort Stdlib.compare (go 0 [ 0 ])
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

@@ -1,0 +1,38 @@
+(** Cubes and two-level covers.
+
+    A cube over [n] ordered inputs assigns each input one of three values:
+    [Zero], [One] or [Dash] (don't care). A cover (list of cubes) denotes the
+    disjunction of its cubes. Cubes are the row representation of PLA files
+    and of BLIF [.names] tables. *)
+
+type tri = Zero | One | Dash
+
+type t = tri array
+(** One cube; index [i] constrains input [i]. *)
+
+val of_string : string -> t
+(** Parses a row such as ["1-0"]. Accepted characters: ['0'], ['1'], ['-'].
+    @raise Invalid_argument on any other character. *)
+
+val to_string : t -> string
+
+val matches : t -> bool array -> bool
+(** [matches c inputs] is true when [inputs] lies inside the cube. Arrays
+    must have equal length.
+    @raise Invalid_argument on length mismatch. *)
+
+val cover_eval : t list -> bool array -> bool
+(** Evaluate a cover (OR of cubes) on an input point. *)
+
+val to_expr : names:string array -> t -> Expr.t
+(** Conjunction of literals of the cube, using [names.(i)] for input [i]. *)
+
+val cover_to_expr : names:string array -> t list -> Expr.t
+(** Disjunction of {!to_expr} over the cubes. The empty cover is [false]. *)
+
+val minterms : t -> int -> int list
+(** [minterms c n] lists the minterm indices (little-endian: bit [i] of the
+    index is input [i]) covered by [c] over [n] inputs. Exponential in the
+    number of dashes; intended for small [n]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,157 @@
+type t =
+  | Const of bool
+  | Var of string
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Xor of t * t
+
+let tru = Const true
+let fls = Const false
+let const b = Const b
+let var v = Var v
+
+let not_ = function
+  | Const b -> Const (not b)
+  | Not e -> e
+  | e -> Not e
+
+(* Flatten nested conjunctions, drop [true], short-circuit on [false]. *)
+let and_ es =
+  let exception Short in
+  let rec gather acc = function
+    | [] -> acc
+    | Const false :: _ -> raise Short
+    | Const true :: rest -> gather acc rest
+    | And inner :: rest -> gather (gather acc inner) rest
+    | e :: rest -> gather (e :: acc) rest
+  in
+  match gather [] es with
+  | exception Short -> Const false
+  | [] -> Const true
+  | [ e ] -> e
+  | acc -> And (List.rev acc)
+
+let or_ es =
+  let exception Short in
+  let rec gather acc = function
+    | [] -> acc
+    | Const true :: _ -> raise Short
+    | Const false :: rest -> gather acc rest
+    | Or inner :: rest -> gather (gather acc inner) rest
+    | e :: rest -> gather (e :: acc) rest
+  in
+  match gather [] es with
+  | exception Short -> Const true
+  | [] -> Const false
+  | [ e ] -> e
+  | acc -> Or (List.rev acc)
+
+let xor a b =
+  match a, b with
+  | Const false, e | e, Const false -> e
+  | Const true, e | e, Const true -> not_ e
+  | a, b -> Xor (a, b)
+
+let xnor a b = not_ (xor a b)
+let nand es = not_ (and_ es)
+let nor es = not_ (or_ es)
+let implies a b = or_ [ not_ a; b ]
+let ite c t e = or_ [ and_ [ c; t ]; and_ [ not_ c; e ] ]
+let equal = Stdlib.( = )
+let compare = Stdlib.compare
+
+let vars e =
+  let module S = Set.Make (String) in
+  let rec go acc = function
+    | Const _ -> acc
+    | Var v -> S.add v acc
+    | Not e -> go acc e
+    | And es | Or es -> List.fold_left go acc es
+    | Xor (a, b) -> go (go acc a) b
+  in
+  S.elements (go S.empty e)
+
+let rec size = function
+  | Const _ | Var _ -> 1
+  | Not e -> 1 + size e
+  | And es | Or es -> List.fold_left (fun n e -> n + size e) 1 es
+  | Xor (a, b) -> 1 + size a + size b
+
+let rec depth = function
+  | Const _ | Var _ -> 1
+  | Not e -> 1 + depth e
+  | And es | Or es -> 1 + List.fold_left (fun n e -> max n (depth e)) 0 es
+  | Xor (a, b) -> 1 + max (depth a) (depth b)
+
+let rec eval env = function
+  | Const b -> b
+  | Var v -> env v
+  | Not e -> not (eval env e)
+  | And es -> List.for_all (eval env) es
+  | Or es -> List.exists (eval env) es
+  | Xor (a, b) -> eval env a <> eval env b
+
+let eval_list bindings e = eval (fun v -> List.assoc v bindings) e
+
+let rec substitute f = function
+  | Const b -> Const b
+  | Var v -> ( match f v with Some e -> e | None -> Var v)
+  | Not e -> not_ (substitute f e)
+  | And es -> and_ (List.map (substitute f) es)
+  | Or es -> or_ (List.map (substitute f) es)
+  | Xor (a, b) -> xor (substitute f a) (substitute f b)
+
+let cofactor v b e =
+  substitute (fun w -> if String.equal w v then Some (Const b) else None) e
+
+let semantically_equal a b =
+  let vs =
+    let module S = Set.Make (String) in
+    S.elements (S.union (S.of_list (vars a)) (S.of_list (vars b)))
+  in
+  let n = List.length vs in
+  if n > 24 then
+    invalid_arg "Expr.semantically_equal: too many variables (> 24)";
+  let arr = Array.of_list vs in
+  let ok = ref true in
+  let m = 1 lsl n in
+  let i = ref 0 in
+  while !ok && !i < m do
+    let bits = !i in
+    let env v =
+      let rec idx j = if String.equal arr.(j) v then j else idx (j + 1) in
+      bits land (1 lsl idx 0) <> 0
+    in
+    if eval env a <> eval env b then ok := false;
+    incr i
+  done;
+  !ok
+
+(* Precedence: Or(1) < Xor(2) < And(3) < Not(4). *)
+let pp ppf e =
+  let rec go prec ppf e =
+    let paren p body =
+      if p < prec then Format.fprintf ppf "(%t)" body else body ppf
+    in
+    match e with
+    | Const true -> Format.pp_print_string ppf "1"
+    | Const false -> Format.pp_print_string ppf "0"
+    | Var v -> Format.pp_print_string ppf v
+    | Not e -> paren 4 (fun ppf -> Format.fprintf ppf "!%a" (go 4) e)
+    | And es ->
+      paren 3 (fun ppf ->
+          Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+            (go 3) ppf es)
+    | Or es ->
+      paren 1 (fun ppf ->
+          Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+            (go 1) ppf es)
+    | Xor (a, b) ->
+      paren 2 (fun ppf -> Format.fprintf ppf "%a ^ %a" (go 2) a (go 2) b)
+  in
+  go 0 ppf e
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,79 @@
+(** Boolean expressions over named variables.
+
+    This is the front-end representation used to specify Boolean functions
+    before they are compiled to BDDs ({!module:Bdd.Build}) or evaluated
+    directly. Conjunction and disjunction are n-ary to keep parsed and
+    generated formulas shallow. *)
+
+type t =
+  | Const of bool
+  | Var of string
+  | Not of t
+  | And of t list  (** [And []] is [true] *)
+  | Or of t list  (** [Or []] is [false] *)
+  | Xor of t * t
+
+(** {1 Smart constructors}
+
+    The smart constructors perform light, local simplification (constant
+    folding, flattening of nested [And]/[Or], double-negation removal). They
+    never change the set of variables an expression may depend on in a way
+    that affects semantics. *)
+
+val tru : t
+val fls : t
+val const : bool -> t
+val var : string -> t
+val not_ : t -> t
+val and_ : t list -> t
+val or_ : t list -> t
+val xor : t -> t -> t
+val xnor : t -> t -> t
+val nand : t list -> t
+val nor : t list -> t
+val implies : t -> t -> t
+val ite : t -> t -> t -> t
+
+(** {1 Observers} *)
+
+val equal : t -> t -> bool
+(** Structural equality (not semantic equivalence). *)
+
+val compare : t -> t -> int
+
+val vars : t -> string list
+(** Sorted, duplicate-free list of variable names occurring in the
+    expression. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val depth : t -> int
+(** Height of the AST; a leaf has depth 1. *)
+
+val eval : (string -> bool) -> t -> bool
+(** [eval env e] evaluates [e] under the assignment [env].
+    @raise Not_found if [env] raises on some variable of [e]. *)
+
+val eval_list : (string * bool) list -> t -> bool
+(** [eval_list bindings e] is {!eval} with an association-list environment.
+    @raise Not_found if a variable of [e] is unbound. *)
+
+val substitute : (string -> t option) -> t -> t
+(** [substitute f e] replaces every [Var v] for which [f v = Some e'] by
+    [e'], rebuilding with the smart constructors. *)
+
+val cofactor : string -> bool -> t -> t
+(** [cofactor v b e] is [e] with [v] fixed to [b], simplified. *)
+
+val semantically_equal : t -> t -> bool
+(** Exhaustive equivalence check over the union of the two variable sets.
+    Exponential in the number of variables; intended for testing and for
+    small functions (≤ 20 variables).
+    @raise Invalid_argument if more than 24 distinct variables occur. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints with the concrete syntax accepted by {!module:Parse}:
+    [!], [&], [^], [|], constants [0]/[1], and parentheses. *)
+
+val to_string : t -> string

@@ -1,0 +1,101 @@
+exception Error of string
+
+type token =
+  | Tident of string
+  | Tconst of bool
+  | Tnot
+  | Tand
+  | Tor
+  | Txor
+  | Tlparen
+  | Trparen
+  | Teof
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '.' || c = '[' || c = ']'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '0' then (toks := Tconst false :: !toks; incr i)
+    else if c = '1' then (toks := Tconst true :: !toks; incr i)
+    else if c = '!' || c = '~' then (toks := Tnot :: !toks; incr i)
+    else if c = '&' || c = '*' then (toks := Tand :: !toks; incr i)
+    else if c = '|' || c = '+' then (toks := Tor :: !toks; incr i)
+    else if c = '^' then (toks := Txor :: !toks; incr i)
+    else if c = '(' then (toks := Tlparen :: !toks; incr i)
+    else if c = ')' then (toks := Trparen :: !toks; incr i)
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      toks := Tident (String.sub s !i (!j - !i)) :: !toks;
+      i := !j
+    end
+    else raise (Error (Printf.sprintf "unexpected character %C at offset %d" c !i))
+  done;
+  List.rev (Teof :: !toks)
+
+(* Recursive descent with the precedence Or < Xor < And < Not. *)
+let expr s =
+  let toks = ref (tokenize s) in
+  let peek () = match !toks with t :: _ -> t | [] -> Teof in
+  let advance () = match !toks with _ :: rest -> toks := rest | [] -> () in
+  let rec parse_or () =
+    let lhs = parse_xor () in
+    if peek () = Tor then begin
+      advance ();
+      let rhs = parse_or () in
+      match rhs with
+      | Expr.Or es -> Expr.or_ (lhs :: es)
+      | _ -> Expr.or_ [ lhs; rhs ]
+    end
+    else lhs
+  and parse_xor () =
+    let lhs = parse_and () in
+    if peek () = Txor then begin
+      advance ();
+      Expr.xor lhs (parse_xor ())
+    end
+    else lhs
+  and parse_and () =
+    let lhs = parse_not () in
+    if peek () = Tand then begin
+      advance ();
+      let rhs = parse_and () in
+      match rhs with
+      | Expr.And es -> Expr.and_ (lhs :: es)
+      | _ -> Expr.and_ [ lhs; rhs ]
+    end
+    else lhs
+  and parse_not () =
+    if peek () = Tnot then begin
+      advance ();
+      Expr.not_ (parse_not ())
+    end
+    else parse_atom ()
+  and parse_atom () =
+    match peek () with
+    | Tident v -> advance (); Expr.var v
+    | Tconst b -> advance (); Expr.const b
+    | Tlparen ->
+      advance ();
+      let e = parse_or () in
+      if peek () <> Trparen then raise (Error "expected ')'");
+      advance ();
+      e
+    | Trparen -> raise (Error "unexpected ')'")
+    | Tnot | Tand | Tor | Txor -> raise (Error "unexpected operator")
+    | Teof -> raise (Error "unexpected end of input")
+  in
+  let e = parse_or () in
+  if peek () <> Teof then raise (Error "trailing input after expression");
+  e
+
+let expr_opt s = match expr s with e -> Some e | exception Error _ -> None

@@ -1,0 +1,23 @@
+(** Parser for the concrete Boolean-expression syntax.
+
+    Grammar (precedence from weakest to strongest binding):
+    {v
+      expr   ::= expr '|' expr          disjunction  (also '+')
+               | expr '^' expr          exclusive or
+               | expr '&' expr          conjunction  (also '*')
+               | '!' expr               negation     (also '~')
+               | ident | '0' | '1' | '(' expr ')'
+    v}
+    Identifiers match [[A-Za-z_][A-Za-z0-9_.\[\]]*]. Whitespace is
+    insignificant. The binary operators are associative, and chains parse
+    into the n-ary [And]/[Or] constructors directly. *)
+
+exception Error of string
+(** Raised with a human-readable message on malformed input. *)
+
+val expr : string -> Expr.t
+(** [expr s] parses [s].
+    @raise Error on syntax errors or trailing garbage. *)
+
+val expr_opt : string -> Expr.t option
+(** Like {!expr} but returns [None] instead of raising. *)

@@ -1,0 +1,133 @@
+type t = {
+  num_inputs : int;
+  num_outputs : int;
+  input_labels : string list;
+  output_labels : string list;
+  products : (Cube.t * bool array) list;
+}
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_string text =
+  let ni = ref (-1) in
+  let no = ref (-1) in
+  let ilb = ref [] in
+  let ob = ref [] in
+  let products = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+       let line = idx + 1 in
+       let content =
+         match String.index_opt raw '#' with
+         | Some i -> String.sub raw 0 i
+         | None -> raw
+       in
+       match words content with
+       | [] -> ()
+       | ".i" :: [ n ] -> ni := int_of_string n
+       | ".o" :: [ n ] -> no := int_of_string n
+       | ".ilb" :: labels -> ilb := labels
+       | ".ob" :: labels -> ob := labels
+       | ".p" :: _ -> ()
+       | (".e" | ".end") :: _ -> ()
+       | ".type" :: _ -> ()
+       | d :: _ when String.length d > 0 && d.[0] = '.' ->
+         fail line "unknown PLA directive %s" d
+       | [ inp; out ] ->
+         if !ni < 0 || !no < 0 then fail line "product before .i/.o";
+         if String.length inp <> !ni then
+           fail line "input plane width %d, expected %d" (String.length inp) !ni;
+         if String.length out <> !no then
+           fail line "output plane width %d, expected %d" (String.length out) !no;
+         let cube =
+           try Cube.of_string inp with Invalid_argument m -> fail line "%s" m
+         in
+         let on = Array.init !no (fun i -> out.[i] = '1') in
+         products := (cube, on) :: !products
+       | _ -> fail line "malformed PLA line")
+    lines;
+  if !ni < 0 || !no < 0 then fail 0 "missing .i or .o";
+  let default_labels prefix n = List.init n (fun i -> Printf.sprintf "%s%d" prefix i) in
+  let input_labels = if !ilb = [] then default_labels "x" !ni else !ilb in
+  let output_labels = if !ob = [] then default_labels "f" !no else !ob in
+  if List.length input_labels <> !ni then fail 0 ".ilb arity mismatch";
+  if List.length output_labels <> !no then fail 0 ".ob arity mismatch";
+  {
+    num_inputs = !ni;
+    num_outputs = !no;
+    input_labels;
+    output_labels;
+    products = List.rev !products;
+  }
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf ".i %d\n.o %d\n" t.num_inputs t.num_outputs);
+  Buffer.add_string buf (".ilb " ^ String.concat " " t.input_labels ^ "\n");
+  Buffer.add_string buf (".ob " ^ String.concat " " t.output_labels ^ "\n");
+  Buffer.add_string buf (Printf.sprintf ".p %d\n" (List.length t.products));
+  List.iter
+    (fun (cube, on) ->
+       let out =
+         String.init t.num_outputs (fun i -> if on.(i) then '1' else '0')
+       in
+       Buffer.add_string buf (Cube.to_string cube ^ " " ^ out ^ "\n"))
+    t.products;
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let to_netlist t =
+  let names = Array.of_list t.input_labels in
+  let node_of_output i label =
+    let cubes =
+      List.filter_map
+        (fun (cube, on) -> if on.(i) then Some cube else None)
+        t.products
+    in
+    Netlist.n_expr label (Cube.cover_to_expr ~names cubes)
+  in
+  let nodes = List.mapi node_of_output t.output_labels in
+  Netlist.create ~name:"pla" ~inputs:t.input_labels ~outputs:t.output_labels nodes
+
+let of_truth_table tt =
+  let n = Truth_table.num_inputs tt in
+  let no = Truth_table.num_outputs tt in
+  let products = ref [] in
+  for row = (1 lsl n) - 1 downto 0 do
+    let on = Array.init no (fun o -> Truth_table.value tt ~output:o row) in
+    if Array.exists (fun b -> b) on then begin
+      let cube =
+        Cube.of_string
+          (String.init n (fun i -> if row land (1 lsl i) <> 0 then '1' else '0'))
+      in
+      products := (cube, on) :: !products
+    end
+  done;
+  {
+    num_inputs = n;
+    num_outputs = no;
+    input_labels = Truth_table.inputs tt;
+    output_labels = Truth_table.outputs tt;
+    products = !products;
+  }

@@ -1,0 +1,29 @@
+(** Reader and writer for Berkeley PLA files (two-level covers).
+
+    Supported directives: [.i], [.o], [.ilb], [.ob], [.p], [.e]/[.end],
+    [#] comments. Product terms use ['0'], ['1'], ['-'] in the input plane
+    and ['1'], ['0'], ['-'], ['~'] in the output plane; output type is
+    assumed to be the default [fr] interpretation where ['1'] adds the cube
+    to the output's ON-set and everything else leaves it unconstrained. *)
+
+type t = {
+  num_inputs : int;
+  num_outputs : int;
+  input_labels : string list;
+  output_labels : string list;
+  products : (Cube.t * bool array) list;
+      (** cube over the inputs, ON-membership flag per output *)
+}
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> t
+val parse_file : string -> t
+val to_string : t -> string
+val write_file : string -> t -> unit
+
+val to_netlist : t -> Netlist.t
+(** Two-level netlist: one node per output, OR of its cubes. *)
+
+val of_truth_table : Truth_table.t -> t
+(** One product per ON-set minterm (no minimisation). *)

@@ -1,0 +1,100 @@
+type t = {
+  inputs : string list;
+  outputs : string list;
+  bits : Bytes.t array;  (* one packed bitvector of length 2^n per output *)
+}
+
+let max_inputs = 20
+
+let get_bit b i = Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set_bit b i =
+  let byte = Char.code (Bytes.get b (i lsr 3)) in
+  Bytes.set b (i lsr 3) (Char.chr (byte lor (1 lsl (i land 7))))
+
+let create ~inputs ~outputs f =
+  let n = List.length inputs in
+  if n > max_inputs then
+    invalid_arg
+      (Printf.sprintf "Truth_table.create: %d inputs exceeds limit %d" n
+         max_inputs);
+  let rows = 1 lsl n in
+  let nout = List.length outputs in
+  let bits = Array.init nout (fun _ -> Bytes.make ((rows + 7) / 8) '\000') in
+  let point = Array.make n false in
+  for row = 0 to rows - 1 do
+    for i = 0 to n - 1 do
+      point.(i) <- row land (1 lsl i) <> 0
+    done;
+    let out = f point in
+    if Array.length out <> nout then
+      invalid_arg "Truth_table.create: wrong number of outputs";
+    for o = 0 to nout - 1 do
+      if out.(o) then set_bit bits.(o) row
+    done
+  done;
+  { inputs; outputs; bits }
+
+let of_exprs ~inputs named =
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace index v i) inputs;
+  List.iter
+    (fun (name, e) ->
+       List.iter
+         (fun v ->
+            if not (Hashtbl.mem index v) then
+              invalid_arg
+                (Printf.sprintf
+                   "Truth_table.of_exprs: output %s uses unknown variable %s"
+                   name v))
+         (Expr.vars e))
+    named;
+  let exprs = Array.of_list (List.map snd named) in
+  create ~inputs ~outputs:(List.map fst named) (fun point ->
+      let env v = point.(Hashtbl.find index v) in
+      Array.map (Expr.eval env) exprs)
+
+let inputs t = t.inputs
+let outputs t = t.outputs
+let num_inputs t = List.length t.inputs
+let num_outputs t = List.length t.outputs
+let value t ~output row = get_bit t.bits.(output) row
+
+let eval t point =
+  let n = num_inputs t in
+  if Array.length point <> n then invalid_arg "Truth_table.eval: arity";
+  let row = ref 0 in
+  for i = 0 to n - 1 do
+    if point.(i) then row := !row lor (1 lsl i)
+  done;
+  Array.init (num_outputs t) (fun o -> get_bit t.bits.(o) !row)
+
+let equal a b =
+  a.inputs = b.inputs && a.outputs = b.outputs
+  && Array.for_all2 Bytes.equal a.bits b.bits
+
+let count_ones t ~output =
+  let rows = 1 lsl num_inputs t in
+  let c = ref 0 in
+  for row = 0 to rows - 1 do
+    if get_bit t.bits.(output) row then incr c
+  done;
+  !c
+
+let pp ppf t =
+  let n = num_inputs t in
+  let rows = 1 lsl n in
+  Format.fprintf ppf "@[<v>%s -> %s@,"
+    (String.concat "," t.inputs)
+    (String.concat "," t.outputs);
+  for row = 0 to rows - 1 do
+    let ins =
+      String.init n (fun i -> if row land (1 lsl i) <> 0 then '1' else '0')
+    in
+    let outs =
+      String.init (num_outputs t) (fun o ->
+          if get_bit t.bits.(o) row then '1' else '0')
+    in
+    Format.fprintf ppf "%s %s@," ins outs
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Explicit truth tables for small multi-output functions.
+
+    Used as the semantic reference in tests and verification: any other
+    representation (expressions, netlists, BDDs, crossbar designs) of a
+    function with at most {!max_inputs} inputs can be normalised to a truth
+    table and compared bit-for-bit. Minterm indices are little-endian: bit
+    [i] of the row index is the value of input [i]. *)
+
+type t
+
+val max_inputs : int
+(** Hard limit on the number of inputs (20). *)
+
+val create :
+  inputs:string list -> outputs:string list -> (bool array -> bool array) -> t
+(** [create ~inputs ~outputs f] tabulates [f] on all [2^|inputs|] points.
+    [f] receives the input values in the order of [inputs] and must return
+    one boolean per output, in the order of [outputs].
+    @raise Invalid_argument if there are more than {!max_inputs} inputs or
+    if [f] returns the wrong number of outputs. *)
+
+val of_exprs : inputs:string list -> (string * Expr.t) list -> t
+(** [of_exprs ~inputs named] tabulates each named expression. Expressions
+    may only mention variables from [inputs].
+    @raise Invalid_argument if an expression uses a foreign variable. *)
+
+val inputs : t -> string list
+val outputs : t -> string list
+val num_inputs : t -> int
+val num_outputs : t -> int
+
+val value : t -> output:int -> int -> bool
+(** [value t ~output row] is output [output] on minterm [row]. *)
+
+val eval : t -> bool array -> bool array
+(** Evaluate all outputs on one input point. *)
+
+val equal : t -> t -> bool
+(** Same inputs (order-sensitive), same outputs, same bits. *)
+
+val count_ones : t -> output:int -> int
+(** Number of satisfying minterms of one output. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,257 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* Blank out comments, preserving newlines so line numbers stay honest. *)
+let strip_comments text =
+  let buf = Buffer.create (String.length text) in
+  let n = String.length text in
+  let rec go i state =
+    if i >= n then ()
+    else
+      let c = text.[i] in
+      match state with
+      | `Code ->
+        if c = '/' && i + 1 < n && text.[i + 1] = '/' then begin
+          Buffer.add_char buf ' ';
+          go (i + 1) `Line
+        end
+        else if c = '/' && i + 1 < n && text.[i + 1] = '*' then begin
+          Buffer.add_char buf ' ';
+          go (i + 1) `Block
+        end
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) `Code
+        end
+      | `Line ->
+        Buffer.add_char buf (if c = '\n' then '\n' else ' ');
+        go (i + 1) (if c = '\n' then `Code else `Line)
+      | `Block ->
+        if c = '*' && i + 1 < n && text.[i + 1] = '/' then begin
+          Buffer.add_string buf "  ";
+          go (i + 2) `Code
+        end
+        else begin
+          Buffer.add_char buf (if c = '\n' then '\n' else ' ');
+          go (i + 1) `Block
+        end
+  in
+  go 0 `Code;
+  Buffer.contents buf
+
+(* Split into ';'-terminated statements, remembering each one's line. The
+   keywords [module]/[endmodule] also end statements. *)
+let statements text =
+  let text = strip_comments text in
+  let stmts = ref [] in
+  let buf = Buffer.create 64 in
+  let line = ref 1 in
+  let stmt_line = ref 1 in
+  let flush () =
+    let s = String.trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    if s <> "" then stmts := (!stmt_line, s) :: !stmts;
+    stmt_line := !line
+  in
+  String.iter
+    (fun c ->
+       if c = '\n' then incr line;
+       if c = ';' then flush ()
+       else begin
+         if Buffer.length buf = 0 && c <> ' ' && c <> '\n' && c <> '\t' then
+           stmt_line := !line;
+         Buffer.add_char buf c;
+         let s = Buffer.contents buf in
+         if
+           String.length s >= 9
+           && String.sub s (String.length s - 9) 9 = "endmodule"
+         then flush ()
+       end)
+    text;
+  flush ();
+  List.rev !stmts
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.filter (fun w -> w <> "")
+
+(* "input [3:0] a, b" -> declared wires a[3]..a[0], b[3]..b[0]. *)
+let parse_declaration line rest =
+  let rest = String.concat " " rest in
+  let range, names_part =
+    let rest = String.trim rest in
+    if String.length rest > 0 && rest.[0] = '[' then begin
+      match String.index_opt rest ']' with
+      | None -> fail line "unterminated bus range"
+      | Some close ->
+        let inside = String.sub rest 1 (close - 1) in
+        (match String.split_on_char ':' inside with
+         | [ hi; lo ] -> (
+             match
+               int_of_string_opt (String.trim hi), int_of_string_opt (String.trim lo)
+             with
+             | Some hi, Some lo ->
+               ( Some (hi, lo),
+                 String.sub rest (close + 1) (String.length rest - close - 1) )
+             | _ -> fail line "malformed bus range")
+         | _ -> fail line "malformed bus range")
+    end
+    else None, rest
+  in
+  let names =
+    String.split_on_char ',' names_part
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  List.concat_map
+    (fun name ->
+       match range with
+       | None -> [ name ]
+       | Some (hi, lo) ->
+         let lo, hi = min lo hi, max lo hi in
+         List.init (hi - lo + 1) (fun k -> Printf.sprintf "%s[%d]" name (lo + k)))
+    names
+
+(* "g1 (f, a, b)" or "(f, a, b)" -> argument list. *)
+let parse_instance_args line rest =
+  let rest = String.concat " " rest in
+  match String.index_opt rest '(' with
+  | None -> fail line "gate instance without argument list"
+  | Some open_ ->
+    let close =
+      match String.rindex_opt rest ')' with
+      | Some c when c > open_ -> c
+      | _ -> fail line "unterminated gate argument list"
+    in
+    String.sub rest (open_ + 1) (close - open_ - 1)
+    |> String.split_on_char ','
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+
+let gate_function line kind args =
+  let ins = List.map Expr.var args in
+  match kind, ins with
+  | "not", [ a ] -> Expr.not_ a
+  | "buf", [ a ] -> a
+  | ("not" | "buf"), _ -> fail line "%s expects exactly one input" kind
+  | "and", _ :: _ -> Expr.and_ ins
+  | "or", _ :: _ -> Expr.or_ ins
+  | "nand", _ :: _ -> Expr.nand ins
+  | "nor", _ :: _ -> Expr.nor ins
+  | "xor", [ a; b ] -> Expr.xor a b
+  | "xnor", [ a; b ] -> Expr.xnor a b
+  | ("xor" | "xnor"), _ -> fail line "%s expects exactly two inputs" kind
+  | _, [] -> fail line "%s gate without inputs" kind
+  | _ -> fail line "unsupported gate %s" kind
+
+let parse_string text =
+  let name = ref "anonymous" in
+  let inputs = ref [] in
+  let outputs = ref [] in
+  let nodes = ref [] in
+  List.iter
+    (fun (line, stmt) ->
+       match words stmt with
+       | [] -> ()
+       | "module" :: rest ->
+         (match rest with
+          | m :: _ ->
+            name :=
+              (match String.index_opt m '(' with
+               | Some i -> String.sub m 0 i
+               | None -> m)
+          | [] -> fail line "module without a name")
+       | [ "endmodule" ] -> ()
+       | "input" :: rest -> inputs := !inputs @ parse_declaration line rest
+       | "output" :: rest -> outputs := !outputs @ parse_declaration line rest
+       | "wire" :: rest -> ignore (parse_declaration line rest)
+       | "assign" :: rest -> begin
+           let assignment = String.concat " " rest in
+           match String.index_opt assignment '=' with
+           | None -> fail line "assign without '='"
+           | Some eq ->
+             let lhs = String.trim (String.sub assignment 0 eq) in
+             let rhs =
+               String.sub assignment (eq + 1) (String.length assignment - eq - 1)
+             in
+             let func =
+               try Parse.expr rhs
+               with Parse.Error m -> fail line "bad expression: %s" m
+             in
+             nodes := Netlist.n_expr lhs func :: !nodes
+         end
+       | (("and" | "or" | "nand" | "nor" | "xor" | "xnor" | "not" | "buf") as
+          kind)
+         :: rest -> begin
+           match parse_instance_args line rest with
+           | out :: ins when ins <> [] || kind = "buf" || kind = "not" ->
+             nodes := Netlist.n_expr out (gate_function line kind ins) :: !nodes
+           | _ -> fail line "gate needs an output and inputs"
+         end
+       | ("always" | "reg" | "initial") :: _ ->
+         fail line "behavioural Verilog is not supported"
+       | kw :: _ -> fail line "unsupported construct %s" kw)
+    (statements text);
+  (* Topological sort, as in the BLIF reader. *)
+  let by_wire = Hashtbl.create 64 in
+  List.iter (fun (n : Netlist.node) -> Hashtbl.replace by_wire n.wire n) !nodes;
+  let visited = Hashtbl.create 64 in
+  let sorted = ref [] in
+  let rec visit wire =
+    match Hashtbl.find_opt visited wire with
+    | Some `Done -> ()
+    | Some `Active ->
+      raise (Netlist.Ill_formed (Printf.sprintf "combinational cycle at %s" wire))
+    | None -> (
+        match Hashtbl.find_opt by_wire wire with
+        | None -> ()
+        | Some node ->
+          Hashtbl.replace visited wire `Active;
+          List.iter visit (Expr.vars node.func);
+          Hashtbl.replace visited wire `Done;
+          sorted := node :: !sorted)
+  in
+  List.iter (fun (n : Netlist.node) -> visit n.wire) !nodes;
+  Netlist.create ~name:!name ~inputs:!inputs ~outputs:!outputs
+    (List.rev !sorted)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let to_string (t : Netlist.t) =
+  let buf = Buffer.create 1024 in
+  let ports = t.inputs @ t.outputs in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s (%s);\n" t.name (String.concat ", " ports));
+  Buffer.add_string buf ("  input " ^ String.concat ", " t.inputs ^ ";\n");
+  Buffer.add_string buf ("  output " ^ String.concat ", " t.outputs ^ ";\n");
+  let internal =
+    List.filter
+      (fun (n : Netlist.node) -> not (List.mem n.wire t.outputs))
+      t.nodes
+  in
+  if internal <> [] then
+    Buffer.add_string buf
+      ("  wire "
+       ^ String.concat ", " (List.map (fun (n : Netlist.node) -> n.wire) internal)
+       ^ ";\n");
+  List.iter
+    (fun (n : Netlist.node) ->
+       Buffer.add_string buf
+         (Printf.sprintf "  assign %s = %s;\n" n.wire (Expr.to_string n.func)))
+    t.nodes;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc

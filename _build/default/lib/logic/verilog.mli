@@ -1,0 +1,33 @@
+(** Reader for a gate-level structural Verilog subset.
+
+    The paper's flow accepts Verilog, BLIF or PLA (§II-C); this module
+    covers the structural netlist subset those benchmark files use:
+
+    {v
+      module name (ports);
+        input  a, b;          // also: input [3:0] bus;
+        output f;
+        wire   t1, t2;
+        and  g1 (t1, a, b);   // and/or/nand/nor/xor/xnor: out, in, in, ...
+        not  g2 (t2, t1);     // not/buf: out, in
+        assign f = t1 & ~t2;  // expression assigns (Parse syntax with ~ |)
+      endmodule
+    v}
+
+    Vectors are flattened to [name[i]] wires. Comments ([//] and
+    [/* ... */]), gate instances with or without instance names, and
+    multiple declarations per keyword are supported. Behavioural
+    constructs ([always], [reg], ...) are rejected. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> Netlist.t
+(** @raise Parse_error on malformed or unsupported input.
+    @raise Netlist.Ill_formed if the module is not combinational. *)
+
+val parse_file : string -> Netlist.t
+
+val to_string : Netlist.t -> string
+(** Emits the netlist as a structural module with [assign] statements. *)
+
+val write_file : string -> Netlist.t -> unit

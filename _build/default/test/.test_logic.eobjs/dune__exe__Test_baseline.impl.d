@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Baseline Circuits Compact Crossbar List Logic Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Circuits Lazy List Logic Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Bdd Circuits Lazy List Logic Printf QCheck2 QCheck_alcotest

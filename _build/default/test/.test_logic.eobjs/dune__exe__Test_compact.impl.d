@@ -1,0 +1,1 @@
+test/test_compact.ml: Alcotest Array Baseline Bdd Circuits Compact Crossbar Graphs Lazy List Logic QCheck2 QCheck_alcotest Stdlib

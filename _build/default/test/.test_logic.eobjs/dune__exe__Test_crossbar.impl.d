@@ -1,0 +1,1 @@
+test/test_crossbar.ml: Alcotest Array Compact Crossbar Lazy List Logic QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Filename Fun List Logic Printf QCheck2 QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Float List Lp Milp Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,429 @@
+(* Tests for the ROBDD engine: canonicity, Boolean operations,
+   quantification, SBDD construction and ordering heuristics. *)
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+
+let qcheck_case ?(count = 150) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let e = Logic.Parse.expr
+
+(* Random expressions over x0..x3 (levels 0..3). *)
+let expr_gen =
+  let open QCheck2.Gen in
+  let var_names = [ "x0"; "x1"; "x2"; "x3" ] in
+  sized @@ fix (fun self n ->
+      if n <= 0 then map Logic.Expr.var (oneofl var_names)
+      else
+        frequency
+          [ 1, map Logic.Expr.var (oneofl var_names);
+            2, map Logic.Expr.not_ (self (n - 1));
+            2, map2 (fun a b -> Logic.Expr.and_ [ a; b ]) (self (n / 2)) (self (n / 2));
+            2, map2 (fun a b -> Logic.Expr.or_ [ a; b ]) (self (n / 2)) (self (n / 2));
+            1, map2 Logic.Expr.xor (self (n / 2)) (self (n / 2)) ])
+
+let level_of v = int_of_string (String.sub v 1 (String.length v - 1))
+
+let build man f = Bdd.Build.expr man ~var_level:level_of f
+
+let fresh_man () = Bdd.Manager.create ~num_vars:4 ()
+
+let envs = List.init 16 (fun bits -> fun lvl -> bits land (1 lsl lvl) <> 0)
+
+let same_function man node f =
+  List.for_all
+    (fun env ->
+       Bdd.Manager.eval man node env
+       = Logic.Expr.eval (fun v -> env (level_of v)) f)
+    envs
+
+let manager_tests =
+  [
+    Alcotest.test_case "terminals" `Quick (fun () ->
+        check tb "0" false (Bdd.Manager.eval (fresh_man ()) Bdd.Manager.zero (fun _ -> true));
+        check tb "1" true (Bdd.Manager.eval (fresh_man ()) Bdd.Manager.one (fun _ -> false));
+        check tb "term" true (Bdd.Manager.is_terminal Bdd.Manager.zero));
+    Alcotest.test_case "projection variables" `Quick (fun () ->
+        let man = fresh_man () in
+        let x1 = Bdd.Manager.var man 1 in
+        check tb "true branch" true (Bdd.Manager.eval man x1 (fun l -> l = 1));
+        check tb "false branch" false (Bdd.Manager.eval man x1 (fun _ -> false));
+        check ti "level" 1 (Bdd.Manager.level man x1));
+    Alcotest.test_case "out-of-range variable rejected" `Quick (fun () ->
+        check tb "raises" true
+          (match Bdd.Manager.var (fresh_man ()) 7 with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+    Alcotest.test_case "canonicity: equal functions share a node" `Quick
+      (fun () ->
+         let man = fresh_man () in
+         let f1 = build man (e "!(x0 & x1)") in
+         let f2 = build man (e "!x0 | !x1") in
+         check ti "same handle" f1 f2);
+    Alcotest.test_case "reduction: no node with equal children" `Quick
+      (fun () ->
+         let man = fresh_man () in
+         let f = build man (e "(x0 & x1) | (!x0 & x1)") in
+         (* Collapses to x1. *)
+         check ti "is x1" (Bdd.Manager.var man 1) f);
+    Alcotest.test_case "not involutive on handles" `Quick (fun () ->
+        let man = fresh_man () in
+        let f = build man (e "x0 ^ x2 | x1") in
+        check ti "same" f (Bdd.Manager.not_ man (Bdd.Manager.not_ man f)));
+    Alcotest.test_case "ite terminal shortcuts" `Quick (fun () ->
+        let man = fresh_man () in
+        let f = build man (e "x0 & x1") in
+        check ti "ite(1,f,g)" f (Bdd.Manager.ite man Bdd.Manager.one f Bdd.Manager.zero);
+        check ti "ite(f,1,0)" f (Bdd.Manager.ite man f Bdd.Manager.one Bdd.Manager.zero));
+    Alcotest.test_case "restrict" `Quick (fun () ->
+        let man = fresh_man () in
+        let f = build man (e "(x0 & x1) | x2") in
+        let f0 = Bdd.Manager.restrict man f ~var:0 false in
+        check ti "x2" (build man (e "x2")) f0;
+        let f1 = Bdd.Manager.restrict man f ~var:0 true in
+        check ti "x1|x2" (build man (e "x1 | x2")) f1);
+    Alcotest.test_case "exists and forall" `Quick (fun () ->
+        let man = fresh_man () in
+        let f = build man (e "x0 & x1") in
+        check ti "exists" (build man (e "x1")) (Bdd.Manager.exists man ~var:0 f);
+        check ti "forall" Bdd.Manager.zero (Bdd.Manager.forall man ~var:0 f));
+    Alcotest.test_case "support" `Quick (fun () ->
+        let man = fresh_man () in
+        let f = build man (e "(x0 & x3) | x3") in
+        check Alcotest.(list int) "deps" [ 3 ] (Bdd.Manager.support man f));
+    Alcotest.test_case "sat_count matches truth table" `Quick (fun () ->
+        let man = fresh_man () in
+        let f = build man (e "(x0 & x1) | x2") in
+        (* (x0&x1)|x2 has 5 models over 3 vars => 10 over 4. *)
+        check (Alcotest.float 1e-9) "models" 10.
+          (Bdd.Manager.sat_count man f ~nvars:4));
+    Alcotest.test_case "any_sat is satisfying" `Quick (fun () ->
+        let man = fresh_man () in
+        let f = build man (e "!x0 & x2") in
+        match Bdd.Manager.any_sat man f with
+        | None -> Alcotest.fail "expected sat"
+        | Some partial ->
+          let env lvl =
+            match List.assoc_opt lvl partial with Some b -> b | None -> false
+          in
+          check tb "sat" true (Bdd.Manager.eval man f env));
+    Alcotest.test_case "any_sat of zero" `Quick (fun () ->
+        check tb "none" true
+          (Bdd.Manager.any_sat (fresh_man ()) Bdd.Manager.zero = None));
+    Alcotest.test_case "size counts reachable nodes" `Quick (fun () ->
+        let man = fresh_man () in
+        let f = build man (e "x0 & x1 & x2") in
+        (* chain of 3 internal nodes + two terminals *)
+        check ti "size" 5 (Bdd.Manager.size man [ f ]));
+    Alcotest.test_case "iter_edges arity" `Quick (fun () ->
+        let man = fresh_man () in
+        let f = build man (e "x0 & x1") in
+        let count = ref 0 in
+        Bdd.Manager.iter_edges man [ f ] (fun _ _ _ -> incr count);
+        check ti "2 per internal node" 4 !count);
+    Alcotest.test_case "node limit enforced" `Quick (fun () ->
+        let man = Bdd.Manager.create ~node_limit:4 ~num_vars:4 () in
+        check tb "raises" true
+          (match build man (e "(x0 ^ x1) & (x2 ^ x3)") with
+           | exception Bdd.Manager.Size_limit _ -> true
+           | _ -> false));
+    qcheck_case "BDD semantics equals expression semantics" expr_gen
+      (fun f ->
+         let man = fresh_man () in
+         same_function man (build man f) f);
+    qcheck_case "xor/xnor complementary" expr_gen (fun f ->
+        let man = fresh_man () in
+        let g = build man (e "x1 | x3") in
+        let nf = build man f in
+        Bdd.Manager.xnor man nf g
+        = Bdd.Manager.not_ man (Bdd.Manager.xor man nf g));
+    qcheck_case "canonicity of equivalent rewrites" expr_gen (fun f ->
+        let man = fresh_man () in
+        let direct = build man f in
+        let doubled = build man (Logic.Expr.or_ [ f; f ]) in
+        direct = doubled);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let adder = lazy (Circuits.Arith.ripple_adder ~bits:3 ())
+
+let order_tests =
+  [
+    Alcotest.test_case "all heuristics are permutations" `Quick (fun () ->
+        let nl = Lazy.force adder in
+        let sorted = List.sort String.compare nl.inputs in
+        List.iter
+          (fun order ->
+             check
+               Alcotest.(list string)
+               "perm" sorted
+               (List.sort String.compare order))
+          (Bdd.Order.candidates nl));
+    Alcotest.test_case "dfs_fanin interleaves adder operands" `Quick
+      (fun () ->
+         let nl = Lazy.force adder in
+         match Bdd.Order.dfs_fanin nl with
+         | "a0" :: "b0" :: _ -> ()
+         | other ->
+           Alcotest.failf "unexpected start: %s" (String.concat "," other));
+    Alcotest.test_case "by_depth puts shallow inputs first" `Quick (fun () ->
+        (* f = deep(a,b,c) | strobe: the strobe feeds the output directly. *)
+        let nl =
+          Logic.Netlist.create ~name:"t" ~inputs:[ "a"; "b"; "c"; "strobe" ]
+            ~outputs:[ "f" ]
+            [
+              Logic.Netlist.n_and "t1" [ "a"; "b" ];
+              Logic.Netlist.n_xor "t2" "t1" "c";
+              Logic.Netlist.n_or "f" [ "t2"; "strobe" ];
+            ]
+        in
+        match Bdd.Order.by_depth nl with
+        | "strobe" :: _ -> ()
+        | other -> Alcotest.failf "got %s" (String.concat "," other));
+    Alcotest.test_case "interleaved covers all inputs" `Quick (fun () ->
+        let nl = Lazy.force adder in
+        check ti "length" (List.length nl.inputs)
+          (List.length (Bdd.Order.interleaved nl)));
+  ]
+
+let sbdd_tests =
+  [
+    Alcotest.test_case "netlist semantics preserved" `Quick (fun () ->
+        let nl = Lazy.force adder in
+        (* Same input order so the tables are directly comparable. *)
+        let sbdd = Bdd.Sbdd.of_netlist ~order:nl.inputs nl in
+        check tb "tables equal" true
+          (Logic.Truth_table.equal
+             (Bdd.Sbdd.to_truth_table sbdd)
+             (Logic.Netlist.to_truth_table nl)));
+    Alcotest.test_case "order is respected" `Quick (fun () ->
+        let nl = Lazy.force adder in
+        let order = List.sort String.compare nl.inputs in
+        let sbdd = Bdd.Sbdd.of_netlist ~order nl in
+        check Alcotest.(list string) "order" order
+          (Array.to_list sbdd.input_order));
+    Alcotest.test_case "bad order rejected" `Quick (fun () ->
+        let nl = Lazy.force adder in
+        check tb "raises" true
+          (match Bdd.Sbdd.of_netlist ~order:[ "a0" ] nl with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+    Alcotest.test_case "separate ROBDDs compute the same outputs" `Quick
+      (fun () ->
+         let nl = Lazy.force adder in
+         let shared = Bdd.Sbdd.of_netlist nl in
+         let separate = Bdd.Sbdd.of_netlist_separate nl in
+         check ti "one per output" (Logic.Netlist.num_outputs nl)
+           (List.length separate);
+         let env v = String.length v mod 2 = 0 in
+         let expected = Bdd.Sbdd.eval shared env in
+         List.iter
+           (fun single ->
+              List.iter
+                (fun (o, value) ->
+                   check tb o (List.assoc o expected) value)
+                (Bdd.Sbdd.eval single env))
+           separate);
+    Alcotest.test_case "sharing never larger than separate total" `Quick
+      (fun () ->
+         let nl = Lazy.force adder in
+         let shared = Bdd.Sbdd.size (Bdd.Sbdd.of_netlist nl) in
+         let separate =
+           List.fold_left
+             (fun acc s -> acc + Bdd.Sbdd.size s)
+             0
+             (Bdd.Sbdd.of_netlist_separate nl)
+         in
+         check tb "shared <= separate" true (shared <= separate));
+    Alcotest.test_case "best_order picks the minimum candidate" `Quick
+      (fun () ->
+         let nl = Lazy.force adder in
+         let _, best = Bdd.Sbdd.best_order nl in
+         List.iter
+           (fun order ->
+              let sz = Bdd.Sbdd.size (Bdd.Sbdd.of_netlist ~order nl) in
+              check tb "minimal" true (best <= sz))
+           (Bdd.Order.candidates nl));
+    Alcotest.test_case "num_edges is twice the internal nodes" `Quick
+      (fun () ->
+         let nl = Lazy.force adder in
+         let sbdd = Bdd.Sbdd.of_netlist nl in
+         let internal =
+           List.length
+             (List.filter
+                (fun n -> not (Bdd.Manager.is_terminal n))
+                (Bdd.Manager.reachable sbdd.man (List.map snd sbdd.roots)))
+         in
+         check ti "edges" (2 * internal) (Bdd.Sbdd.num_edges sbdd));
+    Alcotest.test_case "constant outputs" `Quick (fun () ->
+        let nl =
+          Logic.Netlist.create ~name:"consts" ~inputs:[ "a" ]
+            ~outputs:[ "zero"; "one"; "id" ]
+            [
+              Logic.Netlist.n_expr "zero" Logic.Expr.fls;
+              Logic.Netlist.n_expr "one" Logic.Expr.tru;
+              Logic.Netlist.n_buf "id" "a";
+            ]
+        in
+        let sbdd = Bdd.Sbdd.of_netlist nl in
+        check ti "zero root" Bdd.Manager.zero (List.assoc "zero" sbdd.roots);
+        check ti "one root" Bdd.Manager.one (List.assoc "one" sbdd.roots));
+    Alcotest.test_case "dot export mentions every output" `Quick (fun () ->
+        let nl = Lazy.force adder in
+        let dot = Bdd.Dot.sbdd (Bdd.Sbdd.of_netlist nl) in
+        List.iter
+          (fun o ->
+             let marker = "out_" ^ o in
+             check tb marker true
+               (let len = String.length dot and m = String.length marker in
+                let rec find i =
+                  i + m <= len && (String.sub dot i m = marker || find (i + 1))
+                in
+                find 0))
+          nl.outputs);
+    qcheck_case "expression round trip through a 1-output netlist" expr_gen
+      (fun f ->
+         let inputs = [ "x0"; "x1"; "x2"; "x3" ] in
+         let nl =
+           Logic.Netlist.create ~name:"rt" ~inputs ~outputs:[ "f" ]
+             [ Logic.Netlist.n_expr "f" f ]
+         in
+         let sbdd = Bdd.Sbdd.of_netlist ~order:inputs nl in
+         Logic.Truth_table.equal
+           (Bdd.Sbdd.to_truth_table sbdd)
+           (Logic.Netlist.to_truth_table nl));
+  ]
+
+let extra_ops_tests =
+  [
+    Alcotest.test_case "imp nand nor agree with expressions" `Quick
+      (fun () ->
+         let man = fresh_man () in
+         let a = Bdd.Manager.var man 0 and b = Bdd.Manager.var man 1 in
+         check ti "imp" (build man (e "!x0 | x1")) (Bdd.Manager.imp man a b);
+         check ti "nand" (build man (e "!(x0 & x1)")) (Bdd.Manager.nand man a b);
+         check ti "nor" (build man (e "!(x0 | x1)")) (Bdd.Manager.nor man a b));
+    Alcotest.test_case "and_list / or_list fold correctly" `Quick (fun () ->
+        let man = fresh_man () in
+        let vs = List.init 4 (Bdd.Manager.var man) in
+        check ti "and" (build man (e "x0 & x1 & x2 & x3"))
+          (Bdd.Manager.and_list man vs);
+        check ti "or" (build man (e "x0 | x1 | x2 | x3"))
+          (Bdd.Manager.or_list man vs);
+        check ti "empty and" Bdd.Manager.one (Bdd.Manager.and_list man []);
+        check ti "empty or" Bdd.Manager.zero (Bdd.Manager.or_list man []));
+    Alcotest.test_case "clear_caches keeps semantics" `Quick (fun () ->
+        let man = fresh_man () in
+        let f = build man (e "(x0 ^ x1) & x2") in
+        Bdd.Manager.clear_caches man;
+        let g = build man (e "(x0 ^ x1) & x2") in
+        check ti "same node after cache reset" f g);
+    Alcotest.test_case "allocated grows monotonically" `Quick (fun () ->
+        let man = fresh_man () in
+        let before = Bdd.Manager.allocated man in
+        ignore (build man (e "x0 ^ x1 ^ x2"));
+        check tb "grew" true (Bdd.Manager.allocated man > before));
+    Alcotest.test_case "quantification memo survives reuse" `Quick (fun () ->
+        let man = fresh_man () in
+        let f = build man (e "(x0 & x1) | (x0 & x2)") in
+        let e1 = Bdd.Manager.exists man ~var:0 f in
+        let e2 = Bdd.Manager.exists man ~var:0 f in
+        check ti "same" e1 e2;
+        check ti "x1 | x2" (build man (e "x1 | x2")) e1);
+  ]
+
+let quantifier_tests =
+  [
+    qcheck_case "exists/forall De Morgan duality" expr_gen (fun f ->
+        let man = fresh_man () in
+        let nf = build man f in
+        List.for_all
+          (fun v ->
+             Bdd.Manager.exists man ~var:v nf
+             = Bdd.Manager.not_ man
+                 (Bdd.Manager.forall man ~var:v (Bdd.Manager.not_ man nf)))
+          [ 0; 1; 2; 3 ]);
+    qcheck_case "quantified variable leaves the support" expr_gen (fun f ->
+        let man = fresh_man () in
+        let nf = build man f in
+        List.for_all
+          (fun v ->
+             not
+               (List.mem v
+                  (Bdd.Manager.support man (Bdd.Manager.exists man ~var:v nf))))
+          [ 0; 1; 2; 3 ]);
+    qcheck_case "restrict is a semantic cofactor" expr_gen (fun f ->
+        let man = fresh_man () in
+        let nf = build man f in
+        List.for_all
+          (fun env ->
+             let v = 1 in
+             Bdd.Manager.eval man
+               (Bdd.Manager.restrict man nf ~var:v (env v))
+               env
+             = Bdd.Manager.eval man nf env)
+          envs);
+  ]
+
+let reorder_tests =
+  [
+    Alcotest.test_case "anneal returns a permutation" `Quick (fun () ->
+        let nl = Lazy.force adder in
+        let order, _ = Bdd.Reorder.anneal ~budget:30 nl in
+        check
+          Alcotest.(list string)
+          "perm"
+          (List.sort String.compare nl.inputs)
+          (List.sort String.compare order));
+    Alcotest.test_case "anneal never worsens the initial order" `Quick
+      (fun () ->
+         let nl = Lazy.force adder in
+         let initial = Bdd.Order.dfs_fanin nl in
+         let initial_size = Bdd.Sbdd.size (Bdd.Sbdd.of_netlist ~order:initial nl) in
+         let order, stats = Bdd.Reorder.anneal ~budget:40 ~initial nl in
+         check ti "reported initial" initial_size stats.initial_size;
+         let final = Bdd.Sbdd.size (Bdd.Sbdd.of_netlist ~order nl) in
+         check ti "reported final" final stats.final_size;
+         check tb "no regression" true (final <= initial_size));
+    Alcotest.test_case "anneal escapes a bad starting order" `Quick
+      (fun () ->
+         (* Separated operand blocks are terrible for a comparator; the
+            search must find something substantially smaller. *)
+         let nl = Circuits.Arith.comparator ~bits:6 () in
+         let bad =
+           List.init 6 (fun i -> Printf.sprintf "a%d" i)
+           @ List.init 6 (fun i -> Printf.sprintf "b%d" i)
+         in
+         let bad_size = Bdd.Sbdd.size (Bdd.Sbdd.of_netlist ~order:bad nl) in
+         let _, stats = Bdd.Reorder.anneal ~seed:1 ~budget:200 ~initial:bad nl in
+         check tb "improved" true (stats.final_size < bad_size));
+    Alcotest.test_case "improve_sbdd preserves semantics" `Quick (fun () ->
+        let nl = Lazy.force adder in
+        let sbdd = Bdd.Reorder.improve_sbdd ~budget:30 nl in
+        let env v = String.length v = 2 in
+        let expected =
+          Logic.Netlist.eval nl env
+        in
+        List.iter
+          (fun (o, value) -> check tb o (List.assoc o expected) value)
+          (Bdd.Sbdd.eval sbdd env));
+    Alcotest.test_case "deterministic for a fixed seed" `Quick (fun () ->
+        let nl = Lazy.force adder in
+        let o1, _ = Bdd.Reorder.anneal ~seed:5 ~budget:25 nl in
+        let o2, _ = Bdd.Reorder.anneal ~seed:5 ~budget:25 nl in
+        check Alcotest.(list string) "same" o1 o2);
+  ]
+
+let () =
+  Alcotest.run "bdd"
+    [
+      "manager", manager_tests;
+      "order", order_tests;
+      "sbdd", sbdd_tests;
+      "extra_ops", extra_ops_tests;
+      "quantifiers", quantifier_tests;
+      "reorder", reorder_tests;
+    ]

@@ -1,0 +1,527 @@
+(* Tests for the COMPACT core: preprocessing, VH-labeling (all three
+   solvers), balancing, crossbar mapping and the end-to-end pipeline. *)
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+
+let qcheck_case ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let e = Logic.Parse.expr
+
+let graph_of_expr ?order f =
+  let inputs = Logic.Expr.vars f in
+  let nl =
+    Logic.Netlist.create ~name:"t" ~inputs ~outputs:[ "f" ]
+      [ Logic.Netlist.n_expr "f" f ]
+  in
+  Compact.Preprocess.of_sbdd (Bdd.Sbdd.of_netlist ?order nl)
+
+let fig2_graph = lazy (graph_of_expr (e "(a & b) | c"))
+
+(* Random expression generator over 3 variables. *)
+let expr_gen =
+  let open QCheck2.Gen in
+  let var_names = [ "a"; "b"; "c" ] in
+  sized @@ fix (fun self n ->
+      if n <= 0 then map Logic.Expr.var (oneofl var_names)
+      else
+        frequency
+          [ 1, map Logic.Expr.var (oneofl var_names);
+            2, map Logic.Expr.not_ (self (n - 1));
+            2, map2 (fun a b -> Logic.Expr.and_ [ a; b ]) (self (n / 2)) (self (n / 2));
+            2, map2 (fun a b -> Logic.Expr.or_ [ a; b ]) (self (n / 2)) (self (n / 2));
+            1, map2 Logic.Expr.xor (self (n / 2)) (self (n / 2)) ])
+
+(* ------------------------------------------------------------------ *)
+
+let preprocess_tests =
+  [
+    Alcotest.test_case "fig2: 4 nodes, 5 edges" `Quick (fun () ->
+        let bg = Lazy.force fig2_graph in
+        check ti "nodes" 4 (Compact.Preprocess.num_bdd_nodes bg);
+        check ti "edges" 5 (Compact.Preprocess.num_bdd_edges bg);
+        check ti "terminal id" 0 bg.terminal);
+    Alcotest.test_case "edge literals are variable pairs" `Quick (fun () ->
+        let bg = Lazy.force fig2_graph in
+        List.iter
+          (fun (u, v, lit) ->
+             check tb "ordered" true (u < v);
+             check tb "labelled" true
+               (Crossbar.Literal.variable lit <> None
+                || Crossbar.Literal.equal lit Crossbar.Literal.On))
+          bg.edge_literals;
+        check ti "one literal per edge"
+          (Graphs.Ugraph.num_edges bg.graph)
+          (List.length bg.edge_literals));
+    Alcotest.test_case "constant-1 output maps to the terminal" `Quick
+      (fun () ->
+         let bg = graph_of_expr Logic.Expr.tru in
+         match bg.roots with
+         | [ (_, Compact.Types.Node v) ] -> check ti "terminal" bg.terminal v
+         | _ -> Alcotest.fail "expected a node root");
+    Alcotest.test_case "constant-0 output marked Const_false" `Quick
+      (fun () ->
+         let bg = graph_of_expr Logic.Expr.fls in
+         match bg.roots with
+         | [ (_, Compact.Types.Const_false) ] -> ()
+         | _ -> Alcotest.fail "expected Const_false");
+    Alcotest.test_case "node names follow BDD variables" `Quick (fun () ->
+        let bg = Lazy.force fig2_graph in
+        check Alcotest.string "terminal name" "1" bg.node_names.(bg.terminal));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let check_ok = function
+  | Stdlib.Ok () -> ()
+  | Stdlib.Error m -> Alcotest.fail m
+
+let types_tests =
+  [
+    Alcotest.test_case "objective_of" `Quick (fun () ->
+        check (Alcotest.float 1e-9) "gamma=1" 10.
+          (Compact.Types.objective_of ~gamma:1. ~rows:6 ~cols:4);
+        check (Alcotest.float 1e-9) "gamma=0" 6.
+          (Compact.Types.objective_of ~gamma:0. ~rows:6 ~cols:4);
+        check (Alcotest.float 1e-9) "gamma=0.5" 8.
+          (Compact.Types.objective_of ~gamma:0.5 ~rows:6 ~cols:4));
+    Alcotest.test_case "check_labeling rejects V-V edges" `Quick (fun () ->
+        let bg = Lazy.force fig2_graph in
+        let labels =
+          Array.make (Compact.Preprocess.num_bdd_nodes bg) Compact.Types.V
+        in
+        check tb "error" true
+          (Compact.Types.check_labeling bg labels <> Stdlib.Ok ()));
+    Alcotest.test_case "all-VH labeling always valid" `Quick (fun () ->
+        let bg = Lazy.force fig2_graph in
+        let labels =
+          Array.make (Compact.Preprocess.num_bdd_nodes bg) Compact.Types.VH
+        in
+        check_ok (Compact.Types.check_labeling bg labels);
+        check_ok (Compact.Types.check_labeling ~alignment:true bg labels));
+    Alcotest.test_case "alignment rejects V-labelled terminal" `Quick
+      (fun () ->
+         let bg = Lazy.force fig2_graph in
+         let n = Compact.Preprocess.num_bdd_nodes bg in
+         let labels = Array.make n Compact.Types.VH in
+         labels.(bg.terminal) <- Compact.Types.V;
+         check tb "error" true
+           (Compact.Types.check_labeling ~alignment:true bg labels
+            <> Stdlib.Ok ()));
+    Alcotest.test_case "make_labeling derives counts" `Quick (fun () ->
+        let bg = Lazy.force fig2_graph in
+        let labeling =
+          Compact.Label_oct.solve ~gamma:1.0 bg
+        in
+        check ti "S = rows + cols"
+          (labeling.rows + labeling.cols)
+          (Compact.Types.semiperimeter labeling);
+        check ti "S = n + #VH"
+          (Compact.Preprocess.num_bdd_nodes bg + labeling.vh_count)
+          (Compact.Types.semiperimeter labeling));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let labeling_valid ?(alignment = false) bg (labeling : Compact.Types.labeling) =
+  Compact.Types.check_labeling ~alignment bg labeling.labels = Stdlib.Ok ()
+
+let label_tests =
+  [
+    Alcotest.test_case "fig2 minimal semiperimeter is n + 1" `Quick (fun () ->
+        (* The BDD graph of (a&b)|c contains an odd cycle: OCT = 1. *)
+        let bg = Lazy.force fig2_graph in
+        let labeling = Compact.Label_oct.solve ~gamma:1.0 bg in
+        check tb "optimal" true labeling.optimal;
+        check ti "vh" 1 labeling.vh_count;
+        check ti "S" 5 (Compact.Types.semiperimeter labeling);
+        check tb "valid" true (labeling_valid bg labeling));
+    Alcotest.test_case "bipartite BDD graph needs no VH" `Quick (fun () ->
+        (* A chain a & b & c has a path-shaped BDD graph. *)
+        let bg = graph_of_expr (e "a & b & c") in
+        let labeling = Compact.Label_oct.solve ~gamma:1.0 bg in
+        check ti "vh" 0 labeling.vh_count;
+        check tb "valid" true (labeling_valid bg labeling));
+    Alcotest.test_case "greedy labeling is valid" `Quick (fun () ->
+        let bg = graph_of_expr (e "(a ^ b) | (b & c)") in
+        let labeling = Compact.Label_oct.greedy bg in
+        check tb "valid" true (labeling_valid bg labeling));
+    Alcotest.test_case "alignment puts ports on wordlines" `Quick (fun () ->
+        let bg = Lazy.force fig2_graph in
+        List.iter
+          (fun labeling ->
+             check tb "valid aligned" true
+               (labeling_valid ~alignment:true bg labeling))
+          [
+            Compact.Label_oct.solve ~alignment:true bg;
+            Compact.Label_mip.solve ~alignment:true bg;
+            Compact.Label_heuristic.solve ~alignment:true bg;
+          ]);
+    Alcotest.test_case "mip matches oct at gamma = 1" `Quick (fun () ->
+        List.iter
+          (fun f ->
+             let bg = graph_of_expr f in
+             let oct = Compact.Label_oct.solve ~gamma:1.0 bg in
+             let mip = Compact.Label_mip.solve ~gamma:1.0 bg in
+             check tb "both optimal" true (oct.optimal && mip.optimal);
+             check ti "same semiperimeter"
+               (Compact.Types.semiperimeter oct)
+               (Compact.Types.semiperimeter mip))
+          [ e "(a & b) | c"; e "a ^ b ^ c"; e "(a | b) & (b | c) & (a | c)" ]);
+    Alcotest.test_case "mip never worse than heuristic" `Quick (fun () ->
+        List.iter
+          (fun gamma ->
+             let bg = graph_of_expr (e "(a ^ b) & (b ^ c) | (a & c)") in
+             let h = Compact.Label_heuristic.solve ~gamma bg in
+             let mip = Compact.Label_mip.solve ~gamma bg in
+             check tb "mip <= heuristic" true
+               (mip.objective <= h.objective +. 1e-9))
+          [ 0.0; 0.5; 1.0 ]);
+    Alcotest.test_case "mip trace records convergence" `Quick (fun () ->
+        let bg = graph_of_expr (e "(a ^ b) | c") in
+        let mip = Compact.Label_mip.solve ~gamma:0.5 bg in
+        check tb "has trace" true (mip.trace <> []));
+    qcheck_case "all solvers produce valid labelings" expr_gen (fun f ->
+        let bg = graph_of_expr f in
+        List.for_all
+          (fun labeling -> labeling_valid bg labeling)
+          [
+            Compact.Label_oct.solve bg;
+            Compact.Label_oct.greedy bg;
+            Compact.Label_mip.solve bg;
+            Compact.Label_heuristic.solve bg;
+          ]);
+    qcheck_case "oct-exact semiperimeter <= greedy" expr_gen (fun f ->
+        let bg = graph_of_expr f in
+        Compact.Types.semiperimeter (Compact.Label_oct.solve bg)
+        <= Compact.Types.semiperimeter (Compact.Label_oct.greedy bg));
+  ]
+
+let constrained_tests =
+  [
+    Alcotest.test_case "capacity constraints are honoured" `Quick (fun () ->
+        let bg = graph_of_expr (e "(a & b) | c") in
+        (* Unconstrained fig2 optimum is 3 rows x 2 cols; cap the rows. *)
+        let labeling =
+          Compact.Label_mip.solve ~alignment:true ~max_rows:3 ~max_cols:3 bg
+        in
+        check tb "rows" true (labeling.rows <= 3);
+        check tb "cols" true (labeling.cols <= 3);
+        check tb "valid" true (labeling_valid ~alignment:true bg labeling));
+    Alcotest.test_case "tight but feasible capacity found" `Quick (fun () ->
+        let bg = graph_of_expr (e "a ^ b ^ c") in
+        (* All-VH always fits in n x n. *)
+        let n = Compact.Preprocess.num_bdd_nodes bg in
+        let labeling = Compact.Label_mip.solve ~max_rows:n ~max_cols:n bg in
+        check tb "valid" true (labeling_valid bg labeling));
+    Alcotest.test_case "infeasible capacity reported" `Quick (fun () ->
+        let bg = graph_of_expr (e "(a & b) | c") in
+        (* 4 graph nodes can never fit on 1 wordline + 1 bitline. *)
+        check tb "raises" true
+          (match Compact.Label_mip.solve ~max_rows:1 ~max_cols:1 bg with
+           | exception Compact.Label_mip.Infeasible _ -> true
+           | _ -> false));
+    Alcotest.test_case "capacity can force a taller-thinner design" `Quick
+      (fun () ->
+         let bg = graph_of_expr (e "(a ^ b) | (b & c) | (a & c)") in
+         let free = Compact.Label_mip.solve ~gamma:0.5 bg in
+         let cap = max 1 (free.cols - 1) in
+         match Compact.Label_mip.solve ~gamma:0.5 ~max_cols:cap bg with
+         | labeling ->
+           check tb "cols capped" true (labeling.cols <= cap);
+           check tb "valid" true (labeling_valid bg labeling)
+         | exception Compact.Label_mip.Infeasible _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let balance_tests =
+  [
+    Alcotest.test_case "balances two free components" `Quick (fun () ->
+        (* Graph: two disjoint stars K1,3; without flipping, both centres
+           could land on the same side giving D = 6; balancing yields 4/4. *)
+        let g =
+          Graphs.Ugraph.of_edges ~n:8
+            [ 0, 1; 0, 2; 0, 3; 4, 5; 4, 6; 4, 7 ]
+        in
+        let bg =
+          {
+            Compact.Types.graph = g;
+            edge_literals = [];
+            terminal = 1;
+            roots = [];
+            node_names = Array.make 8 "x";
+          }
+        in
+        let transversal = Array.make 8 false in
+        let coloring = [| 0; 1; 1; 1; 0; 1; 1; 1 |] in
+        let labels = Compact.Balance.orient bg ~transversal ~coloring in
+        let rows =
+          Array.fold_left
+            (fun acc l ->
+               if l = Compact.Types.H || l = Compact.Types.VH then acc + 1
+               else acc)
+            0 labels
+        in
+        check ti "balanced rows" 4 rows);
+    Alcotest.test_case "invalid colouring rejected" `Quick (fun () ->
+        let g = Graphs.Ugraph.of_edges ~n:2 [ 0, 1 ] in
+        let bg =
+          {
+            Compact.Types.graph = g;
+            edge_literals = [];
+            terminal = 0;
+            roots = [];
+            node_names = Array.make 2 "x";
+          }
+        in
+        check tb "raises" true
+          (match
+             Compact.Balance.orient bg ~transversal:(Array.make 2 false)
+               ~coloring:[| 0; 0 |]
+           with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let mapping_tests =
+  [
+    Alcotest.test_case "design dimensions match the labeling" `Quick
+      (fun () ->
+         let bg = Lazy.force fig2_graph in
+         let labeling = Compact.Label_mip.solve ~alignment:true bg in
+         let design = Compact.Mapping.run bg labeling in
+         check ti "rows" labeling.rows (Crossbar.Design.rows design);
+         check ti "cols" (max labeling.cols 1) (Crossbar.Design.cols design));
+    Alcotest.test_case "every edge is programmed + one fuse per VH" `Quick
+      (fun () ->
+         let bg = Lazy.force fig2_graph in
+         let labeling = Compact.Label_mip.solve ~alignment:true bg in
+         let design = Compact.Mapping.run bg labeling in
+         check ti "literal junctions"
+           (List.length bg.edge_literals)
+           (Crossbar.Design.num_literal_junctions design);
+         check ti "fuses" labeling.vh_count
+           (Crossbar.Design.num_on_junctions design));
+    Alcotest.test_case "alignment places ports on rows" `Quick (fun () ->
+        let bg = graph_of_expr (e "(a & b) ^ c") in
+        let labeling = Compact.Label_mip.solve ~alignment:true bg in
+        let design = Compact.Mapping.run bg labeling in
+        (match Crossbar.Design.input design with
+         | Crossbar.Design.Row _ -> ()
+         | Crossbar.Design.Col _ -> Alcotest.fail "input on a bitline");
+        List.iter
+          (fun (_, w) ->
+             match w with
+             | Crossbar.Design.Row _ -> ()
+             | Crossbar.Design.Col _ -> Alcotest.fail "output on a bitline")
+          (Crossbar.Design.outputs design));
+    Alcotest.test_case "mismatched labeling rejected" `Quick (fun () ->
+        let bg = Lazy.force fig2_graph in
+        let other = graph_of_expr (e "a & b & c & a") in
+        let labeling = Compact.Label_mip.solve other in
+        check tb "raises" true
+          (match Compact.Mapping.run bg labeling with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let verify_expr f (r : Compact.Pipeline.result) =
+  let inputs = Logic.Expr.vars f in
+  if inputs = [] then true
+  else begin
+    let reference =
+      Logic.Truth_table.of_exprs ~inputs [ "f_out", f ]
+    in
+    Crossbar.Verify.against_table r.design ~reference = Crossbar.Verify.Ok
+  end
+
+let pipeline_tests =
+  [
+    Alcotest.test_case "fig2 report" `Quick (fun () ->
+        let r = Compact.Pipeline.synthesize_expr ~name:"f" (e "(a & b) | c") in
+        check ti "nodes" 4 r.report.bdd_nodes;
+        check ti "S" 5 r.report.semiperimeter;
+        check tb "optimal" true r.report.optimal);
+    Alcotest.test_case "multi-output synthesis verifies" `Quick (fun () ->
+        let nl = Circuits.Arith.ripple_adder ~bits:3 () in
+        let r = Compact.Pipeline.synthesize nl in
+        check tb "verified" true
+          (Crossbar.Verify.against_table r.design
+             ~reference:(Logic.Netlist.to_truth_table nl)
+           = Crossbar.Verify.Ok));
+    Alcotest.test_case "separate robdds merged design verifies" `Quick
+      (fun () ->
+         let nl = Circuits.Arith.ripple_adder ~bits:2 () in
+         let _, merged = Compact.Pipeline.synthesize_separate_robdds nl in
+         check tb "verified" true
+           (Crossbar.Verify.against_table merged
+              ~reference:(Logic.Netlist.to_truth_table nl)
+            = Crossbar.Verify.Ok));
+    Alcotest.test_case "constant outputs synthesise and verify" `Quick
+      (fun () ->
+         let nl =
+           Logic.Netlist.create ~name:"consts" ~inputs:[ "a" ]
+             ~outputs:[ "zero"; "one"; "id" ]
+             [
+               Logic.Netlist.n_expr "zero" Logic.Expr.fls;
+               Logic.Netlist.n_expr "one" Logic.Expr.tru;
+               Logic.Netlist.n_buf "id" "a";
+             ]
+         in
+         let r = Compact.Pipeline.synthesize nl in
+         check tb "verified" true
+           (Crossbar.Verify.against_table r.design
+              ~reference:(Logic.Netlist.to_truth_table nl)
+            = Crossbar.Verify.Ok));
+    Alcotest.test_case "every solver verifies on a decoder" `Quick (fun () ->
+        let nl = Circuits.Control.decoder ~select_bits:3 () in
+        let reference = Logic.Netlist.to_truth_table nl in
+        List.iter
+          (fun solver ->
+             let options =
+               { Compact.Pipeline.default_options with solver; time_limit = 5. }
+             in
+             let r = Compact.Pipeline.synthesize ~options nl in
+             check tb "verified" true
+               (Crossbar.Verify.against_table r.design ~reference
+                = Crossbar.Verify.Ok))
+          [
+            Compact.Pipeline.Oct_exact;
+            Compact.Pipeline.Oct_greedy;
+            Compact.Pipeline.Mip;
+            Compact.Pipeline.Heuristic;
+          ]);
+    Alcotest.test_case "gamma=1 semiperimeter is n + k (<= heuristics)" `Quick
+      (fun () ->
+         let nl = Circuits.Control.opcode_decoder () in
+         let options =
+           {
+             Compact.Pipeline.default_options with
+             gamma = 1.0;
+             solver = Compact.Pipeline.Oct_exact;
+             time_limit = 10.;
+           }
+         in
+         let r = Compact.Pipeline.synthesize ~options nl in
+         check ti "S = n + #VH"
+           (r.report.bdd_nodes + r.report.vh_count)
+           r.report.semiperimeter);
+    Alcotest.test_case "merge_diagonal shares one input row" `Quick
+      (fun () ->
+         let nl = Circuits.Arith.ripple_adder ~bits:2 () in
+         let results, merged =
+           Compact.Pipeline.synthesize_separate_robdds nl
+         in
+         let sum_rows =
+           List.fold_left
+             (fun acc (r : Compact.Pipeline.result) ->
+                acc + Crossbar.Design.rows r.design)
+             0 results
+         in
+         check ti "rows share input"
+           (sum_rows - List.length results + 1)
+           (Crossbar.Design.rows merged));
+    Alcotest.test_case "report gap is zero when optimal" `Quick (fun () ->
+        let r = Compact.Pipeline.synthesize_expr ~name:"g" (e "a ^ b ^ c") in
+        check tb "optimal" true r.report.optimal;
+        check (Alcotest.float 1e-9) "gap" 0. r.report.gap);
+    qcheck_case "pipeline output equals the function (all solvers)"
+      ~count:40 expr_gen
+      (fun f ->
+         let r = Compact.Pipeline.synthesize_expr ~name:"f" f in
+         verify_expr f r);
+    qcheck_case "unaligned synthesis also verifies" ~count:30 expr_gen
+      (fun f ->
+         let options =
+           { Compact.Pipeline.default_options with alignment = false }
+         in
+         let inputs = Logic.Expr.vars f in
+         if inputs = [] then true
+         else begin
+           let nl =
+             Logic.Netlist.create ~name:"u" ~inputs ~outputs:[ "f" ]
+               [ Logic.Netlist.n_expr "f" f ]
+           in
+           let r = Compact.Pipeline.synthesize ~options nl in
+           Crossbar.Verify.against_table r.design
+             ~reference:(Logic.Netlist.to_truth_table nl)
+           = Crossbar.Verify.Ok
+         end);
+  ]
+
+let metamorphic_tests =
+  [
+    qcheck_case "complement metamorphic: f and !f both verify" ~count:30
+      expr_gen
+      (fun f ->
+         verify_expr f (Compact.Pipeline.synthesize_expr ~name:"f" f)
+         && verify_expr (Logic.Expr.not_ f)
+              (Compact.Pipeline.synthesize_expr ~name:"f"
+                 (Logic.Expr.not_ f)));
+    qcheck_case "COMPACT never exceeds the staircase semiperimeter"
+      ~count:30 expr_gen
+      (fun f ->
+         let inputs = Logic.Expr.vars f in
+         if inputs = [] then true
+         else begin
+           let nl =
+             Logic.Netlist.create ~name:"m" ~inputs ~outputs:[ "f" ]
+               [ Logic.Netlist.n_expr "f" f ]
+           in
+           let compact = Compact.Pipeline.synthesize nl in
+           let stair = Baseline.Staircase.synthesize nl in
+           Crossbar.Design.semiperimeter compact.design
+           <= Crossbar.Design.semiperimeter stair.merged
+         end);
+    qcheck_case "duplicated output costs nothing extra" ~count:20 expr_gen
+      (fun f ->
+         (* Sharing: synthesising [f; f] equals synthesising [f] up to the
+            extra output port (same nodes, same semiperimeter). *)
+         let inputs = Logic.Expr.vars f in
+         if inputs = [] then true
+         else begin
+           let one =
+             Compact.Pipeline.synthesize
+               (Logic.Netlist.create ~name:"m1" ~inputs ~outputs:[ "f" ]
+                  [ Logic.Netlist.n_expr "f" f ])
+           in
+           let two =
+             Compact.Pipeline.synthesize
+               (Logic.Netlist.create ~name:"m2" ~inputs
+                  ~outputs:[ "f"; "g" ]
+                  [
+                    Logic.Netlist.n_expr "f" f; Logic.Netlist.n_buf "g" "f";
+                  ])
+           in
+           two.report.bdd_nodes = one.report.bdd_nodes
+         end);
+    qcheck_case "labels survive a mapping round trip" ~count:30 expr_gen
+      (fun f ->
+         (* The design's junction census must agree with the labeling. *)
+         let bg = graph_of_expr f in
+         let labeling = Compact.Label_heuristic.solve ~gamma:0.5 bg in
+         let design = Compact.Mapping.run bg labeling in
+         Crossbar.Design.num_on_junctions design = labeling.vh_count
+         && Crossbar.Design.num_literal_junctions design
+            = List.length bg.edge_literals);
+  ]
+
+let () =
+  Alcotest.run "compact"
+    [
+      "preprocess", preprocess_tests;
+      "types", types_tests;
+      "labeling", label_tests;
+      "constrained", constrained_tests;
+      "balance", balance_tests;
+      "mapping", mapping_tests;
+      "pipeline", pipeline_tests;
+      "metamorphic", metamorphic_tests;
+    ]

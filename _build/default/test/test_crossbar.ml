@@ -1,0 +1,347 @@
+(* Tests for the crossbar model: literals, designs, digital sneak-path
+   evaluation, functional verification and the analog solver. *)
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* The paper's Fig 2 crossbar for f = (a & b) | c, built by hand:
+     row 0 (output) - col 0: !a   col 1: a
+     row 1          - col 0: !b   col 1: 1 (fuse)
+     row 2 (input)  - col 0: c    col 1: b *)
+let fig2_design () =
+  let d =
+    Crossbar.Design.create ~rows:3 ~cols:2 ~input:(Crossbar.Design.Row 2)
+      ~outputs:[ "f", Crossbar.Design.Row 0 ]
+  in
+  Crossbar.Design.set d ~row:0 ~col:0 (Crossbar.Literal.Neg "a");
+  Crossbar.Design.set d ~row:0 ~col:1 (Crossbar.Literal.Pos "a");
+  Crossbar.Design.set d ~row:1 ~col:0 (Crossbar.Literal.Neg "b");
+  Crossbar.Design.set d ~row:1 ~col:1 Crossbar.Literal.On;
+  Crossbar.Design.set d ~row:2 ~col:0 (Crossbar.Literal.Pos "c");
+  Crossbar.Design.set d ~row:2 ~col:1 (Crossbar.Literal.Pos "b");
+  d
+
+let fig2_reference =
+  lazy
+    (Logic.Truth_table.of_exprs ~inputs:[ "a"; "b"; "c" ]
+       [ "f", Logic.Parse.expr "(a & b) | c" ])
+
+let literal_tests =
+  [
+    Alcotest.test_case "conducts" `Quick (fun () ->
+        let env v = v = "a" in
+        check tb "On" true (Crossbar.Literal.conducts Crossbar.Literal.On env);
+        check tb "Off" false (Crossbar.Literal.conducts Crossbar.Literal.Off env);
+        check tb "Pos a" true (Crossbar.Literal.conducts (Crossbar.Literal.Pos "a") env);
+        check tb "Neg a" false (Crossbar.Literal.conducts (Crossbar.Literal.Neg "a") env);
+        check tb "Pos b" false (Crossbar.Literal.conducts (Crossbar.Literal.Pos "b") env));
+    Alcotest.test_case "negate" `Quick (fun () ->
+        check tb "neg pos" true
+          (Crossbar.Literal.negate (Crossbar.Literal.Pos "x")
+           = Crossbar.Literal.Neg "x");
+        check tb "neg on" true
+          (Crossbar.Literal.negate Crossbar.Literal.On = Crossbar.Literal.Off));
+    Alcotest.test_case "to_string" `Quick (fun () ->
+        check Alcotest.string "neg" "!a"
+          (Crossbar.Literal.to_string (Crossbar.Literal.Neg "a"));
+        check Alcotest.string "on" "1"
+          (Crossbar.Literal.to_string Crossbar.Literal.On));
+  ]
+
+let design_tests =
+  [
+    Alcotest.test_case "metrics" `Quick (fun () ->
+        let d = fig2_design () in
+        check ti "rows" 3 (Crossbar.Design.rows d);
+        check ti "cols" 2 (Crossbar.Design.cols d);
+        check ti "S" 5 (Crossbar.Design.semiperimeter d);
+        check ti "D" 3 (Crossbar.Design.max_dimension d);
+        check ti "area" 6 (Crossbar.Design.area d);
+        check ti "programmed" 6 (Crossbar.Design.num_programmed d);
+        check ti "literals" 5 (Crossbar.Design.num_literal_junctions d);
+        check ti "fuses" 1 (Crossbar.Design.num_on_junctions d);
+        check ti "delay" 4 (Crossbar.Design.delay_steps d));
+    Alcotest.test_case "unset junction reads Off" `Quick (fun () ->
+        let d =
+          Crossbar.Design.create ~rows:2 ~cols:2 ~input:(Crossbar.Design.Row 1)
+            ~outputs:[]
+        in
+        check tb "off" true
+          (Crossbar.Design.get d ~row:0 ~col:0 = Crossbar.Literal.Off));
+    Alcotest.test_case "setting Off erases" `Quick (fun () ->
+        let d = fig2_design () in
+        Crossbar.Design.set d ~row:1 ~col:1 Crossbar.Literal.Off;
+        check ti "programmed" 5 (Crossbar.Design.num_programmed d));
+    Alcotest.test_case "variables sorted" `Quick (fun () ->
+        check Alcotest.(list string) "vars" [ "a"; "b"; "c" ]
+          (Crossbar.Design.variables (fig2_design ())));
+    Alcotest.test_case "out-of-range ports rejected" `Quick (fun () ->
+        check tb "raises" true
+          (match
+             Crossbar.Design.create ~rows:2 ~cols:2
+               ~input:(Crossbar.Design.Row 5) ~outputs:[]
+           with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+    Alcotest.test_case "iter_programmed row-major and complete" `Quick
+      (fun () ->
+         let d = fig2_design () in
+         let cells = ref [] in
+         Crossbar.Design.iter_programmed d (fun i j _ -> cells := (i, j) :: !cells);
+         let cells = List.rev !cells in
+         check ti "count" 6 (List.length cells);
+         check tb "sorted" true (List.sort compare cells = cells));
+  ]
+
+let eval_tests =
+  [
+    Alcotest.test_case "fig2 crossbar computes (a & b) | c" `Quick (fun () ->
+        match
+          Crossbar.Verify.against_table (fig2_design ())
+            ~reference:(Lazy.force fig2_reference)
+        with
+        | Crossbar.Verify.Ok -> ()
+        | Crossbar.Verify.Failed cex ->
+          Alcotest.failf "%a" Crossbar.Verify.pp_counterexample cex);
+    Alcotest.test_case "reachable_wires from the input" `Quick (fun () ->
+        let d = fig2_design () in
+        (* a=1 b=1 c=0: path IN(row2) -col1(b)- row1 -fuse- ... *)
+        let rows, cols = Crossbar.Eval.reachable_wires d (fun v -> v <> "c") in
+        check tb "row2" true rows.(2);
+        check tb "col1 via b" true cols.(1);
+        check tb "row0 via a" true rows.(0);
+        (* every junction on column 0 (!a, !b, c) is off here *)
+        check tb "col0 unreached" false cols.(0));
+    Alcotest.test_case "no stray conduction" `Quick (fun () ->
+        let d = fig2_design () in
+        (* a=1, b=0, c=0: f must be 0. *)
+        let out = Crossbar.Eval.evaluate d (fun v -> v = "a") in
+        check tb "f" false (List.assoc "f" out));
+    Alcotest.test_case "column ports work" `Quick (fun () ->
+        (* 1x1 crossbar: input row 0, output col 0, junction x. *)
+        let d =
+          Crossbar.Design.create ~rows:1 ~cols:1 ~input:(Crossbar.Design.Row 0)
+            ~outputs:[ "f", Crossbar.Design.Col 0 ]
+        in
+        Crossbar.Design.set d ~row:0 ~col:0 (Crossbar.Literal.Pos "x");
+        check tb "on" true
+          (List.assoc "f" (Crossbar.Eval.evaluate d (fun _ -> true)));
+        check tb "off" false
+          (List.assoc "f" (Crossbar.Eval.evaluate d (fun _ -> false))));
+    Alcotest.test_case "evaluator closure agrees with evaluate" `Quick
+      (fun () ->
+         let d = fig2_design () in
+         let eval = Crossbar.Eval.evaluator d in
+         for bits = 0 to 7 do
+           let env v =
+             match v with
+             | "a" -> bits land 1 <> 0
+             | "b" -> bits land 2 <> 0
+             | _ -> bits land 4 <> 0
+           in
+           check tb "agree" true (eval env = Crossbar.Eval.evaluate d env)
+         done);
+    Alcotest.test_case "evaluate_point positional" `Quick (fun () ->
+        let d = fig2_design () in
+        let out =
+          Crossbar.Eval.evaluate_point d ~input_names:[ "a"; "b"; "c" ]
+            [| true; true; false |]
+        in
+        check tb "f" true out.(0));
+  ]
+
+let verify_tests =
+  [
+    Alcotest.test_case "a corrupted design is caught" `Quick (fun () ->
+        let d = fig2_design () in
+        (* Break it: stuck-on junction creates a sneak path. *)
+        Crossbar.Design.set d ~row:2 ~col:0 Crossbar.Literal.On;
+        (match
+           Crossbar.Verify.against_table d ~reference:(Lazy.force fig2_reference)
+         with
+         | Crossbar.Verify.Ok -> Alcotest.fail "should have failed"
+         | Crossbar.Verify.Failed cex ->
+           check Alcotest.string "output" "f" cex.output;
+           check tb "direction" true (cex.got && not cex.expected)));
+    Alcotest.test_case "random verification catches the same bug" `Quick
+      (fun () ->
+         let d = fig2_design () in
+         Crossbar.Design.set d ~row:2 ~col:0 Crossbar.Literal.On;
+         let reference point =
+           [| (point.(0) && point.(1)) || point.(2) |]
+         in
+         match
+           Crossbar.Verify.random ~trials:200 d ~inputs:[ "a"; "b"; "c" ]
+             ~reference ~outputs:[ "f" ]
+         with
+         | Crossbar.Verify.Ok -> Alcotest.fail "should have failed"
+         | Crossbar.Verify.Failed _ -> ());
+    Alcotest.test_case "foreign design variable rejected" `Quick (fun () ->
+        let d = fig2_design () in
+        Crossbar.Design.set d ~row:0 ~col:0 (Crossbar.Literal.Pos "zz");
+        check tb "raises" true
+          (match
+             Crossbar.Verify.against_table d
+               ~reference:(Lazy.force fig2_reference)
+           with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+  ]
+
+let analog_tests =
+  [
+    Alcotest.test_case "single conducting path divides correctly" `Quick
+      (fun () ->
+         (* IN(row1) -On- col0 -On- row0(out): 2 memristors in series with
+            the sensing resistor: v_out = Rs / (Rs + 2*Ron). *)
+         let d =
+           Crossbar.Design.create ~rows:2 ~cols:1
+             ~input:(Crossbar.Design.Row 1)
+             ~outputs:[ "f", Crossbar.Design.Row 0 ]
+         in
+         Crossbar.Design.set d ~row:1 ~col:0 Crossbar.Literal.On;
+         Crossbar.Design.set d ~row:0 ~col:0 Crossbar.Literal.On;
+         let p = Crossbar.Analog.default_params in
+         let sol = Crossbar.Analog.solve ~params:p d (fun _ -> false) in
+         let expected = p.r_sense /. (p.r_sense +. (2. *. p.r_on)) in
+         check (Alcotest.float 1e-3) "v_out" expected sol.v_rows.(0));
+    Alcotest.test_case "blocked path stays near ground" `Quick (fun () ->
+        let d =
+          Crossbar.Design.create ~rows:2 ~cols:1
+            ~input:(Crossbar.Design.Row 1)
+            ~outputs:[ "f", Crossbar.Design.Row 0 ]
+        in
+        Crossbar.Design.set d ~row:1 ~col:0 Crossbar.Literal.On;
+        Crossbar.Design.set d ~row:0 ~col:0 (Crossbar.Literal.Pos "x");
+        let outputs =
+          Crossbar.Analog.read_outputs d (fun _ -> false)
+        in
+        (match outputs with
+         | [ ("f", logic, v) ] ->
+           check tb "logic 0" false logic;
+           check tb "tiny voltage" true (v < 0.001)
+         | _ -> Alcotest.fail "one output expected"));
+    Alcotest.test_case "fig2 analog agrees with digital everywhere" `Quick
+      (fun () ->
+         check tb "agrees" true
+           (Crossbar.Analog.agrees_with_digital ~trials:32 (fig2_design ())));
+    Alcotest.test_case "solver converges" `Quick (fun () ->
+        let sol = Crossbar.Analog.solve (fig2_design ()) (fun _ -> true) in
+        check tb "residual" true (sol.residual < 1e-8));
+  ]
+
+(* Random designs synthesised from random expressions must keep analog and
+   digital evaluation in agreement. *)
+let expr_gen =
+  let open QCheck2.Gen in
+  let var_names = [ "a"; "b"; "c" ] in
+  sized @@ fix (fun self n ->
+      if n <= 0 then map Logic.Expr.var (oneofl var_names)
+      else
+        frequency
+          [ 1, map Logic.Expr.var (oneofl var_names);
+            2, map Logic.Expr.not_ (self (n - 1));
+            2, map2 (fun a b -> Logic.Expr.and_ [ a; b ]) (self (n / 2)) (self (n / 2));
+            2, map2 (fun a b -> Logic.Expr.or_ [ a; b ]) (self (n / 2)) (self (n / 2)) ])
+
+let property_tests =
+  [
+    qcheck_case "synthesised designs verify exhaustively" ~count:40 expr_gen
+      (fun f ->
+         let r = Compact.Pipeline.synthesize_expr ~name:"prop" f in
+         let inputs = [ "a"; "b"; "c" ] in
+         let reference =
+           Logic.Truth_table.of_exprs ~inputs [ "prop_out", f ]
+         in
+         Crossbar.Verify.against_table r.design ~reference = Crossbar.Verify.Ok);
+    qcheck_case "analog agrees with digital on synthesised designs"
+      ~count:15 expr_gen
+      (fun f ->
+         let r = Compact.Pipeline.synthesize_expr ~name:"prop" f in
+         Crossbar.Analog.agrees_with_digital ~trials:8 r.design);
+  ]
+
+let fault_tests =
+  [
+    Alcotest.test_case "inject does not mutate the original" `Quick
+      (fun () ->
+         let d = fig2_design () in
+         let before = Crossbar.Design.num_programmed d in
+         let _faulty =
+           Crossbar.Fault.inject d [ Crossbar.Fault.Stuck_off (0, 0) ]
+         in
+         check ti "unchanged" before (Crossbar.Design.num_programmed d));
+    Alcotest.test_case "stuck-off removes the device" `Quick (fun () ->
+        let d = fig2_design () in
+        let faulty =
+          Crossbar.Fault.inject d [ Crossbar.Fault.Stuck_off (2, 0) ]
+        in
+        check tb "off" true
+          (Crossbar.Design.get faulty ~row:2 ~col:0 = Crossbar.Literal.Off));
+    Alcotest.test_case "stuck-off on the c junction kills c-paths" `Quick
+      (fun () ->
+         (* f = (a & b) | c with the c junction dead behaves as a & b. *)
+         let faulty =
+           Crossbar.Fault.inject (fig2_design ())
+             [ Crossbar.Fault.Stuck_off (2, 0) ]
+         in
+         let env v = v = "c" in
+         check tb "c alone no longer conducts" false
+           (List.assoc "f" (Crossbar.Eval.evaluate faulty env));
+         let env v = v = "a" || v = "b" in
+         check tb "a & b still works" true
+           (List.assoc "f" (Crossbar.Eval.evaluate faulty env)));
+    Alcotest.test_case "rate zero injects nothing" `Quick (fun () ->
+        check ti "none" 0
+          (List.length
+             (Crossbar.Fault.random_faults ~rate:0. (fig2_design ()))));
+    Alcotest.test_case "rate one faults every programmed device" `Quick
+      (fun () ->
+         let d = fig2_design () in
+         let programmed_faults =
+           List.filter
+             (fun f ->
+                match f with
+                | Crossbar.Fault.Stuck_on (r, c)
+                | Crossbar.Fault.Stuck_off (r, c) ->
+                  not
+                    (Crossbar.Literal.equal
+                       (Crossbar.Design.get d ~row:r ~col:c)
+                       Crossbar.Literal.Off))
+             (Crossbar.Fault.random_faults ~rate:1. d)
+         in
+         check ti "all sites" (Crossbar.Design.num_programmed d)
+           (List.length programmed_faults));
+    Alcotest.test_case "bad rate rejected" `Quick (fun () ->
+        check tb "raises" true
+          (match Crossbar.Fault.random_faults ~rate:2. (fig2_design ()) with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+    Alcotest.test_case "yield is 1 at rate 0 and degrades" `Quick (fun () ->
+        let d = fig2_design () in
+        let inputs = [ "a"; "b"; "c" ] in
+        let reference point = [| (point.(0) && point.(1)) || point.(2) |] in
+        let at rate =
+          (Crossbar.Fault.yield ~trials:30 ~rate d ~inputs ~reference
+             ~outputs:[ "f" ])
+            .yield
+        in
+        check (Alcotest.float 1e-9) "perfect" 1. (at 0.);
+        check tb "degrades" true (at 0.5 < 1.));
+  ]
+
+let () =
+  Alcotest.run "crossbar"
+    [
+      "literal", literal_tests;
+      "design", design_tests;
+      "eval", eval_tests;
+      "verify", verify_tests;
+      "analog", analog_tests;
+      "fault", fault_tests;
+      "properties", property_tests;
+    ]

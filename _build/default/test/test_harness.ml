@@ -1,0 +1,70 @@
+(* Tests for the experiment harness: table rendering and the smallest
+   end-to-end experiment paths. *)
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+let ts = Alcotest.string
+
+let table_tests =
+  [
+    Alcotest.test_case "render pads and aligns" `Quick (fun () ->
+        let out =
+          Harness.Table.render
+            ~columns:[ "name", Harness.Table.L; "n", Harness.Table.R ]
+            ~rows:[ [ "a"; "1" ]; [ "long"; "22" ] ]
+        in
+        let lines = String.split_on_char '\n' out in
+        check ti "4 lines" 4 (List.length lines);
+        (* all lines equal width *)
+        let widths = List.map String.length lines in
+        List.iter (fun w -> check ti "width" (List.hd widths) w) widths;
+        check tb "right aligned" true
+          (String.ends_with ~suffix:" 1" (List.nth lines 2)));
+    Alcotest.test_case "fmt helpers" `Quick (fun () ->
+        check ts "pct" "55%" (Harness.Table.fmt_pct 0.55);
+        check ts "small float" "0.123" (Harness.Table.fmt_f 0.1234);
+        check ts "large float" "123.5" (Harness.Table.fmt_f 123.454));
+  ]
+
+let tiny_config =
+  {
+    Harness.Experiments.time_limit = 0.5;
+    bdd_node_limit = 50_000;
+    max_graph_nodes = 2_000;
+    verify_designs = true;
+    anneal_budget = 0;
+  }
+
+let experiment_tests =
+  [
+    Alcotest.test_case "sbdd_of builds under the node limit" `Quick (fun () ->
+        match
+          Harness.Experiments.sbdd_of tiny_config (Circuits.Suite.find "ctrl")
+        with
+        | Some sbdd -> check tb "nonempty" true (Bdd.Sbdd.size sbdd > 0)
+        | None -> Alcotest.fail "ctrl must fit");
+    Alcotest.test_case "sbdd_of respects the node limit" `Quick (fun () ->
+        let starved = { tiny_config with bdd_node_limit = 4 } in
+        check tb "rejected" true
+          (Harness.Experiments.sbdd_of starved (Circuits.Suite.find "cavlc")
+           = None));
+    Alcotest.test_case "fig11 gaps lie in [0, 1]" `Quick (fun () ->
+        let gaps = Harness.Experiments.fig11 tiny_config in
+        List.iter
+          (fun (_, gap) -> check tb "range" true (gap >= 0. && gap <= 1.))
+          gaps);
+    Alcotest.test_case "fig13 covers only EPFL circuits" `Quick (fun () ->
+        let data = Harness.Experiments.fig13 tiny_config in
+        List.iter
+          (fun (name, power, delay) ->
+             check tb "epfl" true
+               ((Circuits.Suite.find name).category
+                = Circuits.Suite.Epfl_control);
+             check tb "positive" true (power > 0. && delay > 0.))
+          data);
+  ]
+
+let () =
+  Alcotest.run "harness"
+    [ "table", table_tests; "experiments", experiment_tests ]

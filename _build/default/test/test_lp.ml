@@ -1,0 +1,236 @@
+(* Tests for the dense two-phase simplex and the LP model builder. *)
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let tf = Alcotest.float 1e-6
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let solve_min ~a ~rel ~b ~c = Lp.Simplex.minimize ~a ~rel ~b ~c
+let solve_max ~a ~rel ~b ~c = Lp.Simplex.maximize ~a ~rel ~b ~c
+
+let expect_optimal = function
+  | Lp.Simplex.Optimal { objective; solution } -> objective, solution
+  | Lp.Simplex.Infeasible -> Alcotest.fail "unexpected: infeasible"
+  | Lp.Simplex.Unbounded -> Alcotest.fail "unexpected: unbounded"
+
+let simplex_tests =
+  [
+    Alcotest.test_case "textbook maximum" `Quick (fun () ->
+        (* max 3x + 2y st x+y<=4, x+3y<=6 -> (4, 0), 12 *)
+        let obj, sol =
+          expect_optimal
+            (solve_max
+               ~a:[| [| 1.; 1. |]; [| 1.; 3. |] |]
+               ~rel:[| Lp.Simplex.Le; Lp.Simplex.Le |]
+               ~b:[| 4.; 6. |] ~c:[| 3.; 2. |])
+        in
+        check tf "obj" 12. obj;
+        check tf "x" 4. sol.(0);
+        check tf "y" 0. sol.(1));
+    Alcotest.test_case "equality and >= constraints" `Quick (fun () ->
+        (* min x+y st x+y>=2, x-y=1 -> (1.5, 0.5) *)
+        let obj, sol =
+          expect_optimal
+            (solve_min
+               ~a:[| [| 1.; 1. |]; [| 1.; -1. |] |]
+               ~rel:[| Lp.Simplex.Ge; Lp.Simplex.Eq |]
+               ~b:[| 2.; 1. |] ~c:[| 1.; 1. |])
+        in
+        check tf "obj" 2. obj;
+        check tf "x" 1.5 sol.(0);
+        check tf "y" 0.5 sol.(1));
+    Alcotest.test_case "negative rhs normalisation" `Quick (fun () ->
+        (* min x st -x <= -3  (i.e. x >= 3) *)
+        let obj, _ =
+          expect_optimal
+            (solve_min ~a:[| [| -1. |] |] ~rel:[| Lp.Simplex.Le |]
+               ~b:[| -3. |] ~c:[| 1. |])
+        in
+        check tf "obj" 3. obj);
+    Alcotest.test_case "infeasible detected" `Quick (fun () ->
+        check tb "infeasible" true
+          (solve_min
+             ~a:[| [| 1. |]; [| 1. |] |]
+             ~rel:[| Lp.Simplex.Le; Lp.Simplex.Ge |]
+             ~b:[| 1.; 2. |] ~c:[| 1. |]
+           = Lp.Simplex.Infeasible));
+    Alcotest.test_case "unbounded detected" `Quick (fun () ->
+        check tb "unbounded" true
+          (solve_max ~a:[||] ~rel:[||] ~b:[||] ~c:[| 1. |]
+           = Lp.Simplex.Unbounded));
+    Alcotest.test_case "degenerate LP terminates (Bland)" `Quick (fun () ->
+        (* Classic Beale cycling example; Bland's rule must terminate. *)
+        let a =
+          [|
+            [| 0.25; -8.; -1.; 9. |];
+            [| 0.5; -12.; -0.5; 3. |];
+            [| 0.; 0.; 1.; 0. |];
+          |]
+        in
+        let obj, _ =
+          expect_optimal
+            (solve_min ~a
+               ~rel:[| Lp.Simplex.Le; Lp.Simplex.Le; Lp.Simplex.Le |]
+               ~b:[| 0.; 0.; 1. |]
+               ~c:[| -0.75; 150.; -0.02; 6. |])
+        in
+        check tf "obj" (-0.77) obj);
+    Alcotest.test_case "redundant equality rows" `Quick (fun () ->
+        (* x = 1 stated twice. *)
+        let obj, _ =
+          expect_optimal
+            (solve_min
+               ~a:[| [| 1. |]; [| 1. |] |]
+               ~rel:[| Lp.Simplex.Eq; Lp.Simplex.Eq |]
+               ~b:[| 1.; 1. |] ~c:[| 1. |])
+        in
+        check tf "obj" 1. obj);
+    Alcotest.test_case "dimension mismatch rejected" `Quick (fun () ->
+        check tb "raises" true
+          (match
+             solve_min ~a:[| [| 1. |] |] ~rel:[||] ~b:[| 1. |] ~c:[| 1. |]
+           with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+  ]
+
+(* Random LPs: minimise a random cost over { x in [0,1]^n : random ≤ cuts }.
+   The box keeps everything bounded; feasibility of x = 0 is ensured by
+   using non-negative rhs. *)
+let lp_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 4 in
+    let* m = int_range 1 4 in
+    let coeff = map (fun k -> float_of_int (k - 3)) (int_bound 6) in
+    let* rows = list_repeat m (list_repeat n coeff) in
+    let* rhs = list_repeat m (map float_of_int (int_bound 5)) in
+    let* c = list_repeat n coeff in
+    return (n, rows, rhs, c))
+
+let build_lp (n, rows, rhs, c) =
+  let m = List.length rows in
+  let a = Array.make_matrix (m + 2 * n) n 0. in
+  let rel = Array.make (m + 2 * n) Lp.Simplex.Le in
+  let b = Array.make (m + 2 * n) 0. in
+  List.iteri
+    (fun i row ->
+       List.iteri (fun j v -> a.(i).(j) <- v) row;
+       b.(i) <- List.nth rhs i)
+    rows;
+  (* box: x_j <= 1 (lower bound 0 is implicit) *)
+  for j = 0 to n - 1 do
+    a.(m + j).(j) <- 1.;
+    b.(m + j) <- 1.
+  done;
+  (* filler rows x_j <= 1 again to keep shape simple *)
+  for j = 0 to n - 1 do
+    a.(m + n + j).(j) <- 1.;
+    b.(m + n + j) <- 1.
+  done;
+  a, rel, b, Array.of_list c
+
+let feasible (a, rel, b) x =
+  let m = Array.length b in
+  let ok = ref true in
+  for i = 0 to m - 1 do
+    let lhs = ref 0. in
+    Array.iteri (fun j v -> lhs := !lhs +. (v *. x.(j))) a.(i);
+    (match rel.(i) with
+     | Lp.Simplex.Le -> if !lhs > b.(i) +. 1e-6 then ok := false
+     | Lp.Simplex.Ge -> if !lhs < b.(i) -. 1e-6 then ok := false
+     | Lp.Simplex.Eq -> if abs_float (!lhs -. b.(i)) > 1e-6 then ok := false)
+  done;
+  Array.iter (fun v -> if v < -1e-9 then ok := false) x;
+  !ok
+
+let simplex_property_tests =
+  [
+    qcheck_case "solution is feasible and objective consistent" ~count:200
+      lp_gen
+      (fun spec ->
+         let a, rel, b, c = build_lp spec in
+         match Lp.Simplex.minimize ~a ~rel ~b ~c with
+         | Lp.Simplex.Unbounded -> false (* box-bounded: impossible *)
+         | Lp.Simplex.Infeasible ->
+           (* x = 0 is feasible whenever all rhs are >= 0, which holds by
+              construction. *)
+           not (feasible (a, rel, b) (Array.make (Array.length c) 0.))
+         | Lp.Simplex.Optimal { objective; solution } ->
+           feasible (a, rel, b) solution
+           &&
+           let recomputed = ref 0. in
+           Array.iteri
+             (fun j v -> recomputed := !recomputed +. (v *. solution.(j)))
+             c;
+           abs_float (!recomputed -. objective) < 1e-6);
+    qcheck_case "no sampled corner beats the optimum" ~count:200 lp_gen
+      (fun spec ->
+         let a, rel, b, c = build_lp spec in
+         match Lp.Simplex.minimize ~a ~rel ~b ~c with
+         | Lp.Simplex.Unbounded | Lp.Simplex.Infeasible -> true
+         | Lp.Simplex.Optimal { objective; _ } ->
+           (* Enumerate the 0/1 corners of the box that are feasible; none
+              may have a smaller objective. *)
+           let n = Array.length c in
+           let ok = ref true in
+           for mask = 0 to (1 lsl n) - 1 do
+             let x =
+               Array.init n (fun j ->
+                   if mask land (1 lsl j) <> 0 then 1. else 0.)
+             in
+             if feasible (a, rel, b) x then begin
+               let v = ref 0. in
+               Array.iteri (fun j cj -> v := !v +. (cj *. x.(j))) c;
+               if !v < objective -. 1e-6 then ok := false
+             end
+           done;
+           !ok);
+  ]
+
+let problem_tests =
+  [
+    Alcotest.test_case "builder with upper bounds" `Quick (fun () ->
+        let p = Lp.Problem.create () in
+        let x = Lp.Problem.add_var ~ub:2. p "x" in
+        let y = Lp.Problem.add_var p "y" in
+        Lp.Problem.add_constraint p [ (1., x); (1., y) ] Lp.Simplex.Le 10.;
+        Lp.Problem.set_objective p ~sense:`Maximize [ (3., x); (1., y) ];
+        (match Lp.Problem.solve_relaxation p with
+         | Lp.Simplex.Optimal { objective; solution } ->
+           (* x capped at 2, y fills the rest: 3*2 + 8 = 14. *)
+           check tf "obj" 14. objective;
+           check tf "x" 2. solution.((x :> int))
+         | _ -> Alcotest.fail "expected optimal"));
+    Alcotest.test_case "bound overrides" `Quick (fun () ->
+        let p = Lp.Problem.create () in
+        let x = Lp.Problem.add_var ~ub:5. p "x" in
+        Lp.Problem.set_objective p ~sense:`Maximize [ (1., x) ];
+        (match Lp.Problem.solve_relaxation ~bounds:[ x, 1., 3. ] p with
+         | Lp.Simplex.Optimal { objective; _ } -> check tf "obj" 3. objective
+         | _ -> Alcotest.fail "expected optimal"));
+    Alcotest.test_case "metadata" `Quick (fun () ->
+        let p = Lp.Problem.create () in
+        let x = Lp.Problem.add_binary p "x" in
+        let _y = Lp.Problem.add_var p "y" in
+        check Alcotest.int "vars" 2 (Lp.Problem.num_vars p);
+        check tb "x integer" true (Lp.Problem.is_integer p x);
+        check Alcotest.string "name" "x" (Lp.Problem.var_name p x);
+        check Alcotest.int "one integer var" 1
+          (List.length (Lp.Problem.integer_vars p)));
+    Alcotest.test_case "objective_value" `Quick (fun () ->
+        let p = Lp.Problem.create () in
+        let x = Lp.Problem.add_var p "x" in
+        let y = Lp.Problem.add_var p "y" in
+        Lp.Problem.set_objective p ~sense:`Minimize [ (2., x); (-1., y) ];
+        check tf "value" 3. (Lp.Problem.objective_value p [| 2.; 1. |]));
+  ]
+
+let () =
+  Alcotest.run "lp"
+    [
+      "simplex", simplex_tests;
+      "simplex-properties", simplex_property_tests;
+      "problem", problem_tests;
+    ]
