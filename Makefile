@@ -1,0 +1,25 @@
+.PHONY: all test examples bench smoke ci clean
+
+all:
+	dune build
+
+test:
+	dune runtest
+
+examples:
+	dune build @examples
+
+bench:
+	dune build @bench
+
+smoke:
+	dune build @smoke
+
+ci:
+	dune build
+	dune build @examples @bench
+	dune runtest
+	dune build @smoke
+
+clean:
+	dune clean

@@ -328,6 +328,196 @@ let export_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* Defect-aware repair *)
+
+let defects_of_file file =
+  match Crossbar.Defect_map.parse_file file with
+  | map -> Ok map
+  | exception Failure msg -> Error (`Msg (file ^ ": " ^ msg))
+  | exception Invalid_argument msg -> Error (`Msg (file ^ ": " ^ msg))
+  | exception Sys_error msg -> Error (`Msg msg)
+
+let repair_run source options defects_file grid =
+  Result.bind (defects_of_file defects_file) @@ fun defects ->
+  let nl = netlist_of_source source in
+  match Compact.Pipeline.repair ~options ~defects nl with
+  | { base; repair } ->
+    Format.printf "%a@." Compact.Report.pp base.report;
+    Format.printf "array: %a@." Crossbar.Defect_map.pp defects;
+    Format.printf "%a@." Compact.Repair.pp repair;
+    (match repair.outcome with
+     | Compact.Repair.Repaired { design; _ } ->
+       if grid then Format.printf "%a@." Crossbar.Design.pp design;
+       Ok ()
+     | Compact.Repair.Degraded { correct; failed; _ } ->
+       Error
+         (`Msg
+            (Printf.sprintf "degraded: %d output(s) lost, %d survive"
+               (List.length failed) (List.length correct)))
+     | Compact.Repair.Unplaceable msg -> Error (`Msg ("unplaceable: " ^ msg)))
+  | exception Compact.Label_mip.Infeasible msg ->
+    Error (`Msg ("design constraints are infeasible: " ^ msg))
+
+let repair_cmd =
+  let defects =
+    Arg.(required & opt (some file) None
+         & info [ "d"; "defects" ] ~docv:"FILE"
+             ~doc:"Defect map of the physical array (see DESIGN.md for the \
+                   text format).")
+  in
+  let term =
+    Term.(
+      term_result
+        (const repair_run $ source_term $ options_term $ defects $ print_grid))
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:"Synthesise and fit the design onto a faulty crossbar array")
+    term
+
+(* ------------------------------------------------------------------ *)
+
+let yield_single base nl defects verify_trials seed =
+  let open Compact in
+  match
+    Place.find ~use_spares:true ~respect_faults:false defects
+      base.Pipeline.design
+  with
+  | None -> Error (`Msg "design does not fit the array's healthy lines")
+  | Some pl ->
+    let phys = Place.apply defects pl base.Pipeline.design in
+    let results =
+      Crossbar.Verify.per_output ~seed ~trials:verify_trials phys
+        ~inputs:nl.Logic.Netlist.inputs
+        ~reference:(Logic.Netlist.eval_point nl)
+        ~outputs:nl.Logic.Netlist.outputs
+    in
+    Format.printf "array: %a@." Crossbar.Defect_map.pp defects;
+    List.iter
+      (fun (o, cex) ->
+         match cex with
+         | None -> Format.printf "  %-16s ok@." o
+         | Some c ->
+           Format.printf "  %-16s FAIL  %a@." o
+             Crossbar.Verify.pp_counterexample c)
+      results;
+    let ok = List.length (List.filter (fun (_, c) -> c = None) results) in
+    Format.printf "%d/%d outputs survive without repair@." ok
+      (List.length results);
+    Ok ()
+
+let yield_monte_carlo base nl rate line_rate spare_rows spare_cols trials seed
+  =
+  let open Compact in
+  let rows = Crossbar.Design.rows base.Pipeline.design + spare_rows in
+  let cols = Crossbar.Design.cols base.Pipeline.design + spare_cols in
+  let inputs = nl.Logic.Netlist.inputs and outputs = nl.Logic.Netlist.outputs in
+  let reference = Logic.Netlist.eval_point nl in
+  let permutation = ref 0
+  and spares = ref 0
+  and unconstrained = ref 0
+  and degraded = ref 0
+  and unplaceable = ref 0 in
+  for k = 1 to trials do
+    let map =
+      Crossbar.Defect_map.random
+        ~seed:(Hashtbl.hash (seed, k))
+        ~line_rate ~spare_rows ~spare_cols ~rate ~rows ~cols ()
+    in
+    (* No resynthesis rung: one synthesis per trial would dominate the
+       Monte-Carlo loop, and the estimate is for the placement ladder. *)
+    let rep =
+      Repair.run ~seed:(Hashtbl.hash (seed, k, `Verify)) ~defects:map ~inputs
+        ~outputs ~reference base.Pipeline.design
+    in
+    match rep.Repair.outcome with
+    | Repair.Repaired { strategy = Repair.Permutation; _ } -> incr permutation
+    | Repair.Repaired { strategy = Repair.Spares; _ } -> incr spares
+    | Repair.Repaired { strategy = Repair.Resynthesis; _ }
+    | Repair.Repaired { strategy = Repair.Unconstrained; _ } ->
+      incr unconstrained
+    | Repair.Degraded _ -> incr degraded
+    | Repair.Unplaceable _ -> incr unplaceable
+  done;
+  let repaired = !permutation + !spares + !unconstrained in
+  Format.printf
+    "@[<v>%d arrays of %dx%d at device fault rate %g (line rate %g):@,\
+     repaired: %d (permutation %d, spares %d, faults masked %d)@,\
+     degraded: %d, unplaceable: %d@,\
+     yield with repair: %.1f%%@]@."
+    trials rows cols rate line_rate repaired !permutation !spares
+    !unconstrained !degraded !unplaceable
+    (100. *. float_of_int repaired /. float_of_int (max 1 trials));
+  Ok ()
+
+let yield_run source options defects_file rate line_rate spare_rows spare_cols
+    trials seed =
+  if rate < 0. || rate > 1. then Error (`Msg "--rate must lie in [0, 1]")
+  else if line_rate < 0. || line_rate > 1. then
+    Error (`Msg "--line-rate must lie in [0, 1]")
+  else if spare_rows < 0 || spare_cols < 0 then
+    Error (`Msg "spare counts cannot be negative")
+  else
+  let nl = netlist_of_source source in
+  match Compact.Pipeline.synthesize ~options nl with
+  | exception Compact.Label_mip.Infeasible msg ->
+    Error (`Msg ("design constraints are infeasible: " ^ msg))
+  | base ->
+    Format.printf "%a@." Compact.Report.pp base.report;
+    (match defects_file with
+     | Some file ->
+       Result.bind (defects_of_file file) @@ fun defects ->
+       yield_single base nl defects 256 seed
+     | None ->
+       yield_monte_carlo base nl rate line_rate spare_rows spare_cols trials
+         seed)
+
+let yield_cmd =
+  let defects =
+    Arg.(value & opt (some file) None
+         & info [ "d"; "defects" ] ~docv:"FILE"
+             ~doc:"Judge one concrete defect map (per-output survival, no \
+                   repair) instead of the Monte-Carlo sweep.")
+  in
+  let rate =
+    Arg.(value & opt float 0.02
+         & info [ "rate" ] ~docv:"P"
+             ~doc:"Per-junction fault probability for random arrays.")
+  in
+  let line_rate =
+    Arg.(value & opt float 0.
+         & info [ "line-rate" ] ~docv:"P"
+             ~doc:"Per-line broken-wire probability for random arrays.")
+  in
+  let spare_rows =
+    Arg.(value & opt int 1
+         & info [ "spare-rows" ] ~docv:"N"
+             ~doc:"Spare wordlines added to the random arrays.")
+  in
+  let spare_cols =
+    Arg.(value & opt int 1
+         & info [ "spare-cols" ] ~docv:"N" ~doc:"Spare bitlines.")
+  in
+  let trials =
+    Arg.(value & opt int 100
+         & info [ "trials" ] ~docv:"N" ~doc:"Random arrays to draw.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const yield_run $ source_term $ options_term $ defects $ rate
+         $ line_rate $ spare_rows $ spare_cols $ trials $ seed))
+  in
+  Cmd.v
+    (Cmd.info "yield"
+       ~doc:"Estimate repair yield over random faulty arrays, or judge one \
+             defect map")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let experiments_run quick targets =
   let config =
@@ -349,6 +539,7 @@ let experiments_run quick targets =
           | "fig11" -> ignore (Harness.Experiments.fig11 config)
           | "fig12" -> ignore (Harness.Experiments.fig12 config)
           | "fig13" -> ignore (Harness.Experiments.fig13 config)
+          | "robustness" -> ignore (Harness.Experiments.robustness config)
           | t -> Format.printf "unknown experiment %s@." t)
        ts);
   Ok ()
@@ -377,5 +568,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ synth_cmd; sweep_cmd; validate_cmd; suite_cmd; export_cmd;
-            experiments_cmd ]))
+          [ synth_cmd; sweep_cmd; validate_cmd; repair_cmd; yield_cmd;
+            suite_cmd; export_cmd; experiments_cmd ]))

@@ -41,9 +41,32 @@ let () =
   List.iter
     (fun rate ->
        let report =
-         Crossbar.Fault.yield ~trials:60 ~rate result.design ~inputs
+         Crossbar.Fault.yield ~seed:1 ~trials:60 ~rate result.design ~inputs
            ~reference ~outputs
        in
        Format.printf "  rate %5.2f%%: %a@." (100. *. rate)
          Crossbar.Fault.pp_yield report)
-    [ 0.0; 0.001; 0.005; 0.01; 0.02; 0.05 ]
+    [ 0.0; 0.001; 0.005; 0.01; 0.02; 0.05 ];
+
+  (* Repair: the same design placed onto a concrete faulty array. The
+     fault-oblivious placement breaks, the repair ladder recovers it. *)
+  Format.printf "@.Defect-aware repair on a faulty %dx%d array:@."
+    (Crossbar.Design.rows result.design + 1)
+    (Crossbar.Design.cols result.design + 1);
+  let target = ref None in
+  Crossbar.Design.iter_programmed result.design (fun row col lit ->
+      if !target = None && not (Crossbar.Literal.equal lit Crossbar.Literal.On)
+      then target := Some (row, col));
+  let row, col = Option.get !target in
+  let map =
+    Crossbar.Defect_map.create
+      ~rows:(Crossbar.Design.rows result.design + 1)
+      ~cols:(Crossbar.Design.cols result.design + 1)
+      ~spare_rows:1 ~spare_cols:1
+      [ Crossbar.Fault.Stuck_off (row, col) ]
+  in
+  Format.printf "array: %a@." Crossbar.Defect_map.pp map;
+  let rep =
+    Compact.Repair.run ~defects:map ~inputs ~outputs ~reference result.design
+  in
+  Format.printf "%a@." Compact.Repair.pp rep

@@ -32,20 +32,21 @@ type result = {
   report : Report.t;
 }
 
-let run_labeler options bg =
+let solver_name = function
+  | Oct_exact -> "oct"
+  | Oct_greedy -> "oct-greedy"
+  | Mip -> "mip"
+  | Heuristic -> "heuristic"
+  | Auto -> "auto"
+
+(* The watchdog measures rungs on the monotonic clock: gettimeofday can
+   jump under NTP adjustment, and a labeling budget that silently
+   stretches (or a fallback that fires spuriously) is exactly what the
+   watchdog exists to prevent. *)
+let monotonic_now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let run_one options bg solver =
   let { gamma; alignment; time_limit; max_rows; max_cols; _ } = options in
-  let constrained = max_rows <> None || max_cols <> None in
-  let solver =
-    (* Capacity constraints are only expressible in the MIP. *)
-    if constrained then Mip
-    else
-      match options.solver with
-      | Auto ->
-        if Graphs.Ugraph.num_nodes bg.Types.graph <= mip_node_threshold then
-          Mip
-        else Heuristic
-      | s -> s
-  in
   match solver with
   | Oct_exact -> Label_oct.solve ~time_limit ~alignment ~gamma bg
   | Oct_greedy -> Label_oct.greedy ~alignment ~gamma bg
@@ -66,14 +67,57 @@ let run_labeler options bg =
       ~warm_start:warm ~oct_cut ?max_rows ?max_cols bg
   | Auto -> assert false
 
+(* Returns the labeling together with the path of solver rungs attempted.
+   Under [Auto] a watchdog ladder applies: a rung whose labeling is not
+   proven optimal and whose wall time reached the budget has merely
+   returned its best-so-far incumbent ("partial"), so the next cheaper
+   rung runs instead; [Oct_greedy], the terminal rung, has no internal
+   budget and always completes. A rung that raises (other than the last)
+   also falls through. Explicitly chosen solvers run exactly once — the
+   user asked for that method and a substitution would be silent — and
+   capacity-constrained runs always use the MIP, the only formulation
+   that can express them. *)
+let run_labeler options bg =
+  let { time_limit; max_rows; max_cols; _ } = options in
+  let constrained = max_rows <> None || max_cols <> None in
+  if constrained then run_one options bg Mip, [ solver_name Mip ]
+  else
+    match options.solver with
+    | (Oct_exact | Oct_greedy | Mip | Heuristic) as s ->
+      run_one options bg s, [ solver_name s ]
+    | Auto ->
+      let primary =
+        if Graphs.Ugraph.num_nodes bg.Types.graph <= mip_node_threshold then
+          Mip
+        else Heuristic
+      in
+      let ladder =
+        primary :: List.filter (fun s -> s <> primary) [ Heuristic; Oct_greedy ]
+      in
+      let rec attempt path = function
+        | [] -> assert false
+        | [ last ] ->
+          run_one options bg last, List.rev (solver_name last :: path)
+        | s :: rest ->
+          let start = monotonic_now () in
+          (match run_one options bg s with
+           | labeling ->
+             let elapsed = monotonic_now () -. start in
+             if labeling.Types.optimal || elapsed < time_limit then
+               labeling, List.rev (solver_name s :: path)
+             else attempt (solver_name s :: path) rest
+           | exception _ -> attempt (solver_name s :: path) rest)
+      in
+      attempt [] ladder
+
 let synthesize_graph ?(options = default_options) ~name bg =
   let start = Unix.gettimeofday () in
-  let labeling = run_labeler options bg in
+  let labeling, solver_path = run_labeler options bg in
   let design = Mapping.run bg labeling in
   let synthesis_time = Unix.gettimeofday () -. start in
   let report =
-    Report.of_design ~circuit:name ~bdd_graph:bg ~labeling ~synthesis_time
-      design
+    Report.of_design ~solver_path ~circuit:name ~bdd_graph:bg ~labeling
+      ~synthesis_time design
   in
   { design; labeling; bdd_graph = bg; report }
 
@@ -178,3 +222,30 @@ let synthesize_separate_robdds ?(options = default_options) netlist =
       sbdds
   in
   results, merge_diagonal (List.map (fun r -> r.design) results)
+
+(* ------------------------------------------------------------------ *)
+(* Defect-aware repair *)
+
+type repair_result = { base : result; repair : Repair.report }
+
+let repair ?(options = default_options) ~defects netlist =
+  let base = synthesize ~options netlist in
+  (* The resynthesis rung of the ladder: re-label under hard capacity
+     constraints so the new geometry dodges the offending devices. *)
+  let resynthesize ~max_rows ~max_cols =
+    match
+      synthesize
+        ~options:
+          { options with max_rows = Some max_rows; max_cols = Some max_cols }
+        netlist
+    with
+    | r -> Some r.design
+    | exception Label_mip.Infeasible _ -> None
+  in
+  let repair =
+    Repair.run ~resynthesize ~defects ~inputs:netlist.Logic.Netlist.inputs
+      ~outputs:netlist.Logic.Netlist.outputs
+      ~reference:(Logic.Netlist.eval_point netlist)
+      base.design
+  in
+  { base; repair }

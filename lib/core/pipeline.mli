@@ -15,7 +15,17 @@ type options = {
   gamma : float;  (** objective weight (default 0.5, §VIII-A) *)
   solver : solver;  (** default [Auto] *)
   alignment : bool;  (** Eq 7 port alignment (default true, §VIII) *)
-  time_limit : float;  (** labeling budget in seconds (default 60) *)
+  time_limit : float;
+      (** labeling budget in seconds (default 60). Under [Auto] a
+          monotonic-clock watchdog guards the budget: a rung that spends
+          it without an optimality proof has only a best-so-far partial
+          incumbent, which is discarded in favour of the next cheaper
+          method (primary → [Heuristic] → [Oct_greedy]; the last always
+          completes). Each rung gets the full budget, so the worst case
+          is a small multiple of [time_limit]. Explicit solver choices
+          and capacity-constrained runs are exempt — substituting a
+          different method there would be silent. The rungs attempted
+          are recorded in {!Report.t.solver_path}. *)
   bdd_node_limit : int;  (** abort threshold for BDD construction *)
   order : string list option;  (** variable order (default: heuristic) *)
   max_rows : int option;
@@ -60,3 +70,21 @@ val merge_diagonal : Crossbar.Design.t list -> Crossbar.Design.t
     input wordlines into one shared bottom row (the paper's Fig 8(a)).
     @raise Invalid_argument if a design's input is not a [Row], or on an
     empty list. *)
+
+type repair_result = {
+  base : result;  (** the unconstrained synthesis the repair starts from *)
+  repair : Repair.report;
+}
+
+val repair :
+  ?options:options ->
+  defects:Crossbar.Defect_map.t ->
+  Logic.Netlist.t ->
+  repair_result
+(** Synthesise [netlist] and climb the {!Repair} escalation ladder to
+    fit the design onto the faulty array [defects]: permutation
+    placement, spare consumption, capacity-constrained resynthesis, and
+    finally a per-output graceful-degradation report. Every accepted
+    design is functionally verified — the result is never silently
+    wrong.
+    @raise Bdd.Manager.Size_limit as {!synthesize}. *)

@@ -1,0 +1,50 @@
+(** Defect-aware placement: permute a logical design's wordlines and
+    bitlines onto the healthy lines of a physical array.
+
+    A placement is feasible when every programmed junction of the design
+    lands on a device that can realise its literal and every unprogrammed
+    junction avoids stuck-on devices ({!Crossbar.Defect_map.admits}), and
+    no group of unused (spare) lines bridges two used lines through
+    stuck-on devices — the sneak-path hazard of partially used arrays.
+
+    The search runs three stages: the order-preserving placement (the
+    identity on a defect-free array), an alternating bipartite-matching
+    fixpoint (rows matched under the current column placement via
+    {!Graphs.Matching.perfect_bipartite}, then columns under the new row
+    placement), and a bounded backtracking fallback over row assignments
+    with an exact column matching at each leaf. *)
+
+type t = {
+  row_map : int array;  (** logical wordline → physical wordline *)
+  col_map : int array;  (** logical bitline → physical bitline *)
+}
+
+val find :
+  ?use_spares:bool ->
+  ?respect_faults:bool ->
+  ?max_leaves:int ->
+  Crossbar.Defect_map.t ->
+  Crossbar.Design.t ->
+  t option
+(** Search for a feasible placement. [use_spares] (default [false])
+    also offers the reserved spare lines to the matcher;
+    [respect_faults:false] checks capacity only (the graceful-degradation
+    rung: place anywhere healthy, junction faults notwithstanding);
+    [max_leaves] (default [2000]) bounds the backtracking fallback.
+    [None] when the design does not fit the healthy lines or no feasible
+    permutation was found within the budget. *)
+
+val compatible : Crossbar.Defect_map.t -> t -> Crossbar.Design.t -> bool
+(** Full feasibility check of a given placement, including the
+    sneak-path guard over unused lines. *)
+
+val apply : Crossbar.Defect_map.t -> t -> Crossbar.Design.t -> Crossbar.Design.t
+(** The physical design: array-sized, ports and junctions relocated
+    through the placement, and the map's physical truth overlaid —
+    stuck-on junctions conduct ([On]) wherever both lines are intact,
+    stuck-off junctions are erased, broken lines carry nothing. The
+    result is what {!Crossbar.Verify} should judge.
+    @raise Invalid_argument if the placement's arity does not match the
+    design or a target coordinate is out of range. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,149 @@
+module Defect_map = Crossbar.Defect_map
+module Design = Crossbar.Design
+module Verify = Crossbar.Verify
+
+type strategy = Permutation | Spares | Resynthesis | Unconstrained
+
+type attempt = { strategy : strategy; placed : bool; verified : bool }
+
+type outcome =
+  | Repaired of {
+      design : Design.t;
+      placement : Place.t;
+      strategy : strategy;
+    }
+  | Degraded of {
+      design : Design.t;
+      placement : Place.t;
+      correct : string list;
+      failed : (string * Verify.counterexample) list;
+    }
+  | Unplaceable of string
+
+type report = { outcome : outcome; attempts : attempt list }
+
+let strategy_name = function
+  | Permutation -> "permutation"
+  | Spares -> "spares"
+  | Resynthesis -> "resynthesis"
+  | Unconstrained -> "unconstrained"
+
+let healthy_capacity defects =
+  let count n ok = List.length (List.filter ok (List.init n Fun.id)) in
+  ( count (Defect_map.rows defects) (Defect_map.row_ok defects),
+    count (Defect_map.cols defects) (Defect_map.col_ok defects) )
+
+let run ?(trials = 256) ?(seed = 0x0b5e55) ?resynthesize ~defects ~inputs
+    ~outputs ~reference design =
+  let attempts = ref [] in
+  let log a = attempts := a :: !attempts in
+  let checks_of d = Verify.per_output ~seed ~trials d ~inputs ~reference ~outputs in
+  let all_ok checks = List.for_all (fun (_, c) -> c = None) checks in
+  (* One rung: place [d], verify the physical design, accept only when
+     every output computes correctly. *)
+  let try_place ~strategy ~use_spares d =
+    match Place.find ~use_spares defects d with
+    | None ->
+      log { strategy; placed = false; verified = false };
+      None
+    | Some placement ->
+      let phys = Place.apply defects placement d in
+      let ok = all_ok (checks_of phys) in
+      log { strategy; placed = true; verified = ok };
+      if ok then Some (Repaired { design = phys; placement; strategy })
+      else None
+  in
+  let has_spares =
+    Defect_map.spare_rows defects > 0 || Defect_map.spare_cols defects > 0
+  in
+  let resynthesis_rung () =
+    match resynthesize with
+    | None -> None
+    | Some resynth ->
+      let hr, hc = healthy_capacity defects in
+      let lr = Design.rows design and lc = Design.cols design in
+      (* Capacities strictly tighter than the failed design in one
+         dimension (a same-shape run would reproduce it), clipped to the
+         healthy capacity. *)
+      let candidates =
+        List.sort_uniq compare
+          [ min hr (lr - 1), min hc lc; min hr lr, min hc (lc - 1) ]
+        |> List.filter (fun (r, c) -> r >= 1 && c >= 1 && (r < lr || c < lc))
+      in
+      List.fold_left
+        (fun acc (max_rows, max_cols) ->
+           match acc with
+           | Some _ -> acc
+           | None ->
+             (match resynth ~max_rows ~max_cols with
+              | None ->
+                log { strategy = Resynthesis; placed = false; verified = false };
+                None
+              | Some d2 -> try_place ~strategy:Resynthesis ~use_spares:true d2))
+        None candidates
+  in
+  let degrade () =
+    match Place.find ~use_spares:true ~respect_faults:false defects design with
+    | None ->
+      let hr, hc = healthy_capacity defects in
+      Unplaceable
+        (Printf.sprintf
+           "design needs %dx%d but only %d healthy wordlines and %d healthy \
+            bitlines remain"
+           (Design.rows design) (Design.cols design) hr hc)
+    | Some placement ->
+      let phys = Place.apply defects placement design in
+      let checks = checks_of phys in
+      let correct = List.filter_map (fun (o, c) -> if c = None then Some o else None) checks in
+      let failed = List.filter_map (fun (o, c) -> Option.map (fun cex -> o, cex) c) checks in
+      if failed = [] then begin
+        log { strategy = Unconstrained; placed = true; verified = true };
+        Repaired { design = phys; placement; strategy = Unconstrained }
+      end
+      else begin
+        log { strategy = Unconstrained; placed = true; verified = false };
+        Degraded { design = phys; placement; correct; failed }
+      end
+  in
+  let ladder =
+    [
+      (fun () -> try_place ~strategy:Permutation ~use_spares:false design);
+      (fun () ->
+         if has_spares then try_place ~strategy:Spares ~use_spares:true design
+         else None);
+      resynthesis_rung;
+    ]
+  in
+  let outcome =
+    match List.fold_left (fun acc rung -> match acc with Some _ -> acc | None -> rung ()) None ladder with
+    | Some o -> o
+    | None -> degrade ()
+  in
+  { outcome; attempts = List.rev !attempts }
+
+let pp_attempt ppf a =
+  Format.fprintf ppf "%-13s %s" (strategy_name a.strategy)
+    (if not a.placed then "no placement"
+     else if a.verified then "placed, verified"
+     else "placed, failed verification")
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun a -> Format.fprintf ppf "rung: %a@," pp_attempt a) r.attempts;
+  (match r.outcome with
+   | Repaired { design; strategy; placement } ->
+     Format.fprintf ppf "repaired via %s on the %dx%d array (%a)"
+       (strategy_name strategy) (Design.rows design) (Design.cols design)
+       Place.pp placement
+   | Degraded { correct; failed; _ } ->
+     Format.fprintf ppf
+       "degraded: %d/%d outputs correct (%s); failed:@,"
+       (List.length correct)
+       (List.length correct + List.length failed)
+       (String.concat ", " correct);
+     List.iter
+       (fun (o, cex) ->
+          Format.fprintf ppf "  %s: %a@," o Verify.pp_counterexample cex)
+       failed
+   | Unplaceable msg -> Format.fprintf ppf "unplaceable: %s" msg);
+  Format.fprintf ppf "@]"

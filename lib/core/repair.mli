@@ -1,0 +1,73 @@
+(** The repair escalation ladder: make a synthesised design survive a
+    faulty physical array, or say precisely how it fails.
+
+    Rungs, cheapest first:
+
+    + {b permutation} — relocate wordlines/bitlines onto healthy lines of
+      the primary array region ({!Place.find});
+    + {b spares} — the same matching, now also consuming the reserved
+      spare lines;
+    + {b resynthesis} — ask the caller to re-run synthesis under tighter
+      [max_rows]/[max_cols] capacity constraints (a different labeling
+      reshuffles which junctions exist, dodging the offending devices),
+      then place the new design with spares;
+    + {b graceful degradation} — place ignoring junction faults and
+      report per output which still compute correctly.
+
+    Every rung's design is functionally verified ({!Crossbar.Verify})
+    before it is accepted — a placement that passes the matcher but
+    conducts through a sneak path is rejected here, so the ladder never
+    returns a silently wrong design. *)
+
+type strategy =
+  | Permutation  (** row/column permutation on the primary region *)
+  | Spares  (** permutation consuming spare lines *)
+  | Resynthesis  (** re-synthesised under capacity constraints *)
+  | Unconstrained
+      (** fault-oblivious placement that happened to verify (all faults
+          masked) *)
+
+type attempt = {
+  strategy : strategy;
+  placed : bool;  (** the matcher found a placement *)
+  verified : bool;  (** … and it passed functional verification *)
+}
+
+type outcome =
+  | Repaired of {
+      design : Crossbar.Design.t;  (** physical, verified design *)
+      placement : Place.t;
+      strategy : strategy;
+    }
+  | Degraded of {
+      design : Crossbar.Design.t;
+      placement : Place.t;
+      correct : string list;  (** outputs that still compute correctly *)
+      failed : (string * Crossbar.Verify.counterexample) list;
+    }
+  | Unplaceable of string
+      (** the healthy lines cannot even hold the design *)
+
+type report = { outcome : outcome; attempts : attempt list }
+
+val run :
+  ?trials:int ->
+  ?seed:int ->
+  ?resynthesize:(max_rows:int -> max_cols:int -> Crossbar.Design.t option) ->
+  defects:Crossbar.Defect_map.t ->
+  inputs:string list ->
+  outputs:string list ->
+  reference:(bool array -> bool array) ->
+  Crossbar.Design.t ->
+  report
+(** Climb the ladder for [design] on the [defects] array. [resynthesize]
+    (omitted: the rung is skipped) is called with capacities at most the
+    healthy-line counts and strictly below the current design's
+    dimensions; it returns [None] when synthesis is infeasible there.
+    [trials]/[seed] parameterise the randomised verification fallback for
+    designs with more than {!Crossbar.Verify.exhaustive_threshold}
+    inputs. *)
+
+val strategy_name : strategy -> string
+val pp_attempt : Format.formatter -> attempt -> unit
+val pp : Format.formatter -> report -> unit

@@ -16,9 +16,12 @@ type t = {
   gap : float;
   method_name : string;
   gamma : float;
+  solver_path : string list;
+  solver_retries : int;
 }
 
-let of_design ~circuit ~bdd_graph ~labeling ~synthesis_time design =
+let of_design ?solver_path ~circuit ~bdd_graph ~labeling ~synthesis_time
+    design =
   let gap =
     if labeling.Types.optimal then 0.
     else if labeling.objective <= 0. then 1.
@@ -45,6 +48,14 @@ let of_design ~circuit ~bdd_graph ~labeling ~synthesis_time design =
     gap;
     method_name = labeling.Types.method_name;
     gamma = labeling.Types.gamma;
+    solver_path =
+      (match solver_path with
+       | Some p -> p
+       | None -> [ labeling.Types.method_name ]);
+    solver_retries =
+      (match solver_path with
+       | Some p -> max 0 (List.length p - 1)
+       | None -> 0);
   }
 
 let header =
@@ -69,4 +80,9 @@ let pp ppf r =
     r.semiperimeter r.max_dimension r.area r.vh_count r.power_literals
     r.delay_steps r.synthesis_time r.label_time
     (if r.optimal then "optimal"
-     else Printf.sprintf "gap %.1f%%" (r.gap *. 100.))
+     else Printf.sprintf "gap %.1f%%" (r.gap *. 100.));
+  if r.solver_retries > 0 then
+    Format.fprintf ppf "@,solver fallback: %s (%d retr%s)"
+      (String.concat " -> " r.solver_path)
+      r.solver_retries
+      (if r.solver_retries = 1 then "y" else "ies")

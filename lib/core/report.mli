@@ -20,9 +20,15 @@ type t = {
   gap : float;  (** relative optimality gap of the labeling, 0 if optimal *)
   method_name : string;
   gamma : float;
+  solver_path : string list;
+      (** solver rungs attempted by the pipeline's watchdog, in order;
+          the last produced this labeling. Singleton when the first
+          choice succeeded. *)
+  solver_retries : int;  (** [List.length solver_path - 1] *)
 }
 
 val of_design :
+  ?solver_path:string list ->
   circuit:string ->
   bdd_graph:Types.bdd_graph ->
   labeling:Types.labeling ->

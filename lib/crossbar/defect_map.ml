@@ -1,0 +1,235 @@
+type state = Good | Stuck_on | Stuck_off
+
+(* Junction faults are sparse (a few percent of the area at most), so the
+   map stores them in a hash table keyed like Design's cells. Broken
+   lines are dense flags. *)
+type t = {
+  rows : int;
+  cols : int;
+  spare_rows : int;
+  spare_cols : int;
+  junctions : (int, state) Hashtbl.t;  (* key: row * cols + col *)
+  row_broken : bool array;
+  col_broken : bool array;
+}
+
+let check_coord t what row col =
+  if row < 0 || row >= t.rows || col < 0 || col >= t.cols then
+    invalid_arg
+      (Printf.sprintf "Defect_map.%s: junction (%d, %d) out of range" what row
+         col)
+
+let create ~rows ~cols ?(spare_rows = 0) ?(spare_cols = 0)
+    ?(broken_rows = []) ?(broken_cols = []) faults =
+  if rows <= 0 || cols <= 0 then invalid_arg "Defect_map.create: empty array";
+  if spare_rows < 0 || spare_rows >= rows then
+    invalid_arg "Defect_map.create: spare_rows out of range";
+  if spare_cols < 0 || spare_cols >= cols then
+    invalid_arg "Defect_map.create: spare_cols out of range";
+  let t =
+    {
+      rows;
+      cols;
+      spare_rows;
+      spare_cols;
+      junctions = Hashtbl.create 64;
+      row_broken = Array.make rows false;
+      col_broken = Array.make cols false;
+    }
+  in
+  List.iter
+    (fun r ->
+       if r < 0 || r >= rows then
+         invalid_arg "Defect_map.create: broken wordline out of range";
+       t.row_broken.(r) <- true)
+    broken_rows;
+  List.iter
+    (fun c ->
+       if c < 0 || c >= cols then
+         invalid_arg "Defect_map.create: broken bitline out of range";
+       t.col_broken.(c) <- true)
+    broken_cols;
+  List.iter
+    (fun f ->
+       let row, col, s =
+         match f with
+         | Fault.Stuck_on (r, c) -> r, c, Stuck_on
+         | Fault.Stuck_off (r, c) -> r, c, Stuck_off
+       in
+       check_coord t "create" row col;
+       Hashtbl.replace t.junctions ((row * cols) + col) s)
+    faults;
+  t
+
+let perfect ~rows ~cols = create ~rows ~cols []
+
+let rows t = t.rows
+let cols t = t.cols
+let spare_rows t = t.spare_rows
+let spare_cols t = t.spare_cols
+
+let state t ~row ~col =
+  check_coord t "state" row col;
+  match Hashtbl.find_opt t.junctions ((row * t.cols) + col) with
+  | Some s -> s
+  | None -> Good
+
+let row_ok t r =
+  if r < 0 || r >= t.rows then invalid_arg "Defect_map.row_ok: out of range";
+  not t.row_broken.(r)
+
+let col_ok t c =
+  if c < 0 || c >= t.cols then invalid_arg "Defect_map.col_ok: out of range";
+  not t.col_broken.(c)
+
+let admits t ~row ~col lit =
+  if t.row_broken.(row) || t.col_broken.(col) then
+    Literal.equal lit Literal.Off
+  else
+    match state t ~row ~col with
+    | Good -> true
+    | Stuck_on -> Literal.equal lit Literal.On
+    | Stuck_off -> Literal.equal lit Literal.Off
+
+let faults t =
+  Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.junctions []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (k, s) ->
+      let row = k / t.cols and col = k mod t.cols in
+      match s with
+      | Stuck_on -> Fault.Stuck_on (row, col)
+      | Stuck_off -> Fault.Stuck_off (row, col)
+      | Good -> assert false)
+
+let broken_rows t =
+  List.filter (fun r -> t.row_broken.(r))
+    (List.init t.rows (fun r -> r))
+
+let broken_cols t =
+  List.filter (fun c -> t.col_broken.(c))
+    (List.init t.cols (fun c -> c))
+
+let num_faulty_junctions t = Hashtbl.length t.junctions
+
+let num_broken_lines t =
+  List.length (broken_rows t) + List.length (broken_cols t)
+
+let is_perfect t = num_faulty_junctions t = 0 && num_broken_lines t = 0
+
+let random ?(seed = 0xdefec7) ?(line_rate = 0.) ?(spare_rows = 0)
+    ?(spare_cols = 0) ~rate ~rows ~cols () =
+  if rate < 0. || rate > 1. then invalid_arg "Defect_map.random: rate";
+  if line_rate < 0. || line_rate > 1. then
+    invalid_arg "Defect_map.random: line_rate";
+  let rng = Random.State.make [| seed |] in
+  let faults = ref [] in
+  for row = 0 to rows - 1 do
+    for col = 0 to cols - 1 do
+      if Random.State.float rng 1. < rate then
+        if Random.State.float rng 1. < 0.75 then
+          faults := Fault.Stuck_off (row, col) :: !faults
+        else faults := Fault.Stuck_on (row, col) :: !faults
+    done
+  done;
+  let broken n =
+    List.filter
+      (fun _ -> line_rate > 0. && Random.State.float rng 1. < line_rate)
+      (List.init n (fun i -> i))
+  in
+  let broken_rows = broken rows in
+  let broken_cols = broken cols in
+  create ~rows ~cols ~spare_rows ~spare_cols ~broken_rows ~broken_cols
+    !faults
+
+(* ------------------------------------------------------------------ *)
+(* Text format *)
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "# crossbar defect map\n";
+  Buffer.add_string b (Printf.sprintf "array %d %d\n" t.rows t.cols);
+  if t.spare_rows > 0 || t.spare_cols > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "spare %d %d\n" t.spare_rows t.spare_cols);
+  List.iter
+    (fun f ->
+       Buffer.add_string b
+         (match f with
+          | Fault.Stuck_on (r, c) -> Printf.sprintf "stuck_on %d %d\n" r c
+          | Fault.Stuck_off (r, c) -> Printf.sprintf "stuck_off %d %d\n" r c))
+    (faults t);
+  List.iter
+    (fun r -> Buffer.add_string b (Printf.sprintf "bad_row %d\n" r))
+    (broken_rows t);
+  List.iter
+    (fun c -> Buffer.add_string b (Printf.sprintf "bad_col %d\n" c))
+    (broken_cols t);
+  Buffer.contents b
+
+let of_string s =
+  let fail line msg = failwith (Printf.sprintf "defect map, line %d: %s" line msg) in
+  let dims = ref None in
+  let spares = ref (0, 0) in
+  let faults = ref [] in
+  let broken_rows = ref [] in
+  let broken_cols = ref [] in
+  let int_of line w =
+    match int_of_string_opt w with
+    | Some i -> i
+    | None -> fail line (Printf.sprintf "expected an integer, got %S" w)
+  in
+  List.iteri
+    (fun i line ->
+       let lineno = i + 1 in
+       let line =
+         match String.index_opt line '#' with
+         | Some j -> String.sub line 0 j
+         | None -> line
+       in
+       match
+         String.split_on_char ' ' (String.trim line)
+         |> List.filter (fun w -> w <> "")
+       with
+       | [] -> ()
+       | [ "array"; r; c ] ->
+         if !dims <> None then fail lineno "duplicate array line";
+         dims := Some (int_of lineno r, int_of lineno c)
+       | [ "spare"; r; c ] -> spares := (int_of lineno r, int_of lineno c)
+       | [ "stuck_on"; r; c ] ->
+         faults := Fault.Stuck_on (int_of lineno r, int_of lineno c) :: !faults
+       | [ "stuck_off"; r; c ] ->
+         faults := Fault.Stuck_off (int_of lineno r, int_of lineno c) :: !faults
+       | [ "bad_row"; r ] -> broken_rows := int_of lineno r :: !broken_rows
+       | [ "bad_col"; c ] -> broken_cols := int_of lineno c :: !broken_cols
+       | w :: _ -> fail lineno (Printf.sprintf "unknown directive %S" w))
+    (String.split_on_char '\n' s);
+  match !dims with
+  | None -> failwith "defect map: missing 'array ROWS COLS' line"
+  | Some (rows, cols) ->
+    let spare_rows, spare_cols = !spares in
+    create ~rows ~cols ~spare_rows ~spare_cols
+      ~broken_rows:(List.rev !broken_rows) ~broken_cols:(List.rev !broken_cols)
+      (List.rev !faults)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (In_channel.input_all ic))
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string t))
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%dx%d array, %d faulty junction%s, %d broken line%s%s"
+    t.rows t.cols (num_faulty_junctions t)
+    (if num_faulty_junctions t = 1 then "" else "s")
+    (num_broken_lines t)
+    (if num_broken_lines t = 1 then "" else "s")
+    (if t.spare_rows > 0 || t.spare_cols > 0 then
+       Printf.sprintf " (+%d/+%d spares)" t.spare_rows t.spare_cols
+     else "")

@@ -1,0 +1,108 @@
+(** Physical defect maps of manufactured crossbar arrays.
+
+    A defect map describes one concrete array instance: its dimensions,
+    which junctions are stuck (permanently low- or high-resistive), which
+    wordlines/bitlines are broken outright, and how many lines at the
+    bottom/right edge are reserved as repair spares. It is the input of
+    the defect-aware placement pass ({!Compact.Place}) and of the repair
+    escalation ladder ({!Compact.Repair}): a logical design is mapped
+    onto the healthy lines of the array so that no programmed junction
+    lands on a stuck-off device and no unprogrammed junction lands on a
+    stuck-on device. *)
+
+type state =
+  | Good  (** junction can be programmed to any literal *)
+  | Stuck_on  (** always conducts; only a logical [On] fuse may land here *)
+  | Stuck_off  (** never conducts; only an unprogrammed junction fits *)
+
+type t
+
+val create :
+  rows:int ->
+  cols:int ->
+  ?spare_rows:int ->
+  ?spare_cols:int ->
+  ?broken_rows:int list ->
+  ?broken_cols:int list ->
+  Fault.fault list ->
+  t
+(** [create ~rows ~cols faults] is an array of [rows] wordlines and
+    [cols] bitlines with the given junction faults. The last
+    [spare_rows] wordlines and [spare_cols] bitlines are repair spares:
+    placement avoids them until the spare rung of the repair ladder.
+    @raise Invalid_argument on empty dimensions, spares exceeding the
+    dimensions, or any out-of-range fault / broken-line coordinate. *)
+
+val perfect : rows:int -> cols:int -> t
+(** A defect-free array without spares. *)
+
+val rows : t -> int
+val cols : t -> int
+val spare_rows : t -> int
+val spare_cols : t -> int
+
+val state : t -> row:int -> col:int -> state
+(** Junction state; [Good] for junctions never mentioned.
+    @raise Invalid_argument on out-of-range coordinates. *)
+
+val row_ok : t -> int -> bool
+(** Is the wordline intact (not broken)? *)
+
+val col_ok : t -> int -> bool
+
+val admits : t -> row:int -> col:int -> Literal.t -> bool
+(** Can the logical literal be realised at the physical junction?
+    [Stuck_on] admits only [On]; [Stuck_off] admits only [Off]; a broken
+    wordline or bitline admits only [Off]. *)
+
+val faults : t -> Fault.fault list
+(** Junction faults in row-major order. *)
+
+val broken_rows : t -> int list
+val broken_cols : t -> int list
+val num_faulty_junctions : t -> int
+val num_broken_lines : t -> int
+
+val is_perfect : t -> bool
+(** No stuck junctions and no broken lines (spares are irrelevant). *)
+
+val random :
+  ?seed:int ->
+  ?line_rate:float ->
+  ?spare_rows:int ->
+  ?spare_cols:int ->
+  rate:float ->
+  rows:int ->
+  cols:int ->
+  unit ->
+  t
+(** A random array instance: each junction is independently faulty with
+    probability [rate] (stuck-off with probability 3/4, stuck-on
+    otherwise — the same skew as {!Fault.random_faults}); each line is
+    independently broken with probability [line_rate] (default 0).
+    @raise Invalid_argument unless rates are within [0, 1]. *)
+
+(** {1 Text format}
+
+    Line-oriented; [#] starts a comment. The [array] line is mandatory
+    and must come first; everything else is optional:
+
+    {v
+    array 8 10          # wordlines bitlines
+    spare 1 2           # spare wordlines, spare bitlines
+    stuck_on 3 4        # row col
+    stuck_off 0 1
+    bad_row 5
+    bad_col 2
+    v} *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** @raise Failure with a line number on malformed input;
+    @raise Invalid_argument on out-of-range coordinates. *)
+
+val parse_file : string -> t
+val write_file : string -> t -> unit
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line summary (not the text format). *)

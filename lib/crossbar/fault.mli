@@ -34,8 +34,11 @@ val still_correct :
   reference:(bool array -> bool array) ->
   outputs:string list ->
   bool
-(** Randomised functional check of a (possibly faulty) design; [trials]
-    defaults to 64. *)
+(** Functional check of a (possibly faulty) design: exhaustive over all
+    assignments when the input count is at most
+    {!Verify.exhaustive_threshold} (randomised checks miss
+    single-minterm corruptions), otherwise [trials] (default 64) random
+    assignments. *)
 
 type yield_report = {
   trials : int;
@@ -55,7 +58,9 @@ val yield :
   outputs:string list ->
   yield_report
 (** Monte-Carlo yield at a given device-fault [rate]; [trials] defaults
-    to 100, each verified on [checks_per_trial] (default 32) random
-    assignments. *)
+    to 100, each verified with {!still_correct} under a
+    [checks_per_trial] (default 32) budget. Each trial's fault sample and
+    check sample are derived deterministically from [seed] and the trial
+    index, so two runs with the same arguments agree bit-for-bit. *)
 
 val pp_yield : Format.formatter -> yield_report -> unit

@@ -60,6 +60,26 @@ let against_table d ~reference =
     Ok
   with Found cex -> Failed cex
 
+let exhaustive_threshold = 12
+
+let exhaustive d ~inputs ~reference ~outputs =
+  let n = List.length inputs in
+  let point = Array.make n false in
+  let out_index = Hashtbl.create 16 in
+  List.iteri (fun i o -> Hashtbl.replace out_index o i) outputs;
+  let eval = Eval.evaluator d in
+  try
+    for row = 0 to (1 lsl n) - 1 do
+      for i = 0 to n - 1 do
+        point.(i) <- row land (1 lsl i) <> 0
+      done;
+      let expected = reference point in
+      let expected_of_output o = expected.(Hashtbl.find out_index o) in
+      check_point eval ~inputs ~point ~expected_of_output
+    done;
+    Ok
+  with Found cex -> Failed cex
+
 let random ?(seed = 0x5eed) ~trials d ~inputs ~reference ~outputs =
   let rng = Random.State.make [| seed |] in
   let n = List.length inputs in
@@ -78,6 +98,64 @@ let random ?(seed = 0x5eed) ~trials d ~inputs ~reference ~outputs =
     done;
     Ok
   with Found cex -> Failed cex
+
+let auto ?seed ~trials d ~inputs ~reference ~outputs =
+  if List.length inputs <= exhaustive_threshold then
+    exhaustive d ~inputs ~reference ~outputs
+  else random ?seed ~trials d ~inputs ~reference ~outputs
+
+let per_output ?(seed = 0x5eed) ?(trials = 256) d ~inputs ~reference ~outputs =
+  let n = List.length inputs in
+  let in_index = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace in_index v i) inputs;
+  let out_index = Hashtbl.create 16 in
+  List.iteri (fun i o -> Hashtbl.replace out_index o i) outputs;
+  let point = Array.make n false in
+  let env v =
+    match Hashtbl.find_opt in_index v with
+    | Some i -> point.(i)
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Verify: design variable %s not a reference input" v)
+  in
+  let eval = Eval.evaluator d in
+  let failures = Hashtbl.create 8 in
+  let run_point () =
+    let expected = reference point in
+    List.iter
+      (fun (o, g) ->
+         let e =
+           match Hashtbl.find_opt out_index o with
+           | Some i -> expected.(i)
+           | None -> invalid_arg (Printf.sprintf "Verify: unknown output %s" o)
+         in
+         if g <> e && not (Hashtbl.mem failures o) then
+           Hashtbl.replace failures o
+             {
+               assignment = List.mapi (fun i v -> v, point.(i)) inputs;
+               output = o;
+               expected = e;
+               got = g;
+             })
+      (eval env)
+  in
+  if n <= exhaustive_threshold then
+    for row = 0 to (1 lsl n) - 1 do
+      for i = 0 to n - 1 do
+        point.(i) <- row land (1 lsl i) <> 0
+      done;
+      run_point ()
+    done
+  else begin
+    let rng = Random.State.make [| seed |] in
+    for _ = 1 to trials do
+      for i = 0 to n - 1 do
+        point.(i) <- Random.State.bool rng
+      done;
+      run_point ()
+    done
+  end;
+  List.map (fun (o, _) -> o, Hashtbl.find_opt failures o) (Design.outputs d)
 
 let pp_counterexample ppf cex =
   Format.fprintf ppf "output %s: expected %b, got %b under {%s}" cex.output

@@ -31,4 +31,43 @@ val random :
   outcome
 (** Monte-Carlo check on [trials] uniform assignments. *)
 
+val exhaustive_threshold : int
+(** Input count (12) up to which {!auto} and {!per_output} enumerate all
+    assignments instead of sampling. *)
+
+val exhaustive :
+  Design.t ->
+  inputs:string list ->
+  reference:(bool array -> bool array) ->
+  outputs:string list ->
+  outcome
+(** All [2^n] assignments against a reference evaluator (the functional
+    analogue of {!against_table}). *)
+
+val auto :
+  ?seed:int ->
+  trials:int ->
+  Design.t ->
+  inputs:string list ->
+  reference:(bool array -> bool array) ->
+  outputs:string list ->
+  outcome
+(** {!exhaustive} when the input count is at most
+    {!exhaustive_threshold}, {!random} otherwise — randomised checks
+    miss single-minterm corruptions that exhaustion cannot. *)
+
+val per_output :
+  ?seed:int ->
+  ?trials:int ->
+  Design.t ->
+  inputs:string list ->
+  reference:(bool array -> bool array) ->
+  outputs:string list ->
+  (string * counterexample option) list
+(** Per-output verdicts in design-output order: [None] when the output
+    computed correctly on every checked assignment, otherwise its first
+    counterexample. Exhaustive below {!exhaustive_threshold} inputs,
+    [trials] (default 256) random assignments above. The basis of the
+    repair ladder's graceful-degradation report. *)
+
 val pp_counterexample : Format.formatter -> counterexample -> unit

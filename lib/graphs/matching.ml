@@ -94,6 +94,24 @@ let koenig_cover g ~left ~mate =
   Array.init n (fun v ->
       if left.(v) then not reached.(v) else reached.(v))
 
+let perfect_bipartite ~left ~right ~compatible =
+  if left < 0 || right < 0 then
+    invalid_arg "Matching.perfect_bipartite: negative side";
+  if left > right then None
+  else begin
+    let n = left + right in
+    let g = Ugraph.create n in
+    for i = 0 to left - 1 do
+      for k = 0 to right - 1 do
+        if compatible i k then Ugraph.add_edge g i (left + k)
+      done
+    done;
+    let side = Array.init n (fun v -> v < left) in
+    let mate = hopcroft_karp g ~left:side in
+    if matching_size mate < left then None
+    else Some (Array.init left (fun i -> mate.(i) - left))
+  end
+
 let greedy_maximal g =
   let n = Ugraph.num_nodes g in
   let used = Array.make n false in

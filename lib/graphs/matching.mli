@@ -14,6 +14,16 @@ val koenig_cover : Ugraph.t -> left:bool array -> mate:int array -> bool array
     alternating reachability from unmatched left vertices; the cover is
     (unreached left) ∪ (reached right). Size equals the matching size. *)
 
+val perfect_bipartite :
+  left:int -> right:int -> compatible:(int -> int -> bool) -> int array option
+(** [perfect_bipartite ~left ~right ~compatible] assigns every left
+    vertex [0 .. left-1] a distinct right vertex [0 .. right-1] with
+    [compatible i k] true — a left-perfect maximum matching computed by
+    {!hopcroft_karp}. Returns [assign] with [assign.(i)] the right
+    vertex of [i], or [None] when no left-perfect matching exists
+    (in particular whenever [left > right]).
+    @raise Invalid_argument on negative sizes. *)
+
 val greedy_maximal : Ugraph.t -> (int * int) list
 (** A maximal (not maximum) matching of an arbitrary graph; |M| lower-bounds
     any vertex cover and 2·|M| upper-bounds the minimum cover. *)

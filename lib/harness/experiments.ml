@@ -241,6 +241,8 @@ let report_of_staircase (e : Circuits.Suite.entry) (s : Baseline.Staircase.resul
     gap = 0.;
     method_name = "staircase[16]";
     gamma = nan;
+    solver_path = [ "staircase[16]" ];
+    solver_retries = 0;
   }
 
 let staircase_of config (e : Circuits.Suite.entry) =
@@ -298,6 +300,8 @@ let robdds_of config (e : Circuits.Suite.entry) =
         gap = 0.;
         method_name = "robdds";
         gamma = 0.5;
+        solver_path = [ "robdds" ];
+        solver_retries = 0;
       }
   | exception Bdd.Manager.Size_limit _ -> None
 
@@ -501,6 +505,70 @@ let fig13 config =
     (List.rev !rows);
   List.rev !data
 
+(* ------------------------------------------------------------------ *)
+
+let robustness_rates = [ 0.002; 0.005; 0.01; 0.02 ]
+
+let robustness ?(circuits = [ "ctrl"; "cavlc" ]) ?(trials = 15) config =
+  let rows = ref [] in
+  let data = ref [] in
+  List.iter
+    (fun name ->
+       let e = Circuits.Suite.find name in
+       match synth ~gamma:0.5 config e with
+       | None -> ()
+       | Some base ->
+         let nl = netlist_of e in
+         let reference = Logic.Netlist.eval_point nl in
+         let arr_rows = Crossbar.Design.rows base.design + 1 in
+         let arr_cols = Crossbar.Design.cols base.design + 1 in
+         List.iter
+           (fun rate ->
+              let repaired = ref 0 and degraded = ref 0 and lost = ref 0 in
+              for k = 1 to trials do
+                let map =
+                  Crossbar.Defect_map.random
+                    ~seed:(Hashtbl.hash (name, rate, k))
+                    ~spare_rows:1 ~spare_cols:1 ~rate ~rows:arr_rows
+                    ~cols:arr_cols ()
+                in
+                (* Placement ladder only: a resynthesis per draw would
+                   dominate the sweep's runtime. *)
+                let rep =
+                  Compact.Repair.run
+                    ~seed:(Hashtbl.hash (name, rate, k, `V))
+                    ~defects:map ~inputs:nl.inputs ~outputs:nl.outputs
+                    ~reference base.design
+                in
+                match rep.Compact.Repair.outcome with
+                | Compact.Repair.Repaired _ -> incr repaired
+                | Compact.Repair.Degraded _ -> incr degraded
+                | Compact.Repair.Unplaceable _ -> incr lost
+              done;
+              data := (name, rate, !repaired, !degraded, !lost) :: !data;
+              rows :=
+                [ name; Printf.sprintf "%dx%d" arr_rows arr_cols;
+                  Printf.sprintf "%.1f%%" (100. *. rate);
+                  string_of_int !repaired; string_of_int !degraded;
+                  string_of_int !lost;
+                  Table.fmt_pct (float_of_int !repaired /. float_of_int trials)
+                ]
+                :: !rows)
+           robustness_rates)
+    circuits;
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Robustness: repair yield over %d random arrays per point (+1/+1 \
+          spares)"
+         trials)
+    ~columns:
+      [ "circuit", Table.L; "array", Table.R; "fault rate", Table.R;
+        "repaired", Table.R; "degraded", Table.R; "unplaceable", Table.R;
+        "yield", Table.R ]
+    (List.rev !rows);
+  List.rev !data
+
 let run_all config =
   ignore (table1 config);
   ignore (table2 config);
@@ -510,4 +578,5 @@ let run_all config =
   ignore (fig10 config);
   ignore (fig11 config);
   ignore (fig12 config);
-  ignore (fig13 config)
+  ignore (fig13 config);
+  ignore (robustness config)

@@ -65,5 +65,15 @@ val fig13 : config -> (string * float * float) list
 (** (circuit, power ratio, delay ratio) of COMPACT vs the CONTRA cost
     model on the EPFL control benchmarks. *)
 
+val robustness :
+  ?circuits:string list ->
+  ?trials:int ->
+  config ->
+  (string * float * int * int * int) list
+(** Repair-yield sweep (beyond the paper): per circuit and device fault
+    rate, draw [trials] random defect maps with one spare wordline and
+    bitline and climb the placement rungs of {!Compact.Repair}. Returns
+    (circuit, rate, repaired, degraded, unplaceable) per point. *)
+
 val run_all : config -> unit
 (** Everything above, in paper order. *)

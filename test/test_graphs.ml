@@ -160,6 +160,27 @@ let matching_tests =
         let left = [| true; false; false; false; false |] in
         let mate = Graphs.Matching.hopcroft_karp g ~left in
         check ti "size" 1 (Graphs.Matching.matching_size mate));
+    Alcotest.test_case "perfect_bipartite saturates the left side" `Quick
+      (fun () ->
+        (* i is compatible with k iff k >= i: the only full assignment is
+           the identity. *)
+        match
+          Graphs.Matching.perfect_bipartite ~left:4 ~right:4
+            ~compatible:(fun i k -> k >= i)
+        with
+        | None -> Alcotest.fail "assignment exists"
+        | Some a ->
+          Array.iteri (fun i k -> check ti "identity" i k) a);
+    Alcotest.test_case "perfect_bipartite detects infeasibility" `Quick
+      (fun () ->
+        check tb "two lefts, one shared right" true
+          (Graphs.Matching.perfect_bipartite ~left:2 ~right:2
+             ~compatible:(fun _ k -> k = 0)
+           = None);
+        check tb "left larger than right" true
+          (Graphs.Matching.perfect_bipartite ~left:3 ~right:2
+             ~compatible:(fun _ _ -> true)
+           = None));
     Alcotest.test_case "koenig cover covers all edges" `Quick (fun () ->
         let g = make_graph (6, [ 0, 3; 0, 4; 1, 3; 1, 5; 2, 4 ]) in
         let left = Array.init 6 (fun v -> v < 3) in
