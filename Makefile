@@ -1,4 +1,4 @@
-.PHONY: all test examples bench smoke ci clean
+.PHONY: all test examples bench smoke proptest ci clean
 
 all:
 	dune build
@@ -15,10 +15,15 @@ bench:
 smoke:
 	dune build @smoke
 
+proptest:
+	dune build @proptest
+
 ci:
 	dune build
 	dune build @examples @bench
 	dune runtest
+	dune exec test/test_manager_stress.exe
+	dune build @proptest
 	dune build @smoke
 
 clean:

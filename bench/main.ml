@@ -7,11 +7,12 @@
      main.exe --quick         same with tight limits
      main.exe table1 … fig13  individual experiments
      main.exe perf            bechamel micro-benchmarks
+     main.exe perf --json F   also dump kernel estimates as JSON to F
      main.exe --time-limit S  labeling budget per circuit *)
 
 let usage () =
   print_endline
-    "usage: main.exe [--quick] [--time-limit S] \
+    "usage: main.exe [--quick] [--time-limit S] [--json FILE] \
      [all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|ablation|perf]...";
   exit 1
 
@@ -20,6 +21,30 @@ let usage () =
 
 let cavlc_netlist = lazy ((Circuits.Suite.find "cavlc").generate ())
 let ctrl_netlist = lazy ((Circuits.Suite.find "ctrl").generate ())
+let c1908_netlist = lazy ((Circuits.Suite.find "c1908").generate ())
+
+(* Linear XOR fold: every step rewrites the whole accumulated parity, so
+   the kernel is dominated by ite/cache traffic rather than allocation. *)
+let xor_chain man n =
+  let acc = ref Bdd.Manager.zero in
+  for i = 0 to n - 1 do
+    acc := Bdd.Manager.xor man !acc (Bdd.Manager.var man i)
+  done;
+  !acc
+
+(* Tournament parity: O(n log n) ite work, exercises deep worklists. *)
+let balanced_parity man n =
+  let rec reduce = function
+    | [] -> Bdd.Manager.zero
+    | [ x ] -> x
+    | xs ->
+      let rec pair = function
+        | a :: b :: rest -> Bdd.Manager.xor man a b :: pair rest
+        | tail -> tail
+      in
+      reduce (pair xs)
+  in
+  reduce (List.init n (Bdd.Manager.var man))
 
 let ctrl_graph =
   lazy
@@ -95,9 +120,58 @@ let perf_tests =
       (Staged.stage (fun () ->
            let d = Lazy.force quickstart_design in
            ignore (Crossbar.Analog.solve d (fun _ -> true))));
+    (* BDD engine kernels: the hot paths of the packed manager. *)
+    Test.make ~name:"bdd/ite-xor-chain-64"
+      (Staged.stage (fun () ->
+           let man = Bdd.Manager.create ~num_vars:64 () in
+           ignore (xor_chain man 64)));
+    Test.make ~name:"bdd/ite-parity-4096"
+      (Staged.stage (fun () ->
+           let man = Bdd.Manager.create ~num_vars:4096 () in
+           ignore (balanced_parity man 4096)));
+    Test.make ~name:"bdd/sbdd-build-c1908"
+      (Staged.stage (fun () ->
+           ignore (Bdd.Sbdd.of_netlist (Lazy.force c1908_netlist))));
   ]
 
-let run_perf () =
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' | '\\' -> Buffer.add_char buf '\\'; Buffer.add_char buf c
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_perf_json path results =
+  let oc = open_out path in
+  output_string oc "{\n";
+  output_string oc "  \"unit\": \"ns/run\",\n";
+  output_string oc "  \"kernels\": {\n";
+  List.iteri
+    (fun i (name, est) ->
+       Printf.fprintf oc "    \"%s\": %.1f%s\n" (json_escape name) est
+         (if i = List.length results - 1 then "" else ","))
+    results;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "perf results written to %s\n%!" path
+
+(* One representative SBDD build with the engine counters printed, so the
+   perf target also shows *why* the kernels are fast (hit rates). *)
+let print_engine_stats () =
+  let man = Bdd.Manager.create ~num_vars:4096 () in
+  ignore (balanced_parity man 4096);
+  Format.printf "@.-- engine counters: balanced 4096-var parity --@.%a@."
+    Bdd.Manager.pp_stats (Bdd.Manager.stats man);
+  let sbdd = Bdd.Sbdd.of_netlist (Lazy.force c1908_netlist) in
+  Format.printf "-- engine counters: c1908 SBDD build --@.%a@."
+    Bdd.Manager.pp_stats (Bdd.Sbdd.stats sbdd)
+
+let run_perf ?json () =
   let open Bechamel in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -107,6 +181,7 @@ let run_perf () =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
   in
   print_endline "\n== perf: bechamel micro-benchmarks (monotonic clock) ==";
+  let collected = ref [] in
   List.iter
     (fun test ->
        let results = Benchmark.all cfg instances test in
@@ -116,10 +191,16 @@ let run_perf () =
        Hashtbl.iter
          (fun name ols_result ->
             match Analyze.OLS.estimates ols_result with
-            | Some [ est ] -> Printf.printf "  %-40s %14.1f ns/run\n%!" name est
+            | Some [ est ] ->
+              collected := (name, est) :: !collected;
+              Printf.printf "  %-40s %14.1f ns/run\n%!" name est
             | Some _ | None -> Printf.printf "  %-40s (no estimate)\n%!" name)
          analysis)
-    (List.map (fun t -> Test.make_grouped ~name:"perf" [ t ]) perf_tests)
+    (List.map (fun t -> Test.make_grouped ~name:"perf" [ t ]) perf_tests);
+  print_engine_stats ();
+  match json with
+  | Some path -> write_perf_json path (List.rev !collected)
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -127,9 +208,13 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let time_limit = ref None in
+  let json = ref None in
   let rec parse = function
     | "--time-limit" :: v :: rest ->
       time_limit := Some (float_of_string v);
+      parse rest
+    | "--json" :: path :: rest ->
+      json := Some path;
       parse rest
     | x :: rest -> x :: parse rest
     | [] -> []
@@ -156,7 +241,7 @@ let () =
     | "fig12" -> ignore (Harness.Experiments.fig12 config)
     | "fig13" -> ignore (Harness.Experiments.fig13 config)
     | "ablation" -> Harness.Ablation.run_all config
-    | "perf" -> run_perf ()
+    | "perf" -> run_perf ?json:!json ()
     | other ->
       Printf.eprintf "unknown target %s\n" other;
       usage ()

@@ -143,11 +143,22 @@ let print_grid =
   Arg.(value & flag
        & info [ "grid" ] ~doc:"Print the crossbar contents (small designs).")
 
-let synth_run source options grid =
+let print_stats =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print the BDD engine's unique-table and op-cache counters.")
+
+let report_stats result =
+  match (result : Compact.Pipeline.result).report.bdd_stats with
+  | Some s -> Format.printf "%a@." Bdd.Manager.pp_stats s
+  | None -> Format.printf "no BDD engine statistics recorded@."
+
+let synth_run source options grid stats =
   let nl = netlist_of_source source in
   match Compact.Pipeline.synthesize ~options nl with
   | result ->
     Format.printf "%a@." Compact.Report.pp result.report;
+    if stats then report_stats result;
     if grid then Format.printf "%a@." Crossbar.Design.pp result.design;
     Ok ()
   | exception Compact.Label_mip.Infeasible msg ->
@@ -155,7 +166,10 @@ let synth_run source options grid =
 
 let synth_cmd =
   let term =
-    Term.(term_result (const synth_run $ source_term $ options_term $ print_grid))
+    Term.(
+      term_result
+        (const synth_run $ source_term $ options_term $ print_grid
+         $ print_stats))
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesise a crossbar design with COMPACT")

@@ -2,9 +2,33 @@ type node = int
 
 exception Size_limit of int
 
-(* Growable parallel arrays indexed by node handle. Handles 0 and 1 are
-   the terminals; their level is max_int so they sort below every
-   variable. *)
+type stats = {
+  unique_lookups : int;
+  unique_hits : int;
+  unique_collisions : int;
+  cache_lookups : int;
+  cache_hits : int;
+  growths : int;
+  peak_nodes : int;
+}
+
+(* The manager is laid out CUDD-style for cache locality and zero
+   per-operation allocation:
+
+   - Nodes live in growable parallel arrays indexed by handle; handles 0
+     and 1 are the terminals, their level is max_int so they sort below
+     every variable.
+   - The unique table is an open-addressed (linear probing) power-of-two
+     array of node handles; a (level, low, high) key is never boxed — the
+     probe compares against the node arrays directly.
+   - The ITE cache is a lossy direct-mapped table of packed (f, g, h) -> r
+     quadruples in four flat int arrays; a colliding entry is simply
+     overwritten. Restrict/quantifier results share a second direct-mapped
+     cache keyed by (node, packed var/op).
+   - ite and restrict run on an explicit worklist (a reusable int-array
+     frame stack), so diagrams tens of thousands of levels deep cannot
+     overflow the OCaml stack. *)
+
 type t = {
   nvars : int;
   node_limit : int;
@@ -12,14 +36,42 @@ type t = {
   mutable lows : int array;
   mutable highs : int array;
   mutable next : int;  (* next free handle *)
-  unique : (int * int * int, int) Hashtbl.t;  (* (level, low, high) → node *)
-  ite_cache : (int * int * int, int) Hashtbl.t;
-  quant_cache : (int * int * bool, int) Hashtbl.t;
+  (* open-addressed unique table; slots hold a node handle or -1 *)
+  mutable table : int array;
+  mutable table_mask : int;
+  (* direct-mapped ITE cache; ite_k1 = -1 marks an empty slot *)
+  mutable ite_k1 : int array;
+  mutable ite_k2 : int array;
+  mutable ite_k3 : int array;
+  mutable ite_r : int array;
+  mutable ite_mask : int;
+  (* direct-mapped binary-op cache (restrict / quantify) *)
+  mutable bop_k1 : int array;
+  mutable bop_k2 : int array;
+  mutable bop_r : int array;
+  mutable bop_mask : int;
+  (* reusable worklist scratch: frames of [frame_slots] ints + a result
+     stack *)
+  mutable tasks : int array;
+  mutable task_sp : int;
+  mutable res : int array;
+  mutable res_sp : int;
+  (* counters behind [stats] *)
+  mutable unique_lookups : int;
+  mutable unique_hits : int;
+  mutable unique_collisions : int;
+  mutable cache_lookups : int;
+  mutable cache_hits : int;
+  mutable growths : int;
 }
 
 let zero = 0
 let one = 1
 let is_terminal n = n < 2
+
+let initial_table_size = 4096
+let initial_ite_size = 4096
+let initial_bop_size = 1024
 
 let create ?(node_limit = max_int) ~num_vars () =
   let cap = 1024 in
@@ -33,24 +85,180 @@ let create ?(node_limit = max_int) ~num_vars () =
     lows;
     highs;
     next = 2;
-    unique = Hashtbl.create 4096;
-    ite_cache = Hashtbl.create 4096;
-    quant_cache = Hashtbl.create 256;
+    table = Array.make initial_table_size (-1);
+    table_mask = initial_table_size - 1;
+    ite_k1 = Array.make initial_ite_size (-1);
+    ite_k2 = Array.make initial_ite_size 0;
+    ite_k3 = Array.make initial_ite_size 0;
+    ite_r = Array.make initial_ite_size 0;
+    ite_mask = initial_ite_size - 1;
+    bop_k1 = Array.make initial_bop_size (-1);
+    bop_k2 = Array.make initial_bop_size 0;
+    bop_r = Array.make initial_bop_size 0;
+    bop_mask = initial_bop_size - 1;
+    tasks = Array.make 320 0;
+    task_sp = 0;
+    res = Array.make 64 0;
+    res_sp = 0;
+    unique_lookups = 0;
+    unique_hits = 0;
+    unique_collisions = 0;
+    cache_lookups = 0;
+    cache_hits = 0;
+    growths = 0;
   }
 
 let num_vars t = t.nvars
 let allocated t = t.next
 
-let grow t =
+let stats t =
+  {
+    unique_lookups = t.unique_lookups;
+    unique_hits = t.unique_hits;
+    unique_collisions = t.unique_collisions;
+    cache_lookups = t.cache_lookups;
+    cache_hits = t.cache_hits;
+    growths = t.growths;
+    peak_nodes = t.next;
+  }
+
+let pp_stats ppf (s : stats) =
+  let pct part whole =
+    if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
+  in
+  Format.fprintf ppf
+    "@[<v>unique table: %d lookups, %d hits (%.1f%%), %d collisions, %d \
+     growths@,\
+     op caches: %d lookups, %d hits (%.1f%%)@,\
+     peak nodes: %d@]"
+    s.unique_lookups s.unique_hits
+    (pct s.unique_hits s.unique_lookups)
+    s.unique_collisions s.growths s.cache_lookups s.cache_hits
+    (pct s.cache_hits s.cache_lookups)
+    s.peak_nodes
+
+(* Multiplicative triple mix; the low bits index the power-of-two tables. *)
+let hash3 a b c =
+  let h = (a * 0x9E3779B1) lxor (b * 0x85EBCA6B) lxor (c * 0xC2B2AE35) in
+  let h = h lxor (h lsr 15) in
+  h * 0x27D4EB2F
+
+let grow_nodes t =
   let cap = Array.length t.levels in
-  let bigger_int a fill =
+  let bigger a fill =
     let b = Array.make (2 * cap) fill in
     Array.blit a 0 b 0 cap;
     b
   in
-  t.levels <- bigger_int t.levels max_int;
-  t.lows <- bigger_int t.lows (-1);
-  t.highs <- bigger_int t.highs (-1)
+  t.levels <- bigger t.levels max_int;
+  t.lows <- bigger t.lows (-1);
+  t.highs <- bigger t.highs (-1)
+
+(* Cache growth keeps the live entries: direct-mapped insertion into the
+   doubled arrays, so a rehash does not throw memoised work away. *)
+let grow_ite_cache t size =
+  if size > Array.length t.ite_r then begin
+    let mask = size - 1 in
+    let k1 = Array.make size (-1) in
+    let k2 = Array.make size 0 in
+    let k3 = Array.make size 0 in
+    let r = Array.make size 0 in
+    for i = 0 to Array.length t.ite_r - 1 do
+      let f = t.ite_k1.(i) in
+      if f <> -1 then begin
+        let j = hash3 f t.ite_k2.(i) t.ite_k3.(i) land mask in
+        k1.(j) <- f;
+        k2.(j) <- t.ite_k2.(i);
+        k3.(j) <- t.ite_k3.(i);
+        r.(j) <- t.ite_r.(i)
+      end
+    done;
+    t.ite_k1 <- k1;
+    t.ite_k2 <- k2;
+    t.ite_k3 <- k3;
+    t.ite_r <- r;
+    t.ite_mask <- mask
+  end
+
+let grow_bop_cache t size =
+  if size > Array.length t.bop_r then begin
+    let mask = size - 1 in
+    let k1 = Array.make size (-1) in
+    let k2 = Array.make size 0 in
+    let r = Array.make size 0 in
+    for i = 0 to Array.length t.bop_r - 1 do
+      let f = t.bop_k1.(i) in
+      if f <> -1 then begin
+        let j = hash3 f t.bop_k2.(i) 0 land mask in
+        k1.(j) <- f;
+        k2.(j) <- t.bop_k2.(i);
+        r.(j) <- t.bop_r.(i)
+      end
+    done;
+    t.bop_k1 <- k1;
+    t.bop_k2 <- k2;
+    t.bop_r <- r;
+    t.bop_mask <- mask
+  end
+
+let rehash_unique t =
+  let size = 2 * (t.table_mask + 1) in
+  let mask = size - 1 in
+  let table = Array.make size (-1) in
+  for n = 2 to t.next - 1 do
+    let i = ref (hash3 t.levels.(n) t.lows.(n) t.highs.(n) land mask) in
+    while table.(!i) <> -1 do
+      i := (!i + 1) land mask
+    done;
+    table.(!i) <- n
+  done;
+  t.table <- table;
+  t.table_mask <- mask;
+  t.growths <- t.growths + 1;
+  (* op caches track the unique table so hit rates survive scale *)
+  grow_ite_cache t (size / 2);
+  grow_bop_cache t (size / 8)
+
+(* Returns -n when node n already exists, or the (non-negative) free slot
+   where a fresh node must be recorded. Handles are >= 2, so the sign
+   disambiguates. *)
+let rec probe t lvl lo hi i =
+  let n = Array.unsafe_get t.table i in
+  if n = -1 then i
+  else if
+    Array.unsafe_get t.levels n = lvl
+    && Array.unsafe_get t.lows n = lo
+    && Array.unsafe_get t.highs n = hi
+  then -n
+  else begin
+    t.unique_collisions <- t.unique_collisions + 1;
+    probe t lvl lo hi ((i + 1) land t.table_mask)
+  end
+
+(* The single reduction point: no node with equal children, and full
+   sharing through the unique table. *)
+let mk t lvl lo hi =
+  if lo = hi then lo
+  else begin
+    t.unique_lookups <- t.unique_lookups + 1;
+    let p = probe t lvl lo hi (hash3 lvl lo hi land t.table_mask) in
+    if p < 0 then begin
+      t.unique_hits <- t.unique_hits + 1;
+      -p
+    end
+    else begin
+      if t.next >= t.node_limit then raise (Size_limit t.node_limit);
+      if t.next >= Array.length t.levels then grow_nodes t;
+      let n = t.next in
+      t.next <- n + 1;
+      t.levels.(n) <- lvl;
+      t.lows.(n) <- lo;
+      t.highs.(n) <- hi;
+      t.table.(p) <- n;
+      if 4 * (t.next - 2) > 3 * (t.table_mask + 1) then rehash_unique t;
+      n
+    end
+  end
 
 let level t n = t.levels.(n)
 
@@ -62,25 +270,6 @@ let high t n =
   if is_terminal n then invalid_arg "Bdd.Manager.high: terminal";
   t.highs.(n)
 
-(* The single reduction point: no node with equal children, and full
-   sharing through the unique table. *)
-let mk t lvl lo hi =
-  if lo = hi then lo
-  else
-    let key = (lvl, lo, hi) in
-    match Hashtbl.find_opt t.unique key with
-    | Some n -> n
-    | None ->
-      if t.next >= t.node_limit then raise (Size_limit t.node_limit);
-      if t.next >= Array.length t.levels then grow t;
-      let n = t.next in
-      t.next <- n + 1;
-      t.levels.(n) <- lvl;
-      t.lows.(n) <- lo;
-      t.highs.(n) <- hi;
-      Hashtbl.replace t.unique key n;
-      n
-
 let var t i =
   if i < 0 || i >= t.nvars then invalid_arg "Bdd.Manager.var: out of range";
   mk t i zero one
@@ -89,27 +278,128 @@ let nvar t i =
   if i < 0 || i >= t.nvars then invalid_arg "Bdd.Manager.nvar: out of range";
   mk t i one zero
 
-let rec ite t f g h =
-  (* Terminal cases. *)
-  if f = one then g
-  else if f = zero then h
-  else if g = h then g
-  else if g = one && h = zero then f
-  else
-    let key = (f, g, h) in
-    match Hashtbl.find_opt t.ite_cache key with
-    | Some r -> r
-    | None ->
-      let lf = level t f and lg = level t g and lh = level t h in
-      let lvl = min lf (min lg lh) in
-      let cof n ln branch =
-        if ln = lvl then if branch then t.highs.(n) else t.lows.(n) else n
-      in
-      let r_hi = ite t (cof f lf true) (cof g lg true) (cof h lh true) in
-      let r_lo = ite t (cof f lf false) (cof g lg false) (cof h lh false) in
-      let r = mk t lvl r_lo r_hi in
-      Hashtbl.replace t.ite_cache key r;
-      r
+(* ------------------------------------------------------------------ *)
+(* Worklist machinery. Frames are [frame_slots] consecutive ints:
+   [tag; a; b; c; lvl]. Tag 0 evaluates the operands, tag 1 combines the
+   two results its children pushed. Both stacks are owned by the manager
+   and reused across calls; the base pointers make nested calls (mk never
+   re-enters, but exceptions must unwind) safe. *)
+
+let frame_slots = 5
+
+let push_task t tag a b c lvl =
+  let sp = t.task_sp in
+  if sp + frame_slots > Array.length t.tasks then begin
+    let bigger = Array.make (2 * Array.length t.tasks) 0 in
+    Array.blit t.tasks 0 bigger 0 sp;
+    t.tasks <- bigger
+  end;
+  let tasks = t.tasks in
+  Array.unsafe_set tasks sp tag;
+  Array.unsafe_set tasks (sp + 1) a;
+  Array.unsafe_set tasks (sp + 2) b;
+  Array.unsafe_set tasks (sp + 3) c;
+  Array.unsafe_set tasks (sp + 4) lvl;
+  t.task_sp <- sp + frame_slots
+
+let push_res t r =
+  let sp = t.res_sp in
+  if sp >= Array.length t.res then begin
+    let bigger = Array.make (2 * Array.length t.res) 0 in
+    Array.blit t.res 0 bigger 0 sp;
+    t.res <- bigger
+  end;
+  t.res.(sp) <- r;
+  t.res_sp <- sp + 1
+
+let ite_cached t f g h =
+  t.cache_lookups <- t.cache_lookups + 1;
+  let i = hash3 f g h land t.ite_mask in
+  if
+    Array.unsafe_get t.ite_k1 i = f
+    && Array.unsafe_get t.ite_k2 i = g
+    && Array.unsafe_get t.ite_k3 i = h
+  then begin
+    t.cache_hits <- t.cache_hits + 1;
+    Array.unsafe_get t.ite_r i
+  end
+  else -1
+
+let ite_insert t f g h r =
+  let i = hash3 f g h land t.ite_mask in
+  t.ite_k1.(i) <- f;
+  t.ite_k2.(i) <- g;
+  t.ite_k3.(i) <- h;
+  t.ite_r.(i) <- r
+
+let bop_cached t k1 k2 =
+  t.cache_lookups <- t.cache_lookups + 1;
+  let i = hash3 k1 k2 0 land t.bop_mask in
+  if Array.unsafe_get t.bop_k1 i = k1 && Array.unsafe_get t.bop_k2 i = k2
+  then begin
+    t.cache_hits <- t.cache_hits + 1;
+    Array.unsafe_get t.bop_r i
+  end
+  else -1
+
+let bop_insert t k1 k2 r =
+  let i = hash3 k1 k2 0 land t.bop_mask in
+  t.bop_k1.(i) <- k1;
+  t.bop_k2.(i) <- k2;
+  t.bop_r.(i) <- r
+
+let ite t f0 g0 h0 =
+  let base_sp = t.task_sp and base_rp = t.res_sp in
+  try
+    push_task t 0 f0 g0 h0 0;
+    while t.task_sp > base_sp do
+      let sp = t.task_sp - frame_slots in
+      t.task_sp <- sp;
+      let tasks = t.tasks in
+      let tag = Array.unsafe_get tasks sp in
+      let f = Array.unsafe_get tasks (sp + 1) in
+      let g = Array.unsafe_get tasks (sp + 2) in
+      let h = Array.unsafe_get tasks (sp + 3) in
+      if tag = 0 then begin
+        (* Terminal cases. *)
+        if f = one then push_res t g
+        else if f = zero then push_res t h
+        else if g = h then push_res t g
+        else if g = one && h = zero then push_res t f
+        else begin
+          let r = ite_cached t f g h in
+          if r >= 0 then push_res t r
+          else begin
+            let lf = t.levels.(f) and lg = t.levels.(g) and lh = t.levels.(h) in
+            let lvl = min lf (min lg lh) in
+            let f0 = if lf = lvl then t.lows.(f) else f
+            and f1 = if lf = lvl then t.highs.(f) else f
+            and g0 = if lg = lvl then t.lows.(g) else g
+            and g1 = if lg = lvl then t.highs.(g) else g
+            and h0 = if lh = lvl then t.lows.(h) else h
+            and h1 = if lh = lvl then t.highs.(h) else h in
+            push_task t 1 f g h lvl;
+            push_task t 0 f0 g0 h0 0;
+            (* the then-branch sits on top, so it is evaluated first *)
+            push_task t 0 f1 g1 h1 0
+          end
+        end
+      end
+      else begin
+        let lvl = Array.unsafe_get tasks (sp + 4) in
+        let r_lo = t.res.(t.res_sp - 1) and r_hi = t.res.(t.res_sp - 2) in
+        t.res_sp <- t.res_sp - 2;
+        let r = mk t lvl r_lo r_hi in
+        ite_insert t f g h r;
+        push_res t r
+      end
+    done;
+    t.res_sp <- base_rp;
+    t.res.(base_rp)
+  with e ->
+    t.task_sp <- base_sp;
+    t.res_sp <- base_rp;
+    raise e
 
 let not_ t f = ite t f zero one
 let and_ t f g = ite t f g zero
@@ -122,33 +412,63 @@ let imp t f g = ite t f g one
 let and_list t fs = List.fold_left (and_ t) one fs
 let or_list t fs = List.fold_left (or_ t) zero fs
 
-let restrict t f ~var:v b =
-  let memo = Hashtbl.create 64 in
-  let rec go f =
-    if is_terminal f || level t f > v then f
-    else
-      match Hashtbl.find_opt memo f with
-      | Some r -> r
-      | None ->
-        let r =
-          if level t f = v then if b then t.highs.(f) else t.lows.(f)
-          else mk t (level t f) (go t.lows.(f)) (go t.highs.(f))
-        in
-        Hashtbl.replace memo f r;
-        r
-  in
-  go f
+(* Binary-op cache keys: bit 1 selects restrict (0) vs quantify (1), bit 0
+   carries the branch / connective, the rest is the variable level. *)
+let restrict_key v b = (v lsl 2) lor if b then 1 else 0
+let quant_key v conj = (v lsl 2) lor 2 lor if conj then 1 else 0
+
+let restrict t root ~var:v b =
+  if is_terminal root || t.levels.(root) > v then root
+  else begin
+    let key = restrict_key v b in
+    let base_sp = t.task_sp and base_rp = t.res_sp in
+    try
+      push_task t 0 root 0 0 0;
+      while t.task_sp > base_sp do
+        let sp = t.task_sp - frame_slots in
+        t.task_sp <- sp;
+        let tag = t.tasks.(sp) and f = t.tasks.(sp + 1) in
+        if tag = 0 then begin
+          if is_terminal f || t.levels.(f) > v then push_res t f
+          else if t.levels.(f) = v then
+            push_res t (if b then t.highs.(f) else t.lows.(f))
+          else begin
+            let r = bop_cached t f key in
+            if r >= 0 then push_res t r
+            else begin
+              push_task t 1 f 0 0 0;
+              push_task t 0 t.lows.(f) 0 0 0;
+              push_task t 0 t.highs.(f) 0 0 0
+            end
+          end
+        end
+        else begin
+          let r_lo = t.res.(t.res_sp - 1) and r_hi = t.res.(t.res_sp - 2) in
+          t.res_sp <- t.res_sp - 2;
+          let r = mk t t.levels.(f) r_lo r_hi in
+          bop_insert t f key r;
+          push_res t r
+        end
+      done;
+      t.res_sp <- base_rp;
+      t.res.(base_rp)
+    with e ->
+      t.task_sp <- base_sp;
+      t.res_sp <- base_rp;
+      raise e
+  end
 
 let quantify t ~var:v ~conj f =
-  let key = (f, v, conj) in
-  match Hashtbl.find_opt t.quant_cache key with
-  | Some r -> r
-  | None ->
+  let key = quant_key v conj in
+  let r = bop_cached t f key in
+  if r >= 0 then r
+  else begin
     let f0 = restrict t f ~var:v false in
     let f1 = restrict t f ~var:v true in
     let r = if conj then and_ t f0 f1 else or_ t f0 f1 in
-    Hashtbl.replace t.quant_cache key r;
+    bop_insert t f key r;
     r
+  end
 
 let exists t ~var f = quantify t ~var ~conj:false f
 let forall t ~var f = quantify t ~var ~conj:true f
@@ -156,23 +476,26 @@ let forall t ~var f = quantify t ~var ~conj:true f
 let rec eval t f env =
   if f = zero then false
   else if f = one then true
-  else if env (level t f) then eval t t.highs.(f) env
+  else if env (t.levels.(f)) then eval t t.highs.(f) env
   else eval t t.lows.(f) env
 
+(* Pre-order DFS (low child first), iterative so that diagrams deeper than
+   the OCaml stack still enumerate. *)
 let reachable t roots =
-  let seen = Hashtbl.create 1024 in
+  let seen = Bytes.make (max t.next 2) '\000' in
   let order = ref [] in
-  let rec visit n =
-    if not (Hashtbl.mem seen n) then begin
-      Hashtbl.replace seen n ();
-      order := n :: !order;
-      if not (is_terminal n) then begin
-        visit t.lows.(n);
-        visit t.highs.(n)
+  let rec loop = function
+    | [] -> ()
+    | n :: rest ->
+      if Bytes.get seen n = '\001' then loop rest
+      else begin
+        Bytes.set seen n '\001';
+        order := n :: !order;
+        if is_terminal n then loop rest
+        else loop (t.lows.(n) :: t.highs.(n) :: rest)
       end
-    end
   in
-  List.iter visit roots;
+  loop roots;
   List.rev !order
 
 let size t roots = List.length (reachable t roots)
@@ -190,13 +513,13 @@ let support t f =
   let module IS = Set.Make (Int) in
   let vars = ref IS.empty in
   List.iter
-    (fun n -> if not (is_terminal n) then vars := IS.add (level t n) !vars)
+    (fun n -> if not (is_terminal n) then vars := IS.add t.levels.(n) !vars)
     (reachable t [ f ]);
   IS.elements !vars
 
 let sat_count t f ~nvars =
   let memo = Hashtbl.create 256 in
-  (* count f = #assignments of variables at levels ≥ level(f). *)
+  (* count f = #assignments of variables at levels >= level(f). *)
   let rec go f =
     if f = zero then 0.
     else if f = one then 1.
@@ -204,16 +527,16 @@ let sat_count t f ~nvars =
       match Hashtbl.find_opt memo f with
       | Some c -> c
       | None ->
-        let lvl = level t f in
+        let lvl = t.levels.(f) in
         let child g =
-          let lg = min (level t g) nvars in
+          let lg = min t.levels.(g) nvars in
           go g *. (2. ** float_of_int (lg - lvl - 1))
         in
         let c = child t.lows.(f) +. child t.highs.(f) in
         Hashtbl.replace memo f c;
         c
   in
-  let lf = min (level t f) nvars in
+  let lf = min t.levels.(f) nvars in
   go f *. (2. ** float_of_int lf)
 
 let any_sat t f =
@@ -222,12 +545,12 @@ let any_sat t f =
     let rec go f acc =
       if f = one then List.rev acc
       else
-        let v = level t f in
+        let v = t.levels.(f) in
         if t.highs.(f) <> zero then go t.highs.(f) ((v, true) :: acc)
         else go t.lows.(f) ((v, false) :: acc)
     in
     Some (go f [])
 
 let clear_caches t =
-  Hashtbl.reset t.ite_cache;
-  Hashtbl.reset t.quant_cache
+  Array.fill t.ite_k1 0 (Array.length t.ite_k1) (-1);
+  Array.fill t.bop_k1 0 (Array.length t.bop_k1) (-1)

@@ -20,6 +20,18 @@ exception Size_limit of int
 (** Raised by operations when the unique table would exceed the node
     budget given at creation. *)
 
+type stats = {
+  unique_lookups : int;  (** [mk] calls that consulted the unique table *)
+  unique_hits : int;  (** lookups answered by an existing node *)
+  unique_collisions : int;  (** linear-probe steps past occupied slots *)
+  cache_lookups : int;  (** ITE / restrict / quantifier cache probes *)
+  cache_hits : int;
+  growths : int;  (** unique-table rehashes (the op caches grow along) *)
+  peak_nodes : int;  (** [allocated], never decreases *)
+}
+(** Counters of the packed unique table and the lossy direct-mapped
+    operation caches; cheap to read at any time. *)
+
 val create : ?node_limit:int -> num_vars:int -> unit -> t
 (** [create ~num_vars ()] prepares a manager for variables
     [0 .. num_vars - 1]. [node_limit] (default: unlimited) bounds the
@@ -103,3 +115,10 @@ val iter_edges : t -> node list -> (node -> node -> bool -> unit) -> unit
 
 val clear_caches : t -> unit
 (** Drop operation memo tables (the unique table is kept). *)
+
+(** {1 Instrumentation} *)
+
+val stats : t -> stats
+(** Snapshot of the table / cache counters accumulated since [create]. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -6,9 +6,7 @@ type stats = {
 }
 
 let size_of ?(node_limit = max_int) nl order =
-  match Sbdd.of_netlist ~order ~node_limit nl with
-  | sbdd -> Some (Sbdd.size sbdd)
-  | exception Manager.Size_limit _ -> None
+  Sbdd.of_netlist_size ~order ~node_limit nl
 
 let anneal ?(seed = 0x0d4) ?(budget = 150) ?node_limit ?initial
     (nl : Logic.Netlist.t) =

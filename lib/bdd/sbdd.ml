@@ -60,6 +60,7 @@ let of_netlist_separate ?order ?(node_limit = max_int) (nl : Logic.Netlist.t) =
     nl.outputs
 
 let size t = Manager.size t.man (List.map snd t.roots)
+let stats t = Manager.stats t.man
 
 let num_edges t =
   let c = ref 0 in

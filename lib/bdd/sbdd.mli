@@ -43,6 +43,14 @@ val best_order :
 val size : t -> int
 (** Distinct reachable nodes, including reached terminals. *)
 
+val stats : t -> Manager.stats
+(** Unique-table / op-cache counters of the underlying manager. *)
+
+val of_netlist_size :
+  ?order:string list -> node_limit:int -> Logic.Netlist.t -> int option
+(** [Some (size sbdd)] of the build, or [None] when it exceeds
+    [node_limit] — the probe the order-search heuristics use. *)
+
 val num_edges : t -> int
 (** Decision edges of the reachable sub-diagram (2 per internal node). *)
 

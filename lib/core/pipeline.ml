@@ -126,7 +126,13 @@ let synthesize_sbdd ?(options = default_options) ~name sbdd =
   let bg = Preprocess.of_sbdd sbdd in
   let inner = synthesize_graph ~options ~name bg in
   let synthesis_time = Unix.gettimeofday () -. start in
-  let report = { inner.report with Report.synthesis_time } in
+  let report =
+    {
+      inner.report with
+      Report.synthesis_time;
+      bdd_stats = Some (Bdd.Sbdd.stats sbdd);
+    }
+  in
   { inner with report }
 
 let synthesize ?(options = default_options) netlist =

@@ -18,10 +18,11 @@ type t = {
   gamma : float;
   solver_path : string list;
   solver_retries : int;
+  bdd_stats : Bdd.Manager.stats option;
 }
 
-let of_design ?solver_path ~circuit ~bdd_graph ~labeling ~synthesis_time
-    design =
+let of_design ?solver_path ?bdd_stats ~circuit ~bdd_graph ~labeling
+    ~synthesis_time design =
   let gap =
     if labeling.Types.optimal then 0.
     else if labeling.objective <= 0. then 1.
@@ -56,6 +57,7 @@ let of_design ?solver_path ~circuit ~bdd_graph ~labeling ~synthesis_time
       (match solver_path with
        | Some p -> max 0 (List.length p - 1)
        | None -> 0);
+    bdd_stats;
   }
 
 let header =
@@ -85,4 +87,19 @@ let pp ppf r =
     Format.fprintf ppf "@,solver fallback: %s (%d retr%s)"
       (String.concat " -> " r.solver_path)
       r.solver_retries
-      (if r.solver_retries = 1 then "y" else "ies")
+      (if r.solver_retries = 1 then "y" else "ies");
+  match r.bdd_stats with
+  | None -> ()
+  | Some s ->
+    let rate part whole =
+      if whole = 0 then 0.
+      else 100. *. float_of_int part /. float_of_int whole
+    in
+    Format.fprintf ppf
+      "@,BDD engine: %d peak nodes, unique %.1f%% hit (%d lookups), cache \
+       %.1f%% hit (%d lookups), %d growths"
+      s.Bdd.Manager.peak_nodes
+      (rate s.unique_hits s.unique_lookups)
+      s.unique_lookups
+      (rate s.cache_hits s.cache_lookups)
+      s.cache_lookups s.growths

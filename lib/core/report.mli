@@ -25,10 +25,15 @@ type t = {
           the last produced this labeling. Singleton when the first
           choice succeeded. *)
   solver_retries : int;  (** [List.length solver_path - 1] *)
+  bdd_stats : Bdd.Manager.stats option;
+      (** unique-table / op-cache counters of the manager the circuit's
+          SBDD was built in; [None] when synthesis started from a
+          pre-built graph with no live manager *)
 }
 
 val of_design :
   ?solver_path:string list ->
+  ?bdd_stats:Bdd.Manager.stats ->
   circuit:string ->
   bdd_graph:Types.bdd_graph ->
   labeling:Types.labeling ->

@@ -243,6 +243,7 @@ let report_of_staircase (e : Circuits.Suite.entry) (s : Baseline.Staircase.resul
     gamma = nan;
     solver_path = [ "staircase[16]" ];
     solver_retries = 0;
+    bdd_stats = None;
   }
 
 let staircase_of config (e : Circuits.Suite.entry) =
@@ -302,6 +303,7 @@ let robdds_of config (e : Circuits.Suite.entry) =
         gamma = 0.5;
         solver_path = [ "robdds" ];
         solver_retries = 0;
+        bdd_stats = None;
       }
   | exception Bdd.Manager.Size_limit _ -> None
 

@@ -75,7 +75,11 @@ let parse_string text =
            match w with
            | ".model" ->
              (match rest with
-              | [ m ] -> model := Some m
+              | [ m ] ->
+                if !model <> None then
+                  fail line "duplicate .model (multiple models per file \
+                             are unsupported)";
+                model := Some m
               | _ -> fail line ".model expects one name")
            | ".inputs" -> inputs := !inputs @ rest
            | ".outputs" -> outputs := !outputs @ rest

@@ -33,8 +33,17 @@ let parse_string text =
        in
        match words content with
        | [] -> ()
-       | ".i" :: [ n ] -> ni := int_of_string n
-       | ".o" :: [ n ] -> no := int_of_string n
+       | ".i" :: [ n ] -> begin
+           match int_of_string_opt n with
+           | Some v when v >= 0 -> ni := v
+           | Some _ | None -> fail line ".i expects a non-negative count"
+         end
+       | ".o" :: [ n ] -> begin
+           match int_of_string_opt n with
+           | Some v when v >= 0 -> no := v
+           | Some _ | None -> fail line ".o expects a non-negative count"
+         end
+       | (".i" | ".o") :: _ -> fail line ".i/.o expect exactly one count"
        | ".ilb" :: labels -> ilb := labels
        | ".ob" :: labels -> ob := labels
        | ".p" :: _ -> ()

@@ -5,8 +5,16 @@ let check = Alcotest.check
 let tb = Alcotest.bool
 let ti = Alcotest.int
 
+(* The @proptest alias re-runs the property tests with QCHECK_MULT-times
+   the default case count (see test/dune). *)
+let qcheck_mult =
+  match Option.bind (Sys.getenv_opt "QCHECK_MULT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | Some _ | None -> 1
+
 let qcheck_case ?(count = 60) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:(count * qcheck_mult) ~name gen prop)
 
 let e = Logic.Parse.expr
 
@@ -20,10 +28,9 @@ let graph_of_expr ?order f =
 
 let fig2_graph = lazy (graph_of_expr (e "(a & b) | c"))
 
-(* Random expression generator over 3 variables. *)
-let expr_gen =
+(* Random expression generator over a fixed variable alphabet. *)
+let expr_gen_over var_names =
   let open QCheck2.Gen in
-  let var_names = [ "a"; "b"; "c" ] in
   sized @@ fix (fun self n ->
       if n <= 0 then map Logic.Expr.var (oneofl var_names)
       else
@@ -33,6 +40,17 @@ let expr_gen =
             2, map2 (fun a b -> Logic.Expr.and_ [ a; b ]) (self (n / 2)) (self (n / 2));
             2, map2 (fun a b -> Logic.Expr.or_ [ a; b ]) (self (n / 2)) (self (n / 2));
             1, map2 Logic.Expr.xor (self (n / 2)) (self (n / 2)) ])
+
+let expr_gen = expr_gen_over [ "a"; "b"; "c" ]
+
+(* Wider expressions (4-6 variables) for the differential battery: big
+   enough to exercise every solver's branching, small enough that the
+   verifier can enumerate all assignments. *)
+let wide_expr_gen =
+  let open QCheck2.Gen in
+  int_range 4 6 >>= fun n ->
+  expr_gen_over
+    (List.filteri (fun i _ -> i < n) [ "a"; "b"; "c"; "d"; "e"; "f" ])
 
 (* ------------------------------------------------------------------ *)
 
@@ -513,6 +531,96 @@ let metamorphic_tests =
             = List.length bg.edge_literals);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Differential battery: one random function, every solver, checked
+   against each other and against the reference evaluator. *)
+
+let index_env inputs =
+  let tbl = Hashtbl.create (List.length inputs) in
+  List.iteri (fun i name -> Hashtbl.add tbl name i) inputs;
+  fun (point : bool array) name -> point.(Hashtbl.find tbl name)
+
+let differential_tests =
+  [
+    qcheck_case "every solver verifies; exact never beaten (4-6 vars)"
+      ~count:20 wide_expr_gen
+      (fun f ->
+         let inputs = Logic.Expr.vars f in
+         if inputs = [] then true
+         else begin
+           let env = index_env inputs in
+           let reference point = [| Logic.Expr.eval (env point) f |] in
+           let run solver =
+             (* gamma = 1 makes the objective pure semiperimeter, so the
+                exact OCT solver's optimum bounds every other method. *)
+             let options =
+               {
+                 Compact.Pipeline.default_options with
+                 solver;
+                 gamma = 1.0;
+                 time_limit = 10.;
+               }
+             in
+             Compact.Pipeline.synthesize_expr ~options ~name:"d" f
+           in
+           let verified (r : Compact.Pipeline.result) =
+             Crossbar.Verify.auto ~trials:256 r.design ~inputs ~reference
+               ~outputs:[ "d_out" ]
+             = Crossbar.Verify.Ok
+           in
+           let exact = run Compact.Pipeline.Oct_exact in
+           let heuristics =
+             List.map run
+               [
+                 Compact.Pipeline.Oct_greedy;
+                 Compact.Pipeline.Mip;
+                 Compact.Pipeline.Heuristic;
+               ]
+           in
+           List.for_all verified (exact :: heuristics)
+           && (* An exact optimum is a floor for every other method; only
+                 claim it when the solver proved optimality in budget. *)
+           ((not exact.report.optimal)
+            || List.for_all
+                 (fun (r : Compact.Pipeline.result) ->
+                    exact.report.semiperimeter <= r.report.semiperimeter)
+                 heuristics)
+         end);
+  ]
+
+(* Cross-engine oracle: the expression evaluator, the BDD engine and the
+   crossbar sneak-path simulator must agree on every input vector. *)
+
+let oracle_tests =
+  [
+    qcheck_case "expr = BDD = crossbar on all 2^n vectors" ~count:30
+      wide_expr_gen
+      (fun f ->
+         let inputs = Logic.Expr.vars f in
+         if inputs = [] then true
+         else begin
+           let n = List.length inputs in
+           let sbdd = Bdd.Sbdd.of_exprs ~inputs [ "root", f ] in
+           let root = List.assoc "root" sbdd.Bdd.Sbdd.roots in
+           let r = Compact.Pipeline.synthesize_expr ~name:"orc" f in
+           let eval_design = Crossbar.Eval.evaluator r.design in
+           let env = index_env inputs in
+           let ok = ref true in
+           for m = 0 to (1 lsl n) - 1 do
+             let point = Array.init n (fun i -> m land (1 lsl i) <> 0) in
+             let lookup = env point in
+             let expr_v = Logic.Expr.eval lookup f in
+             let bdd_v =
+               Bdd.Manager.eval sbdd.Bdd.Sbdd.man root (fun lvl ->
+                   lookup sbdd.Bdd.Sbdd.input_order.(lvl))
+             in
+             let xbar_v = List.assoc "orc_out" (eval_design lookup) in
+             if expr_v <> bdd_v || expr_v <> xbar_v then ok := false
+           done;
+           !ok
+         end);
+  ]
+
 let () =
   Alcotest.run "compact"
     [
@@ -524,4 +632,6 @@ let () =
       "mapping", mapping_tests;
       "pipeline", pipeline_tests;
       "metamorphic", metamorphic_tests;
+      "differential", differential_tests;
+      "oracle", oracle_tests;
     ]

@@ -42,9 +42,16 @@ let env_gen =
         | _ -> false)
       (int_bound 15))
 
+(* The @proptest alias re-runs the property tests with QCHECK_MULT-times
+   the default case count (see test/dune). *)
+let qcheck_mult =
+  match Option.bind (Sys.getenv_opt "QCHECK_MULT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | Some _ | None -> 1
+
 let qcheck_case ?(count = 200) name gen prop =
   QCheck_alcotest.to_alcotest
-    (QCheck2.Test.make ~count ~name gen prop)
+    (QCheck2.Test.make ~count:(count * qcheck_mult) ~name gen prop)
 
 (* ------------------------------------------------------------------ *)
 
@@ -575,6 +582,81 @@ let file_io_tests =
            | _ -> false));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Malformed-input fuzzing: whatever bytes arrive, the BLIF/PLA parsers
+   must either parse them or raise their own error exception — never
+   Stack_overflow, Match_failure or an uncaught Failure. *)
+
+let fails_cleanly parse text =
+  match parse text with
+  | _ -> true
+  | exception Logic.Blif.Parse_error _ -> true
+  | exception Logic.Pla.Parse_error _ -> true
+  | exception Logic.Netlist.Ill_formed _ -> true
+  | exception _ -> false
+
+(* Mutate one sample: truncate at a random byte, then overwrite a few
+   random positions with arbitrary printable characters. *)
+let mutation_gen sample =
+  let open QCheck2.Gen in
+  let len = String.length sample in
+  let mutate (cut, edits) =
+    let b = Bytes.of_string (String.sub sample 0 cut) in
+    List.iter
+      (fun (pos, c) -> if cut > 0 then Bytes.set b (pos mod cut) c)
+      edits;
+    Bytes.to_string b
+  in
+  map mutate
+    (pair (int_bound len)
+       (small_list (pair (int_bound (max 0 (len - 1))) printable)))
+
+let fuzz_tests =
+  [
+    qcheck_case "blif: mutations never escape Parse_error" ~count:300
+      (mutation_gen blif_sample)
+      (fails_cleanly Logic.Blif.parse_string);
+    qcheck_case "pla: mutations never escape Parse_error" ~count:300
+      (mutation_gen pla_sample)
+      (fails_cleanly Logic.Pla.parse_string);
+    Alcotest.test_case "blif: every truncation fails cleanly" `Quick
+      (fun () ->
+         for cut = 0 to String.length blif_sample - 1 do
+           check tb
+             (Printf.sprintf "prefix %d" cut)
+             true
+             (fails_cleanly Logic.Blif.parse_string
+                (String.sub blif_sample 0 cut))
+         done);
+    Alcotest.test_case "pla: every truncation fails cleanly" `Quick (fun () ->
+        for cut = 0 to String.length pla_sample - 1 do
+          check tb
+            (Printf.sprintf "prefix %d" cut)
+            true
+            (fails_cleanly Logic.Pla.parse_string
+               (String.sub pla_sample 0 cut))
+        done);
+    Alcotest.test_case "blif: duplicate .model rejected" `Quick (fun () ->
+        let text = ".model a\n.model b\n.inputs x\n.outputs f\n.end\n" in
+        check tb "raises" true
+          (match Logic.Blif.parse_string text with
+           | exception Logic.Blif.Parse_error { line = 2; _ } -> true
+           | _ -> false));
+    Alcotest.test_case "pla: non-numeric .i/.o rejected" `Quick (fun () ->
+        List.iter
+          (fun text ->
+             check tb text true
+               (match Logic.Pla.parse_string text with
+                | exception Logic.Pla.Parse_error _ -> true
+                | _ -> false))
+          [ ".i xx\n.o 1\n.e\n"; ".i 2\n.o -3\n.e\n"; ".i 1 2\n.o 1\n.e\n" ]);
+    Alcotest.test_case "pla: bad cube characters rejected" `Quick (fun () ->
+        check tb "raises" true
+          (match Logic.Pla.parse_string ".i 2\n.o 1\n1z 1\n.e\n" with
+           | exception Logic.Pla.Parse_error _ -> true
+           | _ -> false));
+  ]
+
 let () =
   Alcotest.run "logic"
     [
@@ -587,4 +669,5 @@ let () =
       "pla", pla_tests;
       "verilog", verilog_tests;
       "file_io", file_io_tests;
+      "fuzz", fuzz_tests;
     ]
