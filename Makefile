@@ -1,4 +1,4 @@
-.PHONY: all test examples bench smoke proptest ci clean
+.PHONY: all test examples bench smoke proptest margin ci clean
 
 all:
 	dune build
@@ -18,12 +18,16 @@ smoke:
 proptest:
 	dune build @proptest
 
+margin:
+	dune build @margin
+
 ci:
 	dune build
 	dune build @examples @bench
 	dune runtest
 	dune exec test/test_manager_stress.exe
 	dune build @proptest
+	dune build @margin
 	dune build @smoke
 
 clean:

@@ -13,7 +13,7 @@
 let usage () =
   print_endline
     "usage: main.exe [--quick] [--time-limit S] [--json FILE] \
-     [all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|ablation|perf]...";
+     [all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|robustness|variation|ablation|perf]...";
   exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -62,6 +62,17 @@ let quickstart_design =
     (let e = Logic.Parse.expr "(a & b) | c" in
      let r = Compact.Pipeline.synthesize_expr ~name:"bench" e in
      r.design)
+
+let c1908_design =
+  lazy
+    (let options =
+       {
+         Compact.Pipeline.default_options with
+         solver = Compact.Pipeline.Heuristic;
+         time_limit = 5.;
+       }
+     in
+     (Compact.Pipeline.synthesize ~options (Lazy.force c1908_netlist)).design)
 
 let perf_tests =
   let open Bechamel in
@@ -120,6 +131,22 @@ let perf_tests =
       (Staged.stage (fun () ->
            let d = Lazy.force quickstart_design in
            ignore (Crossbar.Analog.solve d (fun _ -> true))));
+    (* Variation-hardening kernels: a fixed-budget Monte-Carlo margin
+       estimate, and the lumped nodal solve on a big synthesised design
+       (hundreds of nanowires, the CG-dominated regime). *)
+    Test.make ~name:"analog/mc-margin-64"
+      (Staged.stage (fun () ->
+           let d = Lazy.force quickstart_design in
+           ignore
+             (Crossbar.Margin.monte_carlo ~max_trials:64 ~min_trials:64
+                ~ci_halfwidth:0. ~spec:Crossbar.Variation.default_spec d
+                ~inputs:[ "a"; "b"; "c" ]
+                ~reference:(fun p -> [| (p.(0) && p.(1)) || p.(2) |])
+                ~outputs:[ "bench_out" ])));
+    Test.make ~name:"analog/solve-c1908"
+      (Staged.stage (fun () ->
+           let d = Lazy.force c1908_design in
+           ignore (Crossbar.Analog.solve d (fun v -> Hashtbl.hash v land 1 = 0))));
     (* BDD engine kernels: the hot paths of the packed manager. *)
     Test.make ~name:"bdd/ite-xor-chain-64"
       (Staged.stage (fun () ->
@@ -240,6 +267,8 @@ let () =
     | "fig11" -> ignore (Harness.Experiments.fig11 config)
     | "fig12" -> ignore (Harness.Experiments.fig12 config)
     | "fig13" -> ignore (Harness.Experiments.fig13 config)
+    | "robustness" -> ignore (Harness.Experiments.robustness config)
+    | "variation" -> ignore (Harness.Experiments.variation config)
     | "ablation" -> Harness.Ablation.run_all config
     | "perf" -> run_perf ?json:!json ()
     | other ->

@@ -532,6 +532,177 @@ let yield_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* Variation-aware margin analysis and hardening *)
+
+let spec_term =
+  let sigma_on =
+    Arg.(value & opt float Crossbar.Variation.default_spec.sigma_on
+         & info [ "sigma-on" ] ~docv:"S"
+             ~doc:"Lognormal spread (ln-space sigma) of the on-resistance.")
+  in
+  let sigma_off =
+    Arg.(value & opt float Crossbar.Variation.default_spec.sigma_off
+         & info [ "sigma-off" ] ~docv:"S"
+             ~doc:"Lognormal spread of the off-resistance.")
+  in
+  let wire_r =
+    Arg.(value & opt float 0.
+         & info [ "wire-r" ] ~docv:"OHM"
+             ~doc:"Nanowire resistance per segment between adjacent \
+                   crossings; > 0 switches to the distributed wire model.")
+  in
+  let drift =
+    Arg.(value & opt float 1.
+         & info [ "drift" ] ~docv:"X"
+             ~doc:"Deterministic multiplier on the on-resistance modelling \
+                   state drift.")
+  in
+  let make sigma_on sigma_off wire_r drift =
+    let s =
+      { Crossbar.Variation.default_spec with sigma_on; sigma_off;
+        drift_on = drift }
+    in
+    Crossbar.Variation.with_wire ~row:wire_r ~col:wire_r s
+  in
+  Term.(const make $ sigma_on $ sigma_off $ wire_r $ drift)
+
+let seed_term =
+  Arg.(value & opt int Crossbar.Rng.default_seed
+       & info [ "seed" ] ~docv:"S" ~doc:"Random seed (deterministic).")
+
+let margin_spec_term =
+  Arg.(value & opt float 0.
+       & info [ "margin-spec" ] ~docv:"M"
+           ~doc:"Required worst-case read margin (v_in-normalised); 0 \
+                 means merely functional.")
+
+let json_flag =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Machine output: one JSON line per corner analysis plus \
+                 one for the Monte-Carlo yield.")
+
+let margin_run source options spec seed margin_spec mc_trials json =
+  let nl = netlist_of_source source in
+  match Compact.Pipeline.synthesize ~options nl with
+  | exception Compact.Label_mip.Infeasible msg ->
+    Error (`Msg ("design constraints are infeasible: " ^ msg))
+  | result ->
+    let inputs = nl.Logic.Netlist.inputs and outputs = nl.Logic.Netlist.outputs in
+    let reference = Logic.Netlist.eval_point nl in
+    let corners =
+      Crossbar.Margin.corners ~seed ~spec result.design ~inputs ~reference
+        ~outputs
+    in
+    let mc =
+      if mc_trials <= 0 then None
+      else
+        Some
+          (Crossbar.Margin.monte_carlo ~seed ~max_trials:mc_trials
+             ~margin_spec ~spec result.design ~inputs ~reference ~outputs)
+    in
+    if json then begin
+      List.iter
+        (fun (c, a) ->
+           Format.printf "{\"corner\":\"%s\",\"analysis\":%s}@."
+             (Crossbar.Variation.corner_name c)
+             (Crossbar.Margin.json_of_analysis a))
+        corners;
+      Option.iter
+        (fun m -> Format.printf "%s@." (Crossbar.Margin.json_of_mc m))
+        mc
+    end
+    else begin
+      Format.printf "%a@." Compact.Report.pp result.report;
+      List.iter
+        (fun (c, a) ->
+           Format.printf "corner %-9s %a@."
+             (Crossbar.Variation.corner_name c)
+             Crossbar.Margin.pp_analysis a)
+        corners;
+      Format.printf "worst over corners: %+.4f@."
+        (Crossbar.Margin.worst_over_corners corners);
+      Option.iter (fun m -> Format.printf "%a@." Crossbar.Margin.pp_mc m) mc
+    end;
+    let worst = Crossbar.Margin.worst_over_corners corners in
+    if worst < margin_spec then
+      Error
+        (`Msg
+           (Printf.sprintf "worst corner margin %.4f misses the spec %.4f"
+              worst margin_spec))
+    else Ok ()
+
+let margin_cmd =
+  let mc_trials =
+    Arg.(value & opt int 200
+         & info [ "mc-trials" ] ~docv:"N"
+             ~doc:"Monte-Carlo yield trial budget (0 disables).")
+  in
+  let term =
+    Term.(
+      term_result
+        (const margin_run $ source_term $ options_term $ spec_term
+         $ seed_term $ margin_spec_term $ mc_trials $ json_flag))
+  in
+  Cmd.v
+    (Cmd.info "margin"
+       ~doc:"Read-margin corner analysis and Monte-Carlo functional yield \
+             under device variation")
+    term
+
+let harden_run source options spec seed margin_spec mc_trials grid =
+  let nl = netlist_of_source source in
+  let hopts =
+    { Compact.Pipeline.default_harden_options with
+      spec; seed; margin_spec; mc_trials }
+  in
+  match Compact.Pipeline.harden ~options ~hopts nl with
+  | exception Compact.Label_mip.Infeasible msg ->
+    Error (`Msg ("design constraints are infeasible: " ^ msg))
+  | r ->
+    Format.printf "%a@." Compact.Report.pp r.hardened_report;
+    Format.printf "candidates (worst corner margin):@.";
+    List.iter
+      (fun (c : Compact.Pipeline.candidate) ->
+         Format.printf "  %-30s %+.5f (typical %+.5f)%s@." c.cand_label
+           c.cand_worst c.cand_typical
+           (if c.cand_label = r.chosen.cand_label then "  <- chosen" else ""))
+      r.candidates;
+    Option.iter (fun m -> Format.printf "%a@." Crossbar.Margin.pp_mc m) r.mc;
+    if grid then Format.printf "%a@." Crossbar.Design.pp r.chosen.cand_design;
+    if r.meets_spec then Ok ()
+    else begin
+      List.iter
+        (fun (o, m) ->
+           Format.printf "  %-16s worst margin %+.4f misses spec %.4f@." o m
+             margin_spec)
+        r.failing_outputs;
+      Error
+        (`Msg
+           (Printf.sprintf "%d output(s) miss the margin spec"
+              (List.length r.failing_outputs)))
+    end
+
+let harden_cmd =
+  let mc_trials =
+    Arg.(value & opt int 64
+         & info [ "mc-trials" ] ~docv:"N"
+             ~doc:"Monte-Carlo yield budget on the chosen design (0 \
+                   disables).")
+  in
+  let term =
+    Term.(
+      term_result
+        (const harden_run $ source_term $ options_term $ spec_term
+         $ seed_term $ margin_spec_term $ mc_trials $ print_grid))
+  in
+  Cmd.v
+    (Cmd.info "harden"
+       ~doc:"Pick the synthesis variant and line placement maximising the \
+             worst-case read margin")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let experiments_run quick targets =
   let config =
@@ -554,6 +725,7 @@ let experiments_run quick targets =
           | "fig12" -> ignore (Harness.Experiments.fig12 config)
           | "fig13" -> ignore (Harness.Experiments.fig13 config)
           | "robustness" -> ignore (Harness.Experiments.robustness config)
+          | "variation" -> ignore (Harness.Experiments.variation config)
           | t -> Format.printf "unknown experiment %s@." t)
        ts);
   Ok ()
@@ -583,4 +755,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ synth_cmd; sweep_cmd; validate_cmd; repair_cmd; yield_cmd;
-            suite_cmd; export_cmd; experiments_cmd ]))
+            margin_cmd; harden_cmd; suite_cmd; export_cmd; experiments_cmd ]))

@@ -255,3 +255,221 @@ let repair ?(options = default_options) ~defects netlist =
       base.design
   in
   { base; repair }
+
+(* ------------------------------------------------------------------ *)
+(* Variation-aware hardening *)
+
+type harden_options = {
+  spec : Crossbar.Variation.spec;
+  margin_spec : float;
+  analog_params : Crossbar.Analog.params;
+  analog_opts : Crossbar.Analog.solver_opts;
+  seed : int;
+  margin_trials : int;
+  mc_trials : int;
+  alt_gammas : float list;
+  alt_solvers : solver list;
+  permutations : bool;
+}
+
+let default_harden_options =
+  {
+    spec = Crossbar.Variation.default_spec;
+    margin_spec = 0.;
+    analog_params = Crossbar.Analog.default_params;
+    analog_opts = Crossbar.Analog.default_solver_opts;
+    seed = Crossbar.Rng.default_seed;
+    margin_trials = 24;
+    mc_trials = 64;
+    alt_gammas = [ 0.0; 1.0 ];
+    alt_solvers = [ Heuristic ];
+    permutations = true;
+  }
+
+type candidate = {
+  cand_label : string;
+  cand_design : Crossbar.Design.t;
+  cand_worst : float;
+  cand_typical : float;
+  cand_corners : (Crossbar.Variation.corner * Crossbar.Margin.analysis) list;
+}
+
+type harden_result = {
+  base : result;
+  candidates : candidate list;
+  chosen : candidate;
+  failing_outputs : (string * float) list;
+  meets_spec : bool;
+  mc : Crossbar.Margin.mc option;
+  hardened_report : Report.t;
+}
+
+(* Structural identity of a design — permutations and re-labelings often
+   collapse back onto the same geometry (reversing one row, labeling an
+   already-optimal graph at another gamma), and scoring a duplicate
+   wastes 4 corners worth of linear solves. *)
+let design_fingerprint d =
+  let cells = ref [] in
+  Crossbar.Design.iter_programmed d (fun r c l -> cells := (r, c, l) :: !cells);
+  ( Crossbar.Design.rows d,
+    Crossbar.Design.cols d,
+    Crossbar.Design.input d,
+    Crossbar.Design.outputs d,
+    List.rev !cells )
+
+let score_candidate hopts ~inputs ~reference ~outputs (label, d) =
+  let corners =
+    Crossbar.Margin.corners ~params:hopts.analog_params
+      ~opts:hopts.analog_opts ~seed:hopts.seed ~trials:hopts.margin_trials
+      ~spec:hopts.spec d ~inputs ~reference ~outputs
+  in
+  let typical =
+    match List.assoc_opt Crossbar.Variation.Typical corners with
+    | Some (a : Crossbar.Margin.analysis) -> a.worst
+    | None -> nan
+  in
+  {
+    cand_label = label;
+    cand_design = d;
+    cand_worst = Crossbar.Margin.worst_over_corners corners;
+    cand_typical = typical;
+    cand_corners = corners;
+  }
+
+let harden ?(options = default_options) ?(hopts = default_harden_options)
+    netlist =
+  let base = synthesize ~options netlist in
+  let inputs = netlist.Logic.Netlist.inputs in
+  let outputs = netlist.Logic.Netlist.outputs in
+  let reference = Logic.Netlist.eval_point netlist in
+  let name = netlist.Logic.Netlist.name in
+  (* Stage 1: labeling variants, re-labeled on the shared preprocessed
+     graph (the expensive BDD work is not repeated). A variant that
+     raises (e.g. Infeasible) is simply not a candidate. *)
+  let labeled = ref [ "base", base.design ] in
+  let try_variant label options' =
+    match synthesize_graph ~options:options' ~name base.bdd_graph with
+    | r -> labeled := (label, r.design) :: !labeled
+    | exception _ -> ()
+  in
+  List.iter
+    (fun gamma ->
+       if abs_float (gamma -. options.gamma) > 1e-9 then
+         try_variant (Printf.sprintf "gamma=%.2f" gamma)
+           { options with gamma })
+    hopts.alt_gammas;
+  List.iter
+    (fun s ->
+       if s <> options.solver then try_variant (solver_name s)
+           { options with solver = s })
+    hopts.alt_solvers;
+  (* Stage 2: line permutations of every labeling. Electrically free to
+     apply, and decisive once the spec has resistive wire segments. *)
+  let variants =
+    List.concat_map
+      (fun (label, d) ->
+         if not hopts.permutations then [ label, d ]
+         else
+           List.map
+             (fun (plabel, p) ->
+                ( (if String.equal plabel "identity" then label
+                   else label ^ "/" ^ plabel),
+                  Place.apply_permutation p d ))
+             (Place.margin_candidates d))
+      (List.rev !labeled)
+  in
+  let seen = Hashtbl.create 16 in
+  let unique =
+    List.filter
+      (fun (_, d) ->
+         let fp = design_fingerprint d in
+         if Hashtbl.mem seen fp then false
+         else begin
+           Hashtbl.replace seen fp ();
+           true
+         end)
+      variants
+  in
+  (* Stage 3: score and rank. stable_sort keeps generation order on exact
+     ties, so "base" is never displaced by an equivalent variant. *)
+  let scored =
+    List.map (score_candidate hopts ~inputs ~reference ~outputs) unique
+  in
+  let candidates =
+    List.stable_sort
+      (fun a b ->
+         match compare b.cand_worst a.cand_worst with
+         | 0 ->
+           (match compare b.cand_typical a.cand_typical with
+            | 0 ->
+              compare
+                (Crossbar.Design.semiperimeter a.cand_design)
+                (Crossbar.Design.semiperimeter b.cand_design)
+            | c -> c)
+         | c -> c)
+      scored
+  in
+  let chosen = List.hd candidates in
+  (* Graceful degradation: per output, the worst margin across corners;
+     report every output that misses the spec instead of failing. *)
+  let failing_outputs =
+    match chosen.cand_corners with
+    | [] -> []
+    | (_, (first : Crossbar.Margin.analysis)) :: _ ->
+      List.filter_map
+        (fun (om : Crossbar.Margin.output_margin) ->
+           let worst =
+             List.fold_left
+               (fun acc (_, (a : Crossbar.Margin.analysis)) ->
+                  List.fold_left
+                    (fun acc (o : Crossbar.Margin.output_margin) ->
+                       if String.equal o.om_output om.om_output then
+                         min acc o.om_margin
+                       else acc)
+                    acc a.per_output)
+               infinity chosen.cand_corners
+           in
+           if worst < hopts.margin_spec then Some (om.om_output, worst)
+           else None)
+        first.per_output
+  in
+  let mc =
+    if hopts.mc_trials <= 0 then None
+    else
+      Some
+        (Crossbar.Margin.monte_carlo ~params:hopts.analog_params
+           ~opts:hopts.analog_opts ~seed:hopts.seed
+           ~max_trials:hopts.mc_trials ~margin_spec:hopts.margin_spec
+           ~spec:hopts.spec chosen.cand_design ~inputs ~reference ~outputs)
+  in
+  let analog =
+    List.fold_left
+      (fun (acc : Report.analog_summary) (_, (a : Crossbar.Margin.analysis)) ->
+         {
+           acc with
+           an_max_iterations = max acc.an_max_iterations a.max_iterations;
+           an_max_residual = max acc.an_max_residual a.max_residual;
+           an_max_condition = max acc.an_max_condition a.max_condition;
+           an_fallbacks = acc.an_fallbacks + a.fallbacks;
+           an_unconverged = acc.an_unconverged + a.unconverged;
+         })
+      {
+        Report.an_worst_margin = chosen.cand_worst;
+        an_max_iterations = 0;
+        an_max_residual = 0.;
+        an_max_condition = 0.;
+        an_fallbacks = 0;
+        an_unconverged = 0;
+      }
+      chosen.cand_corners
+  in
+  let hardened_report = { base.report with Report.analog = Some analog } in
+  {
+    base;
+    candidates;
+    chosen;
+    failing_outputs;
+    meets_spec = failing_outputs = [];
+    mc;
+    hardened_report;
+  }

@@ -88,3 +88,72 @@ val repair :
     design is functionally verified — the result is never silently
     wrong.
     @raise Bdd.Manager.Size_limit as {!synthesize}. *)
+
+(** {1 Variation-aware hardening}
+
+    Logically equivalent designs are not electrically equivalent: the
+    labeling's gamma trade-off changes the geometry (and with it sneak
+    leakage), and wordline/bitline permutations change the wire distance
+    every read path travels. [harden] enumerates such variants, scores
+    each by its worst-case read margin over the deterministic
+    {!Crossbar.Variation.corner}s of a variation spec, and returns the
+    design that degrades last. *)
+
+type harden_options = {
+  spec : Crossbar.Variation.spec;  (** variation model to harden against *)
+  margin_spec : float;
+      (** required worst-corner margin per output (default 0: merely
+          functional at every corner) *)
+  analog_params : Crossbar.Analog.params;
+  analog_opts : Crossbar.Analog.solver_opts;
+  seed : int;  (** threads every margin/MC sample through {!Crossbar.Rng} *)
+  margin_trials : int;
+      (** assignments per corner analysis beyond the exhaustive
+          threshold (default 24) *)
+  mc_trials : int;
+      (** Monte-Carlo yield budget on the chosen design; 0 skips the MC
+          stage (default 64) *)
+  alt_gammas : float list;
+      (** labeling variants re-labeled on the shared BDD graph *)
+  alt_solvers : solver list;  (** solver variants, same graph *)
+  permutations : bool;
+      (** also score {!Place.margin_candidates} of every labeling *)
+}
+
+val default_harden_options : harden_options
+
+type candidate = {
+  cand_label : string;
+      (** e.g. ["base"], ["gamma=1.00/rev-rows"], ["heuristic"] *)
+  cand_design : Crossbar.Design.t;
+  cand_worst : float;  (** min margin over corners and outputs *)
+  cand_typical : float;  (** margin at the [Typical] corner *)
+  cand_corners : (Crossbar.Variation.corner * Crossbar.Margin.analysis) list;
+}
+
+type harden_result = {
+  base : result;  (** the unhardened synthesis all variants derive from *)
+  candidates : candidate list;  (** every variant scored, best first *)
+  chosen : candidate;
+  failing_outputs : (string * float) list;
+      (** outputs of the chosen design whose worst-corner margin misses
+          [margin_spec], with that margin — the graceful-degradation
+          report when even the best variant cannot meet the spec *)
+  meets_spec : bool;  (** [failing_outputs = []] *)
+  mc : Crossbar.Margin.mc option;
+      (** Monte-Carlo functional yield of the chosen design *)
+  hardened_report : Report.t;
+      (** [base.report] with {!Report.t.analog} filled from the chosen
+          candidate's corner analyses *)
+}
+
+val harden :
+  ?options:options -> ?hopts:harden_options -> Logic.Netlist.t -> harden_result
+(** Synthesise, enumerate electrical variants (alternate labelings on
+    the shared preprocessed graph, then line permutations of each),
+    deduplicate, score every candidate's worst-case corner margin, and
+    pick the maximiser (ties: higher typical margin, then smaller
+    semiperimeter, then generation order — so ["base"] wins exact ties).
+    Never raises on margin failure: a design that cannot meet the spec
+    is still returned, with the misses in [failing_outputs].
+    @raise Bdd.Manager.Size_limit as {!synthesize}. *)

@@ -306,3 +306,78 @@ let pp ppf p =
   let line l = String.concat "," (List.map string_of_int (Array.to_list l)) in
   Format.fprintf ppf "rows -> [%s]; cols -> [%s]" (line p.row_map)
     (line p.col_map)
+
+(* ------------------------------------------------------------------ *)
+(* Electrical re-placement (variation hardening) *)
+
+let identity d =
+  {
+    row_map = Array.init (Design.rows d) Fun.id;
+    col_map = Array.init (Design.cols d) Fun.id;
+  }
+
+let apply_permutation p d =
+  Design.permute d ~row_perm:p.row_map ~col_perm:p.col_map
+
+let margin_candidates d =
+  let rows = Design.rows d and cols = Design.cols d in
+  let idn n = Array.init n Fun.id in
+  let rev n = Array.init n (fun i -> n - 1 - i) in
+  (* Permutation packing [ports] (dedup, order kept) at indices 0..,
+     remaining lines after them in their original order. Read paths then
+     cross the fewest wire segments between ports. *)
+  let pack n ports =
+    let seen = Array.make n false in
+    let order = ref [] in
+    List.iter
+      (fun i ->
+         if not seen.(i) then begin
+           seen.(i) <- true;
+           order := i :: !order
+         end)
+      ports;
+    for i = 0 to n - 1 do
+      if not seen.(i) then order := i :: !order
+    done;
+    let order = Array.of_list (List.rev !order) in
+    (* order.(k) is the logical line placed at physical index k. *)
+    let perm = Array.make n 0 in
+    Array.iteri (fun k l -> perm.(l) <- k) order;
+    perm
+  in
+  let port_wires = Design.input d :: List.map snd (Design.outputs d) in
+  let port_rows =
+    List.filter_map
+      (function Design.Row i -> Some i | Design.Col _ -> None)
+      port_wires
+  and port_cols =
+    List.filter_map
+      (function Design.Col j -> Some j | Design.Row _ -> None)
+      port_wires
+  in
+  let mk label row_map col_map = label, { row_map; col_map } in
+  let cands =
+    [ mk "identity" (idn rows) (idn cols);
+      mk "rev-rows" (rev rows) (idn cols);
+      mk "rev-cols" (idn rows) (rev cols) ]
+    @ (if List.length port_rows > 1 then
+         [ mk "pack-port-rows" (pack rows port_rows) (idn cols);
+           mk "pack-port-rows-rev-cols" (pack rows port_rows) (rev cols) ]
+       else [])
+    @
+    if List.length port_cols > 1 then
+      [ mk "pack-port-cols" (idn rows) (pack cols port_cols) ]
+    else []
+  in
+  (* Prune duplicates (a reversal on one line is the identity, packing
+     already-adjacent ports changes nothing, ...). *)
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (_, p) ->
+       let key = (Array.to_list p.row_map, Array.to_list p.col_map) in
+       if Hashtbl.mem seen key then false
+       else begin
+         Hashtbl.replace seen key ();
+         true
+       end)
+    cands

@@ -48,3 +48,28 @@ val apply : Crossbar.Defect_map.t -> t -> Crossbar.Design.t -> Crossbar.Design.t
     design or a target coordinate is out of range. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Electrical re-placement (variation hardening)}
+
+    Wordline/bitline permutations are logically free — sneak-path
+    semantics do not see line order — but once nanowire segments are
+    resistive ({!Crossbar.Analog.deviations}) the distance between the
+    input port and each output port sets the IR drop on its read path.
+    These helpers generate permutation candidates for
+    {!Compact.Pipeline.harden} to score by worst-case read margin. *)
+
+val identity : Crossbar.Design.t -> t
+(** The order-preserving placement of a design onto itself. *)
+
+val apply_permutation : t -> Crossbar.Design.t -> Crossbar.Design.t
+(** Relocate lines through the placement on a defect-free array of the
+    design's own dimensions (a thin wrapper over
+    {!Crossbar.Design.permute}). *)
+
+val margin_candidates : Crossbar.Design.t -> (string * t) list
+(** Labelled permutations worth scoring electrically: the identity, row
+    and column reversals, and placements packing the port-carrying lines
+    together (input first, outputs adjacent) so a read path traverses
+    the fewest wire segments between its junctions and the contact edge.
+    Duplicates (e.g. a reversal that is the identity) are pruned;
+    ["identity"] is always first. *)

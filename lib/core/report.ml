@@ -1,3 +1,12 @@
+type analog_summary = {
+  an_worst_margin : float;
+  an_max_iterations : int;
+  an_max_residual : float;
+  an_max_condition : float;
+  an_fallbacks : int;
+  an_unconverged : int;
+}
+
 type t = {
   circuit : string;
   bdd_nodes : int;
@@ -19,7 +28,20 @@ type t = {
   solver_path : string list;
   solver_retries : int;
   bdd_stats : Bdd.Manager.stats option;
+  analog : analog_summary option;
 }
+
+let analog_of_analysis (a : Crossbar.Margin.analysis) =
+  {
+    an_worst_margin = a.Crossbar.Margin.worst;
+    an_max_iterations = a.max_iterations;
+    an_max_residual = a.max_residual;
+    an_max_condition = a.max_condition;
+    an_fallbacks = a.fallbacks;
+    an_unconverged = a.unconverged;
+  }
+
+let with_analog r a = { r with analog = Some (analog_of_analysis a) }
 
 let of_design ?solver_path ?bdd_stats ~circuit ~bdd_graph ~labeling
     ~synthesis_time design =
@@ -58,6 +80,7 @@ let of_design ?solver_path ?bdd_stats ~circuit ~bdd_graph ~labeling
        | Some p -> max 0 (List.length p - 1)
        | None -> 0);
     bdd_stats;
+    analog = None;
   }
 
 let header =
@@ -88,6 +111,21 @@ let pp ppf r =
       (String.concat " -> " r.solver_path)
       r.solver_retries
       (if r.solver_retries = 1 then "y" else "ies");
+  (match r.analog with
+   | None -> ()
+   | Some a ->
+     Format.fprintf ppf
+       "@,analog: worst margin %.4f, CG <=%d iters, residual <=%.2e, cond \
+        ~%.1e%s%s"
+       a.an_worst_margin a.an_max_iterations a.an_max_residual
+       a.an_max_condition
+       (if a.an_fallbacks > 0 then
+          Printf.sprintf ", %d dense fallback%s" a.an_fallbacks
+            (if a.an_fallbacks = 1 then "" else "s")
+        else "")
+       (if a.an_unconverged > 0 then
+          Printf.sprintf ", %d UNCONVERGED" a.an_unconverged
+        else ""));
   match r.bdd_stats with
   | None -> ()
   | Some s ->

@@ -1,5 +1,22 @@
 (** Synthesis reports: the metrics the paper's evaluation tables use. *)
 
+type analog_summary = {
+  an_worst_margin : float;
+      (** worst read margin across every output and evaluated point;
+          negative means some output is functionally wrong *)
+  an_max_iterations : int;  (** most CG iterations any solve needed *)
+  an_max_residual : float;  (** worst relative residual accepted *)
+  an_max_condition : float;
+      (** worst diagonal conditioning estimate seen *)
+  an_fallbacks : int;
+      (** solves that fell back to dense Gaussian elimination *)
+  an_unconverged : int;
+      (** solves no method in the chain brought under tolerance *)
+}
+(** Electrical solver diagnostics from a {!Crossbar.Margin} analysis,
+    carried alongside the logical metrics when a report's design was
+    margin-checked. *)
+
 type t = {
   circuit : string;
   bdd_nodes : int;  (** graph nodes = BDD nodes without the 0-terminal *)
@@ -29,7 +46,16 @@ type t = {
       (** unique-table / op-cache counters of the manager the circuit's
           SBDD was built in; [None] when synthesis started from a
           pre-built graph with no live manager *)
+  analog : analog_summary option;
+      (** electrical margin/solver diagnostics; [None] until a margin
+          analysis (e.g. {!Pipeline.harden}) has run on the design *)
 }
+
+val analog_of_analysis : Crossbar.Margin.analysis -> analog_summary
+(** Condense a margin analysis into report diagnostics. *)
+
+val with_analog : t -> Crossbar.Margin.analysis -> t
+(** The report with [analog] filled from the analysis. *)
 
 val of_design :
   ?solver_path:string list ->

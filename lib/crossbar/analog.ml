@@ -9,86 +9,265 @@ type params = {
 let default_params =
   { r_on = 100.; r_off = 1e8; r_sense = 1e4; v_in = 1.0; threshold = 0.01 }
 
+type deviations = {
+  on_scale : float array array;
+  off_scale : float array array;
+  row_seg_r : float array;
+  col_seg_r : float array;
+}
+
+let ideal ~rows ~cols =
+  {
+    on_scale = Array.make_matrix rows cols 1.;
+    off_scale = Array.make_matrix rows cols 1.;
+    row_seg_r = Array.make rows 0.;
+    col_seg_r = Array.make cols 0.;
+  }
+
+let min_seg_r = 1e-3
+
+type solve_method = Cg | Dense | Cg_then_dense
+
+type solver_opts = {
+  cg_tol : float;
+  cg_max_iter : int option;
+  stagnation_window : int;
+  dense_limit : int;
+  allow_dense : bool;
+}
+
+let default_solver_opts =
+  {
+    cg_tol = 1e-10;
+    cg_max_iter = None;
+    stagnation_window = 64;
+    dense_limit = 800;
+    allow_dense = true;
+  }
+
 type solution = {
   v_rows : float array;
   v_cols : float array;
   iterations : int;
   residual : float;
+  solve_method : solve_method;
+  condition : float;
+  fallback_reason : string option;
 }
 
-(* Wire numbering: rows are 0..R-1, columns are R..R+C-1. The input wire is
-   a Dirichlet node held at v_in and eliminated from the unknowns. *)
-let solve ?(params = default_params) d env =
+exception No_convergence of { residual : float; iterations : int }
+
+let read_tol = 1e-6
+
+(* ------------------------------------------------------------------ *)
+(* Network assembly.
+
+   Two topologies share one sparse representation: a Laplacian diagonal,
+   adjacency lists of positive branch conductances, one Dirichlet node
+   (the driven input port) and per-wire probe nodes where ports read
+   their voltages.
+
+   Lumped (every wire segment ideal): one node per nanowire — rows are
+   0..R-1, columns R..R+C-1, exactly the paper's model.
+
+   Distributed (any resistive segment): one node per crossing. Row i's
+   crossing with column j is node i·C + j; column j's crossing with row
+   i is node R·C + j·R + i, the two tied by the junction conductance.
+   Adjacent crossings on a wire are tied by the segment conductance, and
+   every port (drive or sense) contacts its wire at crossing index 0, so
+   a port's current traverses the wire segments between crossing 0 and
+   the junctions that serve it — the IR-drop position dependence the
+   lumped model cannot see. *)
+
+type network = {
+  n : int;
+  diag : float array;
+  adj : (int * float) list array;
+  input_node : int;
+  probe_rows : int array;
+  probe_cols : int array;
+  bg : float;
+      (* implicit background conductance between every row node
+         [0..bg_split-1] and every column node [bg_split..n-1]; [adj]
+         then stores only the deltas of junctions that differ from it.
+         0. disables the term (distributed or per-junction-deviated
+         networks, which materialise every branch explicitly). *)
+  bg_split : int;
+}
+
+let junction_conductance params dev ~row ~col lit env =
+  if Literal.conducts lit env then 1. /. (params.r_on *. dev.on_scale.(row).(col))
+  else 1. /. (params.r_off *. dev.off_scale.(row).(col))
+
+let check_deviations d dev =
   let rows = Design.rows d and cols = Design.cols d in
-  let n = rows + cols in
-  let g_on = 1. /. params.r_on and g_off = 1. /. params.r_off in
-  let g_sense = 1. /. params.r_sense in
-  let g = Array.make_matrix rows cols g_off in
-  for i = 0 to rows - 1 do
-    for j = 0 to cols - 1 do
-      if Literal.conducts (Design.get d ~row:i ~col:j) env then
-        g.(i).(j) <- g_on
-    done
-  done;
-  let input_node =
-    match Design.input d with
-    | Design.Row i -> i
-    | Design.Col j -> rows + j
+  if
+    Array.length dev.on_scale <> rows
+    || Array.length dev.off_scale <> rows
+    || (rows > 0 && Array.length dev.on_scale.(0) <> cols)
+    || (rows > 0 && Array.length dev.off_scale.(0) <> cols)
+    || Array.length dev.row_seg_r <> rows
+    || Array.length dev.col_seg_r <> cols
+  then invalid_arg "Analog: deviations shape does not match the design"
+
+let build_network ?(nominal = false) params dev d env =
+  let rows = Design.rows d and cols = Design.cols d in
+  let distributed =
+    Array.exists (fun r -> r > 0.) dev.row_seg_r
+    || Array.exists (fun r -> r > 0.) dev.col_seg_r
   in
+  let n = if distributed then 2 * rows * cols else rows + cols in
   let diag = Array.make n 0. in
-  for i = 0 to rows - 1 do
-    for j = 0 to cols - 1 do
-      diag.(i) <- diag.(i) +. g.(i).(j);
-      diag.(rows + j) <- diag.(rows + j) +. g.(i).(j)
-    done
-  done;
-  List.iter
-    (fun (_, w) ->
-       let node =
-         match w with Design.Row i -> i | Design.Col j -> rows + j
-       in
-       diag.(node) <- diag.(node) +. g_sense)
-    (Design.outputs d);
-  (* A·x where x ranges over all wires but the input node is clamped:
-     treat x.(input_node) as 0 inside the operator and put the coupling on
-     the right-hand side. *)
-  let apply x y =
-    for i = 0 to rows - 1 do
-      y.(i) <- diag.(i) *. x.(i)
-    done;
-    for j = 0 to cols - 1 do
-      y.(rows + j) <- diag.(rows + j) *. x.(rows + j)
-    done;
-    for i = 0 to rows - 1 do
-      let gi = g.(i) in
-      let xi = x.(i) in
-      let acc = ref 0. in
-      for j = 0 to cols - 1 do
-        y.(rows + j) <- y.(rows + j) -. (gi.(j) *. xi);
-        acc := !acc +. (gi.(j) *. x.(rows + j))
-      done;
-      y.(i) <- y.(i) -. !acc
-    done;
-    (* Clamp the Dirichlet node: identity row. *)
-    y.(input_node) <- x.(input_node)
+  let adj = Array.make n [] in
+  let connect a b g =
+    diag.(a) <- diag.(a) +. g;
+    diag.(b) <- diag.(b) +. g;
+    adj.(a) <- (b, g) :: adj.(a);
+    adj.(b) <- (a, g) :: adj.(b)
   in
-  (* The Dirichlet value rides along inside the state vector: the input
-     entry of [x] is pinned at [v_in] (identity row, matching RHS), and the
-     matvec couples it into its neighbours' equations. CG never moves the
-     pinned entry because its residual starts and stays at zero, so the
-     iteration lives in the affine subspace where the operator is the SPD
-     Laplacian block. *)
+  let ground a g = diag.(a) <- diag.(a) +. g in
+  let probe_rows, probe_cols =
+    if distributed then begin
+      let row_node i j = (i * cols) + j in
+      let col_node i j = (rows * cols) + (j * rows) + i in
+      for i = 0 to rows - 1 do
+        for j = 0 to cols - 1 do
+          connect (row_node i j) (col_node i j)
+            (junction_conductance params dev ~row:i ~col:j
+               (Design.get d ~row:i ~col:j)
+               env)
+        done
+      done;
+      for i = 0 to rows - 1 do
+        let g = 1. /. max dev.row_seg_r.(i) min_seg_r in
+        for j = 0 to cols - 2 do
+          connect (row_node i j) (row_node i (j + 1)) g
+        done
+      done;
+      for j = 0 to cols - 1 do
+        let g = 1. /. max dev.col_seg_r.(j) min_seg_r in
+        for i = 0 to rows - 2 do
+          connect (col_node i j) (col_node (i + 1) j) g
+        done
+      done;
+      ( Array.init rows (fun i -> row_node i 0),
+        Array.init cols (fun j -> col_node 0 j) )
+    end
+    else if nominal then begin
+      (* Implicit off-state background: with ideal deviations every
+         junction not conducting under [env] has exactly the nominal off
+         conductance, so the all-pairs bipartite coupling is uniform and
+         the matvec can carry it as a rank-style sum in O(rows + cols).
+         Only junctions whose conductance differs (conducting literals)
+         are materialised, as deltas — O(programmed cells) memory
+         instead of O(rows·cols), which is what makes big synthesised
+         arrays solvable at all. *)
+      let g_bg = 1. /. params.r_off in
+      for i = 0 to rows - 1 do
+        diag.(i) <- diag.(i) +. (float_of_int cols *. g_bg)
+      done;
+      for j = 0 to cols - 1 do
+        diag.(rows + j) <- diag.(rows + j) +. (float_of_int rows *. g_bg)
+      done;
+      (* Conductances computed directly — the nominal path never touches
+         the per-junction scale matrices, so [solve] needn't allocate
+         them. *)
+      Design.iter_programmed d (fun i j lit ->
+          let g =
+            if Literal.conducts lit env then 1. /. params.r_on else g_bg
+          in
+          let delta = g -. g_bg in
+          if delta <> 0. then connect i (rows + j) delta);
+      Array.init rows (fun i -> i), Array.init cols (fun j -> rows + j)
+    end
+    else begin
+      for i = 0 to rows - 1 do
+        for j = 0 to cols - 1 do
+          connect i (rows + j)
+            (junction_conductance params dev ~row:i ~col:j
+               (Design.get d ~row:i ~col:j)
+               env)
+        done
+      done;
+      Array.init rows (fun i -> i), Array.init cols (fun j -> rows + j)
+    end
+  in
+  let node_of_wire = function
+    | Design.Row i -> probe_rows.(i)
+    | Design.Col j -> probe_cols.(j)
+  in
+  let g_sense = 1. /. params.r_sense in
+  List.iter (fun (_, w) -> ground (node_of_wire w) g_sense) (Design.outputs d);
+  {
+    n;
+    diag;
+    adj;
+    input_node = node_of_wire (Design.input d);
+    probe_rows;
+    probe_cols;
+    bg = (if nominal && not distributed then 1. /. params.r_off else 0.);
+    bg_split = rows;
+  }
+
+(* A·x with the Dirichlet node's row replaced by the identity: the pinned
+   entry of [x] rides along at [v_in] (matching RHS), the matvec couples
+   it into its neighbours' equations, and CG never moves it because its
+   residual starts and stays at zero — the iteration lives in the affine
+   subspace where the operator is the SPD Laplacian block. *)
+let apply net x y =
+  if net.bg > 0. then begin
+    (* Uniform background: each row node sees -bg·Σ(col x), each column
+       node -bg·Σ(row x); the explicit lists carry only the deltas. *)
+    let sr = ref 0. and sc = ref 0. in
+    for i = 0 to net.bg_split - 1 do
+      sr := !sr +. x.(i)
+    done;
+    for j = net.bg_split to net.n - 1 do
+      sc := !sc +. x.(j)
+    done;
+    for k = 0 to net.n - 1 do
+      let other = if k < net.bg_split then !sc else !sr in
+      let acc = ref ((net.diag.(k) *. x.(k)) -. (net.bg *. other)) in
+      List.iter (fun (m, g) -> acc := !acc -. (g *. x.(m))) net.adj.(k);
+      y.(k) <- !acc
+    done
+  end
+  else
+    for k = 0 to net.n - 1 do
+      let acc = ref (net.diag.(k) *. x.(k)) in
+      List.iter (fun (m, g) -> acc := !acc -. (g *. x.(m))) net.adj.(k);
+      y.(k) <- !acc
+    done;
+  y.(net.input_node) <- x.(net.input_node)
+
+let condition_estimate net =
+  let mx = ref neg_infinity and mn = ref infinity in
+  for k = 0 to net.n - 1 do
+    if k <> net.input_node then begin
+      if net.diag.(k) > !mx then mx := net.diag.(k);
+      if net.diag.(k) < !mn then mn := net.diag.(k)
+    end
+  done;
+  if !mn <= 0. || !mx <= 0. then infinity else !mx /. !mn
+
+(* ------------------------------------------------------------------ *)
+(* Jacobi-preconditioned conjugate gradients with stagnation and
+   divergence watchdogs. Returns the best iterate found and why the
+   iteration stopped. *)
+
+type cg_stop = Converged | Stagnated | Diverged | Exhausted
+
+let cg_solve opts net ~v_in x =
+  let n = net.n in
   let b = Array.make n 0. in
-  b.(input_node) <- params.v_in;
-  (* Jacobi-preconditioned conjugate gradients. *)
-  let x = Array.make n 0. in
-  x.(input_node) <- params.v_in;
+  b.(net.input_node) <- v_in;
+  x.(net.input_node) <- v_in;
   let r = Array.make n 0. in
   let z = Array.make n 0. in
   let p = Array.make n 0. in
   let q = Array.make n 0. in
-  let minv k = if k = input_node then 1. else 1. /. diag.(k) in
-  apply x r;
+  let minv k = if k = net.input_node then 1. else 1. /. net.diag.(k) in
+  apply net x r;
   for k = 0 to n - 1 do
     r.(k) <- b.(k) -. r.(k)
   done;
@@ -107,35 +286,180 @@ let solve ?(params = default_params) d env =
   let rz = ref (dot r z) in
   let iterations = ref 0 in
   let residual = ref (sqrt (dot r r) /. bnorm) in
-  let max_iter = 20 * n in
-  while !residual > 1e-10 && !iterations < max_iter do
-    apply p q;
-    let alpha = !rz /. dot p q in
-    for k = 0 to n - 1 do
-      x.(k) <- x.(k) +. (alpha *. p.(k));
-      r.(k) <- r.(k) -. (alpha *. q.(k))
-    done;
-    for k = 0 to n - 1 do
-      z.(k) <- minv k *. r.(k)
-    done;
-    let rz' = dot r z in
-    let beta = rz' /. !rz in
-    rz := rz';
-    for k = 0 to n - 1 do
-      p.(k) <- z.(k) +. (beta *. p.(k))
-    done;
-    incr iterations;
-    residual := sqrt (dot r r) /. bnorm
+  let initial = !residual in
+  let best = ref !residual in
+  let best_iter = ref 0 in
+  let max_iter =
+    match opts.cg_max_iter with Some m -> m | None -> 20 * n
+  in
+  let stop = ref None in
+  while !stop = None do
+    if !residual <= opts.cg_tol then stop := Some Converged
+    else if not (Float.is_finite !residual) || !residual > 1e6 *. (initial +. 1.)
+    then stop := Some Diverged
+    else if !iterations - !best_iter > opts.stagnation_window then
+      stop := Some Stagnated
+    else if !iterations >= max_iter then stop := Some Exhausted
+    else begin
+      apply net p q;
+      let pq = dot p q in
+      let alpha = !rz /. pq in
+      if not (Float.is_finite alpha) then stop := Some Diverged
+      else begin
+        for k = 0 to n - 1 do
+          x.(k) <- x.(k) +. (alpha *. p.(k));
+          r.(k) <- r.(k) -. (alpha *. q.(k))
+        done;
+        for k = 0 to n - 1 do
+          z.(k) <- minv k *. r.(k)
+        done;
+        let rz' = dot r z in
+        let beta = rz' /. !rz in
+        rz := rz';
+        for k = 0 to n - 1 do
+          p.(k) <- z.(k) +. (beta *. p.(k))
+        done;
+        incr iterations;
+        residual := sqrt (dot r r) /. bnorm;
+        (* Progress bookkeeping for the stagnation watchdog: only a
+           meaningful reduction counts as progress. *)
+        if !residual < 0.999 *. !best then begin
+          best := !residual;
+          best_iter := !iterations
+        end
+      end
+    end
   done;
+  let stop = Option.get !stop in
+  stop, !iterations, !residual, bnorm
+
+(* Dense Gaussian elimination with partial pivoting over the same
+   operator (Dirichlet row as identity). O(n³), gated by [dense_limit];
+   the rescue path when CG gives up on an ill-conditioned network. *)
+let dense_solve net ~v_in x =
+  let n = net.n in
+  let a = Array.make_matrix n n 0. in
+  let b = Array.make n 0. in
+  if net.bg > 0. then
+    for i = 0 to net.bg_split - 1 do
+      for j = net.bg_split to n - 1 do
+        a.(i).(j) <- a.(i).(j) -. net.bg;
+        a.(j).(i) <- a.(j).(i) -. net.bg
+      done
+    done;
+  for k = 0 to n - 1 do
+    a.(k).(k) <- a.(k).(k) +. net.diag.(k);
+    List.iter (fun (m, g) -> a.(k).(m) <- a.(k).(m) -. g) net.adj.(k)
+  done;
+  (* Dirichlet row: identity. *)
+  Array.fill a.(net.input_node) 0 n 0.;
+  a.(net.input_node).(net.input_node) <- 1.;
+  b.(net.input_node) <- v_in;
+  for col = 0 to n - 1 do
+    let piv = ref col in
+    for k = col + 1 to n - 1 do
+      if abs_float a.(k).(col) > abs_float a.(!piv).(col) then piv := k
+    done;
+    if !piv <> col then begin
+      let t = a.(col) in
+      a.(col) <- a.(!piv);
+      a.(!piv) <- t;
+      let t = b.(col) in
+      b.(col) <- b.(!piv);
+      b.(!piv) <- t
+    end;
+    let d = a.(col).(col) in
+    if abs_float d > 0. then
+      for k = col + 1 to n - 1 do
+        let f = a.(k).(col) /. d in
+        if f <> 0. then begin
+          for m = col to n - 1 do
+            a.(k).(m) <- a.(k).(m) -. (f *. a.(col).(m))
+          done;
+          b.(k) <- b.(k) -. (f *. b.(col))
+        end
+      done
+  done;
+  for k = n - 1 downto 0 do
+    let s = ref b.(k) in
+    for m = k + 1 to n - 1 do
+      s := !s -. (a.(k).(m) *. x.(m))
+    done;
+    x.(k) <- (if a.(k).(k) = 0. then 0. else !s /. a.(k).(k))
+  done
+
+let residual_of net ~v_in x ~bnorm =
+  let y = Array.make net.n 0. in
+  apply net x y;
+  let s = ref 0. in
+  for k = 0 to net.n - 1 do
+    let b = if k = net.input_node then v_in else 0. in
+    let d = b -. y.(k) in
+    s := !s +. (d *. d)
+  done;
+  sqrt !s /. bnorm
+
+let solve ?(params = default_params) ?deviations
+    ?(opts = default_solver_opts) d env =
+  let rows = Design.rows d and cols = Design.cols d in
+  let nominal = deviations = None in
+  let dev =
+    match deviations with
+    | Some dev ->
+      check_deviations d dev;
+      dev
+    | None ->
+      (* The nominal build path reads only the segment arrays (to pick
+         the lumped topology), so skip the O(rows·cols) scale matrices
+         [ideal] would allocate. *)
+      {
+        on_scale = [||];
+        off_scale = [||];
+        row_seg_r = Array.make rows 0.;
+        col_seg_r = Array.make cols 0.;
+      }
+  in
+  let net = build_network ~nominal params dev d env in
+  let condition = condition_estimate net in
+  let x = Array.make net.n 0. in
+  let stop, iterations, cg_residual, bnorm =
+    cg_solve opts net ~v_in:params.v_in x
+  in
+  let solve_method, residual, fallback_reason =
+    match stop with
+    | Converged -> Cg, cg_residual, None
+    | (Stagnated | Diverged | Exhausted) as why ->
+      let why_str =
+        match why with
+        | Stagnated ->
+          Printf.sprintf "cg stagnated (no progress in %d iterations)"
+            opts.stagnation_window
+        | Diverged -> "cg diverged"
+        | Exhausted | Converged ->
+          Printf.sprintf "cg iteration budget exhausted (%d)" iterations
+      in
+      if opts.allow_dense && net.n <= opts.dense_limit then begin
+        dense_solve net ~v_in:params.v_in x;
+        let r = residual_of net ~v_in:params.v_in x ~bnorm in
+        (if iterations = 0 then Dense else Cg_then_dense), r, Some why_str
+      end
+      else Cg, cg_residual, Some why_str
+  in
   {
-    v_rows = Array.sub x 0 rows;
-    v_cols = Array.sub x rows cols;
-    iterations = !iterations;
-    residual = !residual;
+    v_rows = Array.map (fun k -> x.(k)) net.probe_rows;
+    v_cols = Array.map (fun k -> x.(k)) net.probe_cols;
+    iterations;
+    residual;
+    solve_method;
+    condition;
+    fallback_reason;
   }
 
-let read_outputs ?(params = default_params) d env =
-  let sol = solve ~params d env in
+let read_outputs ?(params = default_params) ?deviations ?opts d env =
+  let sol = solve ~params ?deviations ?opts d env in
+  if sol.residual > read_tol then
+    raise
+      (No_convergence { residual = sol.residual; iterations = sol.iterations });
   List.map
     (fun (o, w) ->
        let v =
@@ -146,8 +470,9 @@ let read_outputs ?(params = default_params) d env =
        o, v > params.threshold *. params.v_in, v)
     (Design.outputs d)
 
-let agrees_with_digital ?(params = default_params) ?(seed = 7) ~trials d =
-  let rng = Random.State.make [| seed |] in
+let agrees_with_digital ?(params = default_params) ?deviations ?(seed = 7)
+    ~trials d =
+  let rng = Rng.state seed `Analog_agreement in
   let vars = Design.variables d in
   let ok = ref true in
   let trial = ref 0 in
@@ -157,7 +482,7 @@ let agrees_with_digital ?(params = default_params) ?(seed = 7) ~trials d =
     List.iter (fun v -> Hashtbl.replace values v (Random.State.bool rng)) vars;
     let env v = Hashtbl.find values v in
     let digital = Eval.evaluate d env in
-    let analog = read_outputs ~params d env in
+    let analog = read_outputs ~params ?deviations d env in
     List.iter2
       (fun (o1, b1) (o2, b2, _) ->
          assert (String.equal o1 o2);

@@ -9,7 +9,22 @@
     output reads logic 1 when its nanowire voltage exceeds
     [threshold · v_in]. Flow-based read-out is a DC operating-point
     question, so a static solve exercises the same physics the paper
-    simulates. *)
+    simulates.
+
+    Beyond the ideal model, the solver accepts {!deviations}: per-junction
+    multiplicative spread of [r_on]/[r_off] (device-to-device variation,
+    drift, corners — see {!module:Variation}) and per-segment nanowire
+    resistance. When any wire segment is resistive the network switches
+    from the lumped model (one node per nanowire) to a distributed model
+    (one node per junction crossing), so IR drop along the wires — and
+    hence the physical distance between input and output ports — becomes
+    electrically visible.
+
+    Robustness: conjugate gradients is watched for stagnation, divergence
+    and iteration exhaustion; on failure the solve falls back to dense
+    Gaussian elimination (for networks up to {!solver_opts.dense_limit}
+    unknowns). {!read_outputs} refuses to report logic values computed
+    from an unconverged solution ({!No_convergence}). *)
 
 type params = {
   r_on : float;  (** low-resistive state, Ω (default 100) *)
@@ -21,22 +36,94 @@ type params = {
 
 val default_params : params
 
-type solution = {
-  v_rows : float array;  (** wordline voltages *)
-  v_cols : float array;  (** bitline voltages *)
-  iterations : int;  (** CG iterations used *)
-  residual : float;  (** final relative residual *)
+(** {1 Electrical non-idealities} *)
+
+type deviations = {
+  on_scale : float array array;
+      (** rows × cols multiplier on [r_on] per junction *)
+  off_scale : float array array;  (** multiplier on [r_off] per junction *)
+  row_seg_r : float array;
+      (** per-wordline series resistance of one wire segment between
+          adjacent crossings, Ω; 0 = ideal wire *)
+  col_seg_r : float array;  (** same per bitline *)
 }
 
-val solve : ?params:params -> Design.t -> (string -> bool) -> solution
-(** Nodal analysis under one input assignment. *)
+val ideal : rows:int -> cols:int -> deviations
+(** Unit scales, zero wire resistance — [solve ~deviations:(ideal …)] is
+    the ideal model. *)
+
+val min_seg_r : float
+(** Segment resistances below this floor (1e-3 Ω) are clamped in the
+    distributed model to keep the Laplacian finite and the conductance
+    contrast bounded. *)
+
+(** {1 Robust solving} *)
+
+type solve_method =
+  | Cg  (** conjugate gradients converged *)
+  | Dense  (** direct dense solve (CG skipped or not attempted) *)
+  | Cg_then_dense  (** CG failed (stagnation/divergence/budget), dense rescue *)
+
+type solver_opts = {
+  cg_tol : float;  (** relative-residual target (default 1e-10) *)
+  cg_max_iter : int option;  (** iteration budget; [None] = 20·n *)
+  stagnation_window : int;
+      (** CG is declared stagnant when the best residual has not improved
+          for this many iterations (default 64) *)
+  dense_limit : int;
+      (** largest unknown count eligible for the dense fallback
+          (default 800) *)
+  allow_dense : bool;  (** disable the fallback entirely (default true) *)
+}
+
+val default_solver_opts : solver_opts
+
+type solution = {
+  v_rows : float array;  (** wordline voltages (at the port end) *)
+  v_cols : float array;  (** bitline voltages (at the port end) *)
+  iterations : int;  (** CG iterations used *)
+  residual : float;  (** final relative residual of the returned solution *)
+  solve_method : solve_method;
+  condition : float;
+      (** diagonal-ratio conditioning estimate max(diag)/min(diag) of the
+          Jacobi-scaled operator — a cheap proxy for how ill-conditioned
+          the conductance contrast made the network *)
+  fallback_reason : string option;
+      (** why CG was abandoned, when [solve_method <> Cg] *)
+}
+
+exception No_convergence of { residual : float; iterations : int }
+(** Raised by {!read_outputs} (and everything layered on it) when no
+    solving method reached {!read_tol}: logic values derived from such
+    voltages would be noise. *)
+
+val read_tol : float
+(** Relative-residual acceptance bound for logic read-out (1e-6). *)
+
+val solve :
+  ?params:params ->
+  ?deviations:deviations ->
+  ?opts:solver_opts ->
+  Design.t ->
+  (string -> bool) ->
+  solution
+(** Nodal analysis under one input assignment. Never raises on
+    non-convergence — inspect [residual]/[solve_method]; {!read_outputs}
+    enforces the tolerance. *)
 
 val read_outputs :
-  ?params:params -> Design.t -> (string -> bool) -> (string * bool * float) list
-(** [(output, logic value, voltage)] per design output. *)
+  ?params:params ->
+  ?deviations:deviations ->
+  ?opts:solver_opts ->
+  Design.t ->
+  (string -> bool) ->
+  (string * bool * float) list
+(** [(output, logic value, voltage)] per design output.
+    @raise No_convergence when the residual exceeds {!read_tol}. *)
 
 val agrees_with_digital :
   ?params:params ->
+  ?deviations:deviations ->
   ?seed:int ->
   trials:int ->
   Design.t ->

@@ -121,7 +121,7 @@ let random ?(seed = 0xdefec7) ?(line_rate = 0.) ?(spare_rows = 0)
   if rate < 0. || rate > 1. then invalid_arg "Defect_map.random: rate";
   if line_rate < 0. || line_rate > 1. then
     invalid_arg "Defect_map.random: line_rate";
-  let rng = Random.State.make [| seed |] in
+  let rng = Rng.state seed `Defect_map in
   let faults = ref [] in
   for row = 0 to rows - 1 do
     for col = 0 to cols - 1 do

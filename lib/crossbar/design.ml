@@ -46,6 +46,37 @@ let get t ~row ~col =
   | Some l -> l
   | None -> Literal.Off
 
+let check_perm name n p =
+  if Array.length p <> n then
+    invalid_arg (Printf.sprintf "Design.permute: %s length" name);
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+       if i < 0 || i >= n || seen.(i) then
+         invalid_arg (Printf.sprintf "Design.permute: %s is not a permutation" name);
+       seen.(i) <- true)
+    p
+
+let permute t ~row_perm ~col_perm =
+  check_perm "row_perm" t.rows row_perm;
+  check_perm "col_perm" t.cols col_perm;
+  let move = function
+    | Row i -> Row row_perm.(i)
+    | Col j -> Col col_perm.(j)
+  in
+  let out =
+    create ~rows:t.rows ~cols:t.cols ~input:(move t.input)
+      ~outputs:(List.map (fun (o, w) -> o, move w) t.outputs)
+  in
+  Hashtbl.iter
+    (fun k l ->
+       let row = k / t.cols and col = k mod t.cols in
+       Hashtbl.replace out.cells
+         ((row_perm.(row) * t.cols) + col_perm.(col))
+         l)
+    t.cells;
+  out
+
 let semiperimeter t = t.rows + t.cols
 let max_dimension t = max t.rows t.cols
 let area t = t.rows * t.cols

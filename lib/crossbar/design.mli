@@ -56,6 +56,16 @@ val variables : t -> string list
 val copy : t -> t
 (** Deep copy (ports shared, junction map duplicated). *)
 
+val permute : t -> row_perm:int array -> col_perm:int array -> t
+(** A new design with row [i] relocated to [row_perm.(i)] and column [j]
+    to [col_perm.(j)]; junctions and ports follow. Logically a no-op
+    (sneak-path semantics are permutation-invariant) but electrically
+    significant once nanowire segments are resistive: the distance
+    between the input port and an output port sets the IR drop on its
+    read path (see {!module:Analog}).
+    @raise Invalid_argument unless both arrays are permutations of the
+    design's dimensions. *)
+
 val iter_programmed : t -> (int -> int -> Literal.t -> unit) -> unit
 (** Visit every junction whose value is not [Off]. Designs are sparse —
     O(BDD edges) programmed junctions on O(n²) area — so consumers that

@@ -12,7 +12,7 @@ let inject design faults =
 
 let random_faults ?(seed = 0xfa01) ~rate design =
   if rate < 0. || rate > 1. then invalid_arg "Fault.random_faults: rate";
-  let rng = Random.State.make [| seed |] in
+  let rng = Rng.state seed `Faults in
   let faults = ref [] in
   (* Programmed devices: the dominant failure site. *)
   Design.iter_programmed design (fun row col _ ->
@@ -47,10 +47,11 @@ type yield_report = {
   mean_faults : float;
 }
 
-(* Deterministic per-trial sub-seed: trial [k]'s faults and checks depend
-   only on [seed] and [k], never on evaluation order, so a yield run is
-   bit-for-bit reproducible (and trials could run in any order). *)
-let trial_seed seed k salt = Hashtbl.hash (seed, k, salt)
+(* Deterministic per-trial sub-seed through the repo-wide {!Rng}
+   convention: trial [k]'s faults and checks depend only on [seed] and
+   [k], never on evaluation order, so a yield run is bit-for-bit
+   reproducible (and trials could run in any order). *)
+let trial_seed seed k salt = Rng.derive seed (k, salt)
 
 let yield ?(seed = 0x51e1d) ?(trials = 100) ?(checks_per_trial = 32) ~rate
     design ~inputs ~reference ~outputs =

@@ -1,0 +1,290 @@
+type output_margin = {
+  om_output : string;
+  om_margin : float;
+  om_voltage : float;
+  om_expected : bool;
+  om_assignment : (string * bool) list;
+}
+
+type analysis = {
+  per_output : output_margin list;
+  worst : float;
+  checked : int;
+  exhaustive : bool;
+  max_iterations : int;
+  max_residual : float;
+  max_condition : float;
+  fallbacks : int;
+  unconverged : int;
+}
+
+let exhaustive_threshold = 8
+
+exception Early_exit
+
+let analyze ?(params = Analog.default_params) ?deviations ?opts
+    ?(seed = Rng.default_seed) ?(trials = 32) ?stop_below d ~inputs ~reference
+    ~outputs =
+  let n = List.length inputs in
+  let in_index = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace in_index v i) inputs;
+  let out_index = Hashtbl.create 16 in
+  List.iteri (fun i o -> Hashtbl.replace out_index o i) outputs;
+  let point = Array.make n false in
+  let env v =
+    match Hashtbl.find_opt in_index v with
+    | Some i -> point.(i)
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Margin: design variable %s not a reference input" v)
+  in
+  let design_outputs = Design.outputs d in
+  let best = Array.make (List.length design_outputs) None in
+  let worst = ref infinity in
+  let checked = ref 0 in
+  let max_iterations = ref 0 in
+  let max_residual = ref 0. in
+  let max_condition = ref 0. in
+  let fallbacks = ref 0 in
+  let unconverged = ref 0 in
+  let v_th = params.Analog.threshold *. params.Analog.v_in in
+  let run_point () =
+    incr checked;
+    let expected = reference point in
+    let sol = Analog.solve ~params ?deviations ?opts d env in
+    if sol.Analog.iterations > !max_iterations then
+      max_iterations := sol.Analog.iterations;
+    if sol.Analog.residual > !max_residual then
+      max_residual := sol.Analog.residual;
+    if sol.Analog.condition > !max_condition then
+      max_condition := sol.Analog.condition;
+    (match sol.Analog.solve_method with
+     | Analog.Cg -> ()
+     | Analog.Dense | Analog.Cg_then_dense -> incr fallbacks);
+    let converged = sol.Analog.residual <= Analog.read_tol in
+    if not converged then incr unconverged;
+    List.iteri
+      (fun idx (o, w) ->
+         let e =
+           match Hashtbl.find_opt out_index o with
+           | Some i -> expected.(i)
+           | None -> invalid_arg (Printf.sprintf "Margin: unknown output %s" o)
+         in
+         let v =
+           match w with
+           | Design.Row i -> sol.Analog.v_rows.(i)
+           | Design.Col j -> sol.Analog.v_cols.(j)
+         in
+         let m =
+           (* An unconverged solve has meaningless voltages: pin the
+              margin to a full-swing failure instead of aborting. *)
+           if not converged then -1.
+           else if e then (v -. v_th) /. params.Analog.v_in
+           else (v_th -. v) /. params.Analog.v_in
+         in
+         (match best.(idx) with
+          | Some om when om.om_margin <= m -> ()
+          | _ ->
+            best.(idx) <-
+              Some
+                {
+                  om_output = o;
+                  om_margin = m;
+                  om_voltage = v;
+                  om_expected = e;
+                  om_assignment = List.mapi (fun i var -> var, point.(i)) inputs;
+                });
+         if m < !worst then worst := m)
+      design_outputs;
+    match stop_below with
+    | Some bound when !worst < bound -> raise Early_exit
+    | _ -> ()
+  in
+  let exhaustive = n <= exhaustive_threshold in
+  (try
+     if exhaustive then
+       for row = 0 to (1 lsl n) - 1 do
+         for i = 0 to n - 1 do
+           point.(i) <- row land (1 lsl i) <> 0
+         done;
+         run_point ()
+       done
+     else begin
+       let rng = Rng.state seed `Margin_points in
+       for _ = 1 to trials do
+         for i = 0 to n - 1 do
+           point.(i) <- Random.State.bool rng
+         done;
+         run_point ()
+       done
+     end
+   with Early_exit -> ());
+  {
+    per_output =
+      Array.to_list best
+      |> List.filteri (fun _ om -> om <> None)
+      |> List.map Option.get;
+    worst = (if !checked = 0 then nan else !worst);
+    checked = !checked;
+    exhaustive;
+    max_iterations = !max_iterations;
+    max_residual = !max_residual;
+    max_condition = !max_condition;
+    fallbacks = !fallbacks;
+    unconverged = !unconverged;
+  }
+
+let corners ?params ?opts ?seed ?trials ~spec d ~inputs ~reference ~outputs =
+  let rows = Design.rows d and cols = Design.cols d in
+  List.map
+    (fun c ->
+       let deviations = Variation.corner spec c ~rows ~cols in
+       c, analyze ?params ~deviations ?opts ?seed ?trials d ~inputs ~reference
+            ~outputs)
+    Variation.all_corners
+
+let worst_over_corners cs =
+  List.fold_left (fun acc (_, a) -> min acc a.worst) infinity cs
+
+(* ------------------------------------------------------------------ *)
+
+type mc = {
+  mc_seed : int;
+  mc_trials : int;
+  mc_passes : int;
+  mc_yield : float;
+  mc_low : float;
+  mc_high : float;
+  mc_margin_spec : float;
+  mc_mean_worst : float;
+  mc_min_worst : float;
+  mc_stopped_early : bool;
+}
+
+let wilson ~passes ~trials =
+  if trials = 0 then 0., 1.
+  else begin
+    let z = 1.96 in
+    let n = float_of_int trials in
+    let p = float_of_int passes /. n in
+    let z2 = z *. z in
+    let denom = 1. +. (z2 /. n) in
+    let centre = (p +. (z2 /. (2. *. n))) /. denom in
+    let hw =
+      z /. denom
+      *. sqrt (((p *. (1. -. p)) /. n) +. (z2 /. (4. *. n *. n)))
+    in
+    max 0. (centre -. hw), min 1. (centre +. hw)
+  end
+
+let monte_carlo ?params ?opts ?(seed = Rng.default_seed) ?(max_trials = 200)
+    ?(min_trials = 24) ?(ci_halfwidth = 0.04) ?(margin_spec = 0.)
+    ?(checks_per_trial = 24) ~spec d ~inputs ~reference ~outputs =
+  let rows = Design.rows d and cols = Design.cols d in
+  let passes = ref 0 in
+  let trials = ref 0 in
+  let sum_worst = ref 0. in
+  let min_worst = ref infinity in
+  let stopped_early = ref false in
+  (try
+     for k = 1 to max_trials do
+       let deviations =
+         Variation.sample ~seed:(Rng.derive seed (`Mc_sample, k)) spec ~rows
+           ~cols
+       in
+       let a =
+         analyze ?params ?opts ~deviations
+           ~seed:(Rng.derive seed (`Mc_checks, k))
+           ~trials:checks_per_trial d ~inputs ~reference ~outputs
+       in
+       incr trials;
+       sum_worst := !sum_worst +. a.worst;
+       if a.worst < !min_worst then min_worst := a.worst;
+       if a.worst >= margin_spec then incr passes;
+       if !trials >= min_trials then begin
+         let low, high = wilson ~passes:!passes ~trials:!trials in
+         if (high -. low) /. 2. <= ci_halfwidth then begin
+           stopped_early := !trials < max_trials;
+           raise Early_exit
+         end
+       end
+     done
+   with Early_exit -> ());
+  let low, high = wilson ~passes:!passes ~trials:!trials in
+  {
+    mc_seed = seed;
+    mc_trials = !trials;
+    mc_passes = !passes;
+    mc_yield = float_of_int !passes /. float_of_int (max 1 !trials);
+    mc_low = low;
+    mc_high = high;
+    mc_margin_spec = margin_spec;
+    mc_mean_worst = !sum_worst /. float_of_int (max 1 !trials);
+    mc_min_worst = (if !trials = 0 then nan else !min_worst);
+    mc_stopped_early = !stopped_early;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Stable JSON: %.17g floats round-trip exactly, so equal inputs give
+   bit-identical strings — the determinism contract the tests pin. *)
+
+let jf v = Printf.sprintf "%.17g" v
+let jb b = if b then "true" else "false"
+let js s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\""
+
+let json_of_analysis a =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"worst\":%s,\"checked\":%d,\"exhaustive\":%s,\"fallbacks\":%d,\
+        \"unconverged\":%d,\"max_iterations\":%d,\"max_residual\":%s,\
+        \"max_condition\":%s,\"outputs\":["
+       (jf a.worst) a.checked (jb a.exhaustive) a.fallbacks a.unconverged
+       a.max_iterations (jf a.max_residual) (jf a.max_condition));
+  List.iteri
+    (fun i om ->
+       if i > 0 then Buffer.add_char buf ',';
+       Buffer.add_string buf
+         (Printf.sprintf
+            "{\"name\":%s,\"margin\":%s,\"voltage\":%s,\"expected\":%s}"
+            (js om.om_output) (jf om.om_margin) (jf om.om_voltage)
+            (jb om.om_expected)))
+    a.per_output;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let json_of_mc m =
+  Printf.sprintf
+    "{\"seed\":%d,\"trials\":%d,\"passes\":%d,\"yield\":%s,\"wilson\":[%s,%s],\
+     \"margin_spec\":%s,\"mean_worst_margin\":%s,\"min_worst_margin\":%s,\
+     \"stopped_early\":%s}"
+    m.mc_seed m.mc_trials m.mc_passes (jf m.mc_yield) (jf m.mc_low)
+    (jf m.mc_high) (jf m.mc_margin_spec) (jf m.mc_mean_worst)
+    (jf m.mc_min_worst) (jb m.mc_stopped_early)
+
+let pp_analysis ppf a =
+  Format.fprintf ppf "@[<v>worst margin %.4f over %d assignment%s%s" a.worst
+    a.checked
+    (if a.checked = 1 then "" else "s")
+    (if a.exhaustive then " (exhaustive)" else "");
+  if a.fallbacks > 0 || a.unconverged > 0 then
+    Format.fprintf ppf "; solver: %d dense fallback%s, %d unconverged"
+      a.fallbacks
+      (if a.fallbacks = 1 then "" else "s")
+      a.unconverged;
+  List.iter
+    (fun om ->
+       Format.fprintf ppf "@,  %-16s margin %+.4f (v=%.4f, expect %d)"
+         om.om_output om.om_margin om.om_voltage
+         (if om.om_expected then 1 else 0))
+    a.per_output;
+  Format.fprintf ppf "@]"
+
+let pp_mc ppf m =
+  Format.fprintf ppf
+    "yield %.1f%% [%.1f%%, %.1f%%] at margin spec %.3f (%d/%d trials%s; \
+     worst margin mean %.4f, min %.4f)"
+    (100. *. m.mc_yield) (100. *. m.mc_low) (100. *. m.mc_high)
+    m.mc_margin_spec m.mc_passes m.mc_trials
+    (if m.mc_stopped_early then ", stopped early" else "")
+    m.mc_mean_worst m.mc_min_worst

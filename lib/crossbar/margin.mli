@@ -1,0 +1,129 @@
+(** Read-margin analysis and variation-aware functional yield.
+
+    The digital and analog verifiers answer "is the output right?"; this
+    module answers "by how much". The read margin of an output under an
+    assignment is the signed, [v_in]-normalised distance of its nanowire
+    voltage from the logic threshold, positive exactly when the read-out
+    is correct with respect to the reference:
+
+    - expected 1: [(v − v_th) / v_in]
+    - expected 0: [(v_th − v) / v_in]
+
+    A design whose worst-case margin is small computes correctly in the
+    ideal model but flips under device variation, drift or wire IR drop;
+    margin, not correctness, is the robustness axis the {!Pipeline}
+    hardening stage optimises. Monte-Carlo yield draws {!Variation}
+    instances and reports the fraction whose worst margin clears a spec,
+    with a Wilson 95% confidence interval and early stopping. *)
+
+type output_margin = {
+  om_output : string;
+  om_margin : float;  (** minimum over the checked assignments *)
+  om_voltage : float;  (** port voltage at the minimising assignment *)
+  om_expected : bool;  (** expected logic value there *)
+  om_assignment : (string * bool) list;  (** the minimising assignment *)
+}
+
+type analysis = {
+  per_output : output_margin list;  (** design-output order *)
+  worst : float;  (** min over outputs; negative = functional failure *)
+  checked : int;  (** assignments evaluated *)
+  exhaustive : bool;
+  max_iterations : int;  (** worst CG iteration count over the solves *)
+  max_residual : float;
+  max_condition : float;  (** worst conditioning estimate seen *)
+  fallbacks : int;  (** solves rescued by the dense fallback *)
+  unconverged : int;
+      (** solves no method converged for; their margins are pinned to
+          −1 (a full-swing failure) rather than aborting the analysis *)
+}
+
+val exhaustive_threshold : int
+(** Input count (8) up to which {!analyze} enumerates all assignments.
+    Lower than {!Verify.exhaustive_threshold}: each margin point is a
+    linear solve, not a graph traversal. *)
+
+val analyze :
+  ?params:Analog.params ->
+  ?deviations:Analog.deviations ->
+  ?opts:Analog.solver_opts ->
+  ?seed:int ->
+  ?trials:int ->
+  ?stop_below:float ->
+  Design.t ->
+  inputs:string list ->
+  reference:(bool array -> bool array) ->
+  outputs:string list ->
+  analysis
+(** Minimum read margins per output. Exhaustive up to
+    {!exhaustive_threshold} inputs, otherwise [trials] (default 32)
+    random assignments seeded through {!Rng}. [stop_below] returns early
+    once some output's margin is proven below the bound (the worst-case
+    fields are then lower bounds on what a full scan would report). *)
+
+val corners :
+  ?params:Analog.params ->
+  ?opts:Analog.solver_opts ->
+  ?seed:int ->
+  ?trials:int ->
+  spec:Variation.spec ->
+  Design.t ->
+  inputs:string list ->
+  reference:(bool array -> bool array) ->
+  outputs:string list ->
+  (Variation.corner * analysis) list
+(** {!analyze} at each deterministic {!Variation.corner} of [spec]. *)
+
+val worst_over_corners : (Variation.corner * analysis) list -> float
+
+(** {1 Monte-Carlo functional yield} *)
+
+type mc = {
+  mc_seed : int;
+  mc_trials : int;  (** trials actually run (≤ max when stopped early) *)
+  mc_passes : int;  (** trials whose worst margin cleared the spec *)
+  mc_yield : float;
+  mc_low : float;  (** Wilson 95% lower bound *)
+  mc_high : float;  (** Wilson 95% upper bound *)
+  mc_margin_spec : float;
+  mc_mean_worst : float;  (** mean worst-case margin over trials *)
+  mc_min_worst : float;  (** worst margin seen in any trial *)
+  mc_stopped_early : bool;
+}
+
+val wilson : passes:int -> trials:int -> float * float
+(** Wilson score 95% interval for a binomial proportion. *)
+
+val monte_carlo :
+  ?params:Analog.params ->
+  ?opts:Analog.solver_opts ->
+  ?seed:int ->
+  ?max_trials:int ->
+  ?min_trials:int ->
+  ?ci_halfwidth:float ->
+  ?margin_spec:float ->
+  ?checks_per_trial:int ->
+  spec:Variation.spec ->
+  Design.t ->
+  inputs:string list ->
+  reference:(bool array -> bool array) ->
+  outputs:string list ->
+  mc
+(** Draw up to [max_trials] (default 200) {!Variation.sample} array
+    instances and measure the fraction whose worst margin is at least
+    [margin_spec] (default 0 — merely functional). Stops early once
+    [min_trials] (default 24) have run and the Wilson interval's
+    halfwidth is at most [ci_halfwidth] (default 0.04). Every trial's
+    variation sample and assignment sample derive from [(seed, trial)]
+    through {!Rng}, so runs are bit-for-bit reproducible. *)
+
+(** {1 Serialisation} *)
+
+val json_of_analysis : analysis -> string
+(** Stable single-line JSON ([%.17g] floats): equal seeds produce
+    bit-identical strings. *)
+
+val json_of_mc : mc -> string
+
+val pp_analysis : Format.formatter -> analysis -> unit
+val pp_mc : Format.formatter -> mc -> unit

@@ -1,0 +1,7 @@
+let default_seed = 0x5eed
+
+(* Hashtbl.hash folds the whole (small) structural value, so tuples of
+   ints and polymorphic variants act as proper salts. *)
+let derive seed salt = Hashtbl.hash (seed, salt)
+
+let state seed salt = Random.State.make [| derive seed salt |]

@@ -1,0 +1,21 @@
+(** One seed convention for every stochastic component.
+
+    Monte-Carlo code throughout the repo ([Fault.yield], the
+    {!module:Variation} sampler, randomised verification, the test
+    batteries) derives its random streams from a single integer seed plus
+    a structural salt naming the consumer and trial. Deriving sub-seeds by
+    hashing [(seed, salt)] — rather than sharing one mutable
+    [Random.State.t] — makes every trial independent of evaluation order,
+    so a run is bit-for-bit reproducible and trials could execute in any
+    order or in parallel. *)
+
+val derive : int -> 'a -> int
+(** [derive seed salt] is a deterministic sub-seed. Salts are arbitrary
+    structural values ([(k, `Faults)], ["variation", trial] …); distinct
+    salts give statistically independent streams. *)
+
+val state : int -> 'a -> Random.State.t
+(** A fresh PRNG state seeded with [derive seed salt]. *)
+
+val default_seed : int
+(** The seed used when a caller passes none (0x5eed). *)

@@ -1,0 +1,103 @@
+type spec = {
+  sigma_on : float;
+  sigma_off : float;
+  row_seg_r : float;
+  col_seg_r : float;
+  seg_sigma : float;
+  drift_on : float;
+  drift_off : float;
+  corner_k : float;
+}
+
+let default_spec =
+  {
+    sigma_on = 0.15;
+    sigma_off = 0.3;
+    row_seg_r = 0.;
+    col_seg_r = 0.;
+    seg_sigma = 0.1;
+    drift_on = 1.;
+    drift_off = 1.;
+    corner_k = 3.;
+  }
+
+let nominal =
+  {
+    sigma_on = 0.;
+    sigma_off = 0.;
+    row_seg_r = 0.;
+    col_seg_r = 0.;
+    seg_sigma = 0.;
+    drift_on = 1.;
+    drift_off = 1.;
+    corner_k = 3.;
+  }
+
+let with_wire ?row ?col spec =
+  {
+    spec with
+    row_seg_r = (match row with Some r -> r | None -> spec.row_seg_r);
+    col_seg_r = (match col with Some c -> c | None -> spec.col_seg_r);
+  }
+
+(* Standard normal via Box–Muller; the state is consumed two floats per
+   draw so the stream stays deterministic in the draw order, which is
+   fixed (row-major junctions, then rows, then cols). *)
+let gauss rng =
+  let u1 = max (Random.State.float rng 1.) 1e-12 in
+  let u2 = Random.State.float rng 1. in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+(* Median-one lognormal: exp(σ·z). The median, not the mean, is pinned to
+   the nominal resistance — the convention of most published device
+   corners, and it keeps σ = 0 exactly the ideal array. *)
+let lognormal rng sigma = if sigma = 0. then 1. else exp (sigma *. gauss rng)
+
+let sample ?(seed = Rng.default_seed) spec ~rows ~cols =
+  let rng = Rng.state seed (`Variation, rows, cols) in
+  let dev = Analog.ideal ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      dev.on_scale.(i).(j) <- lognormal rng spec.sigma_on *. spec.drift_on;
+      dev.off_scale.(i).(j) <- lognormal rng spec.sigma_off *. spec.drift_off
+    done
+  done;
+  for i = 0 to rows - 1 do
+    dev.row_seg_r.(i) <- spec.row_seg_r *. lognormal rng spec.seg_sigma
+  done;
+  for j = 0 to cols - 1 do
+    dev.col_seg_r.(j) <- spec.col_seg_r *. lognormal rng spec.seg_sigma
+  done;
+  dev
+
+type corner = Typical | Weak_on | Leaky_off | Worst
+
+let all_corners = [ Typical; Weak_on; Leaky_off; Worst ]
+
+let corner_name = function
+  | Typical -> "typical"
+  | Weak_on -> "weak-on"
+  | Leaky_off -> "leaky-off"
+  | Worst -> "worst"
+
+let corner spec c ~rows ~cols =
+  let on_up, off_down =
+    match c with
+    | Typical -> 1., 1.
+    | Weak_on -> exp (spec.corner_k *. spec.sigma_on), 1.
+    | Leaky_off -> 1., exp (-.spec.corner_k *. spec.sigma_off)
+    | Worst ->
+      ( exp (spec.corner_k *. spec.sigma_on),
+        exp (-.spec.corner_k *. spec.sigma_off) )
+  in
+  let dev = Analog.ideal ~rows ~cols in
+  let on_s = on_up *. spec.drift_on and off_s = off_down *. spec.drift_off in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      dev.on_scale.(i).(j) <- on_s;
+      dev.off_scale.(i).(j) <- off_s
+    done
+  done;
+  Array.fill dev.row_seg_r 0 rows spec.row_seg_r;
+  Array.fill dev.col_seg_r 0 cols spec.col_seg_r;
+  dev

@@ -1,0 +1,59 @@
+(** Device- and wire-level parameter variation models.
+
+    Real memristive junctions do not share one [r_on]/[r_off]: filament
+    geometry spreads both states device-to-device (well fit by a
+    lognormal), programmed states drift with time and temperature, and
+    nanowires add per-segment series resistance whose IR drop shrinks
+    read margins at ports far from the driver. This module turns a
+    compact {!spec} of those non-idealities into concrete
+    {!Analog.deviations} instances — randomly sampled (seeded,
+    deterministic) for Monte-Carlo analysis, or pushed to deterministic
+    worst-case {!corner}s for fast screening. *)
+
+type spec = {
+  sigma_on : float;
+      (** lognormal σ (in ln-space) of the per-junction [r_on] spread;
+          0.15 ≈ a 16% one-sigma spread *)
+  sigma_off : float;  (** same for [r_off] *)
+  row_seg_r : float;
+      (** nominal series resistance of one wordline segment between
+          adjacent crossings, Ω (0 = ideal wires, lumped model) *)
+  col_seg_r : float;  (** same per bitline segment *)
+  seg_sigma : float;  (** lognormal σ of the per-wire segment resistance *)
+  drift_on : float;
+      (** deterministic multiplier on [r_on] modelling state drift /
+          aging (1.0 = fresh device) *)
+  drift_off : float;  (** same for [r_off] *)
+  corner_k : float;
+      (** corner excursion in σ units for {!corner} (default 3.0) *)
+}
+
+val default_spec : spec
+(** σ_on = 0.15, σ_off = 0.3, ideal wires, no drift, k = 3. *)
+
+val nominal : spec
+(** All spreads, wire resistances and drifts zero — {!sample} of this
+    spec is {!Analog.ideal}. *)
+
+val with_wire : ?row:float -> ?col:float -> spec -> spec
+(** The spec with nominal wire segment resistances set (Ω). *)
+
+val sample : ?seed:int -> spec -> rows:int -> cols:int -> Analog.deviations
+(** One random array instance: median-one lognormal per-junction scales
+    [exp(σ·z)·drift] and per-wire segment resistances. Deterministic in
+    [(seed, rows, cols)] via {!Rng}. *)
+
+(** Deterministic worst-case excursions, all k·σ wide. *)
+type corner =
+  | Typical  (** drift only, nominal wires *)
+  | Weak_on  (** r_on scaled up — conducting paths weaken, '1' sags *)
+  | Leaky_off  (** r_off scaled down — sneak leakage lifts '0' levels *)
+  | Worst  (** both at once, the margin-minimising corner *)
+
+val all_corners : corner list
+val corner_name : corner -> string
+
+val corner : spec -> corner -> rows:int -> cols:int -> Analog.deviations
+(** The corner instance: uniform scales [exp(±k·σ)] times drift, nominal
+    wire segment resistances (no wire spread — corners are
+    deterministic). *)

@@ -80,8 +80,8 @@ let exhaustive d ~inputs ~reference ~outputs =
     Ok
   with Found cex -> Failed cex
 
-let random ?(seed = 0x5eed) ~trials d ~inputs ~reference ~outputs =
-  let rng = Random.State.make [| seed |] in
+let random ?(seed = Rng.default_seed) ~trials d ~inputs ~reference ~outputs =
+  let rng = Rng.state seed `Verify_random in
   let n = List.length inputs in
   let point = Array.make n false in
   let out_index = Hashtbl.create 16 in
@@ -104,7 +104,8 @@ let auto ?seed ~trials d ~inputs ~reference ~outputs =
     exhaustive d ~inputs ~reference ~outputs
   else random ?seed ~trials d ~inputs ~reference ~outputs
 
-let per_output ?(seed = 0x5eed) ?(trials = 256) d ~inputs ~reference ~outputs =
+let per_output ?(seed = Rng.default_seed) ?(trials = 256) d ~inputs ~reference
+    ~outputs =
   let n = List.length inputs in
   let in_index = Hashtbl.create 16 in
   List.iteri (fun i v -> Hashtbl.replace in_index v i) inputs;
@@ -147,7 +148,7 @@ let per_output ?(seed = 0x5eed) ?(trials = 256) d ~inputs ~reference ~outputs =
       run_point ()
     done
   else begin
-    let rng = Random.State.make [| seed |] in
+    let rng = Rng.state seed `Verify_per_output in
     for _ = 1 to trials do
       for i = 0 to n - 1 do
         point.(i) <- Random.State.bool rng

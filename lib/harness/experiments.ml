@@ -244,6 +244,7 @@ let report_of_staircase (e : Circuits.Suite.entry) (s : Baseline.Staircase.resul
     solver_path = [ "staircase[16]" ];
     solver_retries = 0;
     bdd_stats = None;
+    analog = None;
   }
 
 let staircase_of config (e : Circuits.Suite.entry) =
@@ -304,6 +305,7 @@ let robdds_of config (e : Circuits.Suite.entry) =
         solver_path = [ "robdds" ];
         solver_retries = 0;
         bdd_stats = None;
+        analog = None;
       }
   | exception Bdd.Manager.Size_limit _ -> None
 
@@ -571,6 +573,71 @@ let robustness ?(circuits = [ "ctrl"; "cavlc" ]) ?(trials = 15) config =
     (List.rev !rows);
   List.rev !data
 
+(* ------------------------------------------------------------------ *)
+
+let variation_sigmas = [ 0.05; 0.1; 0.2; 0.3; 0.4 ]
+
+let variation ?(circuits = [ "ctrl"; "cavlc" ]) ?(sigmas = variation_sigmas)
+    ?(max_trials = 60) config =
+  (* Electrical robustness sweep (beyond the paper): Monte-Carlo
+     functional yield and worst-case corner margin as the lognormal
+     device spread grows. sigma is the r_on ln-space deviation; r_off
+     spreads twice as wide, matching the default spec's shape. *)
+  let rows = ref [] in
+  let data = ref [] in
+  List.iter
+    (fun name ->
+       let e = Circuits.Suite.find name in
+       match synth ~gamma:0.5 config e with
+       | None -> ()
+       | Some base ->
+         let nl = netlist_of e in
+         let reference = Logic.Netlist.eval_point nl in
+         List.iter
+           (fun sigma ->
+              let spec =
+                {
+                  Crossbar.Variation.default_spec with
+                  sigma_on = sigma;
+                  sigma_off = 2. *. sigma;
+                }
+              in
+              let corner_worst =
+                Crossbar.Margin.worst_over_corners
+                  (Crossbar.Margin.corners ~spec base.design ~inputs:nl.inputs
+                     ~reference ~outputs:nl.outputs)
+              in
+              let mc =
+                Crossbar.Margin.monte_carlo
+                  ~seed:(Hashtbl.hash (name, sigma))
+                  ~max_trials ~spec base.design ~inputs:nl.inputs ~reference
+                  ~outputs:nl.outputs
+              in
+              data := (name, sigma, corner_worst, mc) :: !data;
+              rows :=
+                [ name; Printf.sprintf "%.2f" sigma;
+                  Printf.sprintf "%+.4f" corner_worst;
+                  Printf.sprintf "%d/%d" mc.Crossbar.Margin.mc_passes
+                    mc.Crossbar.Margin.mc_trials;
+                  Table.fmt_pct mc.Crossbar.Margin.mc_yield;
+                  Printf.sprintf "[%.0f%%, %.0f%%]"
+                    (100. *. mc.Crossbar.Margin.mc_low)
+                    (100. *. mc.Crossbar.Margin.mc_high);
+                  Printf.sprintf "%.4f" mc.Crossbar.Margin.mc_mean_worst ]
+                :: !rows)
+           sigmas)
+    circuits;
+  Table.print
+    ~title:
+      "Variation: MC functional yield and worst corner margin vs device \
+       spread"
+    ~columns:
+      [ "circuit", Table.L; "sigma", Table.R; "corner margin", Table.R;
+        "pass", Table.R; "yield", Table.R; "wilson 95%", Table.R;
+        "mean worst", Table.R ]
+    (List.rev !rows);
+  List.rev !data
+
 let run_all config =
   ignore (table1 config);
   ignore (table2 config);
@@ -581,4 +648,5 @@ let run_all config =
   ignore (fig11 config);
   ignore (fig12 config);
   ignore (fig13 config);
-  ignore (robustness config)
+  ignore (robustness config);
+  ignore (variation config)

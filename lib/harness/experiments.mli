@@ -75,5 +75,17 @@ val robustness :
     bitline and climb the placement rungs of {!Compact.Repair}. Returns
     (circuit, rate, repaired, degraded, unplaceable) per point. *)
 
+val variation :
+  ?circuits:string list ->
+  ?sigmas:float list ->
+  ?max_trials:int ->
+  config ->
+  (string * float * float * Crossbar.Margin.mc) list
+(** Electrical robustness sweep (beyond the paper): per circuit and
+    lognormal device spread sigma (r_off spreading twice as wide, like
+    the default spec), the worst-case deterministic corner margin and
+    the Monte-Carlo functional yield with its Wilson interval. Returns
+    (circuit, sigma, corner margin, mc) per point. *)
+
 val run_all : config -> unit
 (** Everything above, in paper order. *)

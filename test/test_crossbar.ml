@@ -263,6 +263,16 @@ let property_tests =
       (fun f ->
          let r = Compact.Pipeline.synthesize_expr ~name:"prop" f in
          Crossbar.Analog.agrees_with_digital ~trials:8 r.design);
+    qcheck_case "nominal deviations leave the analog/digital agreement"
+      ~count:10 expr_gen
+      (fun f ->
+         let r = Compact.Pipeline.synthesize_expr ~name:"prop" f in
+         let deviations =
+           Crossbar.Analog.ideal
+             ~rows:(Crossbar.Design.rows r.design)
+             ~cols:(Crossbar.Design.cols r.design)
+         in
+         Crossbar.Analog.agrees_with_digital ~deviations ~trials:8 r.design);
   ]
 
 let fault_tests =
@@ -332,6 +342,17 @@ let fault_tests =
         in
         check (Alcotest.float 1e-9) "perfect" 1. (at 0.);
         check tb "degrades" true (at 0.5 < 1.));
+    Alcotest.test_case "yield is deterministic under a seed" `Quick (fun () ->
+        let d = fig2_design () in
+        let inputs = [ "a"; "b"; "c" ] in
+        let reference point = [| (point.(0) && point.(1)) || point.(2) |] in
+        let run seed =
+          (Crossbar.Fault.yield ~seed ~trials:40 ~rate:0.25 d ~inputs
+             ~reference ~outputs:[ "f" ])
+            .yield
+        in
+        check (Alcotest.float 0.) "same seed" (run 9) (run 9);
+        check tb "degraded" true (run 9 < 1.));
   ]
 
 let () =
