@@ -21,10 +21,14 @@ proptest:
 margin:
 	dune build @margin
 
+# Tier-1 runs twice: once sequential, once with a 4-wide domain pool.
+# Every parallel consumer is bit-identical across jobs counts, so the
+# second run is a determinism check as much as a thread-safety one.
 ci:
 	dune build
 	dune build @examples @bench
-	dune runtest
+	COMPACT_JOBS=1 dune runtest
+	COMPACT_JOBS=4 dune runtest --force
 	dune exec test/test_manager_stress.exe
 	dune build @proptest
 	dune build @margin

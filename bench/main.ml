@@ -12,9 +12,13 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--quick] [--time-limit S] [--json FILE] \
+    "usage: main.exe [--quick] [--time-limit S] [--json FILE] [--jobs N] \
      [all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|robustness|variation|ablation|perf]...";
   exit 1
+
+(* The jobs knob: --jobs N, defaulting to COMPACT_JOBS then 1. Read by
+   the experiment config and by the parallel perf kernels below. *)
+let bench_jobs = ref (Parallel.default_jobs ())
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per table/figure.             *)
@@ -159,7 +163,76 @@ let perf_tests =
     Test.make ~name:"bdd/sbdd-build-c1908"
       (Staged.stage (fun () ->
            ignore (Bdd.Sbdd.of_netlist (Lazy.force c1908_netlist))));
+    (* Multicore kernels: the two parallel consumers, exercised through
+       the domain pool. harden-ctrl follows the --jobs knob; the
+       mc-margin kernel pins jobs=4 so the pooled path is measured even
+       on a default run (on a single-core host it measures the pool's
+       overhead, not a speedup). *)
+    Test.make ~name:"par/harden-ctrl"
+      (Staged.stage (fun () ->
+           let options =
+             { Compact.Pipeline.default_options with time_limit = 1. }
+           in
+           let hopts =
+             { Compact.Pipeline.default_harden_options with
+               mc_trials = 0; jobs = !bench_jobs }
+           in
+           ignore
+             (Compact.Pipeline.harden ~options ~hopts
+                (Lazy.force ctrl_netlist))));
+    Test.make ~name:"par/mc-margin-64-j4"
+      (Staged.stage (fun () ->
+           let d = Lazy.force quickstart_design in
+           ignore
+             (Crossbar.Margin.monte_carlo ~max_trials:64 ~min_trials:64
+                ~ci_halfwidth:0. ~jobs:4 ~spec:Crossbar.Variation.default_spec
+                d
+                ~inputs:[ "a"; "b"; "c" ]
+                ~reference:(fun p -> [| (p.(0) && p.(1)) || p.(2) |])
+                ~outputs:[ "bench_out" ])));
   ]
+
+(* Wall-clock speedup of the parallel consumers at the requested jobs
+   count versus jobs=1 — the number the issue's acceptance criteria track
+   (meaningful only on a multicore host; expect ~1x on one core). *)
+let parallel_workloads =
+  [
+    ( "mc-margin-200",
+      fun jobs ->
+        let d = Lazy.force quickstart_design in
+        ignore
+          (Crossbar.Margin.monte_carlo ~max_trials:200 ~min_trials:200
+             ~ci_halfwidth:0. ~jobs ~spec:Crossbar.Variation.default_spec d
+             ~inputs:[ "a"; "b"; "c" ]
+             ~reference:(fun p -> [| (p.(0) && p.(1)) || p.(2) |])
+             ~outputs:[ "bench_out" ]) );
+    ( "harden-ctrl",
+      fun jobs ->
+        let options =
+          { Compact.Pipeline.default_options with time_limit = 1. }
+        in
+        let hopts =
+          { Compact.Pipeline.default_harden_options with mc_trials = 0; jobs }
+        in
+        ignore
+          (Compact.Pipeline.harden ~options ~hopts (Lazy.force ctrl_netlist))
+    );
+  ]
+
+let measure_speedups jobs =
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  List.map
+    (fun (name, work) ->
+       (* Warm the lazies so neither measurement pays the synthesis. *)
+       work 1;
+       let w1 = wall (fun () -> work 1) in
+       let wj = wall (fun () -> work jobs) in
+       name, w1, wj)
+    parallel_workloads
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 2) in
@@ -173,10 +246,22 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_perf_json path results =
+let write_perf_json path ~jobs ~speedups results =
   let oc = open_out path in
   output_string oc "{\n";
   output_string oc "  \"unit\": \"ns/run\",\n";
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  output_string oc "  \"parallel\": {\n";
+  List.iteri
+    (fun i (name, w1, wj) ->
+       Printf.fprintf oc
+         "    \"%s\": {\"wall_jobs1_s\": %.3f, \"wall_s\": %.3f, \
+          \"speedup_vs_jobs1\": %.2f}%s\n"
+         (json_escape name) w1 wj
+         (w1 /. (if wj > 0. then wj else epsilon_float))
+         (if i = List.length speedups - 1 then "" else ","))
+    speedups;
+  output_string oc "  },\n";
   output_string oc "  \"kernels\": {\n";
   List.iteri
     (fun i (name, est) ->
@@ -225,8 +310,16 @@ let run_perf ?json () =
          analysis)
     (List.map (fun t -> Test.make_grouped ~name:"perf" [ t ]) perf_tests);
   print_engine_stats ();
+  let jobs = !bench_jobs in
+  let speedups = measure_speedups jobs in
+  Printf.printf "\n-- wall-clock speedup at --jobs %d vs jobs=1 --\n" jobs;
+  List.iter
+    (fun (name, w1, wj) ->
+       Printf.printf "  %-24s %.3fs -> %.3fs  (%.2fx)\n" name w1 wj
+         (w1 /. (if wj > 0. then wj else epsilon_float)))
+    speedups;
   match json with
-  | Some path -> write_perf_json path (List.rev !collected)
+  | Some path -> write_perf_json path ~jobs ~speedups (List.rev !collected)
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -243,6 +336,13 @@ let () =
     | "--json" :: path :: rest ->
       json := Some path;
       parse rest
+    | ("--jobs" | "-j") :: v :: rest ->
+      (match int_of_string_opt v with
+       | Some n when n >= 1 -> bench_jobs := n
+       | Some _ | None ->
+         Printf.eprintf "--jobs needs an integer >= 1, got %s\n" v;
+         usage ());
+      parse rest
     | x :: rest -> x :: parse rest
     | [] -> []
   in
@@ -252,6 +352,7 @@ let () =
       if quick then Harness.Experiments.quick_config
       else Harness.Experiments.default_config
     in
+    let base = { base with Harness.Experiments.jobs = !bench_jobs } in
     match !time_limit with
     | Some t -> { base with Harness.Experiments.time_limit = t }
     | None -> base

@@ -92,6 +92,34 @@ let solver_conv =
   in
   Arg.conv (parse, print)
 
+(* [-j]/[--jobs] rides on the shared options term, so every synthesis
+   subcommand (synth, sweep, validate, repair, yield, margin, harden)
+   accepts it. Resolution order: flag, then COMPACT_JOBS (parsed by
+   cmdliner's env support, so garbage is a proper CLI error), then 1. *)
+let jobs_term =
+  let arg =
+    Arg.(value
+         & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~env:(Cmd.Env.info "COMPACT_JOBS"
+                     ~doc:"Default worker-domain count when $(b,-j) is absent.")
+             ~doc:"Worker domains for the parallel stages (harden candidate \
+                   scoring, Monte-Carlo sampling, branch & bound). Results \
+                   are identical for every jobs count; 1 (the default) is \
+                   the sequential path.")
+  in
+  let check = function
+    | None -> Ok 1
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "invalid jobs count %d: -j/--jobs (or COMPACT_JOBS) needs an \
+               integer >= 1" n))
+  in
+  Term.(term_result (const check $ arg))
+
 let options_term =
   let gamma =
     Arg.(value & opt float 0.5
@@ -122,7 +150,7 @@ let options_term =
     Arg.(value & opt (some int) None
          & info [ "max-cols" ] ~docv:"N" ~doc:"Hard bitline capacity.")
   in
-  let make gamma solver time_limit no_alignment max_rows max_cols =
+  let make gamma solver time_limit no_alignment max_rows max_cols jobs =
     {
       Compact.Pipeline.default_options with
       gamma;
@@ -131,11 +159,12 @@ let options_term =
       alignment = not no_alignment;
       max_rows;
       max_cols;
+      jobs;
     }
   in
   Term.(
     const make $ gamma $ solver $ time_limit $ no_alignment $ max_rows
-    $ max_cols)
+    $ max_cols $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 
@@ -421,7 +450,7 @@ let yield_single base nl defects verify_trials seed =
     Ok ()
 
 let yield_monte_carlo base nl rate line_rate spare_rows spare_cols trials seed
-  =
+    jobs =
   let open Compact in
   let rows = Crossbar.Design.rows base.Pipeline.design + spare_rows in
   let cols = Crossbar.Design.cols base.Pipeline.design + spare_cols in
@@ -432,7 +461,9 @@ let yield_monte_carlo base nl rate line_rate spare_rows spare_cols trials seed
   and unconstrained = ref 0
   and degraded = ref 0
   and unplaceable = ref 0 in
-  for k = 1 to trials do
+  (* Each trial is a pure function of (seed, k), so trials fan out on
+     the pool; the tallies below are order-independent counts anyway. *)
+  let run_trial k =
     let map =
       Crossbar.Defect_map.random
         ~seed:(Hashtbl.hash (seed, k))
@@ -444,15 +475,24 @@ let yield_monte_carlo base nl rate line_rate spare_rows spare_cols trials seed
       Repair.run ~seed:(Hashtbl.hash (seed, k, `Verify)) ~defects:map ~inputs
         ~outputs ~reference base.Pipeline.design
     in
-    match rep.Repair.outcome with
-    | Repair.Repaired { strategy = Repair.Permutation; _ } -> incr permutation
-    | Repair.Repaired { strategy = Repair.Spares; _ } -> incr spares
-    | Repair.Repaired { strategy = Repair.Resynthesis; _ }
-    | Repair.Repaired { strategy = Repair.Unconstrained; _ } ->
-      incr unconstrained
-    | Repair.Degraded _ -> incr degraded
-    | Repair.Unplaceable _ -> incr unplaceable
-  done;
+    rep.Repair.outcome
+  in
+  let outcomes =
+    Parallel.with_pool ~jobs (fun pool ->
+        Parallel.map ~chunk:4 pool run_trial
+          (List.init trials (fun i -> i + 1)))
+  in
+  List.iter
+    (function
+      | Repair.Repaired { strategy = Repair.Permutation; _ } ->
+        incr permutation
+      | Repair.Repaired { strategy = Repair.Spares; _ } -> incr spares
+      | Repair.Repaired { strategy = Repair.Resynthesis; _ }
+      | Repair.Repaired { strategy = Repair.Unconstrained; _ } ->
+        incr unconstrained
+      | Repair.Degraded _ -> incr degraded
+      | Repair.Unplaceable _ -> incr unplaceable)
+    outcomes;
   let repaired = !permutation + !spares + !unconstrained in
   Format.printf
     "@[<v>%d arrays of %dx%d at device fault rate %g (line rate %g):@,\
@@ -464,8 +504,8 @@ let yield_monte_carlo base nl rate line_rate spare_rows spare_cols trials seed
     (100. *. float_of_int repaired /. float_of_int (max 1 trials));
   Ok ()
 
-let yield_run source options defects_file rate line_rate spare_rows spare_cols
-    trials seed =
+let yield_run source (options : Compact.Pipeline.options) defects_file rate
+    line_rate spare_rows spare_cols trials seed =
   if rate < 0. || rate > 1. then Error (`Msg "--rate must lie in [0, 1]")
   else if line_rate < 0. || line_rate > 1. then
     Error (`Msg "--line-rate must lie in [0, 1]")
@@ -484,7 +524,7 @@ let yield_run source options defects_file rate line_rate spare_rows spare_cols
        yield_single base nl defects 256 seed
      | None ->
        yield_monte_carlo base nl rate line_rate spare_rows spare_cols trials
-         seed)
+         seed options.Compact.Pipeline.jobs)
 
 let yield_cmd =
   let defects =
@@ -582,7 +622,8 @@ let json_flag =
            ~doc:"Machine output: one JSON line per corner analysis plus \
                  one for the Monte-Carlo yield.")
 
-let margin_run source options spec seed margin_spec mc_trials json =
+let margin_run source (options : Compact.Pipeline.options) spec seed
+    margin_spec mc_trials json =
   let nl = netlist_of_source source in
   match Compact.Pipeline.synthesize ~options nl with
   | exception Compact.Label_mip.Infeasible msg ->
@@ -599,7 +640,8 @@ let margin_run source options spec seed margin_spec mc_trials json =
       else
         Some
           (Crossbar.Margin.monte_carlo ~seed ~max_trials:mc_trials
-             ~margin_spec ~spec result.design ~inputs ~reference ~outputs)
+             ~margin_spec ~jobs:options.Compact.Pipeline.jobs ~spec
+             result.design ~inputs ~reference ~outputs)
     in
     if json then begin
       List.iter
@@ -650,11 +692,13 @@ let margin_cmd =
              under device variation")
     term
 
-let harden_run source options spec seed margin_spec mc_trials grid =
+let harden_run source (options : Compact.Pipeline.options) spec seed
+    margin_spec mc_trials grid =
   let nl = netlist_of_source source in
   let hopts =
     { Compact.Pipeline.default_harden_options with
-      spec; seed; margin_spec; mc_trials }
+      spec; seed; margin_spec; mc_trials;
+      jobs = options.Compact.Pipeline.jobs }
   in
   match Compact.Pipeline.harden ~options ~hopts nl with
   | exception Compact.Label_mip.Infeasible msg ->

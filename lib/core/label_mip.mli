@@ -27,6 +27,7 @@ val solve :
   ?oct_cut:int ->
   ?max_rows:int ->
   ?max_cols:int ->
+  ?jobs:int ->
   Types.bdd_graph ->
   Types.labeling
 (** [gamma] defaults to 0.5 (the paper's recommended setting);
@@ -36,5 +37,7 @@ val solve :
     [max_rows]/[max_cols] impose hard capacities on the wordline/bitline
     counts (the §III constrained formulation); the warm start is dropped
     when it violates them.
+    [jobs] parallelises the branch & bound search (see
+    {!Milp.Branch_bound.solve}); default 1, the sequential path.
     The result carries the solver's convergence [trace].
     @raise Infeasible when capacity constraints cannot be met. *)

@@ -9,6 +9,7 @@ type options = {
   order : string list option;
   max_rows : int option;
   max_cols : int option;
+  jobs : int;
 }
 
 let mip_node_threshold = 160
@@ -23,6 +24,7 @@ let default_options =
     order = None;
     max_rows = None;
     max_cols = None;
+    jobs = 1;
   }
 
 type result = {
@@ -64,7 +66,7 @@ let run_one options bg solver =
       else 0
     in
     Label_mip.solve ~time_limit:(3. *. time_limit /. 4.) ~alignment ~gamma
-      ~warm_start:warm ~oct_cut ?max_rows ?max_cols bg
+      ~warm_start:warm ~oct_cut ?max_rows ?max_cols ~jobs:options.jobs bg
   | Auto -> assert false
 
 (* Returns the labeling together with the path of solver rungs attempted.
@@ -270,6 +272,7 @@ type harden_options = {
   alt_gammas : float list;
   alt_solvers : solver list;
   permutations : bool;
+  jobs : int;
 }
 
 let default_harden_options =
@@ -284,6 +287,7 @@ let default_harden_options =
     alt_gammas = [ 0.0; 1.0 ];
     alt_solvers = [ Heuristic ];
     permutations = true;
+    jobs = 1;
   }
 
 type candidate = {
@@ -390,10 +394,17 @@ let harden ?(options = default_options) ?(hopts = default_harden_options)
          end)
       variants
   in
-  (* Stage 3: score and rank. stable_sort keeps generation order on exact
-     ties, so "base" is never displaced by an equivalent variant. *)
+  (* Stage 3: score and rank. Scoring (4 corners of linear solves per
+     candidate) dominates harden's wall time and each score depends only
+     on its own design, so candidates score on the pool; the merge is in
+     generation order, keeping the ranking identical for any jobs count.
+     stable_sort keeps generation order on exact ties, so "base" is
+     never displaced by an equivalent variant. *)
   let scored =
-    List.map (score_candidate hopts ~inputs ~reference ~outputs) unique
+    Parallel.with_pool ~jobs:hopts.jobs (fun pool ->
+        Parallel.map pool
+          (score_candidate hopts ~inputs ~reference ~outputs)
+          unique)
   in
   let candidates =
     List.stable_sort
@@ -440,7 +451,8 @@ let harden ?(options = default_options) ?(hopts = default_harden_options)
         (Crossbar.Margin.monte_carlo ~params:hopts.analog_params
            ~opts:hopts.analog_opts ~seed:hopts.seed
            ~max_trials:hopts.mc_trials ~margin_spec:hopts.margin_spec
-           ~spec:hopts.spec chosen.cand_design ~inputs ~reference ~outputs)
+           ~jobs:hopts.jobs ~spec:hopts.spec chosen.cand_design ~inputs
+           ~reference ~outputs)
   in
   let analog =
     List.fold_left

@@ -32,6 +32,10 @@ type options = {
       (** §III capacity constraint on wordlines; forces the MIP solver.
           {!Compact.Label_mip.Infeasible} escapes when unsatisfiable *)
   max_cols : int option;  (** same for bitlines *)
+  jobs : int;
+      (** domain-pool width for the parallelisable stages (currently the
+          MIP branch & bound; default 1, the exact sequential path).
+          See {!Milp.Branch_bound.solve} for the determinism contract. *)
 }
 
 val default_options : options
@@ -118,6 +122,11 @@ type harden_options = {
   alt_solvers : solver list;  (** solver variants, same graph *)
   permutations : bool;
       (** also score {!Place.margin_candidates} of every labeling *)
+  jobs : int;
+      (** domain-pool width for candidate scoring and the Monte-Carlo
+          stage (default 1). Results merge in generation order, so the
+          ranking, chosen design, and MC report are identical for any
+          jobs count under a fixed seed. *)
 }
 
 val default_harden_options : harden_options

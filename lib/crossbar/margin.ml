@@ -22,24 +22,65 @@ let exhaustive_threshold = 8
 
 exception Early_exit
 
-let analyze ?(params = Analog.default_params) ?deviations ?opts
-    ?(seed = Rng.default_seed) ?(trials = 32) ?stop_below d ~inputs ~reference
+(* Everything about a margin analysis that is invariant across
+   evaluations: the index maps, the design outputs resolved against the
+   reference output order, and the derived threshold voltage. Built once
+   per design and shared — strictly read-only after construction, so
+   concurrent analyses on pool domains may share one [ctx]. All
+   per-evaluation state (the assignment buffer, per-output minima,
+   solver statistics) lives inside [analyze_ctx]. *)
+type ctx = {
+  cx_design : Design.t;
+  cx_params : Analog.params;
+  cx_opts : Analog.solver_opts option;
+  cx_inputs : string list;
+  cx_n : int;
+  cx_in_index : (string, int) Hashtbl.t;
+  cx_outputs : (string * Design.wire * int) array;
+      (* design outputs with their index into the reference vector *)
+  cx_reference : bool array -> bool array;
+  cx_v_th : float;
+}
+
+let make_ctx ?(params = Analog.default_params) ?opts d ~inputs ~reference
     ~outputs =
-  let n = List.length inputs in
   let in_index = Hashtbl.create 16 in
   List.iteri (fun i v -> Hashtbl.replace in_index v i) inputs;
   let out_index = Hashtbl.create 16 in
   List.iteri (fun i o -> Hashtbl.replace out_index o i) outputs;
+  let resolved =
+    Design.outputs d
+    |> List.map (fun (o, w) ->
+        match Hashtbl.find_opt out_index o with
+        | Some i -> o, w, i
+        | None -> invalid_arg (Printf.sprintf "Margin: unknown output %s" o))
+    |> Array.of_list
+  in
+  {
+    cx_design = d;
+    cx_params = params;
+    cx_opts = opts;
+    cx_inputs = inputs;
+    cx_n = List.length inputs;
+    cx_in_index = in_index;
+    cx_outputs = resolved;
+    cx_reference = reference;
+    cx_v_th = params.Analog.threshold *. params.Analog.v_in;
+  }
+
+let analyze_ctx ?deviations ?(seed = Rng.default_seed) ?(trials = 32)
+    ?stop_below cx =
+  let n = cx.cx_n in
+  let params = cx.cx_params in
   let point = Array.make n false in
   let env v =
-    match Hashtbl.find_opt in_index v with
+    match Hashtbl.find_opt cx.cx_in_index v with
     | Some i -> point.(i)
     | None ->
       invalid_arg
         (Printf.sprintf "Margin: design variable %s not a reference input" v)
   in
-  let design_outputs = Design.outputs d in
-  let best = Array.make (List.length design_outputs) None in
+  let best = Array.make (Array.length cx.cx_outputs) None in
   let worst = ref infinity in
   let checked = ref 0 in
   let max_iterations = ref 0 in
@@ -47,11 +88,11 @@ let analyze ?(params = Analog.default_params) ?deviations ?opts
   let max_condition = ref 0. in
   let fallbacks = ref 0 in
   let unconverged = ref 0 in
-  let v_th = params.Analog.threshold *. params.Analog.v_in in
+  let v_th = cx.cx_v_th in
   let run_point () =
     incr checked;
-    let expected = reference point in
-    let sol = Analog.solve ~params ?deviations ?opts d env in
+    let expected = cx.cx_reference point in
+    let sol = Analog.solve ~params ?deviations ?opts:cx.cx_opts cx.cx_design env in
     if sol.Analog.iterations > !max_iterations then
       max_iterations := sol.Analog.iterations;
     if sol.Analog.residual > !max_residual then
@@ -63,13 +104,9 @@ let analyze ?(params = Analog.default_params) ?deviations ?opts
      | Analog.Dense | Analog.Cg_then_dense -> incr fallbacks);
     let converged = sol.Analog.residual <= Analog.read_tol in
     if not converged then incr unconverged;
-    List.iteri
-      (fun idx (o, w) ->
-         let e =
-           match Hashtbl.find_opt out_index o with
-           | Some i -> expected.(i)
-           | None -> invalid_arg (Printf.sprintf "Margin: unknown output %s" o)
-         in
+    Array.iteri
+      (fun idx (o, w, e_idx) ->
+         let e = expected.(e_idx) in
          let v =
            match w with
            | Design.Row i -> sol.Analog.v_rows.(i)
@@ -92,10 +129,11 @@ let analyze ?(params = Analog.default_params) ?deviations ?opts
                   om_margin = m;
                   om_voltage = v;
                   om_expected = e;
-                  om_assignment = List.mapi (fun i var -> var, point.(i)) inputs;
+                  om_assignment =
+                    List.mapi (fun i var -> var, point.(i)) cx.cx_inputs;
                 });
          if m < !worst then worst := m)
-      design_outputs;
+      cx.cx_outputs;
     match stop_below with
     | Some bound when !worst < bound -> raise Early_exit
     | _ -> ()
@@ -134,13 +172,18 @@ let analyze ?(params = Analog.default_params) ?deviations ?opts
     unconverged = !unconverged;
   }
 
+let analyze ?params ?deviations ?opts ?seed ?trials ?stop_below d ~inputs
+    ~reference ~outputs =
+  let cx = make_ctx ?params ?opts d ~inputs ~reference ~outputs in
+  analyze_ctx ?deviations ?seed ?trials ?stop_below cx
+
 let corners ?params ?opts ?seed ?trials ~spec d ~inputs ~reference ~outputs =
   let rows = Design.rows d and cols = Design.cols d in
+  let cx = make_ctx ?params ?opts d ~inputs ~reference ~outputs in
   List.map
     (fun c ->
        let deviations = Variation.corner spec c ~rows ~cols in
-       c, analyze ?params ~deviations ?opts ?seed ?trials d ~inputs ~reference
-            ~outputs)
+       c, analyze_ctx ~deviations ?seed ?trials cx)
     Variation.all_corners
 
 let worst_over_corners cs =
@@ -177,39 +220,79 @@ let wilson ~passes ~trials =
     max 0. (centre -. hw), min 1. (centre +. hw)
   end
 
+let mc_chunk = 8
+
 let monte_carlo ?params ?opts ?(seed = Rng.default_seed) ?(max_trials = 200)
     ?(min_trials = 24) ?(ci_halfwidth = 0.04) ?(margin_spec = 0.)
-    ?(checks_per_trial = 24) ~spec d ~inputs ~reference ~outputs =
+    ?(checks_per_trial = 24) ?(jobs = Parallel.default_jobs ()) ~spec d
+    ~inputs ~reference ~outputs =
   let rows = Design.rows d and cols = Design.cols d in
+  let cx = make_ctx ?params ?opts d ~inputs ~reference ~outputs in
+  (* Trial [k] is a pure function of [(seed, k)]: the variation sample
+     and the assignment sample both derive from the trial index exactly
+     as in the sequential sampler, so trial results are independent of
+     how trials are scheduled onto domains. *)
+  let run_trial k =
+    let deviations =
+      Variation.sample ~seed:(Rng.derive seed (`Mc_sample, k)) spec ~rows ~cols
+    in
+    let a =
+      analyze_ctx ~deviations
+        ~seed:(Rng.derive seed (`Mc_checks, k))
+        ~trials:checks_per_trial cx
+    in
+    a.worst
+  in
   let passes = ref 0 in
   let trials = ref 0 in
   let sum_worst = ref 0. in
   let min_worst = ref infinity in
   let stopped_early = ref false in
-  (try
-     for k = 1 to max_trials do
-       let deviations =
-         Variation.sample ~seed:(Rng.derive seed (`Mc_sample, k)) spec ~rows
-           ~cols
-       in
-       let a =
-         analyze ?params ?opts ~deviations
-           ~seed:(Rng.derive seed (`Mc_checks, k))
-           ~trials:checks_per_trial d ~inputs ~reference ~outputs
-       in
-       incr trials;
-       sum_worst := !sum_worst +. a.worst;
-       if a.worst < !min_worst then min_worst := a.worst;
-       if a.worst >= margin_spec then incr passes;
-       if !trials >= min_trials then begin
-         let low, high = wilson ~passes:!passes ~trials:!trials in
-         if (high -. low) /. 2. <= ci_halfwidth then begin
-           stopped_early := !trials < max_trials;
-           raise Early_exit
-         end
-       end
-     done
-   with Early_exit -> ());
+  let stop = ref false in
+  (* Trials run in fixed chunks of [mc_chunk]; the Wilson CI early-stop
+     test happens only at chunk boundaries. The chunk size never depends
+     on [jobs], and a wave's chunks merge in trial order with any chunk
+     past a stop discarded wholesale, so the accumulated counters — and
+     therefore the JSON — are identical for every jobs count. *)
+  Parallel.with_pool ~jobs (fun pool ->
+      let next = ref 1 in
+      while (not !stop) && !next <= max_trials do
+        let wave = Parallel.jobs pool in
+        let chunks = ref [] in
+        for c = wave - 1 downto 0 do
+          let lo = !next + (c * mc_chunk) in
+          if lo <= max_trials then
+            chunks := (lo, min max_trials (lo + mc_chunk - 1)) :: !chunks
+        done;
+        let chunks = Array.of_list !chunks in
+        let results =
+          Parallel.run pool
+            (Array.map
+               (fun (lo, hi) () ->
+                  Array.init (hi - lo + 1) (fun i -> run_trial (lo + i)))
+               chunks)
+        in
+        Array.iter
+          (fun worsts ->
+             if not !stop then begin
+               Array.iter
+                 (fun w ->
+                    incr trials;
+                    sum_worst := !sum_worst +. w;
+                    if w < !min_worst then min_worst := w;
+                    if w >= margin_spec then incr passes)
+                 worsts;
+               if !trials >= min_trials && !trials < max_trials then begin
+                 let low, high = wilson ~passes:!passes ~trials:!trials in
+                 if (high -. low) /. 2. <= ci_halfwidth then begin
+                   stopped_early := true;
+                   stop := true
+                 end
+               end
+             end)
+          results;
+        next := !next + (wave * mc_chunk)
+      done);
   let low, high = wilson ~passes:!passes ~trials:!trials in
   {
     mc_seed = seed;

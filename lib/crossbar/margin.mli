@@ -94,6 +94,13 @@ type mc = {
 val wilson : passes:int -> trials:int -> float * float
 (** Wilson score 95% interval for a binomial proportion. *)
 
+val mc_chunk : int
+(** Trials per Monte-Carlo scheduling chunk (8). {!monte_carlo} runs
+    trials in fixed chunks of this size and tests the early-stop
+    criterion only at chunk boundaries; the chunk size never depends on
+    the jobs count, which is what makes the sampler's output identical
+    for every [jobs]. *)
+
 val monte_carlo :
   ?params:Analog.params ->
   ?opts:Analog.solver_opts ->
@@ -103,6 +110,7 @@ val monte_carlo :
   ?ci_halfwidth:float ->
   ?margin_spec:float ->
   ?checks_per_trial:int ->
+  ?jobs:int ->
   spec:Variation.spec ->
   Design.t ->
   inputs:string list ->
@@ -111,11 +119,19 @@ val monte_carlo :
   mc
 (** Draw up to [max_trials] (default 200) {!Variation.sample} array
     instances and measure the fraction whose worst margin is at least
-    [margin_spec] (default 0 — merely functional). Stops early once
-    [min_trials] (default 24) have run and the Wilson interval's
+    [margin_spec] (default 0 — merely functional). Stops early once at
+    least [min_trials] (default 24) have run and the Wilson interval's
     halfwidth is at most [ci_halfwidth] (default 0.04). Every trial's
     variation sample and assignment sample derive from [(seed, trial)]
-    through {!Rng}, so runs are bit-for-bit reproducible. *)
+    through {!Rng}, so runs are bit-for-bit reproducible.
+
+    [jobs] (default {!Parallel.default_jobs}, i.e. [COMPACT_JOBS] or 1)
+    evaluates trial chunks on a domain pool. Early stopping is
+    chunk-granular — the CI test runs at multiples of {!mc_chunk}
+    trials, never mid-chunk, for {e every} jobs count including 1 — and
+    chunks merge in trial order with post-stop chunks discarded, so the
+    report (and {!json_of_mc} output) is byte-identical for any [jobs]
+    under a fixed seed. *)
 
 (** {1 Serialisation} *)
 

@@ -4,6 +4,7 @@ type config = {
   max_graph_nodes : int;
   verify_designs : bool;
   anneal_budget : int;
+  jobs : int;
 }
 
 let anneal_threshold = 5_000
@@ -15,6 +16,7 @@ let default_config =
     max_graph_nodes = 200_000;
     verify_designs = true;
     anneal_budget = 120;
+    jobs = Parallel.default_jobs ();
   }
 
 let quick_config =
@@ -24,6 +26,7 @@ let quick_config =
     max_graph_nodes = 20_000;
     verify_designs = false;
     anneal_budget = 0;
+    jobs = Parallel.default_jobs ();
   }
 
 (* Per-process caches: netlists and best orders are deterministic. *)
@@ -95,6 +98,7 @@ let synth ?(gamma = 0.5) ?solver ?max_cols config (e : Circuits.Suite.entry) =
           time_limit = config.time_limit;
           bdd_node_limit = config.bdd_node_limit;
           max_cols;
+          jobs = config.jobs;
           solver =
             (match solver with
              | Some s -> s
@@ -529,7 +533,10 @@ let robustness ?(circuits = [ "ctrl"; "cavlc" ]) ?(trials = 15) config =
          List.iter
            (fun rate ->
               let repaired = ref 0 and degraded = ref 0 and lost = ref 0 in
-              for k = 1 to trials do
+              (* Each draw is a pure function of (name, rate, k); the
+                 tallies are order-independent counts, so draws fan out
+                 on the pool. *)
+              let run_draw k =
                 let map =
                   Crossbar.Defect_map.random
                     ~seed:(Hashtbl.hash (name, rate, k))
@@ -544,11 +551,15 @@ let robustness ?(circuits = [ "ctrl"; "cavlc" ]) ?(trials = 15) config =
                     ~defects:map ~inputs:nl.inputs ~outputs:nl.outputs
                     ~reference base.design
                 in
-                match rep.Compact.Repair.outcome with
+                rep.Compact.Repair.outcome
+              in
+              Parallel.with_pool ~jobs:config.jobs (fun pool ->
+                  Parallel.map ~chunk:4 pool run_draw
+                    (List.init trials (fun i -> i + 1)))
+              |> List.iter (function
                 | Compact.Repair.Repaired _ -> incr repaired
                 | Compact.Repair.Degraded _ -> incr degraded
-                | Compact.Repair.Unplaceable _ -> incr lost
-              done;
+                | Compact.Repair.Unplaceable _ -> incr lost);
               data := (name, rate, !repaired, !degraded, !lost) :: !data;
               rows :=
                 [ name; Printf.sprintf "%dx%d" arr_rows arr_cols;
@@ -610,8 +621,8 @@ let variation ?(circuits = [ "ctrl"; "cavlc" ]) ?(sigmas = variation_sigmas)
               let mc =
                 Crossbar.Margin.monte_carlo
                   ~seed:(Hashtbl.hash (name, sigma))
-                  ~max_trials ~spec base.design ~inputs:nl.inputs ~reference
-                  ~outputs:nl.outputs
+                  ~max_trials ~jobs:config.jobs ~spec base.design
+                  ~inputs:nl.inputs ~reference ~outputs:nl.outputs
               in
               data := (name, sigma, corner_worst, mc) :: !data;
               rows :=

@@ -18,6 +18,11 @@ type config = {
       (** variable-order annealing rebuilds per circuit (0 = heuristic
           orders only); applied to circuits below {!anneal_threshold}
           SBDD nodes *)
+  jobs : int;
+      (** domain-pool width for the parallel sweeps (robustness draws,
+          variation Monte-Carlo, MIP branch & bound). The stock configs
+          default to {!Parallel.default_jobs}, i.e. [COMPACT_JOBS] or
+          1; results are identical for every jobs count. *)
 }
 
 val anneal_threshold : int

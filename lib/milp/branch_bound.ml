@@ -31,8 +31,17 @@ module Heap = struct
 
   let create () = { data = Array.make 64 None; len = 0 }
   let is_empty h = h.len = 0
+  let length h = h.len
 
-  let key h i = match h.data.(i) with Some (k, _) -> k | None -> assert false
+  (* The one accessor for occupied slots. Indices below [len] are always
+     [Some] by construction, so a vacant read is a heap invariant bug —
+     flagged as such rather than through scattered [assert false]s. *)
+  let entry h i =
+    match h.data.(i) with
+    | Some e -> e
+    | None -> invalid_arg "Branch_bound.Heap: vacant slot read"
+
+  let key h i = fst (entry h i)
 
   let swap h i j =
     let tmp = h.data.(i) in
@@ -57,7 +66,7 @@ module Heap = struct
   let peek_key h = key h 0
 
   let pop h =
-    let top = match h.data.(0) with Some (_, v) -> v | None -> assert false in
+    let _, top = entry h 0 in
     h.len <- h.len - 1;
     h.data.(0) <- h.data.(h.len);
     h.data.(h.len) <- None;
@@ -85,7 +94,7 @@ type node = {
 }
 
 let solve ?(time_limit = infinity) ?(node_limit = max_int) ?initial
-    ?(integer_tolerance = 1e-6) problem =
+    ?(integer_tolerance = 1e-6) ?(jobs = 1) problem =
   let start = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. start in
   let dir =
@@ -124,54 +133,103 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?initial
       }
       :: !trace
   in
-  let hit_limit = ref false in
-  while (not !hit_limit) && not (Heap.is_empty heap) do
-    if elapsed () > time_limit || !nodes >= node_limit then hit_limit := true
-    else begin
-      let node = Heap.pop heap in
-      let bound_improved = node.score > !best_bound +. 1e-9 in
-      best_bound := max !best_bound node.score;
-      if bound_improved || !nodes land 63 = 0 then record ();
-      if not (!have_incumbent && node.score >= !incumbent_score -. 1e-9) then begin
-        incr nodes;
-        match Lp.Problem.solve_relaxation ~bounds:node.fixings problem with
-        | Lp.Simplex.Unbounded ->
-          invalid_arg "Branch_bound.solve: relaxation unbounded"
-        | Lp.Simplex.Infeasible ->
-          if node.fixings = [] then proved_infeasible_root := true
-        | Lp.Simplex.Optimal { objective; solution } ->
-          let score = dir *. objective in
-          if not (!have_incumbent && score >= !incumbent_score -. 1e-9) then begin
-            let branch_var = ref None in
-            let best_frac = ref integer_tolerance in
-            Array.iter
-              (fun (v : Lp.Problem.var) ->
-                 let x = solution.((v :> int)) in
-                 let frac = abs_float (x -. Float.round x) in
-                 if frac > !best_frac then begin
-                   best_frac := frac;
-                   branch_var := Some (v, x)
-                 end)
-              integer_vars;
-            match !branch_var with
-            | None ->
-              (* Integral solution: round off tolerance noise and accept. *)
-              if (not !have_incumbent) || score < !incumbent_score -. 1e-9 then begin
-                incumbent_score := score;
-                have_incumbent := true;
-                incumbent_point := Some (Array.copy solution);
-                record ()
-              end
-            | Some (v, x) ->
-              let lo = floor x in
-              Heap.push heap score
-                { fixings = (v, 0., lo) :: node.fixings; score };
-              Heap.push heap score
-                { fixings = (v, lo +. 1., infinity) :: node.fixings; score }
+  (* Expansion of one node given its LP relaxation outcome. Both search
+     loops run this strictly sequentially (the parallel loop merges in
+     frontier-pop order), so incumbent and heap updates are ordered. *)
+  let process node outcome =
+    match outcome with
+    | Lp.Simplex.Unbounded ->
+      invalid_arg "Branch_bound.solve: relaxation unbounded"
+    | Lp.Simplex.Infeasible ->
+      if node.fixings = [] then proved_infeasible_root := true
+    | Lp.Simplex.Optimal { objective; solution } ->
+      let score = dir *. objective in
+      if not (!have_incumbent && score >= !incumbent_score -. 1e-9) then begin
+        let branch_var = ref None in
+        let best_frac = ref integer_tolerance in
+        Array.iter
+          (fun (v : Lp.Problem.var) ->
+             let x = solution.((v :> int)) in
+             let frac = abs_float (x -. Float.round x) in
+             if frac > !best_frac then begin
+               best_frac := frac;
+               branch_var := Some (v, x)
+             end)
+          integer_vars;
+        match !branch_var with
+        | None ->
+          (* Integral solution: round off tolerance noise and accept. *)
+          if (not !have_incumbent) || score < !incumbent_score -. 1e-9 then begin
+            incumbent_score := score;
+            have_incumbent := true;
+            incumbent_point := Some (Array.copy solution);
+            record ()
           end
+        | Some (v, x) ->
+          let lo = floor x in
+          Heap.push heap score
+            { fixings = (v, 0., lo) :: node.fixings; score };
+          Heap.push heap score
+            { fixings = (v, lo +. 1., infinity) :: node.fixings; score }
       end
-    end
-  done;
+  in
+  let hit_limit = ref false in
+  if jobs <= 1 then
+    (* Sequential path: best-bound-first, one node at a time. *)
+    while (not !hit_limit) && not (Heap.is_empty heap) do
+      if elapsed () > time_limit || !nodes >= node_limit then hit_limit := true
+      else begin
+        let node = Heap.pop heap in
+        let bound_improved = node.score > !best_bound +. 1e-9 in
+        best_bound := max !best_bound node.score;
+        if bound_improved || !nodes land 63 = 0 then record ();
+        if not (!have_incumbent && node.score >= !incumbent_score -. 1e-9)
+        then begin
+          incr nodes;
+          process node (Lp.Problem.solve_relaxation ~bounds:node.fixings problem)
+        end
+      end
+    done
+  else
+    (* Parallel path: synchronous rounds. Each round refills up to [jobs]
+       surviving nodes from the global frontier, solves their LP
+       relaxations on the pool, and merges the outcomes sequentially in
+       frontier-pop order — so for a fixed [jobs] the exploration is
+       fully deterministic. The shared incumbent is consulted twice per
+       node: at refill (pruning before the LP is paid for) and again at
+       merge (pruning against incumbents found earlier in the same
+       round). Node and time limits are enforced at refill, so a round
+       never admits more nodes than the remaining node budget. *)
+    Parallel.with_pool ~jobs (fun pool ->
+    while (not !hit_limit) && not (Heap.is_empty heap) do
+      if elapsed () > time_limit || !nodes >= node_limit then hit_limit := true
+      else begin
+        let batch = ref [] in
+        let admitted = ref 0 in
+        let cap = min jobs (node_limit - !nodes) in
+        while !admitted < cap && not (Heap.is_empty heap) do
+          let node = Heap.pop heap in
+          let bound_improved = node.score > !best_bound +. 1e-9 in
+          best_bound := max !best_bound node.score;
+          if bound_improved || !nodes land 63 = 0 then record ();
+          if not (!have_incumbent && node.score >= !incumbent_score -. 1e-9)
+          then begin
+            incr nodes;
+            batch := node :: !batch;
+            incr admitted
+          end
+        done;
+        let batch = Array.of_list (List.rev !batch) in
+        let outcomes =
+          Parallel.run pool
+            (Array.map
+               (fun node () ->
+                  Lp.Problem.solve_relaxation ~bounds:node.fixings problem)
+               batch)
+        in
+        Array.iteri (fun i outcome -> process batch.(i) outcome) outcomes
+      end
+    done);
   let exhausted = Heap.is_empty heap in
   let final_score_bound =
     if exhausted then
@@ -207,3 +265,16 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?initial
     elapsed = elapsed ();
     trace = List.rev !trace;
   }
+
+let status_name = function
+  | Optimal -> "optimal"
+  | Feasible -> "feasible"
+  | No_incumbent -> "no-incumbent"
+  | Infeasible -> "infeasible"
+
+let json_of_certificate r =
+  let jf v = Printf.sprintf "%.17g" v in
+  Printf.sprintf "{\"status\":\"%s\",\"objective\":%s,\"bound\":%s,\"gap\":%s}"
+    (status_name r.status)
+    (match r.objective with Some v -> jf v | None -> "null")
+    (jf r.bound) (jf r.gap)

@@ -33,18 +33,59 @@ type result = {
   trace : trace_point list;  (** chronological *)
 }
 
+(** Binary min-heap on float keys — the solver's node frontier, exposed
+    for direct unit testing. *)
+module Heap : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  (** Empty heap with an initial capacity of 64 slots; grows by
+      doubling. *)
+
+  val is_empty : 'a t -> bool
+  val length : 'a t -> int
+  val push : 'a t -> float -> 'a -> unit
+
+  val peek_key : 'a t -> float
+  (** Smallest key. @raise Invalid_argument on an empty heap. *)
+
+  val pop : 'a t -> 'a
+  (** Remove and return the value with the smallest key.
+      @raise Invalid_argument on an empty heap. *)
+end
+
 val solve :
   ?time_limit:float ->
   ?node_limit:int ->
   ?initial:float array * float ->
   ?integer_tolerance:float ->
+  ?jobs:int ->
   Lp.Problem.t ->
   result
 (** [solve p] minimises or maximises [p] (per its objective sense) with all
     variables marked integer restricted to integral values.
     [initial = (point, value)] seeds the incumbent — the point is trusted
-    to be feasible. Default [integer_tolerance] is [1e-6]. *)
+    to be feasible. Default [integer_tolerance] is [1e-6].
+
+    [jobs] (default 1) parallelises the search over a domain pool in
+    synchronous rounds: each round pops up to [jobs] surviving nodes
+    from the global best-bound frontier, solves their LP relaxations
+    concurrently, and merges the outcomes sequentially in pop order
+    against a shared incumbent. For a fixed [jobs] the exploration is
+    deterministic; across different [jobs] counts the {e certificate}
+    (status, objective, bound, gap — see {!json_of_certificate}) is
+    identical whenever the search runs to exhaustion with a unique
+    optimum, but [nodes] and [trace] may legitimately differ because a
+    round cannot prune against incumbents its own batch has not merged
+    yet. [jobs = 1] is the exact pre-pool sequential loop. *)
 
 val relative_gap : incumbent:float option -> bound:float -> float
 (** CPLEX-style gap: |incumbent − bound| / max(1e-10, |incumbent|);
     [1.0] when there is no incumbent. *)
+
+val json_of_certificate : result -> string
+(** Compact JSON of the jobs-independent fields only — status,
+    objective, bound, gap ([%.17g] floats). On exhausted solves this is
+    byte-identical for every [jobs] count; [nodes], [elapsed], [trace]
+    and the solution point are deliberately excluded because they are
+    schedule- or wall-clock-dependent. *)

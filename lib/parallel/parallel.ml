@@ -1,0 +1,168 @@
+(* Fixed domain pool with deterministic (submission-order) merging.
+
+   Shape: one shared FIFO of thunks behind a mutex, [jobs - 1] worker
+   domains blocked on a condition, and the submitting domain helping to
+   drain the queue during [run] — so a pool of j jobs really executes j
+   tasks concurrently without one domain sitting idle as a coordinator.
+   Tasks never let an exception escape into a worker: each task stores
+   its outcome (value or exception + backtrace) into its slot, and [run]
+   re-raises the earliest failure only after the whole batch completed,
+   which is what keeps a raising task from wedging the other slots. *)
+
+type pool = {
+  n_jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* signalled when the queue grows or on shutdown *)
+  batch_done : Condition.t;  (* signalled when a batch's last task lands *)
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "COMPACT_JOBS" with
+  | None -> 1
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | Some _ | None -> 1)
+
+let jobs p = p.n_jobs
+
+let rec worker_loop p =
+  Mutex.lock p.mutex;
+  while Queue.is_empty p.queue && not p.stopping do
+    Condition.wait p.work p.mutex
+  done;
+  if Queue.is_empty p.queue then Mutex.unlock p.mutex (* stopping *)
+  else begin
+    let task = Queue.pop p.queue in
+    Mutex.unlock p.mutex;
+    task ();
+    worker_loop p
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Parallel.create: jobs must be >= 1";
+  let p =
+    {
+      n_jobs = jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      batch_done = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      closed = false;
+      workers = [||];
+    }
+  in
+  if jobs > 1 then
+    p.workers <-
+      Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p));
+  p
+
+let shutdown p =
+  if not p.closed then begin
+    p.closed <- true;
+    if Array.length p.workers > 0 then begin
+      Mutex.lock p.mutex;
+      p.stopping <- true;
+      Condition.broadcast p.work;
+      Mutex.unlock p.mutex;
+      Array.iter Domain.join p.workers;
+      p.workers <- [||]
+    end
+  end
+
+let with_pool ?jobs f =
+  let p =
+    create ~jobs:(match jobs with Some j -> j | None -> default_jobs ())
+  in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+
+let run (type a) p (thunks : (unit -> a) array) : a array =
+  if p.closed then invalid_arg "Parallel.run: pool is shut down";
+  let n = Array.length thunks in
+  if p.n_jobs = 1 || n <= 1 then Array.map (fun f -> f ()) thunks
+  else begin
+    let results : (a, exn * Printexc.raw_backtrace) result option array =
+      Array.make n None
+    in
+    let remaining = ref n in
+    let task i () =
+      let outcome =
+        match thunks.(i) () with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock p.mutex;
+      results.(i) <- Some outcome;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast p.batch_done;
+      Mutex.unlock p.mutex
+    in
+    Mutex.lock p.mutex;
+    for i = 0 to n - 1 do
+      Queue.push (task i) p.queue
+    done;
+    Condition.broadcast p.work;
+    (* The submitter helps: execute queued tasks until the batch drains,
+       then wait for the in-flight stragglers on the other domains. *)
+    let rec help () =
+      if !remaining = 0 then Mutex.unlock p.mutex
+      else if not (Queue.is_empty p.queue) then begin
+        let task = Queue.pop p.queue in
+        Mutex.unlock p.mutex;
+        task ();
+        Mutex.lock p.mutex;
+        help ()
+      end
+      else begin
+        Condition.wait p.batch_done p.mutex;
+        help ()
+      end
+    in
+    help ();
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end
+
+let chunks_of ~chunk xs =
+  let rec take k acc rest =
+    match rest with
+    | _ when k = 0 -> List.rev acc, rest
+    | [] -> List.rev acc, []
+    | x :: rest -> take (k - 1) (x :: acc) rest
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | xs ->
+      let c, rest = take chunk [] xs in
+      go (c :: acc) rest
+  in
+  go [] xs
+
+let map ?(chunk = 1) p f xs =
+  if p.n_jobs = 1 then List.map f xs
+  else if chunk <= 1 then
+    Array.to_list (run p (Array.of_list (List.map (fun x () -> f x) xs)))
+  else
+    chunks_of ~chunk xs
+    |> List.map (fun c () -> List.map f c)
+    |> Array.of_list
+    |> run p
+    |> Array.to_list
+    |> List.concat
+
+let map_array ?chunk p f xs =
+  if p.n_jobs = 1 then Array.map f xs
+  else Array.of_list (map ?chunk p f (Array.to_list xs))
+
+let map_reduce ?chunk p ~map:f ~reduce ~init xs =
+  if p.n_jobs = 1 then List.fold_left (fun acc x -> reduce acc (f x)) init xs
+  else List.fold_left reduce init (map ?chunk p f xs)

@@ -1,0 +1,72 @@
+(** A fixed pool of worker domains with deterministic, submission-order
+    result merging.
+
+    The contract every consumer in the pipeline relies on:
+
+    - {b jobs = 1 is the exact sequential code path.} No domain is
+      spawned, no mutex is taken; {!map} is [List.map], {!run} applies
+      the thunks left to right. A pool of one job therefore cannot
+      change observable behaviour, allocation order, or exception
+      timing relative to the pre-pool code.
+    - {b Results merge in submission order} regardless of which domain
+      finishes first, so a pure task function gives bit-identical
+      output for every jobs count.
+    - {b Exceptions propagate and never wedge the pool.} A task that
+      raises stores its exception; after the whole batch has drained,
+      the exception of the {e earliest} failed task is re-raised with
+      its backtrace. Workers survive and the pool remains usable.
+
+    The pool is not re-entrant: calling {!run}/{!map} from inside a
+    task of the same pool (or submitting from two domains at once) is
+    not supported — parallelism in this codebase lives at one level
+    (candidates, Monte-Carlo chunks, branch & bound rounds) by design. *)
+
+type pool
+
+val default_jobs : unit -> int
+(** [COMPACT_JOBS] from the environment when it parses as a positive
+    integer, otherwise 1. The CLI's [-j] flag overrides it; callers
+    wanting full occupancy can pass
+    [Domain.recommended_domain_count ()] explicitly. *)
+
+val create : jobs:int -> pool
+(** A pool executing up to [jobs] tasks concurrently: [jobs - 1]
+    spawned worker domains plus the submitting domain, which helps
+    drain the queue while it waits. [jobs = 1] spawns nothing.
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : pool -> int
+
+val shutdown : pool -> unit
+(** Joins the worker domains. Idempotent; {!run} on a shut-down pool
+    raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (pool -> 'a) -> 'a
+(** [create], run the function, and {!shutdown} even on exceptions.
+    [jobs] defaults to {!default_jobs}[ ()]. *)
+
+val run : pool -> (unit -> 'a) array -> 'a array
+(** Execute every thunk, possibly concurrently, and return their
+    results in submission order. See the module preamble for the
+    determinism and exception contract. *)
+
+val map : ?chunk:int -> pool -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map. [chunk] (default 1) groups that many
+    consecutive elements into one task to amortise queue traffic when
+    the per-element work is small; chunking never changes the result
+    order. With one job this is exactly [List.map f xs]. *)
+
+val map_array : ?chunk:int -> pool -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_reduce :
+  ?chunk:int ->
+  pool ->
+  map:('a -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc
+(** Parallel map followed by a {e sequential} left fold in submission
+    order — the deterministic-merge shape. With one job the map and the
+    fold interleave element by element, matching a pre-pool loop that
+    accumulated as it went. *)

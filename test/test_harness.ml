@@ -34,6 +34,7 @@ let tiny_config =
     max_graph_nodes = 2_000;
     verify_designs = true;
     anneal_budget = 0;
+    jobs = Parallel.default_jobs ();
   }
 
 let experiment_tests =
