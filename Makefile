@@ -1,4 +1,4 @@
-.PHONY: all test examples bench smoke proptest margin ci clean
+.PHONY: all test examples bench smoke proptest margin trace ci clean
 
 all:
 	dune build
@@ -21,6 +21,9 @@ proptest:
 margin:
 	dune build @margin
 
+trace:
+	dune build @trace
+
 # Tier-1 runs twice: once sequential, once with a 4-wide domain pool.
 # Every parallel consumer is bit-identical across jobs counts, so the
 # second run is a determinism check as much as a thread-safety one.
@@ -29,10 +32,12 @@ ci:
 	dune build @examples @bench
 	COMPACT_JOBS=1 dune runtest
 	COMPACT_JOBS=4 dune runtest --force
+	COMPACT_TRACE=1 dune runtest --force
 	dune exec test/test_manager_stress.exe
 	dune build @proptest
 	dune build @margin
 	dune build @smoke
+	dune build @trace
 
 clean:
 	dune clean

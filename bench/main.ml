@@ -13,7 +13,8 @@
 let usage () =
   print_endline
     "usage: main.exe [--quick] [--time-limit S] [--json FILE] [--jobs N] \
-     [all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|robustness|variation|ablation|perf]...";
+     [--trace FILE] \
+     [all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|robustness|variation|ablation|perf|obs-overhead]...";
   exit 1
 
 (* The jobs knob: --jobs N, defaulting to COMPACT_JOBS then 1. Read by
@@ -221,9 +222,9 @@ let parallel_workloads =
 
 let measure_speedups jobs =
   let wall f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now () in
     f ();
-    Unix.gettimeofday () -. t0
+    Obs.Clock.now () -. t0
   in
   List.map
     (fun (name, work) ->
@@ -323,18 +324,94 @@ let run_perf ?json () =
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Tracing overhead on the two hot kernels the PR gate names.  Each is
+   timed with recording off and on; the disabled number is comparable
+   to the same kernel's pre-instrumentation estimate in BENCH_pr4.json,
+   the enabled/disabled delta is the cost of live recording. *)
+
+let overhead_kernels =
+  [
+    ( "bdd/ite-parity-4096", 5,
+      fun () ->
+        let man = Bdd.Manager.create ~num_vars:4096 () in
+        ignore (balanced_parity man 4096) );
+    ( "analog/solve-c1908", 3,
+      fun () ->
+        let d = Lazy.force c1908_design in
+        ignore (Crossbar.Analog.solve d (fun v -> Hashtbl.hash v land 1 = 0))
+    );
+  ]
+
+let run_obs_overhead ?json () =
+  let saved = Obs.enabled () in
+  let measure reps f =
+    (* Best of three timed batches; recorded events are discarded
+       outside the timed window so recording, not draining, is what is
+       measured. *)
+    let batch () =
+      let t0 = Obs.Clock.now () in
+      for _ = 1 to reps do
+        f ()
+      done;
+      let dt = Obs.Clock.now () -. t0 in
+      Obs.reset ();
+      dt /. float_of_int reps *. 1e9
+    in
+    f ();
+    Obs.reset ();
+    List.fold_left min infinity (List.init 3 (fun _ -> batch ()))
+  in
+  print_endline "\n== obs-overhead: tracing disabled vs enabled (ns/run) ==";
+  let rows =
+    List.map
+      (fun (name, reps, f) ->
+         Obs.set_enabled false;
+         let dis = measure reps f in
+         Obs.set_enabled true;
+         let en = measure reps f in
+         Obs.set_enabled saved;
+         let pct = 100. *. (en -. dis) /. dis in
+         Printf.printf "  %-24s disabled %14.1f   enabled %14.1f   (%+.2f%%)\n%!"
+           name dis en pct;
+         name, dis, en, pct)
+      overhead_kernels
+  in
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc "{\n  \"unit\": \"ns/run\",\n";
+    output_string oc "  \"baseline\": \"BENCH_pr4.json kernels (pre-instrumentation)\",\n";
+    output_string oc "  \"obs_overhead\": {\n";
+    List.iteri
+      (fun i (name, dis, en, pct) ->
+         Printf.fprintf oc
+           "    \"%s\": {\"disabled\": %.1f, \"enabled\": %.1f, \
+            \"enabled_vs_disabled_pct\": %.2f}%s\n"
+           (json_escape name) dis en pct
+           (if i = List.length rows - 1 then "" else ","))
+      rows;
+    output_string oc "  }\n}\n";
+    close_out oc;
+    Printf.printf "obs-overhead results written to %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let time_limit = ref None in
   let json = ref None in
+  let trace = ref None in
   let rec parse = function
     | "--time-limit" :: v :: rest ->
       time_limit := Some (float_of_string v);
       parse rest
     | "--json" :: path :: rest ->
       json := Some path;
+      parse rest
+    | "--trace" :: path :: rest ->
+      trace := Some path;
       parse rest
     | ("--jobs" | "-j") :: v :: rest ->
       (match int_of_string_opt v with
@@ -372,10 +449,24 @@ let () =
     | "variation" -> ignore (Harness.Experiments.variation config)
     | "ablation" -> Harness.Ablation.run_all config
     | "perf" -> run_perf ?json:!json ()
+    | "obs-overhead" -> run_obs_overhead ?json:!json ()
     | other ->
       Printf.eprintf "unknown target %s\n" other;
       usage ()
   in
-  match targets with
-  | [] -> Harness.Experiments.run_all config
-  | ts -> List.iter dispatch ts
+  (match !trace with
+   | None -> ()
+   | Some _ ->
+     Obs.set_enabled true;
+     Obs.reset ());
+  (match targets with
+   | [] -> Harness.Experiments.run_all config
+   | ts -> List.iter dispatch ts);
+  match !trace with
+  | None -> ()
+  | Some file ->
+    let snap = Obs.drain () in
+    if Filename.check_suffix file ".jsonl" then Obs.Export.write_jsonl file snap
+    else Obs.Export.write_chrome file snap;
+    Printf.eprintf "trace: %d events -> %s\n%!" (List.length snap.Obs.events)
+      file

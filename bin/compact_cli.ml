@@ -120,6 +120,53 @@ let jobs_term =
   in
   Term.(term_result (const check $ arg))
 
+(* [--trace] rides on every pipeline subcommand.  The run executes with
+   recording enabled and the drained events are written at exit: a
+   [.jsonl] suffix selects the flat JSONL log, anything else the Chrome
+   trace_event format (loadable in Perfetto / chrome://tracing).  The
+   COMPACT_TRACE environment variable supplies the same value; a bare
+   switch ("1", "true", "yes", "on") enables recording without writing
+   a file, so `COMPACT_TRACE=1 dune runtest` exercises the traced
+   code paths. *)
+let trace_term =
+  Arg.(value
+       & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~env:(Cmd.Env.info "COMPACT_TRACE"
+                   ~doc:"Trace output file when $(b,--trace) is absent; a \
+                         bare switch value (1/true/yes/on) records without \
+                         writing a file.")
+           ~doc:"Record an execution trace of the run and write it to \
+                 $(docv). A .jsonl suffix writes the flat JSONL event log; \
+                 any other name writes Chrome trace_event JSON for \
+                 Perfetto / chrome://tracing.")
+
+let trace_switches = [ "1"; "true"; "yes"; "on" ]
+
+let with_trace trace k =
+  match trace with
+  | None -> k ()
+  | Some file ->
+    Obs.set_enabled true;
+    (* Drop anything recorded before the subcommand body (argument
+       parsing never records, but be safe). *)
+    Obs.reset ();
+    let finish () =
+      let snap = Obs.drain () in
+      Obs.set_enabled false;
+      let n = List.length snap.Obs.events in
+      if List.mem (String.lowercase_ascii file) trace_switches then
+        Printf.eprintf
+          "trace: %d events recorded (give --trace FILE to write them)\n%!" n
+      else begin
+        if Filename.check_suffix file ".jsonl" then
+          Obs.Export.write_jsonl file snap
+        else Obs.Export.write_chrome file snap;
+        Printf.eprintf "trace: %d events -> %s\n%!" n file
+      end
+    in
+    Fun.protect ~finally:finish k
+
 let options_term =
   let gamma =
     Arg.(value & opt float 0.5
@@ -182,7 +229,8 @@ let report_stats result =
   | Some s -> Format.printf "%a@." Bdd.Manager.pp_stats s
   | None -> Format.printf "no BDD engine statistics recorded@."
 
-let synth_run source options grid stats =
+let synth_run trace source options grid stats =
+  with_trace trace @@ fun () ->
   let nl = netlist_of_source source in
   match Compact.Pipeline.synthesize ~options nl with
   | result ->
@@ -197,7 +245,7 @@ let synth_cmd =
   let term =
     Term.(
       term_result
-        (const synth_run $ source_term $ options_term $ print_grid
+        (const synth_run $ trace_term $ source_term $ options_term $ print_grid
          $ print_stats))
   in
   Cmd.v
@@ -206,7 +254,8 @@ let synth_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let sweep_run source options steps =
+let sweep_run trace source options steps =
+  with_trace trace @@ fun () ->
   let nl = netlist_of_source source in
   let points = ref [] in
   for i = 0 to steps do
@@ -240,7 +289,9 @@ let sweep_cmd =
          & info [ "steps" ] ~docv:"N" ~doc:"Number of gamma steps.")
   in
   let term =
-    Term.(term_result (const sweep_run $ source_term $ options_term $ steps))
+    Term.(
+      term_result
+        (const sweep_run $ trace_term $ source_term $ options_term $ steps))
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -249,7 +300,8 @@ let sweep_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let validate_run source options analog trials =
+let validate_run trace source options analog trials =
+  with_trace trace @@ fun () ->
   let nl = netlist_of_source source in
   let result = Compact.Pipeline.synthesize ~options nl in
   Format.printf "%a@." Compact.Report.pp result.report;
@@ -296,7 +348,8 @@ let validate_cmd =
   let term =
     Term.(
       term_result
-        (const validate_run $ source_term $ options_term $ analog $ trials))
+        (const validate_run $ trace_term $ source_term $ options_term $ analog
+         $ trials))
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Synthesise and verify a design functionally")
@@ -380,8 +433,9 @@ let defects_of_file file =
   | exception Invalid_argument msg -> Error (`Msg (file ^ ": " ^ msg))
   | exception Sys_error msg -> Error (`Msg msg)
 
-let repair_run source options defects_file grid =
+let repair_run trace source options defects_file grid =
   Result.bind (defects_of_file defects_file) @@ fun defects ->
+  with_trace trace @@ fun () ->
   let nl = netlist_of_source source in
   match Compact.Pipeline.repair ~options ~defects nl with
   | { base; repair } ->
@@ -411,7 +465,8 @@ let repair_cmd =
   let term =
     Term.(
       term_result
-        (const repair_run $ source_term $ options_term $ defects $ print_grid))
+        (const repair_run $ trace_term $ source_term $ options_term $ defects
+         $ print_grid))
   in
   Cmd.v
     (Cmd.info "repair"
@@ -504,14 +559,15 @@ let yield_monte_carlo base nl rate line_rate spare_rows spare_cols trials seed
     (100. *. float_of_int repaired /. float_of_int (max 1 trials));
   Ok ()
 
-let yield_run source (options : Compact.Pipeline.options) defects_file rate
-    line_rate spare_rows spare_cols trials seed =
+let yield_run trace source (options : Compact.Pipeline.options) defects_file
+    rate line_rate spare_rows spare_cols trials seed =
   if rate < 0. || rate > 1. then Error (`Msg "--rate must lie in [0, 1]")
   else if line_rate < 0. || line_rate > 1. then
     Error (`Msg "--line-rate must lie in [0, 1]")
   else if spare_rows < 0 || spare_cols < 0 then
     Error (`Msg "spare counts cannot be negative")
   else
+  with_trace trace @@ fun () ->
   let nl = netlist_of_source source in
   match Compact.Pipeline.synthesize ~options nl with
   | exception Compact.Label_mip.Infeasible msg ->
@@ -562,8 +618,8 @@ let yield_cmd =
   let term =
     Term.(
       term_result
-        (const yield_run $ source_term $ options_term $ defects $ rate
-         $ line_rate $ spare_rows $ spare_cols $ trials $ seed))
+        (const yield_run $ trace_term $ source_term $ options_term $ defects
+         $ rate $ line_rate $ spare_rows $ spare_cols $ trials $ seed))
   in
   Cmd.v
     (Cmd.info "yield"
@@ -622,8 +678,9 @@ let json_flag =
            ~doc:"Machine output: one JSON line per corner analysis plus \
                  one for the Monte-Carlo yield.")
 
-let margin_run source (options : Compact.Pipeline.options) spec seed
+let margin_run trace source (options : Compact.Pipeline.options) spec seed
     margin_spec mc_trials json =
+  with_trace trace @@ fun () ->
   let nl = netlist_of_source source in
   match Compact.Pipeline.synthesize ~options nl with
   | exception Compact.Label_mip.Infeasible msg ->
@@ -683,7 +740,7 @@ let margin_cmd =
   let term =
     Term.(
       term_result
-        (const margin_run $ source_term $ options_term $ spec_term
+        (const margin_run $ trace_term $ source_term $ options_term $ spec_term
          $ seed_term $ margin_spec_term $ mc_trials $ json_flag))
   in
   Cmd.v
@@ -692,8 +749,9 @@ let margin_cmd =
              under device variation")
     term
 
-let harden_run source (options : Compact.Pipeline.options) spec seed
+let harden_run trace source (options : Compact.Pipeline.options) spec seed
     margin_spec mc_trials grid =
+  with_trace trace @@ fun () ->
   let nl = netlist_of_source source in
   let hopts =
     { Compact.Pipeline.default_harden_options with
@@ -737,7 +795,7 @@ let harden_cmd =
   let term =
     Term.(
       term_result
-        (const harden_run $ source_term $ options_term $ spec_term
+        (const harden_run $ trace_term $ source_term $ options_term $ spec_term
          $ seed_term $ margin_spec_term $ mc_trials $ print_grid))
   in
   Cmd.v
@@ -748,7 +806,8 @@ let harden_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let experiments_run quick targets =
+let experiments_run trace quick targets =
+  with_trace trace @@ fun () ->
   let config =
     if quick then Harness.Experiments.quick_config
     else Harness.Experiments.default_config
@@ -780,11 +839,181 @@ let experiments_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
   in
   let term =
-    Term.(term_result (const experiments_run $ quick $ targets))
+    Term.(term_result (const experiments_run $ trace_term $ quick $ targets))
   in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures (same as bench/main.exe)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* Profiling: synthesize once with tracing forced on and fold the
+   span log into a per-phase time/allocation table. *)
+
+let profile_run source options =
+  let nl = netlist_of_source source in
+  Obs.set_enabled true;
+  Obs.reset ();
+  match Compact.Pipeline.synthesize ~options nl with
+  | exception Compact.Label_mip.Infeasible msg ->
+    Obs.set_enabled false;
+    Error (`Msg ("design constraints are infeasible: " ^ msg))
+  | result ->
+    let snap = Obs.drain () in
+    Obs.set_enabled false;
+    Format.printf "%a@.@." Compact.Report.pp result.report;
+    let rows = Obs.Agg.phases snap in
+    let under_synth (r : Obs.Agg.row) =
+      r.r_path = "synthesize"
+      || (String.length r.r_path > 11
+          && String.sub r.r_path 0 11 = "synthesize/")
+    in
+    let phase_rows = List.filter under_synth rows in
+    let total = result.report.Compact.Report.synthesis_time in
+    let mwords w = Printf.sprintf "%.2f" (w /. 1e6) in
+    let table_rows =
+      List.map
+        (fun (r : Obs.Agg.row) ->
+           let depth =
+             List.length (String.split_on_char '/' r.r_path) - 1
+           in
+           [ String.make (2 * depth) ' ' ^ r.r_name;
+             string_of_int r.r_count;
+             Printf.sprintf "%.4f" r.r_total;
+             Harness.Table.fmt_pct
+               (if total > 0. then r.r_total /. total else 0.);
+             mwords r.r_minor_words;
+             mwords r.r_major_words ])
+        phase_rows
+    in
+    Harness.Table.print
+      ~title:(Printf.sprintf "profile: %s" result.report.circuit)
+      ~columns:
+        [ "phase", Harness.Table.L; "calls", Harness.Table.R;
+          "time(s)", Harness.Table.R; "share", Harness.Table.R;
+          "minor Mw", Harness.Table.R; "major Mw", Harness.Table.R ]
+      table_rows;
+    (* The top-level stages partition the synthesize span, so their sum
+       should track the report's synthesis time (small residual: report
+       construction and inter-stage glue). *)
+    let stage_sum =
+      List.fold_left
+        (fun acc (r : Obs.Agg.row) ->
+           if r.r_path = "synthesize" then acc +. r.r_total else acc)
+        0. phase_rows
+    in
+    Format.printf "stage coverage: %.4fs of %.4fs synthesis time (%s)@."
+      stage_sum total
+      (Harness.Table.fmt_pct (if total > 0. then stage_sum /. total else 0.));
+    if snap.Obs.counters <> [] then begin
+      let counter_rows =
+        List.map
+          (fun (name, v) ->
+             [ name;
+               (if Float.is_integer v then Printf.sprintf "%.0f" v
+                else Printf.sprintf "%g" v) ])
+          snap.Obs.counters
+      in
+      Format.printf "@.";
+      Harness.Table.print ~title:"counters"
+        ~columns:[ "metric", Harness.Table.L; "value", Harness.Table.R ]
+        counter_rows
+    end;
+    Ok ()
+
+let profile_cmd =
+  let term =
+    Term.(term_result (const profile_run $ source_term $ options_term))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Synthesise with tracing on and print a per-phase time and \
+             allocation breakdown")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* Trace validation: parse a file written by --trace and optionally
+   check the Fig-3 stage spans are present. *)
+
+let stage_span_names = [ "bdd-build"; "preprocess"; "labeling"; "mapping" ]
+
+let trace_check_run file expect_stages =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error msg -> Error (`Msg msg)
+  | contents ->
+    let spans = ref [] and events = ref 0 in
+    let record ~kind ~name =
+      incr events;
+      if kind = "span" then spans := name :: !spans
+    in
+    (match
+       let trimmed = String.trim contents in
+       if (not (Filename.check_suffix file ".jsonl"))
+          && String.length trimmed > 0 && trimmed.[0] = '{'
+       then
+         (* Chrome trace_event: names live on the "X" complete events. *)
+         match Obs.Json.member "traceEvents" (Obs.Json.parse contents) with
+         | Some (Obs.Json.Arr evs) ->
+           List.iter
+             (fun ev ->
+                match
+                  Obs.Json.member "ph" ev, Obs.Json.member "name" ev
+                with
+                | Some (Obs.Json.Str "X"), Some (Obs.Json.Str n) ->
+                  record ~kind:"span" ~name:n
+                | Some (Obs.Json.Str _), _ -> record ~kind:"other" ~name:""
+                | _ -> ())
+             evs
+         | _ -> raise (Obs.Json.Parse_error "missing traceEvents array")
+       else
+         List.iter
+           (fun line ->
+              if String.trim line <> "" then
+                let j = Obs.Json.parse line in
+                match
+                  Obs.Json.member "kind" j, Obs.Json.member "name" j
+                with
+                | Some (Obs.Json.Str k), Some (Obs.Json.Str n) ->
+                  record ~kind:k ~name:n
+                | _ ->
+                  raise (Obs.Json.Parse_error "event without kind/name"))
+           (String.split_on_char '\n' contents)
+     with
+     | () ->
+       Format.printf "%s: valid trace, %d events (%d spans)@." file !events
+         (List.length !spans);
+       if not expect_stages then Ok ()
+       else begin
+         match
+           List.filter (fun s -> not (List.mem s !spans)) stage_span_names
+         with
+         | [] ->
+           Format.printf "synthesis stage spans present: %s@."
+             (String.concat ", " stage_span_names);
+           Ok ()
+         | missing ->
+           Error (`Msg ("missing stage spans: " ^ String.concat ", " missing))
+       end
+     | exception Obs.Json.Parse_error msg ->
+       Error (`Msg (file ^ ": invalid trace: " ^ msg)))
+
+let trace_check_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Trace file written by --trace.")
+  in
+  let expect_stages =
+    Arg.(value & flag
+         & info [ "expect-stages" ]
+             ~doc:"Fail unless the Fig-3 synthesis stage spans (bdd-build, \
+                   preprocess, labeling, mapping) all appear.")
+  in
+  let term =
+    Term.(term_result (const trace_check_run $ file_arg $ expect_stages))
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Parse a --trace output file and verify its structure")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -799,4 +1028,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ synth_cmd; sweep_cmd; validate_cmd; repair_cmd; yield_cmd;
-            margin_cmd; harden_cmd; suite_cmd; export_cmd; experiments_cmd ]))
+            margin_cmd; harden_cmd; profile_cmd; trace_check_cmd; suite_cmd;
+            export_cmd; experiments_cmd ]))

@@ -84,7 +84,7 @@ type result = {
 }
 
 let synthesize ?order ?(node_limit = max_int) netlist =
-  let start = Unix.gettimeofday () in
+  let start = Obs.Clock.now () in
   let sbdds = Bdd.Sbdd.of_netlist_separate ?order ~node_limit netlist in
   let graphs = List.map Compact.Preprocess.of_sbdd sbdds in
   let designs = List.map of_graph graphs in
@@ -100,4 +100,4 @@ let synthesize ?order ?(node_limit = max_int) netlist =
   in
   let merged = Compact.Pipeline.merge_diagonal designs in
   { designs; merged; total_bdd_nodes; total_bdd_edges;
-    synthesis_time = Unix.gettimeofday () -. start }
+    synthesis_time = Obs.Clock.now () -. start }

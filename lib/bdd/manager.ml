@@ -348,7 +348,12 @@ let bop_insert t k1 k2 r =
   t.bop_k2.(i) <- k2;
   t.bop_r.(i) <- r
 
+(* Top-level ITE invocations (not worklist steps). The disabled path is
+   a single load-and-branch, guarded by the PR's bench overhead gate. *)
+let c_ite = Obs.Counter.make "bdd.ite_calls"
+
 let ite t f0 g0 h0 =
+  Obs.Counter.incr c_ite;
   let base_sp = t.task_sp and base_rp = t.res_sp in
   try
     push_task t 0 f0 g0 h0 0;

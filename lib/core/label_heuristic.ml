@@ -1,4 +1,5 @@
 let exact_oct_node_threshold = 3000
+let c_rounds = Obs.Counter.make "heuristic.rounds"
 
 let labels_objective ~gamma labels =
   let rows = ref 0 and cols = ref 0 in
@@ -26,8 +27,8 @@ let recolor (bg : Types.bdd_graph) transversal =
 
 let solve ?(time_limit = infinity) ?(alignment = false) ?(gamma = 0.5)
     ?(max_rounds = 25) ?(candidates_per_round = 24) (bg : Types.bdd_graph) =
-  let start = Unix.gettimeofday () in
-  let elapsed () = Unix.gettimeofday () -. start in
+  let start = Obs.Clock.now () in
+  let elapsed () = Obs.Clock.now () -. start in
   let n = Graphs.Ugraph.num_nodes bg.graph in
   let initial =
     if n <= exact_oct_node_threshold then
@@ -93,6 +94,7 @@ let solve ?(time_limit = infinity) ?(alignment = false) ?(gamma = 0.5)
   done;
   (* With γ = 1 the VH-upgrade move cannot improve the objective, so the
      initial OCT optimality claim carries over. *)
+  Obs.Counter.add c_rounds !rounds;
   Types.make_labeling bg ~gamma
     ~optimal:(gamma >= 1. -. 1e-9 && initial.optimal)
     ~lower_bound:initial.lower_bound ~solve_time:(elapsed ())

@@ -18,7 +18,7 @@ exception Infeasible of string
 let solve ?(time_limit = infinity) ?node_limit ?(alignment = false)
     ?(gamma = 0.5) ?warm_start ?(oct_cut = 0) ?max_rows ?max_cols ?jobs
     (bg : Types.bdd_graph) =
-  let start = Unix.gettimeofday () in
+  let start = Obs.Clock.now () in
   let n = Graphs.Ugraph.num_nodes bg.graph in
   let p = Lp.Problem.create () in
   let xv = Array.init n (fun i -> Lp.Problem.add_binary p (Printf.sprintf "v%d" i)) in
@@ -128,5 +128,5 @@ let solve ?(time_limit = infinity) ?node_limit ?(alignment = false)
   in
   let optimal = result.status = Milp.Branch_bound.Optimal in
   Types.make_labeling bg ~gamma ~optimal ~lower_bound:result.bound
-    ~solve_time:(Unix.gettimeofday () -. start)
+    ~solve_time:(Obs.Clock.now () -. start)
     ~method_name:"mip" ~trace:result.trace labels

@@ -41,12 +41,6 @@ let solver_name = function
   | Heuristic -> "heuristic"
   | Auto -> "auto"
 
-(* The watchdog measures rungs on the monotonic clock: gettimeofday can
-   jump under NTP adjustment, and a labeling budget that silently
-   stretches (or a fallback that fires spuriously) is exactly what the
-   watchdog exists to prevent. *)
-let monotonic_now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
-
 let run_one options bg solver =
   let { gamma; alignment; time_limit; max_rows; max_cols; _ } = options in
   match solver with
@@ -82,11 +76,20 @@ let run_one options bg solver =
 let run_labeler options bg =
   let { time_limit; max_rows; max_cols; _ } = options in
   let constrained = max_rows <> None || max_cols <> None in
-  if constrained then run_one options bg Mip, [ solver_name Mip ]
+  (* Every rung attempt gets its own span (watchdog behaviour is then
+     visually auditable in the trace), including rungs that raise. *)
+  let run_rung s =
+    Obs.Span.with_ ("rung:" ^ solver_name s) (fun () ->
+        let l = run_one options bg s in
+        Obs.Span.add_attr "optimal" (string_of_bool l.Types.optimal);
+        Obs.Span.add_attr "method" l.Types.method_name;
+        l)
+  in
+  if constrained then run_rung Mip, [ solver_name Mip ]
   else
     match options.solver with
     | (Oct_exact | Oct_greedy | Mip | Heuristic) as s ->
-      run_one options bg s, [ solver_name s ]
+      run_rung s, [ solver_name s ]
     | Auto ->
       let primary =
         if Graphs.Ugraph.num_nodes bg.Types.graph <= mip_node_threshold then
@@ -96,27 +99,41 @@ let run_labeler options bg =
       let ladder =
         primary :: List.filter (fun s -> s <> primary) [ Heuristic; Oct_greedy ]
       in
+      let fall_through s reason =
+        Obs.Span.event "watchdog-fallback"
+          ~attrs:[ "after", solver_name s; "reason", reason ]
+      in
       let rec attempt path = function
         | [] -> assert false
         | [ last ] ->
-          run_one options bg last, List.rev (solver_name last :: path)
+          run_rung last, List.rev (solver_name last :: path)
         | s :: rest ->
-          let start = monotonic_now () in
-          (match run_one options bg s with
+          let start = Obs.Clock.now () in
+          (match run_rung s with
            | labeling ->
-             let elapsed = monotonic_now () -. start in
+             let elapsed = Obs.Clock.now () -. start in
              if labeling.Types.optimal || elapsed < time_limit then
                labeling, List.rev (solver_name s :: path)
-             else attempt (solver_name s :: path) rest
-           | exception _ -> attempt (solver_name s :: path) rest)
+             else begin
+               fall_through s "timeout";
+               attempt (solver_name s :: path) rest
+             end
+           | exception _ ->
+             fall_through s "exception";
+             attempt (solver_name s :: path) rest)
       in
       attempt [] ladder
 
 let synthesize_graph ?(options = default_options) ~name bg =
-  let start = Unix.gettimeofday () in
-  let labeling, solver_path = run_labeler options bg in
-  let design = Mapping.run bg labeling in
-  let synthesis_time = Unix.gettimeofday () -. start in
+  let start = Obs.Clock.now () in
+  let labeling, solver_path =
+    Obs.Span.with_ "labeling" (fun () ->
+        let labeling, solver_path = run_labeler options bg in
+        Obs.Span.add_attr "solver_path" (String.concat "->" solver_path);
+        labeling, solver_path)
+  in
+  let design = Obs.Span.with_ "mapping" (fun () -> Mapping.run bg labeling) in
+  let synthesis_time = Obs.Clock.now () -. start in
   let report =
     Report.of_design ~solver_path ~circuit:name ~bdd_graph:bg ~labeling
       ~synthesis_time design
@@ -124,10 +141,10 @@ let synthesize_graph ?(options = default_options) ~name bg =
   { design; labeling; bdd_graph = bg; report }
 
 let synthesize_sbdd ?(options = default_options) ~name sbdd =
-  let start = Unix.gettimeofday () in
-  let bg = Preprocess.of_sbdd sbdd in
+  let start = Obs.Clock.now () in
+  let bg = Obs.Span.with_ "preprocess" (fun () -> Preprocess.of_sbdd sbdd) in
   let inner = synthesize_graph ~options ~name bg in
-  let synthesis_time = Unix.gettimeofday () -. start in
+  let synthesis_time = Obs.Clock.now () -. start in
   let report =
     {
       inner.report with
@@ -137,14 +154,41 @@ let synthesize_sbdd ?(options = default_options) ~name sbdd =
   in
   { inner with report }
 
+(* Snapshot the BDD engine's raw stats counters into the metric
+   registry at a span boundary — the engine's own hot loops stay on
+   plain ints. *)
+let g_peak_nodes = Obs.Gauge.make "bdd.peak_nodes"
+let c_unique_lookups = Obs.Counter.make "bdd.unique_lookups"
+let c_unique_hits = Obs.Counter.make "bdd.unique_hits"
+let c_cache_lookups = Obs.Counter.make "bdd.cache_lookups"
+let c_cache_hits = Obs.Counter.make "bdd.cache_hits"
+let c_growths = Obs.Counter.make "bdd.growths"
+
+let record_bdd_stats (s : Bdd.Manager.stats) =
+  if Obs.enabled () then begin
+    Obs.Counter.add c_unique_lookups s.unique_lookups;
+    Obs.Counter.add c_unique_hits s.unique_hits;
+    Obs.Counter.add c_cache_lookups s.cache_lookups;
+    Obs.Counter.add c_cache_hits s.cache_hits;
+    Obs.Counter.add c_growths s.growths;
+    Obs.Gauge.set g_peak_nodes (float_of_int s.peak_nodes)
+  end
+
 let synthesize ?(options = default_options) netlist =
-  let start = Unix.gettimeofday () in
+  Obs.Span.with_ ~attrs:[ "circuit", netlist.Logic.Netlist.name ] "synthesize"
+  @@ fun () ->
+  let start = Obs.Clock.now () in
   let sbdd =
-    Bdd.Sbdd.of_netlist ?order:options.order
-      ~node_limit:options.bdd_node_limit netlist
+    Obs.Span.with_ "bdd-build" (fun () ->
+        let sbdd =
+          Bdd.Sbdd.of_netlist ?order:options.order
+            ~node_limit:options.bdd_node_limit netlist
+        in
+        record_bdd_stats (Bdd.Sbdd.stats sbdd);
+        sbdd)
   in
   let inner = synthesize_sbdd ~options ~name:netlist.Logic.Netlist.name sbdd in
-  let synthesis_time = Unix.gettimeofday () -. start in
+  let synthesis_time = Obs.Clock.now () -. start in
   let report = { inner.report with Report.synthesis_time } in
   { inner with report }
 
@@ -251,10 +295,12 @@ let repair ?(options = default_options) ~defects netlist =
     | exception Label_mip.Infeasible _ -> None
   in
   let repair =
-    Repair.run ~resynthesize ~defects ~inputs:netlist.Logic.Netlist.inputs
-      ~outputs:netlist.Logic.Netlist.outputs
-      ~reference:(Logic.Netlist.eval_point netlist)
-      base.design
+    Obs.Span.with_ "repair" (fun () ->
+        Repair.run ~resynthesize ~defects
+          ~inputs:netlist.Logic.Netlist.inputs
+          ~outputs:netlist.Logic.Netlist.outputs
+          ~reference:(Logic.Netlist.eval_point netlist)
+          base.design)
   in
   { base; repair }
 
@@ -322,6 +368,8 @@ let design_fingerprint d =
     List.rev !cells )
 
 let score_candidate hopts ~inputs ~reference ~outputs (label, d) =
+  Obs.Span.with_ ~attrs:[ "candidate", label ] "score"
+  @@ fun () ->
   let corners =
     Crossbar.Margin.corners ~params:hopts.analog_params
       ~opts:hopts.analog_opts ~seed:hopts.seed ~trials:hopts.margin_trials
@@ -342,6 +390,8 @@ let score_candidate hopts ~inputs ~reference ~outputs (label, d) =
 
 let harden ?(options = default_options) ?(hopts = default_harden_options)
     netlist =
+  Obs.Span.with_ ~attrs:[ "circuit", netlist.Logic.Netlist.name ] "harden"
+  @@ fun () ->
   let base = synthesize ~options netlist in
   let inputs = netlist.Logic.Netlist.inputs in
   let outputs = netlist.Logic.Netlist.outputs in

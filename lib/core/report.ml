@@ -43,6 +43,17 @@ let analog_of_analysis (a : Crossbar.Margin.analysis) =
 
 let with_analog r a = { r with analog = Some (analog_of_analysis a) }
 
+(* The single home of the [solver_retries = List.length solver_path - 1]
+   invariant. Constructors derive retries here and [check] asserts it,
+   so call sites never recompute (or drift from) the relation. *)
+let retries_of_path p = max 0 (List.length p - 1)
+
+let check r =
+  assert (r.solver_retries = retries_of_path r.solver_path);
+  r
+
+let rungs r = String.concat "->" r.solver_path
+
 let of_design ?solver_path ?bdd_stats ~circuit ~bdd_graph ~labeling
     ~synthesis_time design =
   let gap =
@@ -53,6 +64,7 @@ let of_design ?solver_path ?bdd_stats ~circuit ~bdd_graph ~labeling
         ((labeling.objective -. labeling.lower_bound)
          /. max 1e-10 labeling.objective)
   in
+  check
   {
     circuit;
     bdd_nodes = Preprocess.num_bdd_nodes bdd_graph;
@@ -77,7 +89,7 @@ let of_design ?solver_path ?bdd_stats ~circuit ~bdd_graph ~labeling
        | None -> [ labeling.Types.method_name ]);
     solver_retries =
       (match solver_path with
-       | Some p -> max 0 (List.length p - 1)
+       | Some p -> retries_of_path p
        | None -> 0);
     bdd_stats;
     analog = None;
@@ -89,9 +101,12 @@ let header =
     "method" "opt"
 
 let pp_row ppf r =
+  (* After watchdog fallbacks the winning method alone would hide the
+     failed rungs; show the whole chain. *)
+  let method_cell = if r.solver_retries > 0 then rungs r else r.method_name in
   Format.fprintf ppf "%-12s %7d %7d %6d %6d %6d %6d %9d %5d %8.3f %9s %5s"
     r.circuit r.bdd_nodes r.bdd_edges r.rows r.cols r.semiperimeter
-    r.max_dimension r.area r.vh_count r.synthesis_time r.method_name
+    r.max_dimension r.area r.vh_count r.synthesis_time method_cell
     (if r.optimal then "yes" else Printf.sprintf "%.0f%%" (r.gap *. 100.))
 
 let pp ppf r =
@@ -107,8 +122,7 @@ let pp ppf r =
     (if r.optimal then "optimal"
      else Printf.sprintf "gap %.1f%%" (r.gap *. 100.));
   if r.solver_retries > 0 then
-    Format.fprintf ppf "@,solver fallback: %s (%d retr%s)"
-      (String.concat " -> " r.solver_path)
+    Format.fprintf ppf "@,solver fallback: %s (%d retr%s)" (rungs r)
       r.solver_retries
       (if r.solver_retries = 1 then "y" else "ies");
   (match r.analog with

@@ -67,8 +67,20 @@ val of_design :
   Crossbar.Design.t ->
   t
 
+val rungs : t -> string
+(** The watchdog rung chain, e.g. ["mip->heuristic"]. Singleton paths
+    render as the bare method name. *)
+
+val check : t -> t
+(** Assert the [solver_retries = List.length solver_path - 1] invariant
+    (the one place it is enforced) and return the report. *)
+
 val header : string
 (** Column header for {!pp_row}. *)
 
 val pp_row : Format.formatter -> t -> unit
+(** One fixed-width table row; after watchdog fallbacks the method
+    column shows the whole rung chain ({!rungs}) rather than only the
+    winning rung. *)
+
 val pp : Format.formatter -> t -> unit

@@ -399,8 +399,14 @@ let residual_of net ~v_in x ~bnorm =
   done;
   sqrt !s /. bnorm
 
+let c_solves = Obs.Counter.make "analog.solves"
+let c_cg_iterations = Obs.Counter.make "analog.cg_iterations"
+let c_fallbacks = Obs.Counter.make "analog.dense_fallbacks"
+
 let solve ?(params = default_params) ?deviations
     ?(opts = default_solver_opts) d env =
+  Obs.Span.with_ "analog.solve"
+  @@ fun () ->
   let rows = Design.rows d and cols = Design.cols d in
   let nominal = deviations = None in
   let dev =
@@ -445,6 +451,18 @@ let solve ?(params = default_params) ?deviations
       end
       else Cg, cg_residual, Some why_str
   in
+  if Obs.enabled () then begin
+    Obs.Counter.incr c_solves;
+    Obs.Counter.add c_cg_iterations iterations;
+    if solve_method <> Cg then Obs.Counter.incr c_fallbacks;
+    Obs.Span.add_attr "iterations" (string_of_int iterations);
+    Obs.Span.add_attr "method"
+      (match solve_method with
+       | Cg -> "cg"
+       | Dense -> "dense"
+       | Cg_then_dense -> "cg+dense");
+    Obs.Span.add_attr "residual" (Printf.sprintf "%.3g" residual)
+  end;
   {
     v_rows = Array.map (fun k -> x.(k)) net.probe_rows;
     v_cols = Array.map (fun k -> x.(k)) net.probe_cols;

@@ -183,7 +183,9 @@ let corners ?params ?opts ?seed ?trials ~spec d ~inputs ~reference ~outputs =
   List.map
     (fun c ->
        let deviations = Variation.corner spec c ~rows ~cols in
-       c, analyze_ctx ~deviations ?seed ?trials cx)
+       ( c,
+         Obs.Span.with_ ~attrs:[ "corner", Variation.corner_name c ] "corner"
+           (fun () -> analyze_ctx ~deviations ?seed ?trials cx) ))
     Variation.all_corners
 
 let worst_over_corners cs =
@@ -221,11 +223,15 @@ let wilson ~passes ~trials =
   end
 
 let mc_chunk = 8
+let c_mc_trials = Obs.Counter.make "mc.trials"
+let c_mc_early_stops = Obs.Counter.make "mc.early_stops"
 
 let monte_carlo ?params ?opts ?(seed = Rng.default_seed) ?(max_trials = 200)
     ?(min_trials = 24) ?(ci_halfwidth = 0.04) ?(margin_spec = 0.)
     ?(checks_per_trial = 24) ?(jobs = Parallel.default_jobs ()) ~spec d
     ~inputs ~reference ~outputs =
+  Obs.Span.with_ ~attrs:[ "max_trials", string_of_int max_trials ] "monte-carlo"
+  @@ fun () ->
   let rows = Design.rows d and cols = Design.cols d in
   let cx = make_ctx ?params ?opts d ~inputs ~reference ~outputs in
   (* Trial [k] is a pure function of [(seed, k)]: the variation sample
@@ -269,7 +275,11 @@ let monte_carlo ?params ?opts ?(seed = Rng.default_seed) ?(max_trials = 200)
           Parallel.run pool
             (Array.map
                (fun (lo, hi) () ->
-                  Array.init (hi - lo + 1) (fun i -> run_trial (lo + i)))
+                  Obs.Span.with_
+                    ~attrs:[ "trials", Printf.sprintf "%d-%d" lo hi ]
+                    "mc-chunk"
+                    (fun () ->
+                      Array.init (hi - lo + 1) (fun i -> run_trial (lo + i))))
                chunks)
         in
         Array.iter
@@ -293,6 +303,10 @@ let monte_carlo ?params ?opts ?(seed = Rng.default_seed) ?(max_trials = 200)
           results;
         next := !next + (wave * mc_chunk)
       done);
+  Obs.Counter.add c_mc_trials !trials;
+  if !stopped_early then Obs.Counter.incr c_mc_early_stops;
+  Obs.Span.add_attr "trials" (string_of_int !trials);
+  Obs.Span.add_attr "passes" (string_of_int !passes);
   let low, high = wilson ~passes:!passes ~trials:!trials in
   {
     mc_seed = seed;

@@ -26,7 +26,7 @@ let finish g transversal ~optimal ~lower_bound ~elapsed =
   | Some coloring -> { transversal; coloring; optimal; lower_bound; elapsed }
 
 let solve ?(time_limit = infinity) g =
-  let start = Unix.gettimeofday () in
+  let start = Obs.Clock.now () in
   let n = Ugraph.num_nodes g in
   let p = Product.with_k2 g in
   let vc = Vertex_cover.solve ~time_limit p in
@@ -38,10 +38,10 @@ let solve ?(time_limit = infinity) g =
      the doubly-covered vertices. Lemma 1 guarantees bipartiteness. *)
   let lower_bound = max 0 (vc.lower_bound - n) in
   finish g !transversal ~optimal:vc.optimal ~lower_bound
-    ~elapsed:(Unix.gettimeofday () -. start)
+    ~elapsed:(Obs.Clock.now () -. start)
 
 let greedy g =
-  let start = Unix.gettimeofday () in
+  let start = Obs.Clock.now () in
   let n = Ugraph.num_nodes g in
   (* BFS colouring; a vertex that conflicts with an already-coloured
      neighbour is deferred to the transversal. Processing in decreasing
@@ -96,4 +96,4 @@ let greedy g =
   done;
   let optimal = !transversal = [] in
   finish g !transversal ~optimal ~lower_bound:0
-    ~elapsed:(Unix.gettimeofday () -. start)
+    ~elapsed:(Obs.Clock.now () -. start)

@@ -76,8 +76,10 @@ exception Out_of_time
 (* Branch & bound on an explicit mutable subproblem. Vertices have three
    states: Undecided, In (in cover), Out (excluded). Excluding a vertex
    forces all its undecided neighbours In. *)
+let c_nodes = Obs.Counter.make "vc.nodes"
+
 let solve ?(time_limit = infinity) ?(kernelize = true) g =
-  let start = Unix.gettimeofday () in
+  let start = Obs.Clock.now () in
   let n = Ugraph.num_nodes g in
   let neighbors = Array.init n (fun v -> Array.of_list (Ugraph.neighbors g v)) in
   let best_cover = greedy_cover g in
@@ -202,7 +204,7 @@ let solve ?(time_limit = infinity) ?(kernelize = true) g =
   in
   let rec branch () =
     incr explored;
-    if !explored land 255 = 0 && Unix.gettimeofday () -. start > time_limit
+    if !explored land 255 = 0 && Obs.Clock.now () -. start > time_limit
     then begin
       timed_out := true;
       raise Out_of_time
@@ -231,7 +233,8 @@ let solve ?(time_limit = infinity) ?(kernelize = true) g =
     end
   in
   (try branch () with Out_of_time -> ());
-  let elapsed = Unix.gettimeofday () -. start in
+  let elapsed = Obs.Clock.now () -. start in
+  Obs.Counter.add c_nodes !explored;
   let optimal = (not !timed_out) || !best_size <= root_lb in
   let lower_bound = if optimal then !best_size else root_lb in
   assert (is_cover g best_cover);

@@ -227,6 +227,7 @@ let fig9 config =
 
 let report_of_staircase (e : Circuits.Suite.entry) (s : Baseline.Staircase.result) =
   let d = s.merged in
+  Compact.Report.check
   {
     Compact.Report.circuit = e.name;
     bdd_nodes = s.total_bdd_nodes;
@@ -271,7 +272,7 @@ let robdds_of config (e : Circuits.Suite.entry) =
       order = Some (order_of config e);
     }
   in
-  let start = Unix.gettimeofday () in
+  let start = Obs.Clock.now () in
   match Compact.Pipeline.synthesize_separate_robdds ~options nl with
   | results, merged ->
     let total_nodes =
@@ -285,6 +286,7 @@ let robdds_of config (e : Circuits.Suite.entry) =
         0 results
     in
     Some
+      (Compact.Report.check
       {
         Compact.Report.circuit = e.name;
         bdd_nodes = total_nodes;
@@ -300,7 +302,7 @@ let robdds_of config (e : Circuits.Suite.entry) =
             0 results;
         power_literals = Crossbar.Design.num_literal_junctions merged;
         delay_steps = Crossbar.Design.delay_steps merged;
-        synthesis_time = Unix.gettimeofday () -. start;
+        synthesis_time = Obs.Clock.now () -. start;
         label_time = 0.;
         optimal = false;
         gap = 0.;
@@ -310,7 +312,7 @@ let robdds_of config (e : Circuits.Suite.entry) =
         solver_retries = 0;
         bdd_stats = None;
         analog = None;
-      }
+      })
   | exception Bdd.Manager.Size_limit _ -> None
 
 let multi_output_entries =

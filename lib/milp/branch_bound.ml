@@ -93,10 +93,12 @@ type node = {
   score : float;
 }
 
+let c_nodes = Obs.Counter.make "bb.nodes"
+
 let solve ?(time_limit = infinity) ?(node_limit = max_int) ?initial
     ?(integer_tolerance = 1e-6) ?(jobs = 1) problem =
-  let start = Unix.gettimeofday () in
-  let elapsed () = Unix.gettimeofday () -. start in
+  let start = Obs.Clock.now () in
+  let elapsed () = Obs.Clock.now () -. start in
   let dir =
     match Lp.Problem.sense problem with `Minimize -> 1.0 | `Maximize -> -1.0
   in
@@ -124,14 +126,24 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?initial
     (* Before the first node is expanded there is no proven bound: report
        the (infinite) trivial one so the gap honestly starts at 100%. *)
     let bound_obj = dir *. !best_bound in
+    let gap = relative_gap ~incumbent:(incumbent ()) ~bound:bound_obj in
     trace :=
       {
         t_elapsed = elapsed ();
         t_incumbent = incumbent ();
         t_bound = bound_obj;
-        t_gap = relative_gap ~incumbent:(incumbent ()) ~bound:bound_obj;
+        t_gap = gap;
       }
-      :: !trace
+      :: !trace;
+    Obs.Span.event "bb.progress"
+      ~attrs:
+        [ "nodes", string_of_int !nodes;
+          ( "incumbent",
+            match incumbent () with
+            | Some v -> Printf.sprintf "%.9g" v
+            | None -> "-" );
+          "bound", Printf.sprintf "%.9g" bound_obj;
+          "gap", Printf.sprintf "%.4f" gap ]
   in
   (* Expansion of one node given its LP relaxation outcome. Both search
      loops run this strictly sequentially (the parallel loop merges in
@@ -174,6 +186,8 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?initial
       end
   in
   let hit_limit = ref false in
+  Obs.Span.with_ ~attrs:[ "jobs", string_of_int jobs ] "branch-bound"
+  @@ fun () ->
   if jobs <= 1 then
     (* Sequential path: best-bound-first, one node at a time. *)
     while (not !hit_limit) && not (Heap.is_empty heap) do
@@ -186,7 +200,9 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?initial
         if not (!have_incumbent && node.score >= !incumbent_score -. 1e-9)
         then begin
           incr nodes;
-          process node (Lp.Problem.solve_relaxation ~bounds:node.fixings problem)
+          process node
+            (Obs.Span.with_ "lp-relax" (fun () ->
+                 Lp.Problem.solve_relaxation ~bounds:node.fixings problem))
         end
       end
     done
@@ -224,7 +240,8 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?initial
           Parallel.run pool
             (Array.map
                (fun node () ->
-                  Lp.Problem.solve_relaxation ~bounds:node.fixings problem)
+                  Obs.Span.with_ "lp-relax" (fun () ->
+                      Lp.Problem.solve_relaxation ~bounds:node.fixings problem))
                batch)
         in
         Array.iteri (fun i outcome -> process batch.(i) outcome) outcomes
@@ -255,6 +272,13 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?initial
   in
   best_bound := final_score_bound;
   record ();
+  Obs.Counter.add c_nodes !nodes;
+  Obs.Span.add_attr "status" (match status with
+    | Optimal -> "optimal"
+    | Feasible -> "feasible"
+    | No_incumbent -> "no-incumbent"
+    | Infeasible -> "infeasible");
+  Obs.Span.add_attr "nodes" (string_of_int !nodes);
   {
     status;
     objective = incumbent ();

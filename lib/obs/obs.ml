@@ -1,0 +1,678 @@
+(* Domain-safe tracing and metrics.  See obs.mli for the contract.
+
+   Layout: each domain lazily registers a buffer (DLS) holding a span
+   stack and an event list; a global mutex guards only the registry of
+   buffers and the lazily-registered metric cells, never the hot
+   recording path.  [drain] walks the registry at a quiescent point and
+   canonicalises the merged event list so the output is independent of
+   domain interleaving. *)
+
+let enabled_flag = Atomic.make (Sys.getenv_opt "COMPACT_TRACE" <> None)
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+module Clock = struct
+  let now_ns () = Monotonic_clock.now ()
+  let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+end
+
+type event = {
+  ev_path : string;
+  ev_name : string;
+  ev_instant : bool;
+  ev_start : float;
+  ev_dur : float;
+  ev_domain : int;
+  ev_seq : int;
+  ev_attrs : (string * string) list;
+}
+
+type snapshot = {
+  events : event list;
+  counters : (string * float) list;
+}
+
+(* --- per-domain buffers -------------------------------------------- *)
+
+type frame = {
+  f_name : string;
+  f_path : string;  (* path of the *parent*, i.e. path this span lives at *)
+  f_start : float;
+  f_minor : float;
+  f_major : float;
+  mutable f_attrs : (string * string) list;
+}
+
+type dbuf = {
+  d_id : int;
+  mutable d_events : event list;  (* newest first *)
+  mutable d_seq : int;
+  mutable d_stack : frame list;  (* innermost first *)
+  mutable d_base : string;  (* context root when stack is empty *)
+}
+
+let registry_mutex = Mutex.create ()
+let registry : dbuf list ref = ref []
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { d_id = (Domain.self () :> int);
+          d_events = [];
+          d_seq = 0;
+          d_stack = [];
+          d_base = "" }
+      in
+      Mutex.protect registry_mutex (fun () -> registry := b :: !registry);
+      b)
+
+let buf () = Domain.DLS.get dls_key
+
+let join_path p n = if p = "" then n else p ^ "/" ^ n
+
+let current_path b =
+  match b.d_stack with
+  | f :: _ -> join_path f.f_path f.f_name
+  | [] -> b.d_base
+
+let record b ev = b.d_events <- ev :: b.d_events
+
+let next_seq b =
+  b.d_seq <- b.d_seq + 1;
+  b.d_seq
+
+let fmt_words w = Printf.sprintf "%.0f" w
+
+(* --- spans --------------------------------------------------------- *)
+
+module Span = struct
+  let finish b fr =
+    (* Pop down to (and including) [fr]; inner frames abandoned by a
+       non-local exit are dropped without being recorded. *)
+    let rec pop = function
+      | top :: rest when top == fr -> b.d_stack <- rest
+      | _ :: rest -> pop rest
+      | [] -> b.d_stack <- []
+    in
+    pop b.d_stack;
+    let t1 = Clock.now () in
+    let q = Gc.quick_stat () in
+    let attrs =
+      fr.f_attrs
+      @ [ "gc.minor_words", fmt_words (q.Gc.minor_words -. fr.f_minor);
+          "gc.major_words", fmt_words (q.Gc.major_words -. fr.f_major) ]
+    in
+    record b
+      { ev_path = fr.f_path;
+        ev_name = fr.f_name;
+        ev_instant = false;
+        ev_start = fr.f_start;
+        ev_dur = t1 -. fr.f_start;
+        ev_domain = b.d_id;
+        ev_seq = next_seq b;
+        ev_attrs = attrs }
+
+  let with_ ?(attrs = []) name f =
+    if not (enabled ()) then f ()
+    else begin
+      let b = buf () in
+      let q = Gc.quick_stat () in
+      let fr =
+        { f_name = name;
+          f_path = current_path b;
+          f_start = Clock.now ();
+          f_minor = q.Gc.minor_words;
+          f_major = q.Gc.major_words;
+          f_attrs = attrs }
+      in
+      b.d_stack <- fr :: b.d_stack;
+      match f () with
+      | v ->
+        finish b fr;
+        v
+      | exception e ->
+        finish b fr;
+        raise e
+    end
+
+  let add_attr k v =
+    if enabled () then begin
+      let b = buf () in
+      match b.d_stack with
+      | fr :: _ -> fr.f_attrs <- fr.f_attrs @ [ (k, v) ]
+      | [] -> ()
+    end
+
+  let event ?(attrs = []) name =
+    if enabled () then begin
+      let b = buf () in
+      record b
+        { ev_path = current_path b;
+          ev_name = name;
+          ev_instant = true;
+          ev_start = Clock.now ();
+          ev_dur = 0.;
+          ev_domain = b.d_id;
+          ev_seq = next_seq b;
+          ev_attrs = attrs }
+    end
+end
+
+type context = string
+
+let context () = if enabled () then current_path (buf ()) else ""
+
+let with_context ctx f =
+  if not (enabled ()) then f ()
+  else begin
+    let b = buf () in
+    let saved_stack = b.d_stack and saved_base = b.d_base in
+    b.d_stack <- [];
+    b.d_base <- ctx;
+    Fun.protect
+      ~finally:(fun () ->
+        b.d_stack <- saved_stack;
+        b.d_base <- saved_base)
+      f
+  end
+
+(* --- metrics ------------------------------------------------------- *)
+
+type counter = { c_name : string; c_cell : int Atomic.t; mutable c_reg : bool }
+type gauge = { g_name : string; g_cell : float Atomic.t; mutable g_reg : bool }
+type metric = C of counter | G of gauge
+
+let metrics : metric list ref = ref []
+
+module Counter = struct
+  type t = counter
+
+  let make name = { c_name = name; c_cell = Atomic.make 0; c_reg = false }
+
+  let register c =
+    Mutex.protect registry_mutex (fun () ->
+        if not c.c_reg then begin
+          metrics := C c :: !metrics;
+          c.c_reg <- true
+        end)
+
+  let add c n =
+    if enabled () then begin
+      if not c.c_reg then register c;
+      ignore (Atomic.fetch_and_add c.c_cell n)
+    end
+
+  let incr c = add c 1
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make name = { g_name = name; g_cell = Atomic.make 0.; g_reg = false }
+
+  let register g =
+    Mutex.protect registry_mutex (fun () ->
+        if not g.g_reg then begin
+          metrics := G g :: !metrics;
+          g.g_reg <- true
+        end)
+
+  let set g v =
+    if enabled () then begin
+      if not g.g_reg then register g;
+      Atomic.set g.g_cell v
+    end
+end
+
+(* --- drain --------------------------------------------------------- *)
+
+let is_gc_attr k = String.length k >= 3 && String.sub k 0 3 = "gc."
+
+let sort_key e =
+  ( e.ev_path,
+    e.ev_name,
+    e.ev_instant,
+    List.filter (fun (k, _) -> not (is_gc_attr k)) e.ev_attrs )
+
+let canonical evs =
+  List.stable_sort (fun a b -> compare (sort_key a) (sort_key b)) evs
+
+let drain () =
+  Mutex.protect registry_mutex (fun () ->
+      let events =
+        List.concat_map
+          (fun b ->
+            let evs = List.rev b.d_events in
+            b.d_events <- [];
+            b.d_seq <- 0;
+            evs)
+          (List.rev !registry)
+      in
+      let counters =
+        List.map
+          (function
+            | C c ->
+              let v = Atomic.get c.c_cell in
+              Atomic.set c.c_cell 0;
+              c.c_reg <- false;
+              (c.c_name, float_of_int v)
+            | G g ->
+              let v = Atomic.get g.g_cell in
+              Atomic.set g.g_cell 0.;
+              g.g_reg <- false;
+              (g.g_name, v))
+          !metrics
+      in
+      metrics := [];
+      { events = canonical events;
+        counters = List.sort compare counters })
+
+let reset () = ignore (drain ())
+
+(* --- JSON ---------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg =
+      raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
+    in
+    let peek () = if !pos < n then s.[!pos] else '\000' in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      if !pos < n then
+        match s.[!pos] with
+        | ' ' | '\t' | '\n' | '\r' ->
+          advance ();
+          skip_ws ()
+        | _ -> ()
+    in
+    let expect c =
+      if peek () = c then advance ()
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let parse_lit lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ lit)
+    in
+    let add_utf8 buf code =
+      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' ->
+          advance ();
+          Buffer.contents buf
+        | '\\' ->
+          advance ();
+          if !pos >= n then fail "truncated escape";
+          (match s.[!pos] with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'u' ->
+             if !pos + 4 >= n then fail "truncated \\u escape";
+             (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+              | Some code ->
+                add_utf8 buf code;
+                pos := !pos + 4
+              | None -> fail "bad \\u escape")
+           | _ -> fail "bad escape");
+          advance ();
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let numchar c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while !pos < n && numchar s.[!pos] do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+              advance ();
+              members ((k, v) :: acc)
+            | '}' ->
+              advance ();
+              Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+      | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Arr []
+        end
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+              advance ();
+              items (v :: acc)
+            | ']' ->
+              advance ();
+              Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+      | '"' -> Str (parse_string ())
+      | 't' -> parse_lit "true" (Bool true)
+      | 'f' -> parse_lit "false" (Bool false)
+      | 'n' -> parse_lit "null" Null
+      | c when c = '-' || (c >= '0' && c <= '9') -> Num (parse_number ())
+      | _ -> fail "unexpected character"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let num_to_string f =
+    if Float.is_nan f || Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" (if Float.is_nan f then 0. else f)
+    else Printf.sprintf "%.9g" f
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool true -> Buffer.add_string buf "true"
+    | Bool false -> Buffer.add_string buf "false"
+    | Num f -> Buffer.add_string buf (num_to_string f)
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf v)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 256 in
+    write buf v;
+    Buffer.contents buf
+
+  let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+end
+
+(* --- exporters ----------------------------------------------------- *)
+
+module Export = struct
+  let t0_of events =
+    List.fold_left (fun acc e -> Float.min acc e.ev_start) infinity events
+
+  let attr_obj attrs = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs)
+
+  let jsonl snap =
+    let t0 = t0_of snap.events in
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun e ->
+        let line =
+          Json.Obj
+            [ "path", Json.Str e.ev_path;
+              "name", Json.Str e.ev_name;
+              "kind", Json.Str (if e.ev_instant then "instant" else "span");
+              "ts", Json.Num (e.ev_start -. t0);
+              "dur", Json.Num e.ev_dur;
+              "attrs", attr_obj e.ev_attrs ]
+        in
+        Buffer.add_string buf (Json.to_string line);
+        Buffer.add_char buf '\n')
+      snap.events;
+    Buffer.contents buf
+
+  let normalize_jsonl log =
+    let normalize_line line =
+      match Json.parse line with
+      | Json.Obj fields ->
+        let fields =
+          List.map
+            (fun (k, v) ->
+              match k, v with
+              | ("ts" | "dur"), _ -> (k, Json.Num 0.)
+              | "attrs", Json.Obj attrs ->
+                ( k,
+                  Json.Obj
+                    (List.map
+                       (fun (ak, av) ->
+                         if is_gc_attr ak then (ak, Json.Str "0") else (ak, av))
+                       attrs) )
+              | _ -> (k, v))
+            fields
+        in
+        Json.to_string (Json.Obj fields)
+      | v -> Json.to_string v
+    in
+    String.split_on_char '\n' log
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map normalize_line
+    |> List.map (fun l -> l ^ "\n")
+    |> String.concat ""
+
+  let chrome snap =
+    let t0 = t0_of snap.events in
+    let t_end =
+      List.fold_left
+        (fun acc e -> Float.max acc (e.ev_start +. e.ev_dur))
+        t0 snap.events
+    in
+    let us t = (t -. t0) *. 1e6 in
+    let domains =
+      List.sort_uniq compare (List.map (fun e -> e.ev_domain) snap.events)
+    in
+    let meta =
+      Json.Obj
+        [ "name", Json.Str "process_name";
+          "ph", Json.Str "M";
+          "pid", Json.Num 0.;
+          "args", Json.Obj [ "name", Json.Str "compact" ] ]
+      :: List.map
+           (fun d ->
+             Json.Obj
+               [ "name", Json.Str "thread_name";
+                 "ph", Json.Str "M";
+                 "pid", Json.Num 0.;
+                 "tid", Json.Num (float_of_int d);
+                 "args",
+                 Json.Obj [ "name", Json.Str (Printf.sprintf "domain %d" d) ] ])
+           domains
+    in
+    let ev_json e =
+      let common =
+        [ "name", Json.Str e.ev_name;
+          "cat", Json.Str "compact";
+          "ts", Json.Num (us e.ev_start);
+          "pid", Json.Num 0.;
+          "tid", Json.Num (float_of_int e.ev_domain);
+          "args", attr_obj (("path", e.ev_path) :: e.ev_attrs) ]
+      in
+      if e.ev_instant then
+        Json.Obj (("ph", Json.Str "i") :: ("s", Json.Str "t") :: common)
+      else
+        Json.Obj
+          (("ph", Json.Str "X") :: ("dur", Json.Num (e.ev_dur *. 1e6)) :: common)
+    in
+    let counter_json (name, v) =
+      Json.Obj
+        [ "name", Json.Str name;
+          "ph", Json.Str "C";
+          "ts", Json.Num (us t_end);
+          "pid", Json.Num 0.;
+          "tid", Json.Num 0.;
+          "args", Json.Obj [ "value", Json.Num v ] ]
+    in
+    Json.to_string
+      (Json.Obj
+         [ "traceEvents",
+           Json.Arr
+             (meta
+             @ List.map ev_json snap.events
+             @ List.map counter_json snap.counters);
+           "displayTimeUnit", Json.Str "ms" ])
+
+  let write_file path contents =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc contents)
+
+  let write_jsonl path snap = write_file path (jsonl snap)
+  let write_chrome path snap = write_file path (chrome snap)
+end
+
+(* --- aggregation --------------------------------------------------- *)
+
+module Agg = struct
+  type row = {
+    r_path : string;
+    r_name : string;
+    r_count : int;
+    r_total : float;
+    r_minor_words : float;
+    r_major_words : float;
+    r_first : float;
+  }
+
+  let attr_float k attrs =
+    match List.assoc_opt k attrs with
+    | Some v -> Option.value ~default:0. (float_of_string_opt v)
+    | None -> 0.
+
+  let phases snap =
+    let tbl = Hashtbl.create 32 in
+    let order = ref [] in
+    List.iter
+      (fun e ->
+        if not e.ev_instant then begin
+          let key = (e.ev_path, e.ev_name) in
+          let row =
+            match Hashtbl.find_opt tbl key with
+            | Some r -> r
+            | None ->
+              let r =
+                ref
+                  { r_path = e.ev_path;
+                    r_name = e.ev_name;
+                    r_count = 0;
+                    r_total = 0.;
+                    r_minor_words = 0.;
+                    r_major_words = 0.;
+                    r_first = infinity }
+              in
+              Hashtbl.add tbl key r;
+              order := key :: !order;
+              r
+          in
+          row :=
+            { !row with
+              r_count = !row.r_count + 1;
+              r_total = !row.r_total +. e.ev_dur;
+              r_minor_words =
+                !row.r_minor_words +. attr_float "gc.minor_words" e.ev_attrs;
+              r_major_words =
+                !row.r_major_words +. attr_float "gc.major_words" e.ev_attrs;
+              r_first = Float.min !row.r_first e.ev_start }
+        end)
+      snap.events;
+    List.rev !order
+    |> List.map (fun key -> !(Hashtbl.find tbl key))
+    |> List.sort (fun a b -> compare (a.r_first, a.r_path) (b.r_first, b.r_path))
+end

@@ -1,0 +1,193 @@
+(** Unified tracing, metrics and profiling for the synthesis pipeline.
+
+    [Obs] is a self-contained, domain-safe observability substrate:
+
+    - {!Clock} is the single monotonic time source for the whole code
+      base (time limits, watchdogs, span timestamps).
+    - {!Span} records nestable named spans and instant events into
+      per-domain buffers.  When tracing is disabled ({!enabled}
+      [= false]) every entry point is a single load-and-branch with no
+      allocation, so instrumentation can stay compiled into hot paths.
+    - {!Counter} and {!Gauge} are process-wide metric cells.
+      Registration into the global registry is lazy: a counter that is
+      never touched while tracing is enabled leaves no trace in
+      {!drain}.
+    - {!Export} renders a drained {!snapshot} as Chrome
+      [trace_event] JSON (one track per domain; loadable in Perfetto /
+      [chrome://tracing]) or as a flat JSONL event log with stable
+      field order for diffing.
+    - {!Agg} folds a snapshot into per-phase rows for profile tables.
+
+    {b Determinism contract.}  [drain] returns events in a canonical
+    order keyed on (path, name, kind, non-[gc.*] attrs), with per-domain
+    recording order breaking ties, so a program whose logical span tree
+    is jobs-independent produces the same JSONL (after
+    {!Export.normalize_jsonl} zeroes timestamps and GC attrs) for every
+    jobs count.  Two same-named sibling events must carry a
+    distinguishing attribute to be ordered deterministically across
+    domains.
+
+    {b Threading.}  Spans and events are recorded into the calling
+    domain's own buffer without locks.  [drain] must only be called at
+    quiescent points (no other domain actively recording), which all
+    in-tree callers guarantee by draining outside [Parallel.run]. *)
+
+val enabled : unit -> bool
+(** Whether recording is on.  Defaults to [true] iff the
+    [COMPACT_TRACE] environment variable is set (to anything). *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off at runtime. *)
+
+module Clock : sig
+  val now : unit -> float
+  (** Monotonic time in seconds.  The epoch is arbitrary; only
+      differences are meaningful.  Immune to wall-clock (NTP) steps. *)
+
+  val now_ns : unit -> int64
+  (** Monotonic time in nanoseconds. *)
+end
+
+(** {1 Spans and events} *)
+
+module Span : sig
+  val with_ : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** [with_ name f] runs [f] inside a span named [name], nested under
+      the calling domain's current span.  On exit (normal or
+      exceptional) the span is recorded with its duration and GC delta
+      attrs ([gc.minor_words], [gc.major_words]).  When disabled, calls
+      [f] directly with zero overhead. *)
+
+  val add_attr : string -> string -> unit
+  (** Attach a key/value attr to the innermost open span of the calling
+      domain.  No-op when disabled or outside any span. *)
+
+  val event : ?attrs:(string * string) list -> string -> unit
+  (** Record an instant event at the current span path. *)
+end
+
+type context
+(** A capture of the calling domain's logical span path, for
+    re-establishing parentage across domain boundaries. *)
+
+val context : unit -> context
+(** Capture the current span path (cheap; empty when disabled). *)
+
+val with_context : context -> (unit -> 'a) -> 'a
+(** [with_context ctx f] runs [f] with its span parentage rooted at
+    [ctx] instead of the calling domain's current stack.  Used by
+    [Parallel] so tasks record spans under the submitter's span path,
+    keeping the span tree identical for every jobs count. *)
+
+(** {1 Metrics} *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Allocate a counter cell.  Pure allocation: nothing is registered
+      until the first [add]/[incr] while tracing is enabled, so
+      disabled runs register no metrics at all. *)
+
+  val add : t -> int -> unit
+  val incr : t -> unit
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  val set : t -> float -> unit
+end
+
+(** {1 Draining} *)
+
+type event = {
+  ev_path : string;  (** '/'-joined names of enclosing spans. *)
+  ev_name : string;
+  ev_instant : bool;  (** [true] for {!Span.event}, [false] for spans. *)
+  ev_start : float;  (** {!Clock.now} at span entry / event time. *)
+  ev_dur : float;  (** Seconds; [0.] for instant events. *)
+  ev_domain : int;  (** Recording domain's id. *)
+  ev_seq : int;  (** Per-domain recording sequence number. *)
+  ev_attrs : (string * string) list;
+}
+
+type snapshot = {
+  events : event list;  (** Canonical order (see determinism contract). *)
+  counters : (string * float) list;  (** Sorted by name. *)
+}
+
+val drain : unit -> snapshot
+(** Take and reset all recorded events and registered metrics.  Only
+    call at quiescent points. *)
+
+val reset : unit -> unit
+(** [drain] and discard. *)
+
+(** {1 JSON} *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  val parse : string -> t
+  (** Parse one JSON document.  Raises {!Parse_error} on malformed
+      input or trailing garbage. *)
+
+  val to_string : t -> string
+  (** Serialize compactly.  [Obj] field order is preserved. *)
+
+  val member : string -> t -> t option
+  (** [member k (Obj _)] looks up field [k]; [None] otherwise. *)
+end
+
+(** {1 Exporters} *)
+
+module Export : sig
+  val jsonl : snapshot -> string
+  (** One JSON object per line, stable field order
+      ([path], [name], [kind], [ts], [dur], [attrs]).  Timestamps are
+      relative to the snapshot's earliest event.  Domain ids are
+      deliberately omitted so the log is comparable across jobs
+      counts; counters are not included (use {!chrome} or the
+      snapshot directly). *)
+
+  val chrome : snapshot -> string
+  (** Chrome [trace_event] JSON: ["X"] complete events (one track per
+      domain), ["i"] instants, ["C"] counters, plus thread-name
+      metadata. *)
+
+  val normalize_jsonl : string -> string
+  (** Zero every [ts]/[dur] field and every [gc.*] attr in a JSONL
+      log, making runs byte-comparable.  Idempotent. *)
+
+  val write_jsonl : string -> snapshot -> unit
+  val write_chrome : string -> snapshot -> unit
+end
+
+(** {1 Aggregation} *)
+
+module Agg : sig
+  type row = {
+    r_path : string;
+    r_name : string;
+    r_count : int;
+    r_total : float;  (** Summed duration, seconds. *)
+    r_minor_words : float;  (** Summed [gc.minor_words]. *)
+    r_major_words : float;
+    r_first : float;  (** Earliest [ev_start] (for chronological sort). *)
+  }
+
+  val phases : snapshot -> row list
+  (** Group the snapshot's spans by (path, name) and sum durations and
+      GC attrs.  Rows come back in chronological order of first
+      occurrence. *)
+end

@@ -30,15 +30,25 @@ let default_jobs () =
 
 let jobs p = p.n_jobs
 
+(* Pool utilisation metrics. Registered lazily (only while tracing is
+   enabled), so the jobs=1 sequential path and untraced runs see a
+   single load-and-branch per counter site. *)
+let c_submitted = Obs.Counter.make "pool.tasks_submitted"
+let c_worker = Obs.Counter.make "pool.tasks_worker"
+let c_helped = Obs.Counter.make "pool.tasks_helped"
+let c_idle_waits = Obs.Counter.make "pool.idle_waits"
+
 let rec worker_loop p =
   Mutex.lock p.mutex;
   while Queue.is_empty p.queue && not p.stopping do
+    Obs.Counter.incr c_idle_waits;
     Condition.wait p.work p.mutex
   done;
   if Queue.is_empty p.queue then Mutex.unlock p.mutex (* stopping *)
   else begin
     let task = Queue.pop p.queue in
     Mutex.unlock p.mutex;
+    Obs.Counter.incr c_worker;
     task ();
     worker_loop p
   end
@@ -90,9 +100,13 @@ let run (type a) p (thunks : (unit -> a) array) : a array =
       Array.make n None
     in
     let remaining = ref n in
+    (* Tasks execute under the submitter's span context, so spans they
+       record land at the same logical path for every jobs count — the
+       drained span tree is then jobs-independent by construction. *)
+    let ctx = Obs.context () in
     let task i () =
       let outcome =
-        match thunks.(i) () with
+        match Obs.with_context ctx (fun () -> thunks.(i) ()) with
         | v -> Ok v
         | exception e -> Error (e, Printexc.get_raw_backtrace ())
       in
@@ -102,6 +116,7 @@ let run (type a) p (thunks : (unit -> a) array) : a array =
       if !remaining = 0 then Condition.broadcast p.batch_done;
       Mutex.unlock p.mutex
     in
+    Obs.Counter.add c_submitted n;
     Mutex.lock p.mutex;
     for i = 0 to n - 1 do
       Queue.push (task i) p.queue
@@ -114,6 +129,7 @@ let run (type a) p (thunks : (unit -> a) array) : a array =
       else if not (Queue.is_empty p.queue) then begin
         let task = Queue.pop p.queue in
         Mutex.unlock p.mutex;
+        Obs.Counter.incr c_helped;
         task ();
         Mutex.lock p.mutex;
         help ()
