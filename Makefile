@@ -1,4 +1,4 @@
-.PHONY: all test examples bench smoke proptest margin trace ci clean
+.PHONY: all test examples bench smoke proptest margin trace chaos ci clean
 
 all:
 	dune build
@@ -24,6 +24,12 @@ margin:
 trace:
 	dune build @trace
 
+# Fault-injection sweep: every injection point x several seeds, at
+# jobs=1 and jobs=4, asserting each run ends in a verified design or a
+# structured error.
+chaos:
+	dune build @chaos
+
 # Tier-1 runs twice: once sequential, once with a 4-wide domain pool.
 # Every parallel consumer is bit-identical across jobs counts, so the
 # second run is a determinism check as much as a thread-safety one.
@@ -38,6 +44,7 @@ ci:
 	dune build @margin
 	dune build @smoke
 	dune build @trace
+	dune build @chaos
 
 clean:
 	dune clean

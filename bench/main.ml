@@ -14,7 +14,7 @@ let usage () =
   print_endline
     "usage: main.exe [--quick] [--time-limit S] [--json FILE] [--jobs N] \
      [--trace FILE] \
-     [all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|robustness|variation|ablation|perf|obs-overhead]...";
+     [all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|robustness|variation|ablation|perf|obs-overhead|resilience-overhead]...";
   exit 1
 
 (* The jobs knob: --jobs N, defaulting to COMPACT_JOBS then 1. Read by
@@ -90,7 +90,8 @@ let perf_tests =
     Test.make ~name:"table2/mip-labeling-ctrl"
       (Staged.stage (fun () ->
            ignore
-             (Compact.Label_mip.solve ~time_limit:10. ~gamma:0.5
+             (Compact.Label_mip.solve
+                ~budget:(Resilience.Budget.seconds 10.) ~gamma:0.5
                 ~alignment:true (Lazy.force ctrl_graph))));
     (* Table III kernel: separate-ROBDD synthesis + diagonal merge. *)
     Test.make ~name:"table3/robdds-ctrl"
@@ -108,19 +109,22 @@ let perf_tests =
     Test.make ~name:"table4/oct-labeling-ctrl"
       (Staged.stage (fun () ->
            ignore
-             (Compact.Label_oct.solve ~time_limit:10. ~alignment:true
+             (Compact.Label_oct.solve
+                ~budget:(Resilience.Budget.seconds 10.) ~alignment:true
                 (Lazy.force ctrl_graph))));
     (* Fig 9 kernel: one gamma point (heuristic labeler). *)
     Test.make ~name:"fig9/heuristic-labeling-int2float"
       (Staged.stage (fun () ->
            ignore
-             (Compact.Label_heuristic.solve ~time_limit:2. ~gamma:0.3
+             (Compact.Label_heuristic.solve
+                ~budget:(Resilience.Budget.seconds 2.) ~gamma:0.3
                 ~alignment:true (Lazy.force int2float_graph))));
     (* Fig 10/11 kernel: exact vertex cover on G□K2. *)
     Test.make ~name:"fig10/vertex-cover-ctrl"
       (Staged.stage (fun () ->
            ignore
-             (Graphs.Vertex_cover.solve ~time_limit:10.
+             (Graphs.Vertex_cover.solve
+                ~budget:(Resilience.Budget.seconds 10.)
                 (Graphs.Product.with_k2 (Lazy.force ctrl_graph).graph))));
     (* Fig 12 kernel: digital crossbar evaluation. *)
     Test.make ~name:"fig12/crossbar-eval"
@@ -396,6 +400,102 @@ let run_obs_overhead ?json () =
     Printf.printf "obs-overhead results written to %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
+(* Resilience overhead: the PR-6 budget polls and injection checks sit
+   in the same hot kernels the obs gate tracks (the BDD manager's
+   grow-table path, the analog CG loop).  With injection disabled and no
+   budget armed — the production default — each kernel must stay within
+   1% of its PR-5 disabled estimate; the armed column shows the cost of
+   a chaos configuration whose points never select these kernels.
+
+   The recorded BENCH_pr5.json numbers embed the machine state of the
+   run that produced them; on a drifted machine, point
+   COMPACT_BENCH_BASELINE at a freshly measured obs-overhead JSON from
+   a pre-resilience checkout for a like-for-like comparison. *)
+
+let baseline_file () =
+  match Sys.getenv_opt "COMPACT_BENCH_BASELINE" with
+  | Some f when f <> "" -> f
+  | _ -> "BENCH_pr5.json"
+
+let pr5_disabled_baseline name =
+  match In_channel.with_open_bin (baseline_file ()) In_channel.input_all with
+  | exception Sys_error _ -> None
+  | contents ->
+    (match Obs.Json.parse contents with
+     | exception Obs.Json.Parse_error _ -> None
+     | j ->
+       Option.bind (Obs.Json.member "obs_overhead" j) @@ fun sect ->
+       Option.bind (Obs.Json.member name sect) @@ fun kernel ->
+       (match Obs.Json.member "disabled" kernel with
+        | Some (Obs.Json.Num f) -> Some f
+        | _ -> None))
+
+let run_resilience_overhead ?json () =
+  let measure reps f =
+    let batch () =
+      let t0 = Obs.Clock.now () in
+      for _ = 1 to reps do
+        f ()
+      done;
+      (Obs.Clock.now () -. t0) /. float_of_int reps *. 1e9
+    in
+    f ();
+    List.fold_left min infinity (List.init 5 (fun _ -> batch ()))
+  in
+  Printf.printf
+    "\n== resilience-overhead: disabled path vs %s (ns/run) ==\n%!"
+    (baseline_file ());
+  let rows =
+    List.map
+      (fun (name, reps, f) ->
+         Resilience.Inject.disable ();
+         let dis = measure reps f in
+         (* Arm a point these kernels never consult, so [fire] takes the
+            armed slow path without perturbing the computation. *)
+         let armed =
+           Resilience.Inject.with_points [ Resilience.Inject.Defect_truncate ]
+             (fun () -> measure reps f)
+         in
+         let pr5 = pr5_disabled_baseline name in
+         let pct =
+           match pr5 with
+           | Some b when b > 0. -> 100. *. (dis -. b) /. b
+           | Some _ | None -> nan
+         in
+         Printf.printf
+           "  %-24s disabled %14.1f   armed %14.1f   vs pr5 %s\n%!" name dis
+           armed
+           (match pr5 with
+            | Some b -> Printf.sprintf "%14.1f (%+.2f%%)" b pct
+            | None -> Printf.sprintf "(no %s baseline)" (baseline_file ()));
+         name, dis, armed, pr5, pct)
+      overhead_kernels
+  in
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc "{\n  \"unit\": \"ns/run\",\n";
+    Printf.fprintf oc
+      "  \"baseline\": \"%s obs_overhead disabled kernels \
+       (pre-resilience)\",\n"
+      (json_escape (baseline_file ()));
+    output_string oc "  \"resilience_overhead\": {\n";
+    List.iteri
+      (fun i (name, dis, armed, pr5, pct) ->
+         Printf.fprintf oc
+           "    \"%s\": {\"disabled\": %.1f, \"armed\": %.1f, \
+            \"pr5_disabled\": %s, \"disabled_vs_pr5_pct\": %s}%s\n"
+           (json_escape name) dis armed
+           (match pr5 with Some b -> Printf.sprintf "%.1f" b | None -> "null")
+           (if Float.is_nan pct then "null" else Printf.sprintf "%.2f" pct)
+           (if i = List.length rows - 1 then "" else ","))
+      rows;
+    output_string oc "  }\n}\n";
+    close_out oc;
+    Printf.printf "resilience-overhead results written to %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -450,6 +550,7 @@ let () =
     | "ablation" -> Harness.Ablation.run_all config
     | "perf" -> run_perf ?json:!json ()
     | "obs-overhead" -> run_obs_overhead ?json:!json ()
+    | "resilience-overhead" -> run_resilience_overhead ?json:!json ()
     | other ->
       Printf.eprintf "unknown target %s\n" other;
       usage ()

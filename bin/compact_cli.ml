@@ -143,10 +143,48 @@ let trace_term =
 
 let trace_switches = [ "1"; "true"; "yes"; "on" ]
 
+(* Fail fast on an unwritable --trace target: a run that spends its
+   whole deadline synthesising should not discover at exit that the
+   trace cannot be written.  Parent directories are created; the probe
+   open creates the file without truncating an existing one. *)
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let prepare_trace_file file =
+  try
+    mkdir_p (Filename.dirname file);
+    let oc = open_out_gen [ Open_wronly; Open_creat ] 0o644 file in
+    close_out oc;
+    Ok ()
+  with Sys_error msg ->
+    Error (`Msg (Printf.sprintf "--trace %s: not writable (%s)" file msg))
+
 let with_trace trace k =
+  (* All pipeline work happens under this wrapper, so a budget that
+     exhausts in a stage with no partial result (BDD build, memory)
+     surfaces here as a structured CLI error instead of an uncaught
+     exception. *)
+  let k () =
+    match k () with
+    | r -> r
+    | exception Resilience.Budget.Exhausted r ->
+      Error
+        (`Msg
+           (Format.asprintf
+              "budget exhausted (%a) before a result was produced"
+              Resilience.Budget.pp_reason r))
+  in
   match trace with
   | None -> k ()
   | Some file ->
+    let bare = List.mem (String.lowercase_ascii file) trace_switches in
+    (match if bare then Ok () else prepare_trace_file file with
+     | Error _ as e -> e
+     | Ok () ->
     Obs.set_enabled true;
     (* Drop anything recorded before the subcommand body (argument
        parsing never records, but be safe). *)
@@ -155,7 +193,7 @@ let with_trace trace k =
       let snap = Obs.drain () in
       Obs.set_enabled false;
       let n = List.length snap.Obs.events in
-      if List.mem (String.lowercase_ascii file) trace_switches then
+      if bare then
         Printf.eprintf
           "trace: %d events recorded (give --trace FILE to write them)\n%!" n
       else begin
@@ -165,7 +203,7 @@ let with_trace trace k =
         Printf.eprintf "trace: %d events -> %s\n%!" n file
       end
     in
-    Fun.protect ~finally:finish k
+    Fun.protect ~finally:finish k)
 
 let options_term =
   let gamma =
@@ -183,6 +221,31 @@ let options_term =
          & info [ "t"; "time-limit" ] ~docv:"SEC"
              ~doc:"Labeling time budget in seconds.")
   in
+  let deadline =
+    let arg =
+      Arg.(value & opt (some float) None
+           & info [ "deadline" ] ~docv:"SEC"
+               ~env:(Cmd.Env.info "COMPACT_DEADLINE"
+                       ~doc:"Default end-to-end deadline when \
+                             $(b,--deadline) is absent.")
+               ~doc:"End-to-end wall deadline in seconds for the whole \
+                     run. When it expires the pipeline degrades \
+                     gracefully to the cheapest labeling method and \
+                     returns a verified design with DEADLINE HIT in the \
+                     report (non-zero exit); it never wedges.")
+    in
+    let check = function
+      | None -> Ok None
+      | Some s when s > 0. -> Ok (Some s)
+      | Some s ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "invalid deadline %g: --deadline (or COMPACT_DEADLINE) \
+                 needs a positive number of seconds" s))
+    in
+    Term.(term_result (const check $ arg))
+  in
   let no_alignment =
     Arg.(value & flag
          & info [ "no-alignment" ]
@@ -197,12 +260,14 @@ let options_term =
     Arg.(value & opt (some int) None
          & info [ "max-cols" ] ~docv:"N" ~doc:"Hard bitline capacity.")
   in
-  let make gamma solver time_limit no_alignment max_rows max_cols jobs =
+  let make gamma solver time_limit deadline no_alignment max_rows max_cols
+      jobs =
     {
       Compact.Pipeline.default_options with
       gamma;
       solver;
       time_limit;
+      deadline;
       alignment = not no_alignment;
       max_rows;
       max_cols;
@@ -210,8 +275,8 @@ let options_term =
     }
   in
   Term.(
-    const make $ gamma $ solver $ time_limit $ no_alignment $ max_rows
-    $ max_cols $ jobs_term)
+    const make $ gamma $ solver $ time_limit $ deadline $ no_alignment
+    $ max_rows $ max_cols $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 
@@ -237,7 +302,15 @@ let synth_run trace source options grid stats =
     Format.printf "%a@." Compact.Report.pp result.report;
     if stats then report_stats result;
     if grid then Format.printf "%a@." Crossbar.Design.pp result.design;
-    Ok ()
+    if result.report.Compact.Report.deadline_hit then
+      Error
+        (`Msg
+           (Printf.sprintf
+              "deadline hit: returned the degraded incumbent (solver path: \
+               %s)"
+              (String.concat " -> "
+                 result.report.Compact.Report.solver_path)))
+    else Ok ()
   | exception Compact.Label_mip.Infeasible msg ->
     Error (`Msg ("design constraints are infeasible: " ^ msg))
 
@@ -429,6 +502,11 @@ let export_cmd =
 let defects_of_file file =
   match Crossbar.Defect_map.parse_file file with
   | map -> Ok map
+  | exception Crossbar.Defect_map.Parse_error { line; msg } ->
+    Error
+      (`Msg
+         (if line > 0 then Printf.sprintf "%s: line %d: %s" file line msg
+          else Printf.sprintf "%s: %s" file msg))
   | exception Failure msg -> Error (`Msg (file ^ ": " ^ msg))
   | exception Invalid_argument msg -> Error (`Msg (file ^ ": " ^ msg))
   | exception Sys_error msg -> Error (`Msg msg)
@@ -1019,6 +1097,13 @@ let trace_check_cmd =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* COMPACT_INJECT arms the deterministic fault-injection points for
+     chaos runs; a malformed value must not silently run un-armed. *)
+  (match Resilience.Inject.configure_from_env () with
+   | Ok () -> ()
+   | Error msg ->
+     Printf.eprintf "compact: %s\n%!" msg;
+     exit 2);
   let doc =
     "COMPACT: flow-based computing on nanoscale crossbars with minimal \
      semiperimeter"

@@ -144,6 +144,9 @@ let hash3 a b c =
   h * 0x27D4EB2F
 
 let grow_nodes t =
+  (* Chaos-battery checkpoint: table doubling is the manager's big
+     allocation, so an injected allocation failure surfaces here. *)
+  Resilience.Inject.oom ();
   let cap = Array.length t.levels in
   let bigger a fill =
     let b = Array.make (2 * cap) fill in

@@ -8,8 +8,8 @@ type stats = {
 let size_of ?(node_limit = max_int) nl order =
   Sbdd.of_netlist_size ~order ~node_limit nl
 
-let anneal ?(seed = 0x0d4) ?(budget = 150) ?node_limit ?initial
-    (nl : Logic.Netlist.t) =
+let anneal ?(seed = 0x0d4) ?(steps = 150) ?(budget = Resilience.Budget.unlimited)
+    ?node_limit ?initial (nl : Logic.Netlist.t) =
   let rng = Random.State.make [| seed |] in
   let start_order =
     match initial with
@@ -36,7 +36,9 @@ let anneal ?(seed = 0x0d4) ?(budget = 150) ?node_limit ?initial
     (* Geometric cooling; temperature relative to the current size so the
        schedule is scale-free. *)
     let temperature = ref 0.05 in
-    for _ = 2 to budget do
+    let step = ref 2 in
+    while !step <= steps && not (Resilience.Budget.exhausted budget) do
+      incr step;
       let candidate = Array.copy current in
       (match Random.State.int rng 3 with
        | 0 ->
@@ -94,6 +96,6 @@ let anneal ?(seed = 0x0d4) ?(budget = 150) ?node_limit ?initial
       accepted = !accepted;
     } )
 
-let improve_sbdd ?seed ?budget ?node_limit nl =
-  let order, _ = anneal ?seed ?budget ?node_limit nl in
-  Sbdd.of_netlist ~order ?node_limit nl
+let improve_sbdd ?seed ?steps ?budget ?node_limit nl =
+  let order, _ = anneal ?seed ?steps ?budget ?node_limit nl in
+  Sbdd.of_netlist ?budget ~order ?node_limit nl

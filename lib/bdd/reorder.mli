@@ -7,7 +7,7 @@
     transpositions and random block rotations — the neighbourhood sifting
     explores, without the in-place level-swap machinery.
 
-    Intended for small/medium netlists (rebuild cost × budget); callers
+    Intended for small/medium netlists (rebuild cost × steps); callers
     gate it by size. *)
 
 type stats = {
@@ -19,17 +19,25 @@ type stats = {
 
 val anneal :
   ?seed:int ->
-  ?budget:int ->
+  ?steps:int ->
+  ?budget:Resilience.Budget.t ->
   ?node_limit:int ->
   ?initial:string list ->
   Logic.Netlist.t ->
   string list * stats
 (** [anneal nl] searches for a small-SBDD variable order starting from
-    [initial] (default: the best {!Order.candidates} order). [budget]
-    (default 150) bounds the number of rebuilds. The returned order is
-    never worse than the starting one. *)
+    [initial] (default: the best {!Order.candidates} order). [steps]
+    (default 150) bounds the number of rebuilds; [budget] (default
+    unlimited), polled once per move, can stop the search earlier with
+    the best order found so far. The returned order is never worse than
+    the starting one. *)
 
 val improve_sbdd :
-  ?seed:int -> ?budget:int -> ?node_limit:int -> Logic.Netlist.t -> Sbdd.t
+  ?seed:int ->
+  ?steps:int ->
+  ?budget:Resilience.Budget.t ->
+  ?node_limit:int ->
+  Logic.Netlist.t ->
+  Sbdd.t
 (** Convenience: run {!anneal} and build the SBDD under the winning
-    order. *)
+    order (the final build shares the same [budget]). *)

@@ -9,7 +9,8 @@ let check_order (nl : Logic.Netlist.t) order =
   if sorted order <> sorted nl.inputs then
     invalid_arg "Sbdd: order is not a permutation of the netlist inputs"
 
-let build_roots man ~levels (nl : Logic.Netlist.t) =
+let build_roots ?(budget = Resilience.Budget.unlimited) man ~levels
+    (nl : Logic.Netlist.t) =
   let values = Hashtbl.create 64 in
   List.iter
     (fun v -> Hashtbl.replace values v (Manager.var man (Hashtbl.find levels v)))
@@ -17,6 +18,9 @@ let build_roots man ~levels (nl : Logic.Netlist.t) =
   let env w = Hashtbl.find values w in
   List.iter
     (fun (node : Logic.Netlist.node) ->
+       (* One poll per netlist gate: BDD construction cannot return a
+          partial diagram, so exhaustion raises instead of degrading. *)
+       Resilience.Budget.check budget;
        Hashtbl.replace values node.wire (Build.expr_with_env man ~env node.func))
     nl.nodes;
   List.map (fun o -> o, env o) nl.outputs
@@ -26,12 +30,12 @@ let levels_of_order order =
   List.iteri (fun i v -> Hashtbl.replace levels v i) order;
   levels
 
-let of_netlist ?order ?(node_limit = max_int) (nl : Logic.Netlist.t) =
+let of_netlist ?budget ?order ?(node_limit = max_int) (nl : Logic.Netlist.t) =
   let order = match order with Some o -> o | None -> Order.dfs_fanin nl in
   check_order nl order;
   let man = Manager.create ~node_limit ~num_vars:(List.length order) () in
   let levels = levels_of_order order in
-  let roots = build_roots man ~levels nl in
+  let roots = build_roots ?budget man ~levels nl in
   { man; input_order = Array.of_list order; roots }
 
 let of_exprs ?order ?node_limit ~inputs named =

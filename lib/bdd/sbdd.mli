@@ -13,10 +13,16 @@ type t = {
 }
 
 val of_netlist :
-  ?order:string list -> ?node_limit:int -> Logic.Netlist.t -> t
+  ?budget:Resilience.Budget.t ->
+  ?order:string list ->
+  ?node_limit:int ->
+  Logic.Netlist.t ->
+  t
 (** Symbolic simulation of the netlist in topological order. [order]
-    defaults to {!Order.dfs_fanin}.
+    defaults to {!Order.dfs_fanin}. [budget] is polled once per netlist
+    gate; a partial diagram is useless, so exhaustion raises.
     @raise Manager.Size_limit when the node budget is exhausted.
+    @raise Resilience.Budget.Exhausted when [budget] runs out mid-build.
     @raise Invalid_argument if [order] is not a permutation of the
     inputs. *)
 

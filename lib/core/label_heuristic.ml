@@ -25,14 +25,17 @@ let recolor (bg : Types.bdd_graph) transversal =
     done;
     Some colors
 
-let solve ?(time_limit = infinity) ?(alignment = false) ?(gamma = 0.5)
-    ?(max_rounds = 25) ?(candidates_per_round = 24) (bg : Types.bdd_graph) =
+let solve ?(budget = Resilience.Budget.unlimited) ?(alignment = false)
+    ?(gamma = 0.5) ?(max_rounds = 25) ?(candidates_per_round = 24)
+    (bg : Types.bdd_graph) =
   let start = Obs.Clock.now () in
   let elapsed () = Obs.Clock.now () -. start in
   let n = Graphs.Ugraph.num_nodes bg.graph in
   let initial =
     if n <= exact_oct_node_threshold then
-      Label_oct.solve ~time_limit:(time_limit /. 2.) ~alignment ~gamma bg
+      Label_oct.solve
+        ~budget:(Resilience.Budget.slice budget ~frac:0.5)
+        ~alignment ~gamma bg
     else Label_oct.greedy ~alignment ~gamma bg
   in
   let best_labels = ref (Array.copy initial.labels) in
@@ -42,7 +45,10 @@ let solve ?(time_limit = infinity) ?(alignment = false) ?(gamma = 0.5)
   in
   let improved = ref true in
   let rounds = ref 0 in
-  while !improved && !rounds < max_rounds && elapsed () < time_limit do
+  while
+    !improved && !rounds < max_rounds
+    && not (Resilience.Budget.exhausted budget)
+  do
     improved := false;
     incr rounds;
     (* Candidates: highest-degree non-VH nodes (splitting hubs changes the
@@ -74,7 +80,8 @@ let solve ?(time_limit = infinity) ?(alignment = false) ?(gamma = 0.5)
         (aligned_candidates @ take candidates_per_round degree_order)
     in
     let try_candidate v =
-      if (not transversal.(v)) && elapsed () < time_limit then begin
+      if (not transversal.(v)) && not (Resilience.Budget.exhausted budget)
+      then begin
         transversal.(v) <- true;
         (match recolor bg transversal with
          | None -> ()

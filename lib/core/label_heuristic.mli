@@ -9,7 +9,7 @@
     move never helps and the method reduces to the OCT pipeline. *)
 
 val solve :
-  ?time_limit:float ->
+  ?budget:Resilience.Budget.t ->
   ?alignment:bool ->
   ?gamma:float ->
   ?max_rounds:int ->
@@ -17,8 +17,9 @@ val solve :
   Types.bdd_graph ->
   Types.labeling
 (** Defaults: [gamma = 0.5], [max_rounds = 25],
-    [candidates_per_round = 24]. Half the [time_limit] goes to the initial
-    OCT (exact for graphs of ≤ [3000] nodes, greedy above), the rest to
-    the local search. *)
+    [candidates_per_round = 24]. Half the remaining [budget] goes to the
+    initial OCT (exact for graphs of ≤ [3000] nodes, greedy above), the
+    rest to the local search; exhaustion mid-search returns the
+    incumbent labeling. *)
 
 val exact_oct_node_threshold : int

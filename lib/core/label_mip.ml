@@ -15,7 +15,7 @@ let labeling_to_point ~num_point_vars ~xv ~xh (labeling : Types.labeling) =
 
 exception Infeasible of string
 
-let solve ?(time_limit = infinity) ?node_limit ?(alignment = false)
+let solve ?budget ?node_limit ?(alignment = false)
     ?(gamma = 0.5) ?warm_start ?(oct_cut = 0) ?max_rows ?max_cols ?jobs
     (bg : Types.bdd_graph) =
   let start = Obs.Clock.now () in
@@ -100,7 +100,7 @@ let solve ?(time_limit = infinity) ?node_limit ?(alignment = false)
       Some (point, warm.objective)
     end
   in
-  let result = Milp.Branch_bound.solve ~time_limit ?node_limit ?initial ?jobs p in
+  let result = Milp.Branch_bound.solve ?budget ?node_limit ?initial ?jobs p in
   if result.status = Milp.Branch_bound.Infeasible then
     raise
       (Infeasible
@@ -113,7 +113,7 @@ let solve ?(time_limit = infinity) ?node_limit ?(alignment = false)
     | None when not warm_feasible ->
       raise
         (Infeasible
-           "time limit reached before any labeling satisfying the \
+           "budget exhausted before any labeling satisfying the \
             capacity constraints was found")
     | Some sol ->
       Array.init n (fun i ->

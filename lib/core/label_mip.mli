@@ -19,7 +19,7 @@ exception Infeasible of string
     return that the specified design constraints are infeasible"). *)
 
 val solve :
-  ?time_limit:float ->
+  ?budget:Resilience.Budget.t ->
   ?node_limit:int ->
   ?alignment:bool ->
   ?gamma:float ->

@@ -22,8 +22,8 @@ let of_oct_result ?(alignment = false) ~gamma ~method_name
   Types.make_labeling bg ~gamma ~optimal ~lower_bound
     ~solve_time:oct.elapsed ~method_name labels
 
-let solve ?(time_limit = infinity) ?(alignment = false) ?(gamma = 1.0) bg =
-  let oct = Graphs.Oct.solve ~time_limit bg.Types.graph in
+let solve ?budget ?(alignment = false) ?(gamma = 1.0) bg =
+  let oct = Graphs.Oct.solve ?budget bg.Types.graph in
   of_oct_result ~alignment ~gamma ~method_name:"oct-exact" bg oct
 
 let greedy ?(alignment = false) ?(gamma = 1.0) bg =

@@ -8,7 +8,7 @@
     best achievable by component flips for that particular transversal. *)
 
 val solve :
-  ?time_limit:float ->
+  ?budget:Resilience.Budget.t ->
   ?alignment:bool ->
   ?gamma:float ->
   Types.bdd_graph ->

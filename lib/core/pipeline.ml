@@ -5,6 +5,7 @@ type options = {
   solver : solver;
   alignment : bool;
   time_limit : float;
+  deadline : float option;
   bdd_node_limit : int;
   order : string list option;
   max_rows : int option;
@@ -20,12 +21,24 @@ let default_options =
     solver = Auto;
     alignment = true;
     time_limit = 60.;
+    deadline = None;
     bdd_node_limit = 2_000_000;
     order = None;
     max_rows = None;
     max_cols = None;
     jobs = 1;
   }
+
+(* The run's global budget: an explicit one from the caller wins,
+   otherwise [deadline] opens a fresh cancellable budget, otherwise the
+   unlimited no-op budget — the pre-resilience behaviour. *)
+let budget_of_options ?budget options =
+  match budget with
+  | Some b -> b
+  | None ->
+    (match options.deadline with
+     | Some s -> Resilience.Budget.seconds s
+     | None -> Resilience.Budget.unlimited)
 
 type result = {
   design : Crossbar.Design.t;
@@ -41,16 +54,19 @@ let solver_name = function
   | Heuristic -> "heuristic"
   | Auto -> "auto"
 
-let run_one options bg solver =
-  let { gamma; alignment; time_limit; max_rows; max_cols; _ } = options in
+let run_one ~budget options bg solver =
+  let { gamma; alignment; max_rows; max_cols; _ } = options in
   match solver with
-  | Oct_exact -> Label_oct.solve ~time_limit ~alignment ~gamma bg
+  | Oct_exact -> Label_oct.solve ~budget ~alignment ~gamma bg
   | Oct_greedy -> Label_oct.greedy ~alignment ~gamma bg
-  | Heuristic -> Label_heuristic.solve ~time_limit ~alignment ~gamma bg
+  | Heuristic -> Label_heuristic.solve ~budget ~alignment ~gamma bg
   | Mip ->
-    (* Warm start and OCT cut from the combinatorial pipeline. *)
+    (* Warm start and OCT cut from the combinatorial pipeline: a quarter
+       of the rung's remaining budget, the rest to the branch & bound. *)
     let warm =
-      Label_heuristic.solve ~time_limit:(time_limit /. 4.) ~alignment ~gamma bg
+      Label_heuristic.solve
+        ~budget:(Resilience.Budget.slice budget ~frac:0.25)
+        ~alignment ~gamma bg
     in
     let oct_cut =
       (* Lower bound on #VH from the OCT solver's proof. With γ-weighting
@@ -59,7 +75,7 @@ let run_one options bg solver =
       if warm.Types.optimal && gamma >= 1. -. 1e-9 then warm.Types.vh_count
       else 0
     in
-    Label_mip.solve ~time_limit:(3. *. time_limit /. 4.) ~alignment ~gamma
+    Label_mip.solve ~budget ~alignment ~gamma
       ~warm_start:warm ~oct_cut ?max_rows ?max_cols ~jobs:options.jobs bg
   | Auto -> assert false
 
@@ -73,23 +89,31 @@ let run_one options bg solver =
    user asked for that method and a substitution would be silent — and
    capacity-constrained runs always use the MIP, the only formulation
    that can express them. *)
-let run_labeler options bg =
+let run_labeler ~budget options bg =
   let { time_limit; max_rows; max_cols; _ } = options in
   let constrained = max_rows <> None || max_cols <> None in
+  (* A rung's budget: a deterministic fraction of the run's remaining
+     wall budget, never more than the per-rung [time_limit]. With no
+     global deadline the slice is unlimited and the cap is exactly the
+     old per-solver time limit. *)
+  let rung_budget frac =
+    Resilience.Budget.limited (Resilience.Budget.slice budget ~frac) time_limit
+  in
   (* Every rung attempt gets its own span (watchdog behaviour is then
      visually auditable in the trace), including rungs that raise. *)
-  let run_rung s =
+  let run_rung ~budget:b s =
     Obs.Span.with_ ("rung:" ^ solver_name s) (fun () ->
-        let l = run_one options bg s in
+        let l = run_one ~budget:b options bg s in
         Obs.Span.add_attr "optimal" (string_of_bool l.Types.optimal);
         Obs.Span.add_attr "method" l.Types.method_name;
         l)
   in
-  if constrained then run_rung Mip, [ solver_name Mip ]
+  if constrained then
+    run_rung ~budget:(rung_budget 1.0) Mip, [ solver_name Mip ]
   else
     match options.solver with
     | (Oct_exact | Oct_greedy | Mip | Heuristic) as s ->
-      run_rung s, [ solver_name s ]
+      run_rung ~budget:(rung_budget 1.0) s, [ solver_name s ]
     | Auto ->
       let primary =
         if Graphs.Ugraph.num_nodes bg.Types.graph <= mip_node_threshold then
@@ -106,16 +130,22 @@ let run_labeler options bg =
       let rec attempt path = function
         | [] -> assert false
         | [ last ] ->
-          run_rung last, List.rev (solver_name last :: path)
+          (* Terminal rung: deterministic and internally unbudgeted, so
+             the ladder always ends with a labeling. *)
+          run_rung ~budget:Resilience.Budget.unlimited last,
+          List.rev (solver_name last :: path)
         | s :: rest ->
-          let start = Obs.Clock.now () in
-          (match run_rung s with
+          (* Half the remaining wall budget per non-terminal rung: two
+             rungs can both time out and the terminal rung still runs
+             inside the global deadline. *)
+          let rb = rung_budget 0.5 in
+          (match run_rung ~budget:rb s with
            | labeling ->
-             let elapsed = Obs.Clock.now () -. start in
-             if labeling.Types.optimal || elapsed < time_limit then
-               labeling, List.rev (solver_name s :: path)
+             if labeling.Types.optimal
+                || not (Resilience.Budget.exhausted rb)
+             then labeling, List.rev (solver_name s :: path)
              else begin
-               fall_through s "timeout";
+               fall_through s "budget";
                attempt (solver_name s :: path) rest
              end
            | exception _ ->
@@ -124,26 +154,30 @@ let run_labeler options bg =
       in
       attempt [] ladder
 
-let synthesize_graph ?(options = default_options) ~name bg =
+let synthesize_graph ?(options = default_options) ?budget ~name bg =
+  let budget = budget_of_options ?budget options in
+  Resilience.Budget.protect_oom @@ fun () ->
   let start = Obs.Clock.now () in
   let labeling, solver_path =
     Obs.Span.with_ "labeling" (fun () ->
-        let labeling, solver_path = run_labeler options bg in
+        let labeling, solver_path = run_labeler ~budget options bg in
         Obs.Span.add_attr "solver_path" (String.concat "->" solver_path);
         labeling, solver_path)
   in
   let design = Obs.Span.with_ "mapping" (fun () -> Mapping.run bg labeling) in
   let synthesis_time = Obs.Clock.now () -. start in
+  let deadline_hit = Resilience.Budget.exhausted budget in
   let report =
-    Report.of_design ~solver_path ~circuit:name ~bdd_graph:bg ~labeling
-      ~synthesis_time design
+    Report.of_design ~solver_path ~deadline_hit ~circuit:name ~bdd_graph:bg
+      ~labeling ~synthesis_time design
   in
   { design; labeling; bdd_graph = bg; report }
 
-let synthesize_sbdd ?(options = default_options) ~name sbdd =
+let synthesize_sbdd ?(options = default_options) ?budget ~name sbdd =
+  let budget = budget_of_options ?budget options in
   let start = Obs.Clock.now () in
   let bg = Obs.Span.with_ "preprocess" (fun () -> Preprocess.of_sbdd sbdd) in
-  let inner = synthesize_graph ~options ~name bg in
+  let inner = synthesize_graph ~options ~budget ~name bg in
   let synthesis_time = Obs.Clock.now () -. start in
   let report =
     {
@@ -174,20 +208,31 @@ let record_bdd_stats (s : Bdd.Manager.stats) =
     Obs.Gauge.set g_peak_nodes (float_of_int s.peak_nodes)
   end
 
-let synthesize ?(options = default_options) netlist =
+let synthesize ?(options = default_options) ?budget netlist =
+  let budget = budget_of_options ?budget options in
+  Resilience.Budget.protect_oom @@ fun () ->
   Obs.Span.with_ ~attrs:[ "circuit", netlist.Logic.Netlist.name ] "synthesize"
   @@ fun () ->
   let start = Obs.Clock.now () in
   let sbdd =
     Obs.Span.with_ "bdd-build" (fun () ->
         let sbdd =
-          Bdd.Sbdd.of_netlist ?order:options.order
+          (* The build keeps the budget's cancellation/node/memory state
+             but not the wall deadline: a partial diagram is useless, the
+             build is already bounded by [bdd_node_limit], and an expired
+             deadline should degrade the labeling rungs — which can
+             return incumbents — rather than abort with no output. *)
+          Bdd.Sbdd.of_netlist
+            ~budget:(Resilience.Budget.untimed budget)
+            ?order:options.order
             ~node_limit:options.bdd_node_limit netlist
         in
         record_bdd_stats (Bdd.Sbdd.stats sbdd);
         sbdd)
   in
-  let inner = synthesize_sbdd ~options ~name:netlist.Logic.Netlist.name sbdd in
+  let inner =
+    synthesize_sbdd ~options ~budget ~name:netlist.Logic.Netlist.name sbdd
+  in
   let synthesis_time = Obs.Clock.now () -. start in
   let report = { inner.report with Report.synthesis_time } in
   { inner with report }
@@ -256,7 +301,8 @@ let merge_diagonal designs =
     !merged_cells;
   merged
 
-let synthesize_separate_robdds ?(options = default_options) netlist =
+let synthesize_separate_robdds ?(options = default_options) ?budget netlist =
+  let budget = budget_of_options ?budget options in
   let options = { options with alignment = true } in
   let sbdds =
     Bdd.Sbdd.of_netlist_separate ?order:options.order
@@ -270,7 +316,7 @@ let synthesize_separate_robdds ?(options = default_options) netlist =
            | [ (o, _) ] -> netlist.Logic.Netlist.name ^ "." ^ o
            | _ -> netlist.Logic.Netlist.name
          in
-         synthesize_sbdd ~options ~name sbdd)
+         synthesize_sbdd ~options ~budget ~name sbdd)
       sbdds
   in
   results, merge_diagonal (List.map (fun r -> r.design) results)
@@ -280,19 +326,31 @@ let synthesize_separate_robdds ?(options = default_options) netlist =
 
 type repair_result = { base : result; repair : Repair.report }
 
-let repair ?(options = default_options) ~defects netlist =
-  let base = synthesize ~options netlist in
+let repair ?(options = default_options) ?budget ~defects netlist =
+  let budget = budget_of_options ?budget options in
+  Resilience.Budget.protect_oom @@ fun () ->
+  (* Half the wall budget for the base synthesis, leaving the other half
+     for however many resynthesis rungs the repair ladder climbs. *)
+  let base =
+    synthesize ~options
+      ~budget:(Resilience.Budget.slice budget ~frac:0.5)
+      netlist
+  in
   (* The resynthesis rung of the ladder: re-label under hard capacity
-     constraints so the new geometry dodges the offending devices. *)
+     constraints so the new geometry dodges the offending devices. Each
+     attempt gets half of whatever wall budget remains, so a ladder of
+     attempts converges instead of the first one eating everything. *)
   let resynthesize ~max_rows ~max_cols =
     match
       synthesize
         ~options:
           { options with max_rows = Some max_rows; max_cols = Some max_cols }
+        ~budget:(Resilience.Budget.slice budget ~frac:0.5)
         netlist
     with
     | r -> Some r.design
     | exception Label_mip.Infeasible _ -> None
+    | exception Resilience.Budget.Exhausted _ -> None
   in
   let repair =
     Obs.Span.with_ "repair" (fun () ->
@@ -389,10 +447,18 @@ let score_candidate hopts ~inputs ~reference ~outputs (label, d) =
   }
 
 let harden ?(options = default_options) ?(hopts = default_harden_options)
-    netlist =
+    ?budget netlist =
+  let budget = budget_of_options ?budget options in
+  Resilience.Budget.protect_oom @@ fun () ->
   Obs.Span.with_ ~attrs:[ "circuit", netlist.Logic.Netlist.name ] "harden"
   @@ fun () ->
-  let base = synthesize ~options netlist in
+  (* 40% of the wall budget for the base synthesis; labeling variants
+     and candidate scoring share the remainder. *)
+  let base =
+    synthesize ~options
+      ~budget:(Resilience.Budget.slice budget ~frac:0.4)
+      netlist
+  in
   let inputs = netlist.Logic.Netlist.inputs in
   let outputs = netlist.Logic.Netlist.outputs in
   let reference = Logic.Netlist.eval_point netlist in
@@ -402,7 +468,11 @@ let harden ?(options = default_options) ?(hopts = default_harden_options)
      raises (e.g. Infeasible) is simply not a candidate. *)
   let labeled = ref [ "base", base.design ] in
   let try_variant label options' =
-    match synthesize_graph ~options:options' ~name base.bdd_graph with
+    match
+      synthesize_graph ~options:options'
+        ~budget:(Resilience.Budget.slice budget ~frac:0.5)
+        ~name base.bdd_graph
+    with
     | r -> labeled := (label, r.design) :: !labeled
     | exception _ -> ()
   in
@@ -451,10 +521,18 @@ let harden ?(options = default_options) ?(hopts = default_harden_options)
      stable_sort keeps generation order on exact ties, so "base" is
      never displaced by an equivalent variant. *)
   let scored =
-    Parallel.with_pool ~jobs:hopts.jobs (fun pool ->
-        Parallel.map pool
-          (score_candidate hopts ~inputs ~reference ~outputs)
-          unique)
+    match
+      Parallel.with_pool ~jobs:hopts.jobs (fun pool ->
+          Parallel.map ~budget pool
+            (score_candidate hopts ~inputs ~reference ~outputs)
+            unique)
+    with
+    | scored -> scored
+    | exception Resilience.Budget.Exhausted _ ->
+      (* Budget died mid-scoring: degrade to the base candidate alone
+         (scored outside the budget — some verified answer must ship)
+         rather than ranking a partially-scored field. *)
+      [ score_candidate hopts ~inputs ~reference ~outputs (List.hd unique) ]
   in
   let candidates =
     List.stable_sort
@@ -495,7 +573,9 @@ let harden ?(options = default_options) ?(hopts = default_harden_options)
         first.per_output
   in
   let mc =
-    if hopts.mc_trials <= 0 then None
+    (* The MC stage is a pure add-on diagnostic: skip it outright once
+       the budget is gone instead of letting it overrun the deadline. *)
+    if hopts.mc_trials <= 0 || Resilience.Budget.exhausted budget then None
     else
       Some
         (Crossbar.Margin.monte_carlo ~params:hopts.analog_params
@@ -525,7 +605,14 @@ let harden ?(options = default_options) ?(hopts = default_harden_options)
       }
       chosen.cand_corners
   in
-  let hardened_report = { base.report with Report.analog = Some analog } in
+  let hardened_report =
+    {
+      base.report with
+      Report.analog = Some analog;
+      deadline_hit =
+        base.report.Report.deadline_hit || Resilience.Budget.exhausted budget;
+    }
+  in
   {
     base;
     candidates;

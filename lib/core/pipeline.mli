@@ -16,16 +16,27 @@ type options = {
   solver : solver;  (** default [Auto] *)
   alignment : bool;  (** Eq 7 port alignment (default true, §VIII) *)
   time_limit : float;
-      (** labeling budget in seconds (default 60). Under [Auto] a
-          monotonic-clock watchdog guards the budget: a rung that spends
-          it without an optimality proof has only a best-so-far partial
-          incumbent, which is discarded in favour of the next cheaper
-          method (primary → [Heuristic] → [Oct_greedy]; the last always
-          completes). Each rung gets the full budget, so the worst case
-          is a small multiple of [time_limit]. Explicit solver choices
-          and capacity-constrained runs are exempt — substituting a
-          different method there would be silent. The rungs attempted
-          are recorded in {!Report.t.solver_path}. *)
+      (** per-rung labeling cap in seconds (default 60). Under [Auto] a
+          watchdog guards it: a rung that exhausts its budget without an
+          optimality proof has only a best-so-far partial incumbent,
+          which is discarded in favour of the next cheaper method
+          (primary → [Heuristic] → [Oct_greedy]; the last always
+          completes). Explicit solver choices and capacity-constrained
+          runs are exempt — substituting a different method there would
+          be silent. The rungs attempted are recorded in
+          {!Report.t.solver_path}. *)
+  deadline : float option;
+      (** end-to-end wall deadline in seconds for the whole run
+          (default [None]). Opens a {!Resilience.Budget} that every
+          stage receives a deterministic slice of: the BDD build keeps
+          the budget's resource bounds but not the wall deadline (it
+          must complete to produce anything), each non-terminal labeling
+          rung gets half the remaining wall time (still capped by
+          [time_limit]), and the terminal [Oct_greedy] rung always
+          completes — so an expired deadline yields a verified degraded
+          design with {!Report.t.deadline_hit} set, never a wedged run.
+          An explicit [?budget] argument to the entry points overrides
+          this field. *)
   bdd_node_limit : int;  (** abort threshold for BDD construction *)
   order : string list option;  (** variable order (default: heuristic) *)
   max_rows : int option;
@@ -49,21 +60,40 @@ type result = {
 }
 
 val synthesize_graph :
-  ?options:options -> name:string -> Types.bdd_graph -> result
-(** Label and map an already pre-processed graph. *)
+  ?options:options ->
+  ?budget:Resilience.Budget.t ->
+  name:string ->
+  Types.bdd_graph ->
+  result
+(** Label and map an already pre-processed graph. [budget] defaults to
+    the budget implied by [options.deadline] (or unlimited); an
+    escaping [Out_of_memory] is converted to
+    [Resilience.Budget.Exhausted Memory]. *)
 
-val synthesize_sbdd : ?options:options -> name:string -> Bdd.Sbdd.t -> result
+val synthesize_sbdd :
+  ?options:options ->
+  ?budget:Resilience.Budget.t ->
+  name:string ->
+  Bdd.Sbdd.t ->
+  result
 
-val synthesize : ?options:options -> Logic.Netlist.t -> result
+val synthesize :
+  ?options:options -> ?budget:Resilience.Budget.t -> Logic.Netlist.t -> result
 (** Full flow from a netlist (single shared SBDD — the §VII-A default).
-    @raise Bdd.Manager.Size_limit if the BDD exceeds the node budget. *)
+    @raise Bdd.Manager.Size_limit if the BDD exceeds the node budget.
+    @raise Resilience.Budget.Exhausted on cancellation or node/memory
+    budget exhaustion during the BDD build (wall-deadline expiry instead
+    degrades the labeling — see {!options.deadline}). *)
 
 val synthesize_expr :
   ?options:options -> name:string -> Logic.Expr.t -> result
 (** Single-output convenience wrapper. *)
 
 val synthesize_separate_robdds :
-  ?options:options -> Logic.Netlist.t -> result list * Crossbar.Design.t
+  ?options:options ->
+  ?budget:Resilience.Budget.t ->
+  Logic.Netlist.t ->
+  result list * Crossbar.Design.t
 (** The multiple-ROBDD mode of Table III / prior work: one single-output
     ROBDD and crossbar per output, plus their diagonal merge sharing one
     input wordline. Alignment is forced on (the merge requires ports on
@@ -82,6 +112,7 @@ type repair_result = {
 
 val repair :
   ?options:options ->
+  ?budget:Resilience.Budget.t ->
   defects:Crossbar.Defect_map.t ->
   Logic.Netlist.t ->
   repair_result
@@ -157,7 +188,11 @@ type harden_result = {
 }
 
 val harden :
-  ?options:options -> ?hopts:harden_options -> Logic.Netlist.t -> harden_result
+  ?options:options ->
+  ?hopts:harden_options ->
+  ?budget:Resilience.Budget.t ->
+  Logic.Netlist.t ->
+  harden_result
 (** Synthesise, enumerate electrical variants (alternate labelings on
     the shared preprocessed graph, then line permutations of each),
     deduplicate, score every candidate's worst-case corner margin, and

@@ -27,6 +27,7 @@ type t = {
   gamma : float;
   solver_path : string list;
   solver_retries : int;
+  deadline_hit : bool;
   bdd_stats : Bdd.Manager.stats option;
   analog : analog_summary option;
 }
@@ -54,8 +55,8 @@ let check r =
 
 let rungs r = String.concat "->" r.solver_path
 
-let of_design ?solver_path ?bdd_stats ~circuit ~bdd_graph ~labeling
-    ~synthesis_time design =
+let of_design ?solver_path ?(deadline_hit = false) ?bdd_stats ~circuit
+    ~bdd_graph ~labeling ~synthesis_time design =
   let gap =
     if labeling.Types.optimal then 0.
     else if labeling.objective <= 0. then 1.
@@ -91,6 +92,7 @@ let of_design ?solver_path ?bdd_stats ~circuit ~bdd_graph ~labeling
       (match solver_path with
        | Some p -> retries_of_path p
        | None -> 0);
+    deadline_hit;
     bdd_stats;
     analog = None;
   }
@@ -125,6 +127,9 @@ let pp ppf r =
     Format.fprintf ppf "@,solver fallback: %s (%d retr%s)" (rungs r)
       r.solver_retries
       (if r.solver_retries = 1 then "y" else "ies");
+  if r.deadline_hit then
+    Format.fprintf ppf
+      "@,DEADLINE HIT: budget exhausted, result is the degraded incumbent";
   (match r.analog with
    | None -> ()
    | Some a ->

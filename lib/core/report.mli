@@ -42,6 +42,11 @@ type t = {
           the last produced this labeling. Singleton when the first
           choice succeeded. *)
   solver_retries : int;  (** [List.length solver_path - 1] *)
+  deadline_hit : bool;
+      (** the run's work budget (e.g. a [--deadline]) exhausted during
+          synthesis: the design is the verified degraded incumbent, not
+          the full-effort result. The CLI maps this to a non-zero exit
+          code. *)
   bdd_stats : Bdd.Manager.stats option;
       (** unique-table / op-cache counters of the manager the circuit's
           SBDD was built in; [None] when synthesis started from a
@@ -59,6 +64,7 @@ val with_analog : t -> Crossbar.Margin.analysis -> t
 
 val of_design :
   ?solver_path:string list ->
+  ?deadline_hit:bool ->
   ?bdd_stats:Bdd.Manager.stats ->
   circuit:string ->
   bdd_graph:Types.bdd_graph ->

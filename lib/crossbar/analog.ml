@@ -294,7 +294,11 @@ let cg_solve opts net ~v_in x =
   in
   let stop = ref None in
   while !stop = None do
-    if !residual <= opts.cg_tol then stop := Some Converged
+    (* Chaos-battery checkpoint: a spuriously diverging CG exercises the
+       dense-rescue and No_convergence paths downstream. *)
+    if Resilience.Inject.fire Resilience.Inject.Cg_divergence then
+      stop := Some Diverged
+    else if !residual <= opts.cg_tol then stop := Some Converged
     else if not (Float.is_finite !residual) || !residual > 1e6 *. (initial +. 1.)
     then stop := Some Diverged
     else if !iterations - !best_iter > opts.stagnation_window then

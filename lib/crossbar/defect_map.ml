@@ -166,8 +166,21 @@ let to_string t =
     (broken_cols t);
   Buffer.contents b
 
+exception Parse_error of { line : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; msg } ->
+      Some
+        (if line > 0 then Printf.sprintf "defect map, line %d: %s" line msg
+         else Printf.sprintf "defect map: %s" msg)
+    | _ -> None)
+
 let of_string s =
-  let fail line msg = failwith (Printf.sprintf "defect map, line %d: %s" line msg) in
+  (* Chaos-battery checkpoint: a truncated read of the map file must
+     surface as a parse error, never as an escaping exception. *)
+  let s = Resilience.Inject.truncate s in
+  let fail line msg = raise (Parse_error { line; msg }) in
   let dims = ref None in
   let spares = ref (0, 0) in
   let faults = ref [] in
@@ -204,12 +217,21 @@ let of_string s =
        | w :: _ -> fail lineno (Printf.sprintf "unknown directive %S" w))
     (String.split_on_char '\n' s);
   match !dims with
-  | None -> failwith "defect map: missing 'array ROWS COLS' line"
+  | None ->
+    raise (Parse_error { line = 0; msg = "missing 'array ROWS COLS' line" })
   | Some (rows, cols) ->
     let spare_rows, spare_cols = !spares in
-    create ~rows ~cols ~spare_rows ~spare_cols
-      ~broken_rows:(List.rev !broken_rows) ~broken_cols:(List.rev !broken_cols)
-      (List.rev !faults)
+    (* Semantic range errors (negative dimensions, out-of-range fault
+       coordinates) surface from [create] as [Invalid_argument]; for
+       parsed text they are malformed input like any other. *)
+    (match
+       create ~rows ~cols ~spare_rows ~spare_cols
+         ~broken_rows:(List.rev !broken_rows)
+         ~broken_cols:(List.rev !broken_cols)
+         (List.rev !faults)
+     with
+     | t -> t
+     | exception Invalid_argument msg -> raise (Parse_error { line = 0; msg }))
 
 let parse_file path =
   let ic = open_in path in

@@ -98,9 +98,14 @@ val random :
 
 val to_string : t -> string
 
+exception Parse_error of { line : int; msg : string }
+(** Malformed text input — unknown directives, non-integer fields,
+    duplicate or missing [array] lines, and out-of-range coordinates all
+    raise this one structured error ([line = 0] for file-level
+    problems), so callers need a single handler for any corrupt map. *)
+
 val of_string : string -> t
-(** @raise Failure with a line number on malformed input;
-    @raise Invalid_argument on out-of-range coordinates. *)
+(** @raise Parse_error on malformed input. *)
 
 val parse_file : string -> t
 val write_file : string -> t -> unit

@@ -25,11 +25,11 @@ let finish g transversal ~optimal ~lower_bound ~elapsed =
   | None -> invalid_arg "Oct: internal error, residual not bipartite"
   | Some coloring -> { transversal; coloring; optimal; lower_bound; elapsed }
 
-let solve ?(time_limit = infinity) g =
+let solve ?budget g =
   let start = Obs.Clock.now () in
   let n = Ugraph.num_nodes g in
   let p = Product.with_k2 g in
-  let vc = Vertex_cover.solve ~time_limit p in
+  let vc = Vertex_cover.solve ?budget p in
   let transversal = ref [] in
   for v = n - 1 downto 0 do
     if vc.cover.(v) && vc.cover.(v + n) then transversal := v :: !transversal

@@ -15,8 +15,8 @@ type result = {
   elapsed : float;
 }
 
-val solve : ?time_limit:float -> Ugraph.t -> result
-(** Exact (anytime under a time limit) minimum OCT via vertex cover of
+val solve : ?budget:Resilience.Budget.t -> Ugraph.t -> result
+(** Exact (anytime under a budget) minimum OCT via vertex cover of
     G□K2. The residual graph is always bipartite and [coloring] is a valid
     2-colouring of it. *)
 

@@ -78,7 +78,7 @@ exception Out_of_time
    forces all its undecided neighbours In. *)
 let c_nodes = Obs.Counter.make "vc.nodes"
 
-let solve ?(time_limit = infinity) ?(kernelize = true) g =
+let solve ?(budget = Resilience.Budget.unlimited) ?(kernelize = true) g =
   let start = Obs.Clock.now () in
   let n = Ugraph.num_nodes g in
   let neighbors = Array.init n (fun v -> Array.of_list (Ugraph.neighbors g v)) in
@@ -204,10 +204,12 @@ let solve ?(time_limit = infinity) ?(kernelize = true) g =
   in
   let rec branch () =
     incr explored;
-    if !explored land 255 = 0 && Obs.Clock.now () -. start > time_limit
-    then begin
-      timed_out := true;
-      raise Out_of_time
+    if !explored land 255 = 0 then begin
+      Resilience.Budget.consume_nodes budget 256;
+      if Resilience.Budget.exhausted budget then begin
+        timed_out := true;
+        raise Out_of_time
+      end
     end;
     let mark = !trail in
     apply_reductions ();

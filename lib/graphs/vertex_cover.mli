@@ -24,10 +24,14 @@ val lp_bound : Ugraph.t -> float
 (** Optimum of the LP relaxation (half-integral), via the bipartite double
     cover. A valid lower bound on the integral optimum. *)
 
-val solve : ?time_limit:float -> ?kernelize:bool -> Ugraph.t -> result
-(** [solve g] computes a minimum vertex cover, stopping early after
-    [time_limit] seconds (default: unlimited) with the best cover found so
-    far. The returned [cover] is always a valid vertex cover.
+val solve :
+  ?budget:Resilience.Budget.t -> ?kernelize:bool -> Ugraph.t -> result
+(** [solve g] computes a minimum vertex cover, stopping early when
+    [budget] (default: [Resilience.Budget.unlimited]) exhausts — polled
+    every 256 branch & bound nodes, which are also charged against the
+    budget's node allowance — and returning the best cover found so far
+    ([optimal = false]). The returned [cover] is always a valid vertex
+    cover; the solver never raises on exhaustion.
     [kernelize] (default true) controls the Nemhauser–Trotter LP
     kernelisation; disabling it exists for ablation studies. *)
 

@@ -14,11 +14,11 @@ let nt_kernel config =
     (fun (name, (bg : Compact.Types.bdd_graph)) ->
        let product = Graphs.Product.with_k2 bg.graph in
        let with_k =
-         Graphs.Vertex_cover.solve ~time_limit:config.Experiments.time_limit
+         Graphs.Vertex_cover.solve ~budget:(Resilience.Budget.seconds config.Experiments.time_limit)
            ~kernelize:true product
        in
        let without =
-         Graphs.Vertex_cover.solve ~time_limit:config.Experiments.time_limit
+         Graphs.Vertex_cover.solve ~budget:(Resilience.Budget.seconds config.Experiments.time_limit)
            ~kernelize:false product
        in
        data := (name, with_k, without) :: !data;
@@ -45,7 +45,7 @@ let balance_dp config =
   List.iter
     (fun (name, (bg : Compact.Types.bdd_graph)) ->
        let oct =
-         Graphs.Oct.solve ~time_limit:config.Experiments.time_limit bg.graph
+         Graphs.Oct.solve ~budget:(Resilience.Budget.seconds config.Experiments.time_limit) bg.graph
        in
        let n = Graphs.Ugraph.num_nodes bg.graph in
        let transversal = Array.make n false in
@@ -89,7 +89,7 @@ let mip_nodes config ~warm ~cut (bg : Compact.Types.bdd_graph) =
   let gamma = 0.5 in
   let warm_start =
     if warm then
-      Some (Compact.Label_heuristic.solve ~time_limit:1. ~alignment:true ~gamma bg)
+      Some (Compact.Label_heuristic.solve ~budget:(Resilience.Budget.seconds 1.) ~alignment:true ~gamma bg)
     else None
   in
   let oct_cut = if cut then Some 0 else None in
@@ -97,10 +97,10 @@ let mip_nodes config ~warm ~cut (bg : Compact.Types.bdd_graph) =
   let labeling =
     match warm_start with
     | Some w ->
-      Compact.Label_mip.solve ~time_limit:config.Experiments.time_limit
+      Compact.Label_mip.solve ~budget:(Resilience.Budget.seconds config.Experiments.time_limit)
         ~alignment:true ~gamma ~warm_start:w bg
     | None ->
-      Compact.Label_mip.solve ~time_limit:config.Experiments.time_limit
+      Compact.Label_mip.solve ~budget:(Resilience.Budget.seconds config.Experiments.time_limit)
         ~alignment:true ~gamma bg
   in
   List.length labeling.trace, labeling
@@ -136,15 +136,15 @@ let oct_cut config =
        let gamma = 0.5 in
        let time_limit = config.Experiments.time_limit in
        let oct =
-         Graphs.Oct.solve ~time_limit:(time_limit /. 2.) bg.graph
+         Graphs.Oct.solve ~budget:(Resilience.Budget.seconds (time_limit /. 2.)) bg.graph
        in
        let k = if oct.optimal then List.length oct.transversal else oct.lower_bound in
        let with_cut =
-         Compact.Label_mip.solve ~time_limit ~alignment:true ~gamma
+         Compact.Label_mip.solve ~budget:(Resilience.Budget.seconds time_limit) ~alignment:true ~gamma
            ~oct_cut:k bg
        in
        let without =
-         Compact.Label_mip.solve ~time_limit ~alignment:true ~gamma
+         Compact.Label_mip.solve ~budget:(Resilience.Budget.seconds time_limit) ~alignment:true ~gamma
            ~oct_cut:0 bg
        in
        data :=

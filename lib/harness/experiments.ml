@@ -51,7 +51,7 @@ let order_of config (e : Circuits.Suite.entry) =
       (* Polish small/medium circuits with the annealing order search. *)
       if config.anneal_budget > 0 && size <= anneal_threshold then
         fst
-          (Bdd.Reorder.anneal ~budget:config.anneal_budget
+          (Bdd.Reorder.anneal ~steps:config.anneal_budget
              ~node_limit:config.bdd_node_limit ~initial:order nl)
       else order
     in
@@ -248,6 +248,7 @@ let report_of_staircase (e : Circuits.Suite.entry) (s : Baseline.Staircase.resul
     gamma = nan;
     solver_path = [ "staircase[16]" ];
     solver_retries = 0;
+    deadline_hit = false;
     bdd_stats = None;
     analog = None;
   }
@@ -310,6 +311,7 @@ let robdds_of config (e : Circuits.Suite.entry) =
         gamma = 0.5;
         solver_path = [ "robdds" ];
         solver_retries = 0;
+        deadline_hit = false;
         bdd_stats = None;
         analog = None;
       })
@@ -405,7 +407,8 @@ let fig10 config =
            Compact.Types.VH)
     in
     let labeling =
-      Compact.Label_mip.solve ~time_limit:(4. *. config.time_limit)
+      Compact.Label_mip.solve
+        ~budget:(Resilience.Budget.seconds (4. *. config.time_limit))
         ~alignment:true ~gamma ~warm_start:all_vh bg
     in
     Printf.printf

@@ -95,8 +95,8 @@ type node = {
 
 let c_nodes = Obs.Counter.make "bb.nodes"
 
-let solve ?(time_limit = infinity) ?(node_limit = max_int) ?initial
-    ?(integer_tolerance = 1e-6) ?(jobs = 1) problem =
+let solve ?(budget = Resilience.Budget.unlimited) ?(node_limit = max_int)
+    ?initial ?(integer_tolerance = 1e-6) ?(jobs = 1) problem =
   let start = Obs.Clock.now () in
   let elapsed () = Obs.Clock.now () -. start in
   let dir =
@@ -191,7 +191,8 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?initial
   if jobs <= 1 then
     (* Sequential path: best-bound-first, one node at a time. *)
     while (not !hit_limit) && not (Heap.is_empty heap) do
-      if elapsed () > time_limit || !nodes >= node_limit then hit_limit := true
+      if Resilience.Budget.exhausted budget || !nodes >= node_limit then
+        hit_limit := true
       else begin
         let node = Heap.pop heap in
         let bound_improved = node.score > !best_bound +. 1e-9 in
@@ -200,6 +201,7 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?initial
         if not (!have_incumbent && node.score >= !incumbent_score -. 1e-9)
         then begin
           incr nodes;
+          Resilience.Budget.consume_nodes budget 1;
           process node
             (Obs.Span.with_ "lp-relax" (fun () ->
                  Lp.Problem.solve_relaxation ~bounds:node.fixings problem))
@@ -218,7 +220,8 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?initial
        never admits more nodes than the remaining node budget. *)
     Parallel.with_pool ~jobs (fun pool ->
     while (not !hit_limit) && not (Heap.is_empty heap) do
-      if elapsed () > time_limit || !nodes >= node_limit then hit_limit := true
+      if Resilience.Budget.exhausted budget || !nodes >= node_limit then
+        hit_limit := true
       else begin
         let batch = ref [] in
         let admitted = ref 0 in
@@ -231,6 +234,7 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?initial
           if not (!have_incumbent && node.score >= !incumbent_score -. 1e-9)
           then begin
             incr nodes;
+            Resilience.Budget.consume_nodes budget 1;
             batch := node :: !batch;
             incr admitted
           end

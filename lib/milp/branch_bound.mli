@@ -1,9 +1,9 @@
 (** Mixed-integer linear programming by LP-based branch & bound.
 
     Replaces the CPLEX dependency of the paper. The solver is *anytime*:
-    under a time limit it returns the best incumbent, the best proven bound
-    and the relative gap, and it records a convergence trace — exactly the
-    quantities plotted in Figs 10 and 11 of the paper.
+    under a work budget it returns the best incumbent, the best proven
+    bound and the relative gap, and it records a convergence trace —
+    exactly the quantities plotted in Figs 10 and 11 of the paper.
 
     Branching: most-fractional integer variable; node selection:
     best-bound-first. An initial incumbent (e.g. from a combinatorial
@@ -11,8 +11,8 @@
 
 type status =
   | Optimal  (** incumbent proven optimal *)
-  | Feasible  (** time limit hit with an incumbent *)
-  | No_incumbent  (** time limit hit before any integer solution *)
+  | Feasible  (** budget exhausted with an incumbent *)
+  | No_incumbent  (** budget exhausted before any integer solution *)
   | Infeasible
 
 type trace_point = {
@@ -55,7 +55,7 @@ module Heap : sig
 end
 
 val solve :
-  ?time_limit:float ->
+  ?budget:Resilience.Budget.t ->
   ?node_limit:int ->
   ?initial:float array * float ->
   ?integer_tolerance:float ->
@@ -66,6 +66,15 @@ val solve :
     variables marked integer restricted to integral values.
     [initial = (point, value)] seeds the incumbent — the point is trusted
     to be feasible. Default [integer_tolerance] is [1e-6].
+
+    [budget] (default unlimited) is polled at the head of every
+    expansion round and each expanded node is charged against its node
+    allowance; on exhaustion the solver stops and reports the incumbent
+    and bound found so far — it never raises. [node_limit] is the
+    solver-local cap retained for per-call experiments; the budget's
+    node allowance spans a whole pipeline stage. The LP relaxations of
+    an already-admitted round always run to completion, keeping the
+    merge deterministic.
 
     [jobs] (default 1) parallelises the search over a domain pool in
     synchronous rounds: each round pops up to [jobs] surviving nodes

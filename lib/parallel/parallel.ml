@@ -37,6 +37,7 @@ let c_submitted = Obs.Counter.make "pool.tasks_submitted"
 let c_worker = Obs.Counter.make "pool.tasks_worker"
 let c_helped = Obs.Counter.make "pool.tasks_helped"
 let c_idle_waits = Obs.Counter.make "pool.idle_waits"
+let c_skipped = Obs.Counter.make "pool.tasks_skipped"
 
 let rec worker_loop p =
   Mutex.lock p.mutex;
@@ -49,7 +50,12 @@ let rec worker_loop p =
     let task = Queue.pop p.queue in
     Mutex.unlock p.mutex;
     Obs.Counter.incr c_worker;
-    task ();
+    (* A task records its own outcome and must not raise, but an
+       asynchronous exception (Out_of_memory between the handler and the
+       slot store) could still escape.  Swallow it here: the task has a
+       second-chance recorder for its slot, and a worker that died
+       instead of looping would silently halve the pool. *)
+    (try task () with _ -> ());
     worker_loop p
   end
 
@@ -91,10 +97,24 @@ let with_pool ?jobs f =
   in
   Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
 
-let run (type a) p (thunks : (unit -> a) array) : a array =
+(* The sequential (jobs = 1) poll: identical fault surface to a pooled
+   task, so the chaos battery exercises the same sites at every jobs
+   count.  Both calls are single-load no-ops when nothing is armed and
+   no budget was passed. *)
+let seq_poll budget =
+  Resilience.Inject.poison_pool ();
+  Resilience.Budget.check budget
+
+let run (type a) ?(budget = Resilience.Budget.unlimited) p
+    (thunks : (unit -> a) array) : a array =
   if p.closed then invalid_arg "Parallel.run: pool is shut down";
   let n = Array.length thunks in
-  if p.n_jobs = 1 || n <= 1 then Array.map (fun f -> f ()) thunks
+  if p.n_jobs = 1 || n <= 1 then
+    Array.map
+      (fun f ->
+        seq_poll budget;
+        f ())
+      thunks
   else begin
     let results : (a, exn * Printexc.raw_backtrace) result option array =
       Array.make n None
@@ -104,17 +124,47 @@ let run (type a) p (thunks : (unit -> a) array) : a array =
        record land at the same logical path for every jobs count — the
        drained span tree is then jobs-independent by construction. *)
     let ctx = Obs.context () in
-    let task i () =
-      let outcome =
-        match Obs.with_context ctx (fun () -> thunks.(i) ()) with
-        | v -> Ok v
-        | exception e -> Error (e, Printexc.get_raw_backtrace ())
-      in
+    let record i outcome =
       Mutex.lock p.mutex;
-      results.(i) <- Some outcome;
-      decr remaining;
-      if !remaining = 0 then Condition.broadcast p.batch_done;
+      if results.(i) = None then begin
+        results.(i) <- Some outcome;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast p.batch_done
+      end;
       Mutex.unlock p.mutex
+    in
+    let task i () =
+      match
+        let outcome =
+          (* Poll the budget before starting: a cancelled or expired
+             batch skips the remaining queued thunks instead of running
+             them to completion.  FIFO pop order guarantees every
+             skipped index is above every started one. *)
+          match Resilience.Budget.state budget with
+          | Some r ->
+            Obs.Counter.incr c_skipped;
+            Error
+              (Resilience.Budget.Exhausted r, Printexc.get_callstack 0)
+          | None ->
+            (match
+               Obs.with_context ctx (fun () ->
+                   Resilience.Inject.poison_pool ();
+                   thunks.(i) ())
+             with
+             | v -> Ok v
+             | exception e ->
+               (* First failure cancels the rest of the batch — a no-op
+                  unless the caller passed a real (cancellable) budget. *)
+               Resilience.Budget.cancel budget;
+               Error (e, Printexc.get_raw_backtrace ()))
+        in
+        record i outcome
+      with
+      | () -> ()
+      | exception e ->
+        (* Async exception escaped even the handler above; make sure the
+           slot still lands so the batch drains. *)
+        record i (Error (e, Printexc.get_raw_backtrace ()))
     in
     Obs.Counter.add c_submitted n;
     Mutex.lock p.mutex;
@@ -130,7 +180,7 @@ let run (type a) p (thunks : (unit -> a) array) : a array =
         let task = Queue.pop p.queue in
         Mutex.unlock p.mutex;
         Obs.Counter.incr c_helped;
-        task ();
+        (try task () with _ -> ());
         Mutex.lock p.mutex;
         help ()
       end
@@ -140,11 +190,31 @@ let run (type a) p (thunks : (unit -> a) array) : a array =
       end
     in
     help ();
+    (* Re-raise the earliest root failure.  Cancellation skips are a
+       consequence of some other task failing (or the deadline passing
+       before the batch started), so a real error at a lower index —
+       and FIFO order puts every skip above every started task — wins
+       over the [Exhausted Cancelled] it caused. *)
+    let first_err = ref None in
+    let first_root = ref None in
+    Array.iter
+      (function
+        | Some (Error (e, bt)) ->
+          if !first_err = None then first_err := Some (e, bt);
+          (match e with
+           | Resilience.Budget.Exhausted Resilience.Budget.Cancelled -> ()
+           | _ -> if !first_root = None then first_root := Some (e, bt))
+        | _ -> ())
+      results;
+    (match
+       match !first_root with Some _ as s -> s | None -> !first_err
+     with
+     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+     | None -> ());
     Array.map
       (function
         | Some (Ok v) -> v
-        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-        | None -> assert false)
+        | Some (Error _) | None -> assert false)
       results
   end
 
@@ -163,22 +233,47 @@ let chunks_of ~chunk xs =
   in
   go [] xs
 
-let map ?(chunk = 1) p f xs =
-  if p.n_jobs = 1 then List.map f xs
+let map ?budget ?(chunk = 1) p f xs =
+  if p.n_jobs = 1 then
+    let budget =
+      match budget with Some b -> b | None -> Resilience.Budget.unlimited
+    in
+    List.map
+      (fun x ->
+        seq_poll budget;
+        f x)
+      xs
   else if chunk <= 1 then
-    Array.to_list (run p (Array.of_list (List.map (fun x () -> f x) xs)))
+    Array.to_list
+      (run ?budget p (Array.of_list (List.map (fun x () -> f x) xs)))
   else
     chunks_of ~chunk xs
     |> List.map (fun c () -> List.map f c)
     |> Array.of_list
-    |> run p
+    |> run ?budget p
     |> Array.to_list
     |> List.concat
 
-let map_array ?chunk p f xs =
-  if p.n_jobs = 1 then Array.map f xs
-  else Array.of_list (map ?chunk p f (Array.to_list xs))
+let map_array ?budget ?chunk p f xs =
+  if p.n_jobs = 1 then
+    let b =
+      match budget with Some b -> b | None -> Resilience.Budget.unlimited
+    in
+    Array.map
+      (fun x ->
+        seq_poll b;
+        f x)
+      xs
+  else Array.of_list (map ?budget ?chunk p f (Array.to_list xs))
 
-let map_reduce ?chunk p ~map:f ~reduce ~init xs =
-  if p.n_jobs = 1 then List.fold_left (fun acc x -> reduce acc (f x)) init xs
-  else List.fold_left reduce init (map ?chunk p f xs)
+let map_reduce ?budget ?chunk p ~map:f ~reduce ~init xs =
+  if p.n_jobs = 1 then
+    let b =
+      match budget with Some b -> b | None -> Resilience.Budget.unlimited
+    in
+    List.fold_left
+      (fun acc x ->
+        seq_poll b;
+        reduce acc (f x))
+      init xs
+  else List.fold_left reduce init (map ?budget ?chunk p f xs)

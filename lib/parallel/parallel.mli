@@ -14,7 +14,19 @@
     - {b Exceptions propagate and never wedge the pool.} A task that
       raises stores its exception; after the whole batch has drained,
       the exception of the {e earliest} failed task is re-raised with
-      its backtrace. Workers survive and the pool remains usable.
+      its backtrace. Workers survive — even an asynchronous
+      [Out_of_memory] escaping a task's own handler is recorded into
+      its slot and swallowed by the worker loop — and the pool remains
+      usable for the next batch.
+    - {b Budgets abort batches cooperatively.} When a cancellable
+      [?budget] is passed, the first failing task cancels it, and every
+      task polls the budget before starting: queued-but-unstarted tasks
+      are skipped with [Budget.Exhausted]. FIFO dispatch puts every
+      skipped index above every started one, so after the drain the
+      earliest {e root} failure (not the [Exhausted Cancelled] it
+      caused) is re-raised deterministically. With the default
+      [Budget.unlimited] — which cannot be cancelled — the old
+      drain-everything behaviour is unchanged.
 
     The pool is not re-entrant: calling {!run}/{!map} from inside a
     task of the same pool (or submitting from two domains at once) is
@@ -45,20 +57,38 @@ val with_pool : ?jobs:int -> (pool -> 'a) -> 'a
 (** [create], run the function, and {!shutdown} even on exceptions.
     [jobs] defaults to {!default_jobs}[ ()]. *)
 
-val run : pool -> (unit -> 'a) array -> 'a array
+val run :
+  ?budget:Resilience.Budget.t -> pool -> (unit -> 'a) array -> 'a array
 (** Execute every thunk, possibly concurrently, and return their
     results in submission order. See the module preamble for the
-    determinism and exception contract. *)
+    determinism, exception and budget contract. [budget] defaults to
+    [Resilience.Budget.unlimited]; at jobs = 1 the budget is polled
+    between elements so sequential and pooled runs share one abort
+    surface. *)
 
-val map : ?chunk:int -> pool -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?budget:Resilience.Budget.t ->
+  ?chunk:int ->
+  pool ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** Order-preserving parallel map. [chunk] (default 1) groups that many
     consecutive elements into one task to amortise queue traffic when
     the per-element work is small; chunking never changes the result
-    order. With one job this is exactly [List.map f xs]. *)
+    order. With one job this is exactly [List.map f xs] plus a budget
+    poll per element. *)
 
-val map_array : ?chunk:int -> pool -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?budget:Resilience.Budget.t ->
+  ?chunk:int ->
+  pool ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 
 val map_reduce :
+  ?budget:Resilience.Budget.t ->
   ?chunk:int ->
   pool ->
   map:('a -> 'b) ->

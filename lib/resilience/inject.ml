@@ -1,0 +1,140 @@
+type point = Timeout | Oom | Cg_divergence | Pool_poison | Defect_truncate
+
+let all = [ Timeout; Oom; Cg_divergence; Pool_poison; Defect_truncate ]
+let num_points = List.length all
+
+let index = function
+  | Timeout -> 0
+  | Oom -> 1
+  | Cg_divergence -> 2
+  | Pool_poison -> 3
+  | Defect_truncate -> 4
+
+let name = function
+  | Timeout -> "timeout"
+  | Oom -> "oom"
+  | Cg_divergence -> "cg-divergence"
+  | Pool_poison -> "pool-poison"
+  | Defect_truncate -> "defect-truncate"
+
+let of_name s = List.find_opt (fun p -> String.equal (name p) s) all
+
+(* One state value per [configure]; swapping the whole record atomically
+   means a concurrent [fire] sees either the old or the new schedule,
+   never a mix. Counter cells are atomics so domains can race on them. *)
+type state = {
+  seed : int;
+  armed : bool array;
+  call_counts : int Atomic.t array;
+  fire_counts : int Atomic.t array;
+}
+
+let current : state option Atomic.t = Atomic.make None
+
+let c_fires =
+  (* Pre-allocated metric cells; Obs registers them lazily on first hit. *)
+  Array.of_list (List.map (fun p -> Obs.Counter.make ("inject." ^ name p)) all)
+
+let configure ?(seed = 0) points =
+  let armed = Array.make num_points false in
+  List.iter (fun p -> armed.(index p) <- true) points;
+  Atomic.set current
+    (Some
+       {
+         seed;
+         armed;
+         call_counts = Array.init num_points (fun _ -> Atomic.make 0);
+         fire_counts = Array.init num_points (fun _ -> Atomic.make 0);
+       })
+
+let disable () = Atomic.set current None
+let enabled () = Atomic.get current <> None
+
+let with_points ?seed points f =
+  configure ?seed points;
+  Fun.protect ~finally:disable f
+
+let parse_spec spec =
+  let spec = String.trim spec in
+  let points_str, seed =
+    match String.index_opt spec '@' with
+    | None -> spec, 0
+    | Some i ->
+      let s = String.sub spec (i + 1) (String.length spec - i - 1) in
+      (match int_of_string_opt (String.trim s) with
+       | Some seed -> String.sub spec 0 i, seed
+       | None -> raise (Invalid_argument (Printf.sprintf "bad seed %S" s)))
+  in
+  let points =
+    String.split_on_char ',' points_str
+    |> List.map String.trim
+    |> List.filter (fun w -> w <> "")
+    |> List.concat_map (fun w ->
+        if String.equal w "all" then all
+        else
+          match of_name w with
+          | Some p -> [ p ]
+          | None ->
+            raise
+              (Invalid_argument
+                 (Printf.sprintf "unknown injection point %S (expected %s)" w
+                    (String.concat ", " (List.map name all)))))
+  in
+  if points = [] then raise (Invalid_argument "no injection points given");
+  seed, points
+
+let configure_from_env () =
+  match Sys.getenv_opt "COMPACT_INJECT" with
+  | None | Some "" -> Ok ()
+  | Some spec ->
+    (match parse_spec spec with
+     | seed, points ->
+       configure ~seed points;
+       Ok ()
+     | exception Invalid_argument msg -> Error ("COMPACT_INJECT: " ^ msg))
+
+(* Call [n] of point [p] under seed [s] fires iff hash (s, p, n) lands in
+   the bottom quarter — deterministic, and spread over the call stream so
+   a fault strikes mid-solve, not only at the first poll. *)
+let schedule_hit seed idx n = Hashtbl.hash (seed, idx, n) land 3 = 0
+
+let fire p =
+  match Atomic.get current with
+  | None -> false
+  | Some st ->
+    let i = index p in
+    if not st.armed.(i) then false
+    else begin
+      let n = Atomic.fetch_and_add st.call_counts.(i) 1 in
+      let hit = schedule_hit st.seed i n in
+      if hit then begin
+        Atomic.incr st.fire_counts.(i);
+        Obs.Counter.incr c_fires.(i);
+        Obs.Span.event "inject"
+          ~attrs:[ "point", name p; "call", string_of_int n ]
+      end;
+      hit
+    end
+
+let oom () = if fire Oom then raise Out_of_memory
+let poison_pool () = if fire Pool_poison then raise Out_of_memory
+
+let truncate s =
+  if not (fire Defect_truncate) then s
+  else
+    match Atomic.get current with
+    | None -> s
+    | Some st ->
+      let len = String.length s in
+      if len = 0 then s
+      else
+        String.sub s 0
+          (Hashtbl.hash (st.seed, `Truncate, Atomic.get st.call_counts.(index Defect_truncate)) mod len)
+
+let counter_get cells p =
+  match Atomic.get current with
+  | None -> 0
+  | Some st -> Atomic.get (cells st).(index p)
+
+let calls p = counter_get (fun st -> st.call_counts) p
+let fired p = counter_get (fun st -> st.fire_counts) p

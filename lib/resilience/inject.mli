@@ -1,0 +1,77 @@
+(** Seeded, deterministic fault injection.
+
+    Each {!point} names a class of software fault the pipeline must
+    degrade through cleanly.  Production code consults a point with
+    {!fire} (or a convenience wrapper) at the site where the real fault
+    would surface; the chaos battery arms points with {!configure} and
+    asserts every run still ends in a verified design or a structured
+    error.
+
+    When no configuration is armed — the default — every entry point is
+    a single atomic load and branch, so injection sites can stay
+    compiled into hot paths (same contract as [Obs] recording).
+
+    {b Determinism.}  Whether call [n] to an armed point fires is a pure
+    function of [(seed, point, n)], so a sequential run replays
+    identically for a fixed seed.  Under a domain pool the *interleaving*
+    of calls may differ between jobs counts; the battery therefore
+    asserts structured outcomes, not byte-identical ones, for armed
+    runs. *)
+
+type point =
+  | Timeout  (** budget polls spuriously report exhaustion *)
+  | Oom  (** [Out_of_memory] raised at allocation checkpoints *)
+  | Cg_divergence  (** the analog CG watchdog declares divergence *)
+  | Pool_poison  (** a domain-pool task dies with [Out_of_memory] *)
+  | Defect_truncate  (** defect-map text truncated before parsing *)
+
+val all : point list
+val name : point -> string
+(** Stable kebab-case name, e.g. ["cg-divergence"]. *)
+
+val of_name : string -> point option
+
+(** {1 Arming} *)
+
+val configure : ?seed:int -> point list -> unit
+(** Arm the given points (replacing any previous configuration).
+    [seed] defaults to 0. *)
+
+val disable : unit -> unit
+(** Return to the no-op state. *)
+
+val enabled : unit -> bool
+
+val with_points : ?seed:int -> point list -> (unit -> 'a) -> 'a
+(** [configure], run, then [disable] (also on exceptions). *)
+
+val configure_from_env : unit -> (unit, string) result
+(** Read [COMPACT_INJECT] ("point,point@seed", or "all@seed"; "@seed"
+    optional) and arm accordingly.  [Ok ()] when the variable is unset.
+    Never arms anything on [Error]. *)
+
+(** {1 Injection sites} *)
+
+val fire : point -> bool
+(** [true] when the point is armed and this call is selected by the
+    deterministic schedule (roughly one call in four).  Records an
+    [inject] event and bumps the [inject.<name>] counter in [Obs] on
+    every hit. *)
+
+val oom : unit -> unit
+(** Raise [Out_of_memory] when {!fire}[ Oom]. *)
+
+val poison_pool : unit -> unit
+(** Raise [Out_of_memory] when {!fire}[ Pool_poison]. *)
+
+val truncate : string -> string
+(** When {!fire}[ Defect_truncate], cut the string at a
+    seed-deterministic offset; otherwise return it unchanged. *)
+
+(** {1 Introspection (for the chaos battery)} *)
+
+val calls : point -> int
+(** Times an armed [fire] consulted the schedule since [configure]. *)
+
+val fired : point -> int
+(** Times it returned [true]. *)

@@ -380,7 +380,7 @@ let reorder_tests =
   [
     Alcotest.test_case "anneal returns a permutation" `Quick (fun () ->
         let nl = Lazy.force adder in
-        let order, _ = Bdd.Reorder.anneal ~budget:30 nl in
+        let order, _ = Bdd.Reorder.anneal ~steps:30 nl in
         check
           Alcotest.(list string)
           "perm"
@@ -391,7 +391,7 @@ let reorder_tests =
          let nl = Lazy.force adder in
          let initial = Bdd.Order.dfs_fanin nl in
          let initial_size = Bdd.Sbdd.size (Bdd.Sbdd.of_netlist ~order:initial nl) in
-         let order, stats = Bdd.Reorder.anneal ~budget:40 ~initial nl in
+         let order, stats = Bdd.Reorder.anneal ~steps:40 ~initial nl in
          check ti "reported initial" initial_size stats.initial_size;
          let final = Bdd.Sbdd.size (Bdd.Sbdd.of_netlist ~order nl) in
          check ti "reported final" final stats.final_size;
@@ -406,11 +406,11 @@ let reorder_tests =
            @ List.init 6 (fun i -> Printf.sprintf "b%d" i)
          in
          let bad_size = Bdd.Sbdd.size (Bdd.Sbdd.of_netlist ~order:bad nl) in
-         let _, stats = Bdd.Reorder.anneal ~seed:1 ~budget:200 ~initial:bad nl in
+         let _, stats = Bdd.Reorder.anneal ~seed:1 ~steps:200 ~initial:bad nl in
          check tb "improved" true (stats.final_size < bad_size));
     Alcotest.test_case "improve_sbdd preserves semantics" `Quick (fun () ->
         let nl = Lazy.force adder in
-        let sbdd = Bdd.Reorder.improve_sbdd ~budget:30 nl in
+        let sbdd = Bdd.Reorder.improve_sbdd ~steps:30 nl in
         let env v = String.length v = 2 in
         let expected =
           Logic.Netlist.eval nl env
@@ -420,8 +420,8 @@ let reorder_tests =
           (Bdd.Sbdd.eval sbdd env));
     Alcotest.test_case "deterministic for a fixed seed" `Quick (fun () ->
         let nl = Lazy.force adder in
-        let o1, _ = Bdd.Reorder.anneal ~seed:5 ~budget:25 nl in
-        let o2, _ = Bdd.Reorder.anneal ~seed:5 ~budget:25 nl in
+        let o1, _ = Bdd.Reorder.anneal ~seed:5 ~steps:25 nl in
+        let o2, _ = Bdd.Reorder.anneal ~seed:5 ~steps:25 nl in
         check Alcotest.(list string) "same" o1 o2);
   ]
 

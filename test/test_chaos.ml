@@ -1,0 +1,210 @@
+(* Chaos battery: arm each deterministic fault-injection point over
+   several seeds and drive the pipeline end-to-end.  The contract under
+   test is the resilience layer's only promise: every run ends in a
+   verified design or a structured error — never an uncaught exception,
+   never a wedged pool, never a silently-wrong result.
+
+   Run via the @chaos alias, which executes this binary at
+   COMPACT_JOBS=1 and COMPACT_JOBS=4 so both the sequential and the
+   pooled fault surfaces are swept. *)
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+
+module Budget = Resilience.Budget
+module Inject = Resilience.Inject
+
+let jobs = Parallel.default_jobs ()
+let seeds = [ 1; 11; 23 ]
+
+let netlist_of_expr name s =
+  let e = Logic.Parse.expr s in
+  let inputs = Logic.Expr.vars e in
+  Logic.Netlist.create ~name ~inputs ~outputs:[ "f" ]
+    [ Logic.Netlist.n_expr "f" e ]
+
+let small_nl = netlist_of_expr "chaos" "((a & b) | (c & ~d)) ^ (b & ~c)"
+
+(* The allowlist: every exception a faulted run may end in.  Anything
+   else — Out_of_memory escaping raw, Invalid_argument from a
+   half-parsed map, a Stdlib.Failure out of a solver — is a bug. *)
+let structured = function
+  | Budget.Exhausted _ -> true
+  | Compact.Label_mip.Infeasible _ -> true
+  | Bdd.Manager.Size_limit _ -> true
+  | Crossbar.Defect_map.Parse_error _ -> true
+  | Crossbar.Analog.No_convergence _ -> true
+  | _ -> false
+
+let run_scenario label f =
+  match f () with
+  | () -> ()
+  | exception e when structured e -> ()
+  | exception e ->
+    Alcotest.failf "%s: unstructured exception %s" label
+      (Printexc.to_string e)
+
+let verify_design nl (r : Compact.Pipeline.result) =
+  check tb "produced design verifies" true
+    (Crossbar.Verify.auto ~trials:128 r.Compact.Pipeline.design
+       ~inputs:nl.Logic.Netlist.inputs
+       ~reference:(Logic.Netlist.eval_point nl)
+       ~outputs:nl.Logic.Netlist.outputs
+     = Crossbar.Verify.Ok)
+
+let options =
+  { Compact.Pipeline.default_options with time_limit = 0.5; jobs }
+
+(* A clean design to probe the analog solver with; built once, outside
+   any injection window. *)
+let clean_design =
+  lazy (Compact.Pipeline.synthesize ~options small_nl).Compact.Pipeline.design
+
+let synth_scenario () =
+  verify_design small_nl (Compact.Pipeline.synthesize ~options small_nl)
+
+let analog_scenario () =
+  ignore
+    (Crossbar.Analog.solve (Lazy.force clean_design) (fun v ->
+         Hashtbl.hash v land 1 = 0))
+
+let harden_scenario () =
+  let hopts =
+    { Compact.Pipeline.default_harden_options with mc_trials = 4; jobs }
+  in
+  let r = Compact.Pipeline.harden ~options ~hopts small_nl in
+  verify_design small_nl r.Compact.Pipeline.base
+
+let defect_scenario () =
+  let m =
+    Crossbar.Defect_map.create ~rows:8 ~cols:7 ~spare_rows:1 ~spare_cols:1
+      ~broken_rows:[ 3 ]
+      [ Crossbar.Fault.Stuck_on (0, 1); Crossbar.Fault.Stuck_off (4, 2) ]
+  in
+  (* Truncation strikes inside of_string; any cut must parse or fail
+     structurally, and the parsed remainder must stay well-formed. *)
+  for _ = 1 to 8 do
+    let m' = Crossbar.Defect_map.of_string (Crossbar.Defect_map.to_string m) in
+    ignore (Crossbar.Defect_map.faults m')
+  done
+
+let scenario_for = function
+  | Inject.Timeout -> "synthesize", synth_scenario
+  | Inject.Oom -> "synthesize", synth_scenario
+  | Inject.Cg_divergence -> "analog-solve", analog_scenario
+  | Inject.Pool_poison -> "harden", harden_scenario
+  | Inject.Defect_truncate -> "defect-roundtrip", defect_scenario
+
+let point_tests =
+  List.concat_map
+    (fun point ->
+       List.map
+         (fun seed ->
+            let what, f = scenario_for point in
+            let label =
+              Printf.sprintf "%s seed=%d (%s, jobs=%d)" (Inject.name point)
+                seed what jobs
+            in
+            Alcotest.test_case label `Quick (fun () ->
+                Inject.with_points ~seed [ point ] (fun () ->
+                    run_scenario label f)))
+         seeds)
+    Inject.all
+
+(* Everything armed at once: the pipeline must still settle into a
+   verified design or one structured error per run. *)
+let all_armed_tests =
+  List.map
+    (fun seed ->
+       let label = Printf.sprintf "all points, seed=%d, jobs=%d" seed jobs in
+       Alcotest.test_case label `Quick (fun () ->
+           Inject.with_points ~seed Inject.all (fun () ->
+               run_scenario label synth_scenario;
+               run_scenario label harden_scenario;
+               run_scenario label defect_scenario)))
+    seeds
+
+(* ------------------------------------------------------------------ *)
+
+(* The global deadline's graceful-degradation contract, with no
+   injection armed: a deadline too small for the primary rungs still
+   yields a verified design whose shape is independent of the jobs
+   count, with the degradation visible in the report. *)
+
+let deadline_tests =
+  [
+    Alcotest.test_case "expired deadline degrades to a verified design"
+      `Slow (fun () ->
+          Inject.disable ();
+          let e = Circuits.Suite.find "dec" in
+          let nl = e.Circuits.Suite.generate () in
+          let run jobs =
+            let options =
+              { Compact.Pipeline.default_options with
+                deadline = Some 1e-4; jobs }
+            in
+            Compact.Pipeline.synthesize ~options nl
+          in
+          let r1 = run 1 in
+          let report = r1.Compact.Pipeline.report in
+          check tb "deadline_hit set" true
+            report.Compact.Report.deadline_hit;
+          check Alcotest.string "landed on the terminal rung" "oct-greedy"
+            (List.nth report.solver_path (List.length report.solver_path - 1));
+          check tb "degraded design verifies" true
+            (Crossbar.Verify.auto ~trials:256 r1.Compact.Pipeline.design
+               ~inputs:nl.Logic.Netlist.inputs
+               ~reference:(Logic.Netlist.eval_point nl)
+               ~outputs:nl.Logic.Netlist.outputs
+             = Crossbar.Verify.Ok);
+          (* Determinism across jobs counts: same degraded design, same
+             solver path, byte for byte. *)
+          let r4 = run 4 in
+          check Alcotest.string "identical design at jobs=4"
+            (Format.asprintf "%a" Crossbar.Design.pp
+               r1.Compact.Pipeline.design)
+            (Format.asprintf "%a" Crossbar.Design.pp
+               r4.Compact.Pipeline.design);
+          check (Alcotest.list Alcotest.string) "identical solver path"
+            report.solver_path
+            r4.Compact.Pipeline.report.Compact.Report.solver_path;
+          check tb "jobs=4 also reports the deadline" true
+            r4.Compact.Pipeline.report.Compact.Report.deadline_hit);
+    Alcotest.test_case "no deadline leaves deadline_hit clear" `Quick
+      (fun () ->
+         Inject.disable ();
+         let r = Compact.Pipeline.synthesize ~options small_nl in
+         check tb "clear" false
+           r.Compact.Pipeline.report.Compact.Report.deadline_hit);
+  ]
+
+(* Injected faults must be visible in the PR-5 trace: each hit records
+   an [inject] event and bumps the per-point counter. *)
+let trace_tests =
+  [
+    Alcotest.test_case "injected faults land in the trace" `Quick (fun () ->
+        let saved = Obs.enabled () in
+        Obs.set_enabled true;
+        Obs.reset ();
+        Inject.with_points ~seed:1 [ Inject.Timeout ] (fun () ->
+            run_scenario "traced synthesize" synth_scenario);
+        let snap = Obs.drain () in
+        Obs.set_enabled saved;
+        let hits =
+          List.filter (fun e -> e.Obs.ev_name = "inject") snap.Obs.events
+        in
+        check tb "inject events recorded" true (hits <> []);
+        match List.assoc_opt "inject.timeout" snap.Obs.counters with
+        | Some n when n >= 1. -> ()
+        | Some n -> Alcotest.failf "inject.timeout counter %g" n
+        | None -> Alcotest.fail "inject.timeout counter missing");
+  ]
+
+let () =
+  Alcotest.run "chaos"
+    [
+      "points", point_tests;
+      "all-armed", all_armed_tests;
+      "deadline", deadline_tests;
+      "trace", trace_tests;
+    ]

@@ -309,6 +309,92 @@ let yield_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Parser fuzzing: the defect-map text parser must answer every input —
+   truncated, mutated, or hand-mangled — with either a map or a
+   structured [Parse_error], never an escaping exception. *)
+
+let fuzz_base_text =
+  Crossbar.Defect_map.to_string
+    (Crossbar.Defect_map.create ~rows:8 ~cols:7 ~spare_rows:2 ~spare_cols:1
+       ~broken_rows:[ 3; 5 ] ~broken_cols:[ 6 ]
+       [ Crossbar.Fault.Stuck_on (0, 1); Crossbar.Fault.Stuck_off (4, 2);
+         Crossbar.Fault.Stuck_on (7, 0) ])
+
+let parse_outcome s =
+  match Crossbar.Defect_map.of_string s with
+  | (_ : Crossbar.Defect_map.t) -> `Parsed
+  | exception Crossbar.Defect_map.Parse_error _ -> `Structured
+  | exception e -> `Escaped e
+
+let parse_error_line s =
+  match Crossbar.Defect_map.of_string s with
+  | (_ : Crossbar.Defect_map.t) -> Alcotest.fail "expected a parse error"
+  | exception Crossbar.Defect_map.Parse_error { line; _ } -> line
+
+let parser_fuzz_tests =
+  [
+    Alcotest.test_case "every prefix truncation is handled" `Quick (fun () ->
+        for len = 0 to String.length fuzz_base_text do
+          match parse_outcome (String.sub fuzz_base_text 0 len) with
+          | `Parsed | `Structured -> ()
+          | `Escaped e ->
+            Alcotest.failf "truncation at %d escaped with %s" len
+              (Printexc.to_string e)
+        done);
+    Alcotest.test_case "seeded single-byte mutations are handled" `Quick
+      (fun () ->
+         let rng = Random.State.make [| 0xf22 |] in
+         let alphabet = " \n\t#-_09azAZ\000\255" in
+         for k = 1 to 500 do
+           let b = Bytes.of_string fuzz_base_text in
+           let pos = Random.State.int rng (Bytes.length b) in
+           let c = alphabet.[Random.State.int rng (String.length alphabet)] in
+           Bytes.set b pos c;
+           match parse_outcome (Bytes.to_string b) with
+           | `Parsed | `Structured -> ()
+           | `Escaped e ->
+             Alcotest.failf "mutation %d (byte %d <- %C) escaped with %s" k
+               pos c (Printexc.to_string e)
+         done);
+    Alcotest.test_case "seeded line shuffles and deletions are handled"
+      `Quick (fun () ->
+          let lines = String.split_on_char '\n' fuzz_base_text in
+          let rng = Random.State.make [| 0x11e |] in
+          for k = 1 to 200 do
+            let kept =
+              List.filter (fun _ -> Random.State.bool rng) lines
+              |> List.map (fun l ->
+                  if Random.State.int rng 4 = 0 then l ^ " 1" else l)
+            in
+            let doc = String.concat "\n" kept in
+            match parse_outcome doc with
+            | `Parsed | `Structured -> ()
+            | `Escaped e ->
+              Alcotest.failf "shuffle %d escaped with %s" k
+                (Printexc.to_string e)
+          done);
+    Alcotest.test_case "malformed maps report the offending line" `Quick
+      (fun () ->
+         check ti "non-integer operand" 2
+           (parse_error_line "array 4 4\nstuck_on 1 x\n");
+         check ti "duplicate array line" 3
+           (parse_error_line "array 4 4\n# comment\narray 2 2\n");
+         check ti "unknown directive" 1 (parse_error_line "arrray 4 4\n");
+         check ti "missing array line" 0 (parse_error_line "stuck_on 1 1\n");
+         check ti "out-of-range fault is semantic (line 0)" 0
+           (parse_error_line "array 4 4\nstuck_on 9 9\n");
+         check ti "empty array is semantic (line 0)"
+           0
+           (parse_error_line "array 0 4\n"));
+    Alcotest.test_case "round-trip still parses after the fuzz plumbing"
+      `Quick (fun () ->
+          match parse_outcome fuzz_base_text with
+          | `Parsed -> ()
+          | `Structured -> Alcotest.fail "valid map rejected"
+          | `Escaped e -> Alcotest.failf "escaped: %s" (Printexc.to_string e));
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let watchdog_tests =
   [
@@ -341,6 +427,7 @@ let () =
   Alcotest.run "fault"
     [
       "defect_map", defect_map_tests;
+      "parser_fuzz", parser_fuzz_tests;
       "place", place_tests;
       "repair", repair_tests;
       "yield", yield_tests;

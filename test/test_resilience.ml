@@ -1,0 +1,324 @@
+(* Tests for the resilience layer: budget semantics (deadline, nodes,
+   cancellation, slicing), the deterministic fault-injection schedule,
+   and the domain pool's budget-abort and poison-recovery contract. *)
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+
+module Budget = Resilience.Budget
+module Inject = Resilience.Inject
+
+(* A deadline that has certainly passed by the time it is polled:
+   [Budget.create] clamps negative deadlines to "now", and the strict
+   comparison needs the clock to move past it. *)
+let expired_budget () =
+  let b = Budget.create ~deadline:0. () in
+  let rec wait n =
+    if n > 0 && not (Budget.exhausted b) then begin
+      ignore (Sys.opaque_identity (Obs.Clock.now ()));
+      wait (n - 1)
+    end
+  in
+  wait 1_000_000;
+  b
+
+let budget_tests =
+  [
+    Alcotest.test_case "unlimited never exhausts and ignores cancel" `Quick
+      (fun () ->
+         let b = Budget.unlimited in
+         check tb "is_unlimited" true (Budget.is_unlimited b);
+         check tb "not exhausted" false (Budget.exhausted b);
+         Budget.cancel b;
+         check tb "cancel is a no-op" false (Budget.exhausted b);
+         check tb "remaining infinite" true (Budget.remaining b = infinity);
+         Budget.check b);
+    Alcotest.test_case "expired deadline trips Deadline" `Quick (fun () ->
+        let b = expired_budget () in
+        check tb "exhausted" true (Budget.exhausted b);
+        (match Budget.state b with
+         | Some Budget.Deadline -> ()
+         | other ->
+           Alcotest.failf "expected Deadline, got %s"
+             (match other with
+              | None -> "None"
+              | Some r -> Budget.reason_name r));
+        match Budget.check b with
+        | () -> Alcotest.fail "check did not raise"
+        | exception Budget.Exhausted Budget.Deadline -> ());
+    Alcotest.test_case "cancellation is shared across slices" `Quick
+      (fun () ->
+         let b = Budget.seconds 3600. in
+         let s = Budget.slice b ~frac:0.5 in
+         check tb "slice fresh" false (Budget.exhausted s);
+         Budget.cancel b;
+         check tb "slice sees parent cancel" true (Budget.exhausted s);
+         (match Budget.state s with
+          | Some Budget.Cancelled -> ()
+          | _ -> Alcotest.fail "expected Cancelled");
+         (* And the other direction: cancelling a slice stops the
+            parent — one shared token for the whole tree. *)
+         let b2 = Budget.seconds 3600. in
+         let s2 = Budget.slice b2 ~frac:0.25 in
+         Budget.cancel s2;
+         check tb "parent sees slice cancel" true (Budget.exhausted b2));
+    Alcotest.test_case "slice of unlimited stays unlimited" `Quick (fun () ->
+        let s = Budget.slice Budget.unlimited ~frac:0.5 in
+        check tb "remaining infinite" true (Budget.remaining s = infinity);
+        Budget.cancel s;
+        check tb "still not cancellable" false (Budget.exhausted s));
+    Alcotest.test_case "limited caps the deadline" `Quick (fun () ->
+        let b = Budget.seconds 3600. in
+        check tb "limited _ infinity is the identity" true
+          (Budget.limited b infinity == b);
+        let capped = Budget.limited b 0. in
+        check tb "cap below parent deadline" true
+          (Budget.remaining capped <= Budget.remaining b);
+        (* The migration-shim shape: a cap on an unlimited budget is
+           exactly the old per-solver time limit. *)
+        let shim = Budget.limited Budget.unlimited 1800. in
+        check tb "shim has a finite deadline" true
+          (Budget.remaining shim < infinity));
+    Alcotest.test_case "untimed strips the deadline, keeps the token" `Quick
+      (fun () ->
+         let b = expired_budget () in
+         let u = Budget.untimed b in
+         check tb "untimed is live again" false (Budget.exhausted u);
+         Budget.cancel b;
+         check tb "untimed still honours cancel" true (Budget.exhausted u));
+    Alcotest.test_case "node budget is shared and trips Nodes" `Quick
+      (fun () ->
+         let b = Budget.create ~nodes:100 () in
+         let s = Budget.slice b ~frac:1.0 in
+         Budget.consume_nodes s 101;
+         check tb "parent exhausted via slice's consumption" true
+           (Budget.exhausted b);
+         (match Budget.state b with
+          | Some Budget.Nodes -> ()
+          | _ -> Alcotest.fail "expected Nodes");
+         (* consume_nodes on unlimited is free and unobservable. *)
+         Budget.consume_nodes Budget.unlimited max_int;
+         check tb "unlimited unharmed" false
+           (Budget.exhausted Budget.unlimited));
+    Alcotest.test_case "protect_oom converts allocation failure" `Quick
+      (fun () ->
+         match Budget.protect_oom (fun () -> raise Out_of_memory) with
+         | () -> Alcotest.fail "expected Exhausted"
+         | exception Budget.Exhausted Budget.Memory -> ());
+    Alcotest.test_case "exhaustion event latches once per budget" `Quick
+      (fun () ->
+         let saved = Obs.enabled () in
+         Obs.set_enabled true;
+         Obs.reset ();
+         let b = expired_budget () in
+         check tb "poll 1" true (Budget.exhausted b);
+         check tb "poll 2" true (Budget.exhausted b);
+         check tb "poll 3" true (Budget.exhausted b);
+         let snap = Obs.drain () in
+         Obs.set_enabled saved;
+         let events =
+           List.filter
+             (fun e -> e.Obs.ev_name = "budget-exhausted")
+             snap.Obs.events
+         in
+         check ti "one budget-exhausted event" 1 (List.length events);
+         match List.assoc_opt "budget.exhausted" snap.Obs.counters with
+         | Some 1. -> ()
+         | Some n -> Alcotest.failf "counter %g, expected 1" n
+         | None -> Alcotest.fail "budget.exhausted counter missing");
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let fire_pattern ~seed ~calls point =
+  Inject.with_points ~seed [ point ] (fun () ->
+      List.init calls (fun _ -> Inject.fire point))
+
+let inject_tests =
+  [
+    Alcotest.test_case "disabled injection is inert" `Quick (fun () ->
+        Inject.disable ();
+        check tb "not enabled" false (Inject.enabled ());
+        check tb "fire is false" false (Inject.fire Inject.Timeout);
+        check ti "no calls counted" 0 (Inject.calls Inject.Timeout));
+    Alcotest.test_case "schedule is deterministic per seed" `Quick (fun () ->
+        let a = fire_pattern ~seed:3 ~calls:128 Inject.Timeout in
+        let b = fire_pattern ~seed:3 ~calls:128 Inject.Timeout in
+        check tb "same seed, same schedule" true (a = b);
+        let c = fire_pattern ~seed:4 ~calls:128 Inject.Timeout in
+        check tb "different seed, different schedule" true (a <> c));
+    Alcotest.test_case "roughly a quarter of armed calls fire" `Quick
+      (fun () ->
+         Inject.with_points ~seed:1 [ Inject.Oom ] (fun () ->
+             for _ = 1 to 256 do
+               try Inject.oom () with Out_of_memory -> ()
+             done;
+             check ti "all calls consulted" 256 (Inject.calls Inject.Oom);
+             let f = Inject.fired Inject.Oom in
+             check tb "fired a plausible fraction" true (f >= 32 && f <= 96)));
+    Alcotest.test_case "unarmed points stay silent under a config" `Quick
+      (fun () ->
+         Inject.with_points ~seed:1 [ Inject.Oom ] (fun () ->
+             for _ = 1 to 64 do
+               ignore (Inject.fire Inject.Timeout)
+             done;
+             check ti "unarmed point never consulted" 0
+               (Inject.calls Inject.Timeout);
+             check ti "never fired" 0 (Inject.fired Inject.Timeout)));
+    Alcotest.test_case "truncate cuts a strict prefix when it fires" `Quick
+      (fun () ->
+         let s = String.init 97 (fun i -> Char.chr (33 + (i mod 90))) in
+         check tb "identity when disabled" true
+           (Inject.truncate s == s);
+         Inject.with_points ~seed:7 [ Inject.Defect_truncate ] (fun () ->
+             let saw_cut = ref false in
+             for _ = 1 to 64 do
+               let t = Inject.truncate s in
+               if String.length t < String.length s then begin
+                 saw_cut := true;
+                 check tb "prefix" true
+                   (String.sub s 0 (String.length t) = t)
+               end
+               else check tb "unchanged when not fired" true (t = s)
+             done;
+             check tb "some call truncated" true !saw_cut));
+    Alcotest.test_case "COMPACT_INJECT env round-trip" `Quick (fun () ->
+        Inject.disable ();
+        Unix.putenv "COMPACT_INJECT" "oom , pool-poison @ 9";
+        (match Inject.configure_from_env () with
+         | Ok () -> ()
+         | Error msg -> Alcotest.failf "valid spec rejected: %s" msg);
+        check tb "armed" true (Inject.enabled ());
+        ignore (Inject.fire Inject.Oom);
+        check ti "oom consulted" 1 (Inject.calls Inject.Oom);
+        Inject.disable ();
+        Unix.putenv "COMPACT_INJECT" "bogus-point";
+        (match Inject.configure_from_env () with
+         | Ok () -> Alcotest.fail "bogus spec accepted"
+         | Error _ -> ());
+        check tb "nothing armed on error" false (Inject.enabled ());
+        Unix.putenv "COMPACT_INJECT" "all@5";
+        (match Inject.configure_from_env () with
+         | Ok () -> ()
+         | Error msg -> Alcotest.failf "all@5 rejected: %s" msg);
+        check tb "all armed" true (Inject.enabled ());
+        Unix.putenv "COMPACT_INJECT" "";
+        Inject.disable ();
+        match Inject.configure_from_env () with
+        | Ok () -> check tb "empty spec is unset" false (Inject.enabled ())
+        | Error msg -> Alcotest.failf "empty spec rejected: %s" msg);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let pool_jobs = [ 1; 4 ]
+
+let parallel_budget_tests =
+  List.concat_map
+    (fun jobs ->
+       let j = Printf.sprintf "jobs=%d" jobs in
+       [
+         Alcotest.test_case (j ^ ": expired budget skips the batch") `Quick
+           (fun () ->
+              Parallel.with_pool ~jobs (fun pool ->
+                  let b = expired_budget () in
+                  let ran = Atomic.make 0 in
+                  (match
+                     Parallel.run ~budget:b pool
+                       (Array.init 16 (fun _ () -> Atomic.incr ran))
+                   with
+                   | _ -> Alcotest.fail "expected Exhausted"
+                   | exception Budget.Exhausted _ -> ());
+                  check ti "no task body ran" 0 (Atomic.get ran);
+                  (* The same pool serves the next (unbudgeted) batch. *)
+                  let r =
+                    Parallel.run pool (Array.init 16 (fun i () -> i * i))
+                  in
+                  check tb "pool still correct" true
+                    (r = Array.init 16 (fun i -> i * i))));
+         Alcotest.test_case (j ^ ": first failure cancels the rest") `Quick
+           (fun () ->
+              Parallel.with_pool ~jobs (fun pool ->
+                  let b = Budget.seconds 3600. in
+                  let ran = Atomic.make 0 in
+                  let tasks =
+                    Array.init 64 (fun i () ->
+                        if i = 2 then failwith "boom";
+                        Atomic.incr ran;
+                        Unix.sleepf 0.002)
+                  in
+                  (match Parallel.run ~budget:b pool tasks with
+                   | _ -> Alcotest.fail "expected a failure"
+                   | exception Failure msg ->
+                     check Alcotest.string "root cause re-raised" "boom" msg
+                   | exception Budget.Exhausted _ ->
+                     Alcotest.fail
+                       "Exhausted shadowed the root-cause failure");
+                  check tb "queued tail was skipped" true (Atomic.get ran < 63);
+                  (* jobs = 1 is the exact sequential path: the failure
+                     propagates immediately, nothing to cancel. *)
+                  if jobs > 1 then
+                    check tb "budget left cancelled" true
+                      (Budget.cancelled b)));
+         Alcotest.test_case (j ^ ": unlimited budget drains everything")
+           `Quick (fun () ->
+               Parallel.with_pool ~jobs (fun pool ->
+                   let ran = Atomic.make 0 in
+                   let tasks =
+                     Array.init 32 (fun i () ->
+                         if i = 2 then failwith "boom";
+                         Atomic.incr ran)
+                   in
+                   (match Parallel.run pool tasks with
+                    | _ -> Alcotest.fail "expected a failure"
+                    | exception Failure msg ->
+                      check Alcotest.string "earliest failure" "boom" msg);
+                   (* Pooled batches drain every slot before re-raising;
+                      the sequential path stops at the failure. *)
+                   check ti "drain-everything contract"
+                     (if jobs > 1 then 31 else 2)
+                     (Atomic.get ran)));
+         Alcotest.test_case
+           (j ^ ": OOM-poisoned tasks do not wedge queued work") `Quick
+           (fun () ->
+              (* Regression: an async-shaped Out_of_memory escaping a
+                 task used to leave its slot unset, wedging the drain
+                 loop with tasks still queued.  Every slot must land and
+                 the pool must serve the next batch. *)
+              Parallel.with_pool ~jobs (fun pool ->
+                  let tasks =
+                    Array.init 64 (fun i () ->
+                        if i mod 7 = 3 then raise Out_of_memory;
+                        i)
+                  in
+                  (match Parallel.run pool tasks with
+                   | _ -> Alcotest.fail "expected Out_of_memory"
+                   | exception Out_of_memory -> ());
+                  let r =
+                    Parallel.map pool (fun x -> x + 1)
+                      (List.init 64 (fun i -> i))
+                  in
+                  check tb "pool reusable with correct order" true
+                    (r = List.init 64 (fun i -> i + 1))));
+         Alcotest.test_case (j ^ ": budgeted map polls per element") `Quick
+           (fun () ->
+              Parallel.with_pool ~jobs (fun pool ->
+                  let b = expired_budget () in
+                  match
+                    Parallel.map ~budget:b pool
+                      (fun x -> x * 2)
+                      (List.init 8 (fun i -> i))
+                  with
+                  | _ -> Alcotest.fail "expected Exhausted"
+                  | exception Budget.Exhausted _ -> ()));
+       ])
+    pool_jobs
+
+let () =
+  Alcotest.run "resilience"
+    [
+      "budget", budget_tests;
+      "inject", inject_tests;
+      "parallel", parallel_budget_tests;
+    ]
