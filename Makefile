@@ -1,4 +1,5 @@
-.PHONY: all test examples bench smoke proptest margin trace chaos ci clean
+.PHONY: all test examples bench smoke proptest margin trace chaos server \
+	loadgen ci clean
 
 all:
 	dune build
@@ -30,6 +31,17 @@ trace:
 chaos:
 	dune build @chaos
 
+# compactd battery: wire-protocol conformance, the design-cache
+# contract (byte-identical hits, single-flight, LRU bounds) and the
+# socket soak, at jobs=1 and jobs=4.
+server:
+	dune build @server
+
+# Seeded mixed workload against a live compactd; regenerates
+# BENCH_pr7.json (throughput, latency percentiles, cache hit rate).
+loadgen:
+	dune exec bench/main.exe -- loadgen -j 4
+
 # Tier-1 runs twice: once sequential, once with a 4-wide domain pool.
 # Every parallel consumer is bit-identical across jobs counts, so the
 # second run is a determinism check as much as a thread-safety one.
@@ -45,6 +57,7 @@ ci:
 	dune build @smoke
 	dune build @trace
 	dune build @chaos
+	dune build @server
 
 clean:
 	dune clean

@@ -14,7 +14,7 @@ let usage () =
   print_endline
     "usage: main.exe [--quick] [--time-limit S] [--json FILE] [--jobs N] \
      [--trace FILE] \
-     [all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|robustness|variation|ablation|perf|obs-overhead|resilience-overhead]...";
+     [all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|robustness|variation|ablation|perf|obs-overhead|resilience-overhead|loadgen]...";
   exit 1
 
 (* The jobs knob: --jobs N, defaulting to COMPACT_JOBS then 1. Read by
@@ -496,6 +496,48 @@ let run_resilience_overhead ?json () =
     Printf.printf "resilience-overhead results written to %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
+(* compactd loadgen: boot a real serving loop in a companion domain,
+   drive the seeded mixed workload against it over the Unix socket, and
+   record throughput, latency percentiles and cache behaviour.  The
+   committed BENCH_pr7.json is this target's output. *)
+
+let run_loadgen ?json () =
+  Resilience.Inject.disable ();
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "compactd-bench-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let config =
+    {
+      (Server.Sock.default_config ~socket_path:socket) with
+      Server.Sock.engine =
+        { Server.Engine.default_config with Server.Engine.jobs = !bench_jobs };
+    }
+  in
+  let server = Domain.spawn (fun () -> Server.Sock.serve config) in
+  let seed = Crossbar.Rng.default_seed in
+  let hot = 4 and hot_frac = 0.4 in
+  let result =
+    Server.Loadgen.run ~seed ~requests:200 ~hot ~hot_frac ~socket ()
+  in
+  (match Server.Client.connect ~retries:10 socket with
+   | c ->
+     (try ignore (Server.Client.request c {|{"op":"shutdown"}|})
+      with End_of_file -> ());
+     Server.Client.close c
+   | exception _ -> ());
+  ignore (Domain.join server : Server.Engine.stats);
+  Format.printf "%a@." Server.Loadgen.pp result;
+  let file = match json with Some f -> f | None -> "BENCH_pr7.json" in
+  let oc = open_out file in
+  output_string oc
+    (Server.Loadgen.json_of_result ~seed ~hot ~hot_frac result);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "loadgen results written to %s\n%!" file
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -551,6 +593,7 @@ let () =
     | "perf" -> run_perf ?json:!json ()
     | "obs-overhead" -> run_obs_overhead ?json:!json ()
     | "resilience-overhead" -> run_resilience_overhead ?json:!json ()
+    | "loadgen" -> run_loadgen ?json:!json ()
     | other ->
       Printf.eprintf "unknown target %s\n" other;
       usage ()

@@ -1095,6 +1095,190 @@ let trace_check_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* compactd: synthesis-as-a-service over a Unix-domain socket. *)
+
+let socket_term ~required:_ =
+  Arg.(required
+       & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~env:(Cmd.Env.info "COMPACT_SOCKET"
+                   ~doc:"Default socket path when $(b,--socket) is absent.")
+           ~doc:"Unix-domain socket path of the compactd server.")
+
+let serve_run options socket jobs max_queue request_deadline batch_window
+    cache_entries cache_bytes =
+  let engine =
+    {
+      Server.Engine.defaults = options;
+      jobs;
+      max_queue;
+      request_deadline;
+      verify_trials = Server.Engine.default_config.Server.Engine.verify_trials;
+      cache_entries;
+      cache_bytes;
+    }
+  in
+  let config =
+    { (Server.Sock.default_config ~socket_path:socket) with engine;
+      batch_window }
+  in
+  Printf.eprintf "compactd: serving on %s (jobs=%d)\n%!" socket jobs;
+  let stats = Server.Sock.serve config in
+  Printf.eprintf
+    "compactd: shut down after %d requests (%d solves, %d cache hits)\n%!"
+    stats.Server.Engine.served stats.Server.Engine.solves
+    stats.Server.Engine.cache.Server.Cache.hits;
+  Ok ()
+
+let serve_cmd =
+  let max_queue =
+    Arg.(value & opt int 64
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Admission control: synth requests beyond $(docv) in one \
+                   batch are rejected with an overload error.")
+  in
+  let request_deadline =
+    Arg.(value & opt float 30.
+         & info [ "request-deadline" ] ~docv:"SEC"
+             ~doc:"Per-request budget covering parse, BDD build, solve and \
+                   verify.")
+  in
+  let batch_window =
+    Arg.(value & opt float 0.02
+         & info [ "batch-window" ] ~docv:"SEC"
+             ~doc:"How long the server waits for more requests before \
+                   flushing a batch to the domain pool.")
+  in
+  let cache_entries =
+    Arg.(value & opt int 512
+         & info [ "cache-entries" ] ~docv:"N"
+             ~doc:"Design cache capacity in entries (LRU beyond this).")
+  in
+  let cache_bytes =
+    Arg.(value & opt int (16 * 1024 * 1024)
+         & info [ "cache-bytes" ] ~docv:"B"
+             ~doc:"Design cache capacity in payload bytes.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const serve_run $ options_term $ socket_term ~required:true
+         $ jobs_term $ max_queue $ request_deadline $ batch_window
+         $ cache_entries $ cache_bytes))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run compactd: a JSONL synthesis server with a design cache")
+    term
+
+let client_run socket expr lines =
+  let lines =
+    List.mapi
+      (fun i e ->
+         Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                "op", Obs.Json.Str "synth";
+                "id", Obs.Json.Num (float_of_int (i + 1));
+                "expr", Obs.Json.Str e;
+              ]))
+      expr
+    @ lines
+  in
+  if lines = [] then Error (`Msg "give -e EXPR or raw JSONL request lines")
+  else begin
+    match Server.Client.connect socket with
+    | client ->
+      List.iter
+        (fun line -> print_endline (Server.Client.request client line))
+        lines;
+      Server.Client.close client;
+      Ok ()
+    | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (`Msg
+           (Printf.sprintf "cannot reach compactd at %s: %s" socket
+              (Unix.error_message err)))
+  end
+
+let client_cmd =
+  let expr =
+    Arg.(value & opt_all string []
+         & info [ "e"; "expr" ] ~docv:"EXPR"
+             ~doc:"Synthesise $(docv) (repeatable; wrapped in a synth \
+                   request).")
+  in
+  let lines =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"LINE"
+             ~doc:"Raw JSONL request lines sent verbatim (e.g. \
+                   '{\"op\":\"stats\"}').")
+  in
+  let term =
+    Term.(
+      term_result
+        (const client_run $ socket_term ~required:true $ expr $ lines))
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Send requests to a running compactd server")
+    term
+
+let loadgen_run socket requests hot_frac seed out =
+  match Server.Loadgen.run ~seed ~requests ~hot_frac ~socket () with
+  | result ->
+    Format.printf "%a@." Server.Loadgen.pp result;
+    (match out with
+     | None -> ()
+     | Some file ->
+       let doc =
+         Server.Loadgen.json_of_result ~seed ~hot:4 ~hot_frac result
+       in
+       let oc = open_out file in
+       output_string oc doc;
+       output_char oc '\n';
+       close_out oc;
+       Printf.eprintf "loadgen: wrote %s\n%!" file);
+    Ok ()
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      (`Msg
+         (Printf.sprintf "loadgen against %s failed: %s" socket
+            (Unix.error_message err)))
+
+let loadgen_cmd =
+  let requests =
+    Arg.(value & opt int 200
+         & info [ "n"; "requests" ] ~docv:"N" ~doc:"Requests to issue.")
+  in
+  let hot_frac =
+    Arg.(value & opt float 0.4
+         & info [ "hot-frac" ] ~docv:"F"
+             ~doc:"Fraction of requests drawn from the fixed hot set \
+                   (repeat traffic).")
+  in
+  let seed =
+    Arg.(value & opt int Crossbar.Rng.default_seed
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write the benchmark document (BENCH_pr7.json shape) to \
+                   $(docv).")
+  in
+  let term =
+    Term.(
+      term_result
+        (const loadgen_run $ socket_term ~required:true $ requests
+         $ hot_frac $ seed $ out))
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a seeded mixed workload against compactd and report \
+             throughput, latency and cache behaviour")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (* COMPACT_INJECT arms the deterministic fault-injection points for
@@ -1114,4 +1298,5 @@ let () =
        (Cmd.group info
           [ synth_cmd; sweep_cmd; validate_cmd; repair_cmd; yield_cmd;
             margin_cmd; harden_cmd; profile_cmd; trace_check_cmd; suite_cmd;
-            export_cmd; experiments_cmd ]))
+            export_cmd; experiments_cmd; serve_cmd; client_cmd;
+            loadgen_cmd ]))

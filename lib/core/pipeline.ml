@@ -54,6 +54,14 @@ let solver_name = function
   | Heuristic -> "heuristic"
   | Auto -> "auto"
 
+let solver_of_name = function
+  | "oct" -> Some Oct_exact
+  | "oct-greedy" -> Some Oct_greedy
+  | "mip" -> Some Mip
+  | "heuristic" -> Some Heuristic
+  | "auto" -> Some Auto
+  | _ -> None
+
 let run_one ~budget options bg solver =
   let { gamma; alignment; max_rows; max_cols; _ } = options in
   match solver with

@@ -1,5 +1,16 @@
 (** The end-to-end COMPACT flow (Fig 3): Boolean function → SBDD →
-    graph pre-processing → VH-labeling → crossbar mapping. *)
+    graph pre-processing → VH-labeling → crossbar mapping.
+
+    {b Reentrancy.} Every entry point is a pure function of its
+    arguments: all solver state (BDD managers, MIP trees, RNG streams
+    derived via {!Crossbar.Rng.derive}) is allocated per call, the only
+    process-wide state touched is the [Obs] metric registry (whose cells
+    are allocated once at module load, never per call) and an armed
+    [Resilience.Inject] configuration. Two back-to-back calls in one
+    process therefore return byte-identical designs, and a long-lived
+    server ([compactd]) may call the pipeline repeatedly — or from a
+    domain pool with per-request {!Resilience.Budget}s — without
+    cross-request interference. *)
 
 (** Which VH-labeling solver to run. *)
 type solver =
@@ -51,6 +62,15 @@ type options = {
 
 val default_options : options
 val mip_node_threshold : int
+
+val solver_name : solver -> string
+(** Stable lowercase name (["oct"], ["oct-greedy"], ["mip"],
+    ["heuristic"], ["auto"]) — the spelling used in
+    {!Report.t.solver_path}, the CLI [--solver] flag, and the [compactd]
+    wire protocol / cache key. *)
+
+val solver_of_name : string -> solver option
+(** Inverse of {!solver_name}; [None] for unknown spellings. *)
 
 type result = {
   design : Crossbar.Design.t;

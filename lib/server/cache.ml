@@ -1,0 +1,136 @@
+(* Hashtbl + intrusive doubly-linked recency list; the list head is the
+   most recently used entry, eviction pops the tail. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  inserts : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+  max_entries : int;
+  max_bytes : int;
+}
+
+type entry = {
+  key : string;
+  mutable value : string;
+  mutable prev : entry option;  (* towards the head (more recent) *)
+  mutable next : entry option;  (* towards the tail (less recent) *)
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutable head : entry option;
+  mutable tail : entry option;
+  max_entries : int;
+  max_bytes : int;
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable inserts : int;
+  mutable evictions : int;
+}
+
+(* Process-wide Obs counters: per-cache numbers live in [stats]; these
+   feed the served metrics dump alongside the pool/solver counters. *)
+let c_hits = Obs.Counter.make "cache.hits"
+let c_misses = Obs.Counter.make "cache.misses"
+let c_evictions = Obs.Counter.make "cache.evictions"
+
+let create ?(max_entries = 512) ?(max_bytes = 16 * 1024 * 1024) () =
+  if max_entries < 1 || max_bytes < 1 then
+    invalid_arg "Cache.create: bounds must be positive";
+  {
+    table = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    max_entries;
+    max_bytes;
+    bytes = 0;
+    hits = 0;
+    misses = 0;
+    inserts = 0;
+    evictions = 0;
+  }
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.head;
+  e.prev <- None;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let touch t e =
+  match t.head with
+  | Some h when h == e -> ()
+  | _ ->
+    unlink t e;
+    push_front t e
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    Obs.Counter.incr c_hits;
+    touch t e;
+    Some e.value
+  | None ->
+    t.misses <- t.misses + 1;
+    Obs.Counter.incr c_misses;
+    None
+
+let mem t key = Hashtbl.mem t.table key
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some e ->
+    unlink t e;
+    Hashtbl.remove t.table e.key;
+    t.bytes <- t.bytes - String.length e.value;
+    t.evictions <- t.evictions + 1;
+    Obs.Counter.incr c_evictions
+
+let add t key value =
+  if String.length value <= t.max_bytes then begin
+    (match Hashtbl.find_opt t.table key with
+     | Some e ->
+       t.bytes <- t.bytes - String.length e.value + String.length value;
+       e.value <- value;
+       touch t e
+     | None ->
+       let e = { key; value; prev = None; next = None } in
+       Hashtbl.replace t.table key e;
+       t.bytes <- t.bytes + String.length value;
+       push_front t e);
+    t.inserts <- t.inserts + 1;
+    while
+      Hashtbl.length t.table > t.max_entries || t.bytes > t.max_bytes
+    do
+      evict_tail t
+    done
+  end
+
+let stats t : stats =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    inserts = t.inserts;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.table;
+    bytes = t.bytes;
+    max_entries = t.max_entries;
+    max_bytes = t.max_bytes;
+  }
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.bytes <- 0

@@ -1,0 +1,44 @@
+(** Content-addressed design cache: LRU, bounded by entry count and by
+    total stored bytes.
+
+    Keys are {!Fingerprint.key} strings; values are the canonical
+    serialized synthesis payloads ({!Protocol}), so a hit is served as
+    the exact bytes a cold solve produced. The cache is deliberately
+    dumb about what it stores — admission policy (only pristine,
+    verified, un-degraded results) lives in {!Engine}.
+
+    Not thread-safe: the engine probes and fills it from the serving
+    loop only, never from pool workers. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;  (** {!find} probes that found nothing *)
+  inserts : int;
+  evictions : int;  (** entries dropped to honour a bound *)
+  entries : int;  (** current population *)
+  bytes : int;  (** summed value sizes currently stored *)
+  max_entries : int;
+  max_bytes : int;
+}
+
+val create : ?max_entries:int -> ?max_bytes:int -> unit -> t
+(** Defaults: 512 entries, 16 MiB of stored values.
+    @raise Invalid_argument on non-positive bounds. *)
+
+val find : t -> string -> string option
+(** Probe; a hit refreshes the entry's recency and bumps the hit
+    counter, a miss bumps the miss counter. *)
+
+val mem : t -> string -> bool
+(** Counter-free, recency-free probe (for tests). *)
+
+val add : t -> string -> string -> unit
+(** Insert (or overwrite, refreshing recency), then evict
+    least-recently-used entries until both bounds hold again. A value
+    larger than [max_bytes] on its own is not admitted. *)
+
+val stats : t -> stats
+val clear : t -> unit
+(** Drop every entry; counters are kept. *)

@@ -1,0 +1,44 @@
+type t = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
+
+let connect ?(retries = 200) path =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { fd; buf = Buffer.create 4096; chunk = Bytes.create 8192 }
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) when n > 0 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.02;
+      go (n - 1)
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  go retries
+
+let send t line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let rec go off =
+    if off < len then go (off + Unix.write t.fd data off (len - off))
+  in
+  go 0
+
+let rec recv t =
+  let s = Buffer.contents t.buf in
+  match String.index_opt s '\n' with
+  | Some i ->
+    Buffer.clear t.buf;
+    Buffer.add_substring t.buf s (i + 1) (String.length s - i - 1);
+    String.sub s 0 i
+  | None ->
+    (match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+     | 0 -> raise End_of_file
+     | n ->
+       Buffer.add_subbytes t.buf t.chunk 0 n;
+       recv t)
+
+let request t line =
+  send t line;
+  recv t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

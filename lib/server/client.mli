@@ -1,0 +1,22 @@
+(** A minimal blocking [compactd] client: one line out, one line in. *)
+
+type t
+
+val connect : ?retries:int -> string -> t
+(** Connect to the server's Unix-domain socket. The connection is
+    retried [retries] times (default 200) at 20 ms intervals while the
+    socket is missing or refusing — the startup race against a server
+    launched in a fresh domain/process.
+    @raise Unix.Unix_error when the last retry fails. *)
+
+val send : t -> string -> unit
+(** Write one request line (the newline is appended). *)
+
+val recv : t -> string
+(** Read the next response line.
+    @raise End_of_file if the server closed the connection. *)
+
+val request : t -> string -> string
+(** [send] then [recv]. *)
+
+val close : t -> unit

@@ -1,0 +1,74 @@
+(** The [compactd] serving core: request batches in, response lines
+    out — no sockets, no global state.
+
+    The engine owns a {!Cache} and a handful of counters; everything
+    else is computed per call, so one process can host several engines
+    (the test battery does). {!handle_batch} is the whole serving
+    logic:
+
+    + parse each line ({!Protocol});
+    + admission control — at most [max_queue] synthesis requests per
+      batch are admitted, the rest get structured [overload] errors;
+    + per request: build the netlist and its SBDD (under the
+      per-request {!Resilience.Budget}), derive the canonical
+      {!Fingerprint.key}, probe the cache;
+    + single-flight: cache misses are grouped by key, each distinct key
+      solves {e once} (followers are "coalesced"), in parallel on a
+      [lib/parallel] domain pool of [jobs] width;
+    + every cold design is functionally verified before it is served,
+      and cached only when {e pristine} — verified, no watchdog
+      fallback, no expired deadline, no armed fault injection — so a
+      hit is provably the bytes a clean cold solve produces.
+
+    Responses come back in request order and are byte-identical for
+    every [jobs] count (the pool merges in submission order and the
+    payload serialization is canonical).
+
+    Not thread-safe: one serving loop calls {!handle_batch} at a time.
+    Solver work inside is pooled; the cache is only touched from the
+    calling domain. *)
+
+type config = {
+  defaults : Compact.Pipeline.options;
+      (** per-request synthesis options before wire overrides; [jobs]
+          and [deadline] inside it are ignored (inner solves always run
+          sequentially — parallelism lives at the batch level) *)
+  jobs : int;  (** domain-pool width for batch solving *)
+  max_queue : int;  (** admitted synthesis requests per batch *)
+  request_deadline : float;
+      (** per-request wall budget in seconds (SBDD build + solve) *)
+  verify_trials : int;  (** {!Crossbar.Verify.auto} trials per cold solve *)
+  cache_entries : int;
+  cache_bytes : int;
+}
+
+val default_config : config
+(** jobs 1, max_queue 64, request_deadline 30 s, verify_trials 64,
+    cache bounds per {!Cache.create} defaults. *)
+
+type t
+
+val create : config -> t
+
+type stats = {
+  served : int;  (** request lines answered *)
+  synth_ok : int;
+  synth_err : int;
+  solves : int;  (** cold solves actually run *)
+  coalesced : int;  (** misses answered by another request's solve *)
+  rejected : int;  (** admission-control rejections *)
+  cache : Cache.stats;
+}
+
+val stats : t -> stats
+val cache : t -> Cache.t
+val wants_shutdown : t -> bool
+(** Set once a [shutdown] request has been answered; the socket loop
+    exits after flushing. *)
+
+val handle_batch : t -> string list -> string list
+(** Process one batch of request lines; responses in request order,
+    one per line, without trailing newlines. Never raises. *)
+
+val handle : t -> string -> string
+(** [handle_batch] of a single line. *)

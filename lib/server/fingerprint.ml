@@ -1,0 +1,69 @@
+(* FNV-1a over the canonical form of the diagram.  64-bit arithmetic on
+   Int64 keeps the hash identical on every host word size. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv_int h n =
+  (* Mix all 63 bits, low byte first. *)
+  let rec go h n i =
+    if i = 8 then h else go (fnv_byte h (n lsr (8 * i))) n (i + 1)
+  in
+  go h n 0
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  (* A length terminator keeps concatenated strings unambiguous. *)
+  fnv_int !h (String.length s)
+
+let hex h = Printf.sprintf "%016Lx" h
+
+let sbdd (s : Bdd.Sbdd.t) =
+  let man = s.Bdd.Sbdd.man in
+  let roots = List.map snd s.Bdd.Sbdd.roots in
+  (* Canonical ids: position in depth-first discovery order from the
+     roots.  Handle values themselves are allocation-order artifacts and
+     never enter the hash. *)
+  let order = Bdd.Manager.reachable man roots in
+  let id = Hashtbl.create (List.length order) in
+  List.iteri (fun i n -> Hashtbl.replace id n i) order;
+  let h = ref fnv_offset in
+  Array.iter (fun name -> h := fnv_string !h name) s.Bdd.Sbdd.input_order;
+  List.iter
+    (fun n ->
+       if Bdd.Manager.is_terminal n then
+         (* Terminals hash as themselves: handle 0 / 1 are canonical. *)
+         h := fnv_int !h (-1 - n)
+       else begin
+         h := fnv_int !h (Bdd.Manager.level man n);
+         h := fnv_int !h (Hashtbl.find id (Bdd.Manager.low man n));
+         h := fnv_int !h (Hashtbl.find id (Bdd.Manager.high man n))
+       end)
+    order;
+  List.iter
+    (fun (name, root) ->
+       h := fnv_string !h name;
+       h := fnv_int !h (Hashtbl.find id root))
+    s.Bdd.Sbdd.roots;
+  hex !h
+
+let options (o : Compact.Pipeline.options) =
+  let opt_int = function None -> "-" | Some n -> string_of_int n in
+  Printf.sprintf "gamma=%.9g solver=%s alignment=%b time_limit=%.9g \
+                  bdd_node_limit=%d max_rows=%s max_cols=%s"
+    o.Compact.Pipeline.gamma
+    (Compact.Pipeline.solver_name o.Compact.Pipeline.solver)
+    o.Compact.Pipeline.alignment o.Compact.Pipeline.time_limit
+    o.Compact.Pipeline.bdd_node_limit
+    (opt_int o.Compact.Pipeline.max_rows)
+    (opt_int o.Compact.Pipeline.max_cols)
+
+let key ~options:o s =
+  let h = fnv_string fnv_offset Version.engine in
+  let h = fnv_string h (options o) in
+  let h = fnv_string h (sbdd s) in
+  hex h

@@ -1,0 +1,165 @@
+module J = Obs.Json
+
+type result = {
+  requests : int;
+  ok : int;
+  errors : int;
+  hits : int;
+  coalesced : int;
+  hit_rate : float;
+  wall_s : float;
+  rps : float;
+  p50_ms : float;
+  p99_ms : float;
+  hit_p50_ms : float;
+  miss_p50_ms : float;
+  stats_line : string;
+}
+
+let vars = [| "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" |]
+
+(* Seeded random expression: a full binary tree of depth [depth] over
+   8 variables — small enough to solve in milliseconds, large enough
+   that a cold solve dwarfs the cache-probe path. *)
+let rec gen_expr st depth =
+  if depth = 0 then
+    (if Random.State.bool st then "~" else "")
+    ^ vars.(Random.State.int st (Array.length vars))
+  else
+    let op = [| " & "; " | "; " ^ " |].(Random.State.int st 3) in
+    "(" ^ gen_expr st (depth - 1) ^ op ^ gen_expr st (depth - 1) ^ ")"
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (p * n / 100))
+
+let run ?(seed = Crossbar.Rng.default_seed) ?(requests = 200) ?(hot = 4)
+    ?(hot_frac = 0.4) ~socket () =
+  let hot_exprs =
+    Array.init hot (fun i ->
+        gen_expr (Crossbar.Rng.state seed ("loadgen-hot", i)) 4)
+  in
+  let client = Client.connect socket in
+  let lat_all = ref [] and lat_hit = ref [] and lat_miss = ref [] in
+  let ok = ref 0 and errors = ref 0 and hits = ref 0 and coalesced = ref 0 in
+  let t0 = Obs.Clock.now () in
+  for k = 1 to requests do
+    let st = Crossbar.Rng.state seed ("loadgen-req", k) in
+    let expr =
+      if Random.State.float st 1. < hot_frac then
+        hot_exprs.(Random.State.int st hot)
+      else gen_expr st 4
+    in
+    let line =
+      J.to_string
+        (J.Obj
+           [
+             "op", J.Str "synth";
+             "id", J.Num (float_of_int k);
+             "expr", J.Str expr;
+           ])
+    in
+    let rt0 = Obs.Clock.now () in
+    let resp = Client.request client line in
+    let ms = (Obs.Clock.now () -. rt0) *. 1e3 in
+    lat_all := ms :: !lat_all;
+    (match J.parse resp with
+     | exception J.Parse_error _ -> incr errors
+     | j ->
+       (match J.member "ok" j with
+        | Some (J.Bool true) ->
+          incr ok;
+          (match J.member "cached" j with
+           | Some (J.Bool true) ->
+             incr hits;
+             lat_hit := ms :: !lat_hit
+           | _ ->
+             (match J.member "coalesced" j with
+              | Some (J.Bool true) -> incr coalesced
+              | _ -> ());
+             lat_miss := ms :: !lat_miss)
+        | _ -> incr errors))
+  done;
+  let wall_s = Obs.Clock.now () -. t0 in
+  let stats_line =
+    Client.request client "{\"op\":\"stats\",\"id\":\"loadgen\"}"
+  in
+  Client.close client;
+  let sorted l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a
+  in
+  let all = sorted !lat_all in
+  {
+    requests;
+    ok = !ok;
+    errors = !errors;
+    hits = !hits;
+    coalesced = !coalesced;
+    hit_rate = float_of_int !hits /. float_of_int (max 1 requests);
+    wall_s;
+    rps = float_of_int requests /. (if wall_s > 0. then wall_s else nan);
+    p50_ms = percentile all 50;
+    p99_ms = percentile all 99;
+    hit_p50_ms = percentile (sorted !lat_hit) 50;
+    miss_p50_ms = percentile (sorted !lat_miss) 50;
+    stats_line;
+  }
+
+let num f = J.Num f
+let int_num n = J.Num (float_of_int n)
+
+let json_of_result ~seed ~hot ~hot_frac r =
+  let server_stats =
+    match J.parse r.stats_line with
+    | exception J.Parse_error _ -> []
+    | j ->
+      List.filter_map
+        (fun k -> Option.map (fun v -> k, v) (J.member k j))
+        [ "server"; "cache" ]
+  in
+  let ratio =
+    if Float.is_nan r.hit_p50_ms || Float.is_nan r.miss_p50_ms
+       || r.hit_p50_ms <= 0.
+    then J.Null
+    else num (r.miss_p50_ms /. r.hit_p50_ms)
+  in
+  J.to_string
+    (J.Obj
+       ([
+          ( "workload",
+            J.Obj
+              [
+                "seed", int_num seed;
+                "requests", int_num r.requests;
+                "hot", int_num hot;
+                "hot_frac", num hot_frac;
+              ] );
+          ( "loadgen",
+            J.Obj
+              [
+                "ok", int_num r.ok;
+                "errors", int_num r.errors;
+                "hits", int_num r.hits;
+                "coalesced", int_num r.coalesced;
+                "hit_rate", num r.hit_rate;
+                "wall_s", num r.wall_s;
+                "requests_per_s", num r.rps;
+                "p50_ms", num r.p50_ms;
+                "p99_ms", num r.p99_ms;
+                "hit_p50_ms", num r.hit_p50_ms;
+                "miss_p50_ms", num r.miss_p50_ms;
+                "miss_to_hit_p50_ratio", ratio;
+              ] );
+        ]
+        @ server_stats))
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>loadgen: %d requests in %.2fs (%.1f req/s)@,\
+     ok %d  errors %d  hits %d (%.0f%%)  coalesced %d@,\
+     latency p50 %.3fms  p99 %.3fms  hit-p50 %.3fms  miss-p50 %.3fms@]"
+    r.requests r.wall_s r.rps r.ok r.errors r.hits (100. *. r.hit_rate)
+    r.coalesced r.p50_ms r.p99_ms r.hit_p50_ms r.miss_p50_ms

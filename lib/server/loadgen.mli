@@ -1,0 +1,41 @@
+(** Seeded load generator for [compactd]: a mixed synthesis workload
+    with a configurable repeat fraction, reporting throughput, latency
+    percentiles and the cache's hit behaviour — the measured numbers
+    behind the ROADMAP's "heavy traffic" claim. *)
+
+type result = {
+  requests : int;
+  ok : int;
+  errors : int;
+  hits : int;  (** responses served from the cache *)
+  coalesced : int;  (** responses answered by another request's solve *)
+  hit_rate : float;  (** hits / requests *)
+  wall_s : float;
+  rps : float;
+  p50_ms : float;  (** all successful requests *)
+  p99_ms : float;
+  hit_p50_ms : float;  (** cache hits only; [nan] when none *)
+  miss_p50_ms : float;  (** cold solves only; [nan] when none *)
+  stats_line : string;  (** the server's final [stats] response, verbatim *)
+}
+
+val run :
+  ?seed:int ->
+  ?requests:int ->
+  ?hot:int ->
+  ?hot_frac:float ->
+  socket:string ->
+  unit ->
+  result
+(** Drive [requests] (default 200) synthesis requests over one
+    connection: with probability [hot_frac] (default 0.4) the request
+    repeats one of [hot] (default 4) fixed expressions, otherwise it is
+    a fresh seeded random expression. Every choice derives from [seed]
+    via {!Crossbar.Rng}, so a run is reproducible. *)
+
+val json_of_result :
+  seed:int -> hot:int -> hot_frac:float -> result -> string
+(** The BENCH_pr7.json document: workload parameters, client-side
+    numbers, and the server's own [stats] objects. *)
+
+val pp : Format.formatter -> result -> unit

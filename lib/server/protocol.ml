@@ -1,0 +1,237 @@
+module J = Obs.Json
+
+type source = Expr of string | Circuit of string | Blif of string
+
+type synth = {
+  id : J.t;
+  source : source;
+  options : Compact.Pipeline.options;
+}
+
+type request =
+  | Synth of synth
+  | Status of J.t
+  | Stats of J.t
+  | Shutdown of J.t
+
+type error_code =
+  | Parse
+  | Unknown_op
+  | Bad_request
+  | Oversized
+  | Overload
+  | Exhausted
+  | Infeasible
+  | Size_limit
+  | Internal
+
+let error_code_name = function
+  | Parse -> "parse"
+  | Unknown_op -> "unknown-op"
+  | Bad_request -> "bad-request"
+  | Oversized -> "oversized"
+  | Overload -> "overload"
+  | Exhausted -> "exhausted"
+  | Infeasible -> "infeasible"
+  | Size_limit -> "size-limit"
+  | Internal -> "internal"
+
+type error = { err_id : J.t; code : error_code; message : string }
+
+let max_line = 65536
+
+let request_id = function
+  | Synth { id; _ } | Status id | Stats id | Shutdown id -> id
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing *)
+
+exception Bad of string
+
+let parse_options ~defaults json =
+  match json with
+  | None -> defaults
+  | Some (J.Obj fields) ->
+    List.fold_left
+      (fun (o : Compact.Pipeline.options) (k, v) ->
+         match k, v with
+         | "gamma", J.Num g -> { o with Compact.Pipeline.gamma = g }
+         | "solver", J.Str s ->
+           (match Compact.Pipeline.solver_of_name s with
+            | Some solver -> { o with Compact.Pipeline.solver = solver }
+            | None -> raise (Bad (Printf.sprintf "unknown solver %S" s)))
+         | "alignment", J.Bool b -> { o with Compact.Pipeline.alignment = b }
+         | "time_limit", J.Num t when t > 0. ->
+           { o with Compact.Pipeline.time_limit = t }
+         | "bdd_node_limit", J.Num n when n >= 1. ->
+           { o with Compact.Pipeline.bdd_node_limit = int_of_float n }
+         | "max_rows", J.Num n when n >= 1. ->
+           { o with Compact.Pipeline.max_rows = Some (int_of_float n) }
+         | "max_rows", J.Null -> { o with Compact.Pipeline.max_rows = None }
+         | "max_cols", J.Num n when n >= 1. ->
+           { o with Compact.Pipeline.max_cols = Some (int_of_float n) }
+         | "max_cols", J.Null -> { o with Compact.Pipeline.max_cols = None }
+         | ("gamma" | "solver" | "alignment" | "time_limit"
+           | "bdd_node_limit" | "max_rows" | "max_cols"), _ ->
+           raise (Bad (Printf.sprintf "bad value for option %S" k))
+         | k, _ ->
+           (* [jobs] and [deadline] deliberately land here: both are
+              server policy, not request payload. *)
+           raise (Bad (Printf.sprintf "unknown option %S" k)))
+      defaults fields
+  | Some _ -> raise (Bad "\"options\" must be an object")
+
+let parse_source fields =
+  let pick k wrap =
+    Option.map (function
+        | J.Str s -> wrap s
+        | _ -> raise (Bad (Printf.sprintf "%S must be a string" k)))
+      (List.assoc_opt k fields)
+  in
+  match
+    List.filter_map Fun.id
+      [ pick "expr" (fun s -> Expr s);
+        pick "circuit" (fun s -> Circuit s);
+        pick "blif" (fun s -> Blif s) ]
+  with
+  | [ src ] -> src
+  | [] -> raise (Bad "one of \"expr\", \"circuit\", \"blif\" is required")
+  | _ -> raise (Bad "give exactly one of \"expr\", \"circuit\", \"blif\"")
+
+let parse_request ~defaults line =
+  if String.length line > max_line then
+    Error
+      {
+        err_id = J.Null;
+        code = Oversized;
+        message =
+          Printf.sprintf "request line of %d bytes exceeds the %d-byte limit"
+            (String.length line) max_line;
+      }
+  else
+    match J.parse line with
+    | exception J.Parse_error msg ->
+      Error { err_id = J.Null; code = Parse; message = msg }
+    | J.Obj fields as obj ->
+      let id = Option.value ~default:J.Null (J.member "id" obj) in
+      (match List.assoc_opt "op" fields with
+       | Some (J.Str "synth") ->
+         (match
+            let source = parse_source fields in
+            let options =
+              parse_options ~defaults (List.assoc_opt "options" fields)
+            in
+            Synth { id; source; options }
+          with
+          | req -> Ok req
+          | exception Bad msg ->
+            Error { err_id = id; code = Bad_request; message = msg })
+       | Some (J.Str "status") -> Ok (Status id)
+       | Some (J.Str "stats") -> Ok (Stats id)
+       | Some (J.Str "shutdown") -> Ok (Shutdown id)
+       | Some (J.Str op) ->
+         Error
+           {
+             err_id = id;
+             code = Unknown_op;
+             message = Printf.sprintf "unknown op %S" op;
+           }
+       | Some _ | None ->
+         Error
+           {
+             err_id = id;
+             code = Bad_request;
+             message = "missing string field \"op\"";
+           })
+    | _ ->
+      Error
+        {
+          err_id = J.Null;
+          code = Parse;
+          message = "request must be a JSON object";
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Canonical serialization *)
+
+let wire_json = function
+  | Crossbar.Design.Row i -> J.Str (Printf.sprintf "r%d" i)
+  | Crossbar.Design.Col j -> J.Str (Printf.sprintf "c%d" j)
+
+let design_json d =
+  let cells = ref [] in
+  Crossbar.Design.iter_programmed d (fun r c lit ->
+      cells := (r, c, lit) :: !cells);
+  let cells = List.sort compare !cells in
+  J.Obj
+    [
+      "rows", J.Num (float_of_int (Crossbar.Design.rows d));
+      "cols", J.Num (float_of_int (Crossbar.Design.cols d));
+      "input", wire_json (Crossbar.Design.input d);
+      ( "outputs",
+        J.Arr
+          (List.map
+             (fun (name, w) -> J.Arr [ J.Str name; wire_json w ])
+             (Crossbar.Design.outputs d)) );
+      ( "cells",
+        J.Arr
+          (List.map
+             (fun (r, c, lit) ->
+                J.Arr
+                  [
+                    J.Num (float_of_int r);
+                    J.Num (float_of_int c);
+                    J.Str (Crossbar.Literal.to_string lit);
+                  ])
+             cells) );
+    ]
+
+(* Wall-clock fields (synthesis_time, label_time) are deliberately
+   omitted: the payload must be a deterministic function of the cache
+   key so cached bytes compare equal to a cold solve's. *)
+let report_json (r : Compact.Report.t) =
+  J.Obj
+    [
+      "circuit", J.Str r.Compact.Report.circuit;
+      "bdd_nodes", J.Num (float_of_int r.Compact.Report.bdd_nodes);
+      "bdd_edges", J.Num (float_of_int r.Compact.Report.bdd_edges);
+      "rows", J.Num (float_of_int r.Compact.Report.rows);
+      "cols", J.Num (float_of_int r.Compact.Report.cols);
+      "semiperimeter", J.Num (float_of_int r.Compact.Report.semiperimeter);
+      "vh_count", J.Num (float_of_int r.Compact.Report.vh_count);
+      "method", J.Str r.Compact.Report.method_name;
+      "optimal", J.Bool r.Compact.Report.optimal;
+      "gap", J.Num r.Compact.Report.gap;
+      ( "solver_path",
+        J.Arr (List.map (fun s -> J.Str s) r.Compact.Report.solver_path) );
+      "deadline_hit", J.Bool r.Compact.Report.deadline_hit;
+    ]
+
+let synth_payload ~key ~design ~report =
+  Printf.sprintf "\"key\":%s,\"design\":%s,\"report\":%s"
+    (J.to_string (J.Str key))
+    (J.to_string (design_json design))
+    (J.to_string (report_json report))
+
+let synth_response ~id ~cached ~coalesced ~payload =
+  Printf.sprintf "{\"id\":%s,\"ok\":true,\"cached\":%b,\"coalesced\":%b,%s}"
+    (J.to_string id) cached coalesced payload
+
+let ok_response ~id fields =
+  J.to_string (J.Obj (("id", id) :: ("ok", J.Bool true) :: fields))
+
+let error_response { err_id; code; message } =
+  J.to_string
+    (J.Obj
+       [
+         "id", err_id;
+         "ok", J.Bool false;
+         ( "error",
+           J.Obj
+             [
+               "code", J.Str (error_code_name code);
+               "message", J.Str message;
+             ] );
+       ])
+
+let parse_response = J.parse

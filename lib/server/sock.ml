@@ -1,0 +1,161 @@
+type config = {
+  socket_path : string;
+  engine : Engine.config;
+  batch_window : float;
+  max_batch : int;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    engine = Engine.default_config;
+    batch_window = 0.02;
+    max_batch = 64;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable discarding : bool;  (* inside an oversized line: drop to EOL *)
+  mutable alive : bool;
+}
+
+let write_line conn line =
+  if conn.alive then begin
+    let data = Bytes.of_string (line ^ "\n") in
+    let len = Bytes.length data in
+    let rec go off =
+      if off < len then
+        match Unix.write conn.fd data off (len - off) with
+        | n -> go (off + n)
+        | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+          (* The client went away: drop the response, keep serving. *)
+          conn.alive <- false
+    in
+    go 0
+  end
+
+(* Mark dead; the serving loop's sweep (or final cleanup) closes the
+   descriptor exactly once. *)
+let mark_dead conn = conn.alive <- false
+
+let oversized_response =
+  Protocol.error_response
+    {
+      Protocol.err_id = Obs.Json.Null;
+      code = Protocol.Oversized;
+      message =
+        Printf.sprintf "request line exceeds the %d-byte limit"
+          Protocol.max_line;
+    }
+
+(* Pull every complete line out of the connection's read buffer.  A
+   buffer that outgrows the line limit without a newline answers with a
+   structured [oversized] error once and swallows input up to the next
+   newline, so the connection stays usable. *)
+let rec drain_lines conn enqueue =
+  let s = Buffer.contents conn.buf in
+  match String.index_opt s '\n' with
+  | Some i ->
+    let line =
+      if i > 0 && s.[i - 1] = '\r' then String.sub s 0 (i - 1)
+      else String.sub s 0 i
+    in
+    Buffer.clear conn.buf;
+    Buffer.add_substring conn.buf s (i + 1) (String.length s - i - 1);
+    if conn.discarding then conn.discarding <- false
+    else if line <> "" then enqueue line;
+    drain_lines conn enqueue
+  | None ->
+    if (not conn.discarding) && Buffer.length conn.buf > Protocol.max_line
+    then begin
+      conn.discarding <- true;
+      Buffer.clear conn.buf;
+      write_line conn oversized_response
+    end
+    else if conn.discarding then Buffer.clear conn.buf
+
+let serve config =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let engine = Engine.create config.engine in
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listen_fd 64;
+  let conns = ref [] in
+  (* Pending requests in arrival order: (owning connection, line). *)
+  let pending = ref [] in
+  let first_pending = ref 0. in
+  let enqueue conn line =
+    if !pending = [] then first_pending := Obs.Clock.now ();
+    pending := (conn, line) :: !pending
+  in
+  let read_chunk = Bytes.create 8192 in
+  let pump conn =
+    match Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
+    | 0 ->
+      (* EOF: already-queued requests from this client still execute
+         (their responses are dropped on write). *)
+      mark_dead conn
+    | n ->
+      Buffer.add_subbytes conn.buf read_chunk 0 n;
+      drain_lines conn (enqueue conn)
+    | exception Unix.Unix_error (ECONNRESET, _, _) -> mark_dead conn
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+  in
+  let flush_batch () =
+    let batch = List.rev !pending in
+    pending := [];
+    let responses = Engine.handle_batch engine (List.map snd batch) in
+    List.iter2 (fun (conn, _) resp -> write_line conn resp) batch responses
+  in
+  let finished = ref false in
+  while not !finished do
+    (* With requests pending, poll at zero timeout: the batch flushes
+       the moment the socket set goes quiescent, so a lone synchronous
+       client never waits out the batch window — the window only caps
+       how long a stream of arrivals can keep extending one batch. *)
+    let timeout = if !pending = [] then 0.25 else 0. in
+    let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
+    let readable, _, _ =
+      match Unix.select fds [] [] timeout with
+      | r -> r
+      | exception Unix.Unix_error (EINTR, _, _) -> [], [], []
+    in
+    if List.mem listen_fd readable then begin
+      match Unix.accept listen_fd with
+      | fd, _ ->
+        conns :=
+          { fd; buf = Buffer.create 256; discarding = false; alive = true }
+          :: !conns
+      | exception Unix.Unix_error _ -> ()
+    end;
+    List.iter
+      (fun conn -> if conn.alive && List.memq conn.fd readable then pump conn)
+      !conns;
+    conns :=
+      List.filter
+        (fun conn ->
+           if conn.alive then true
+           else begin
+             (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+             false
+           end)
+        !conns;
+    if
+      !pending <> []
+      && (readable = []
+          || List.length !pending >= config.max_batch
+          || Obs.Clock.now () -. !first_pending >= config.batch_window)
+    then begin
+      flush_batch ();
+      if Engine.wants_shutdown engine then finished := true
+    end
+  done;
+  List.iter
+    (fun conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ())
+    !conns;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  Engine.stats engine

@@ -1,0 +1,32 @@
+(** [compactd]'s transport: a line-oriented JSONL protocol over a
+    Unix-domain socket.
+
+    One serving loop multiplexes every connection with [select]; request
+    lines accumulate for up to [batch_window] seconds (or [max_batch]
+    lines) and are then handed to {!Engine.handle_batch} in arrival
+    order — that window is what lets concurrent identical requests
+    coalesce into one solve. Responses are written back to each
+    request's connection; a client that disconnected mid-request simply
+    has its response dropped (the server survives, the batch's other
+    responses still flush).
+
+    The loop exits after answering a [shutdown] request, closing every
+    connection and unlinking the socket path. *)
+
+type config = {
+  socket_path : string;
+  engine : Engine.config;
+  batch_window : float;
+      (** seconds to keep collecting once a request is pending
+          (default 0.02) *)
+  max_batch : int;  (** lines that force a batch out early (default 64) *)
+}
+
+val default_config : socket_path:string -> config
+(** {!Engine.default_config} engine, 20 ms window, 64-line batches. *)
+
+val serve : config -> Engine.stats
+(** Bind, listen and serve until shutdown; returns the engine's final
+    stats. Ignores [SIGPIPE]. An existing socket file at the path is
+    replaced.
+    @raise Unix.Unix_error when the socket cannot be bound. *)

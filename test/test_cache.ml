@@ -1,0 +1,252 @@
+(* Design-cache battery: the PR-7 contract that a cache hit is provably
+   the bytes a clean cold solve produces.
+
+   - a hit is byte-identical to the cold response (modulo the "cached"
+     flag itself);
+   - distinct functions and distinct options never share a key;
+   - the LRU honours both the entry and the byte bound;
+   - single-flight: 8 identical concurrent requests solve once;
+   - the whole engine is deterministic across jobs counts.
+
+   Run via the @server alias at COMPACT_JOBS=1 and COMPACT_JOBS=4. *)
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+let ts = Alcotest.string
+
+module J = Obs.Json
+module Engine = Server.Engine
+module Cache = Server.Cache
+
+let jobs = Parallel.default_jobs ()
+
+let engine ?(jobs = jobs) ?(cache_entries = 512)
+    ?(cache_bytes = 16 * 1024 * 1024) () =
+  Engine.create
+    { Engine.default_config with jobs; cache_entries; cache_bytes }
+
+let synth_line ?(id = 1) expr =
+  Printf.sprintf {|{"op":"synth","id":%d,"expr":%s}|} id
+    (J.to_string (J.Str expr))
+
+let member name resp =
+  match J.member name (J.parse resp) with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S: %s" name resp
+
+let is_ok resp = member "ok" resp = J.Bool true
+let is_cached resp = member "cached" resp = J.Bool true
+
+(* The response with its transport flags normalised away: everything
+   after the "coalesced" field is the cacheable payload. *)
+let payload_of resp =
+  match String.index_opt resp ':' with
+  | None -> resp
+  | Some _ ->
+    (match
+       String.split_on_char ',' resp
+       |> List.filter (fun f ->
+           not
+             (List.exists
+                (fun p -> String.length f >= String.length p
+                          && String.sub f 0 (String.length p) = p)
+                [ {|{"id":|}; {|"id":|}; {|"cached":|}; {|"coalesced":|} ]))
+     with
+     | fields -> String.concat "," fields)
+
+let hit_identity_tests =
+  [
+    Alcotest.test_case "hit is byte-identical to the cold solve" `Quick
+      (fun () ->
+         Resilience.Inject.disable ();
+         let e = engine () in
+         let line = synth_line "((a & b) | (c & ~d)) ^ (b | d)" in
+         let cold = Engine.handle e line in
+         let hot = Engine.handle e line in
+         check tb "cold ok" true (is_ok cold);
+         check tb "hot ok" true (is_ok hot);
+         check tb "cold is not cached" false (is_cached cold);
+         check tb "hot is cached" true (is_cached hot);
+         check ts "identical payload bytes" (payload_of cold)
+           (payload_of hot);
+         let s = Engine.stats e in
+         check ti "exactly one solve" 1 s.Engine.solves;
+         check ti "one hit one miss" 1 s.Engine.cache.Cache.hits;
+         check ti "one miss" 1 s.Engine.cache.Cache.misses);
+    Alcotest.test_case "fresh engines produce identical cold bytes" `Quick
+      (fun () ->
+         Resilience.Inject.disable ();
+         let line = synth_line "(a ^ b) & (c | ~a)" in
+         let r1 = Engine.handle (engine ()) line in
+         let r2 = Engine.handle (engine ()) line in
+         check ts "reentrant: byte-identical responses" r1 r2);
+  ]
+
+let key_of resp =
+  match member "key" resp with
+  | J.Str k -> k
+  | _ -> Alcotest.fail "key is not a string"
+
+let collision_tests =
+  [
+    Alcotest.test_case "distinct functions get distinct keys" `Quick
+      (fun () ->
+         Resilience.Inject.disable ();
+         let e = engine () in
+         let exprs =
+           [
+             "a & b"; "a | b"; "a ^ b"; "~(a & b)"; "a & b & c";
+             "(a & b) | c"; "(a | b) & c"; "a"; "~a";
+             "(a & b) | (c & d)"; "(a & c) | (b & d)";
+           ]
+         in
+         let keys = List.map (fun x -> key_of (Engine.handle e x))
+             (List.map synth_line exprs) in
+         check ti "all keys distinct"
+           (List.length keys)
+           (List.length (List.sort_uniq compare keys)));
+    Alcotest.test_case "distinct options get distinct keys" `Quick
+      (fun () ->
+         Resilience.Inject.disable ();
+         let e = engine () in
+         let line opts =
+           Printf.sprintf
+             {|{"op":"synth","id":1,"expr":"(a & b) | (c & d)","options":%s}|}
+             opts
+         in
+         let keys =
+           List.map
+             (fun o -> key_of (Engine.handle e (line o)))
+             [
+               "{}"; {|{"gamma":0.9}|}; {|{"solver":"heuristic"}|};
+               {|{"alignment":false}|}; {|{"max_rows":8}|};
+             ]
+         in
+         check ti "all keys distinct"
+           (List.length keys)
+           (List.length (List.sort_uniq compare keys)));
+  ]
+
+let lru_tests =
+  [
+    Alcotest.test_case "entry bound evicts least-recently-used" `Quick
+      (fun () ->
+         let c = Cache.create ~max_entries:3 () in
+         Cache.add c "a" "1";
+         Cache.add c "b" "2";
+         Cache.add c "c" "3";
+         (* Touch "a" so "b" is now the LRU entry. *)
+         check (Alcotest.option ts) "a hits" (Some "1") (Cache.find c "a");
+         Cache.add c "d" "4";
+         check (Alcotest.option ts) "b evicted" None (Cache.find c "b");
+         check (Alcotest.option ts) "a survived" (Some "1")
+           (Cache.find c "a");
+         check (Alcotest.option ts) "d present" (Some "4")
+           (Cache.find c "d");
+         let s = Cache.stats c in
+         check ti "three entries" 3 s.Cache.entries;
+         check ti "one eviction" 1 s.Cache.evictions);
+    Alcotest.test_case "byte bound evicts until under" `Quick (fun () ->
+        let c = Cache.create ~max_bytes:10 () in
+        Cache.add c "a" "aaaa";
+        Cache.add c "b" "bbbb";
+        (* 8 bytes resident; 4 more forces "a" out. *)
+        Cache.add c "c" "cccc";
+        let s = Cache.stats c in
+        check tb "bytes within bound" true (s.Cache.bytes <= 10);
+        check (Alcotest.option ts) "a evicted" None (Cache.find c "a");
+        check (Alcotest.option ts) "c present" (Some "cccc")
+          (Cache.find c "c"));
+    Alcotest.test_case "value larger than the bound is not admitted"
+      `Quick (fun () ->
+          let c = Cache.create ~max_bytes:4 () in
+          Cache.add c "big" "aaaaaaaa";
+          check (Alcotest.option ts) "not stored" None (Cache.find c "big");
+          check ti "no entries" 0 (Cache.stats c).Cache.entries);
+    Alcotest.test_case "overwrite updates bytes, not entries" `Quick
+      (fun () ->
+         let c = Cache.create () in
+         Cache.add c "k" "aa";
+         Cache.add c "k" "bbbb";
+         let s = Cache.stats c in
+         check ti "one entry" 1 s.Cache.entries;
+         check ti "four bytes" 4 s.Cache.bytes;
+         check (Alcotest.option ts) "new value" (Some "bbbb")
+           (Cache.find c "k"));
+  ]
+
+let single_flight_tests =
+  [
+    Alcotest.test_case "8 identical requests solve once" `Quick (fun () ->
+        Resilience.Inject.disable ();
+        let e = engine () in
+        let lines =
+          List.init 8 (fun i -> synth_line ~id:(i + 1) "(a ^ b) | (c & d)")
+        in
+        let responses = Engine.handle_batch e lines in
+        check ti "8 responses" 8 (List.length responses);
+        List.iter
+          (fun r -> check tb "all ok" true (is_ok r))
+          responses;
+        let s = Engine.stats e in
+        check ti "exactly one solve" 1 s.Engine.solves;
+        check ti "seven coalesced" 7 s.Engine.coalesced;
+        check ti "eight cache misses" 8 s.Engine.cache.Cache.misses;
+        check ti "one insert" 1 s.Engine.cache.Cache.inserts;
+        (* The leader's response is not coalesced; the other seven are;
+           and every payload is the same bytes. *)
+        let coalesced_flags =
+          List.map (fun r -> member "coalesced" r = J.Bool true) responses
+        in
+        check ti "seven flagged coalesced" 7
+          (List.length (List.filter Fun.id coalesced_flags));
+        let payloads = List.sort_uniq compare
+            (List.map payload_of responses) in
+        check ti "one distinct payload" 1 (List.length payloads));
+    Alcotest.test_case "mixed batch: one solve per distinct key" `Quick
+      (fun () ->
+         Resilience.Inject.disable ();
+         let e = engine () in
+         let mk = synth_line in
+         let responses =
+           Engine.handle_batch e
+             [ mk "a & b"; mk "a | b"; mk "a & b"; mk "a | b"; mk "a & b" ]
+         in
+         List.iter (fun r -> check tb "ok" true (is_ok r)) responses;
+         let s = Engine.stats e in
+         check ti "two solves" 2 s.Engine.solves;
+         check ti "three coalesced" 3 s.Engine.coalesced);
+  ]
+
+let determinism_tests =
+  [
+    Alcotest.test_case "jobs=1 and jobs=4 answer byte-identically" `Slow
+      (fun () ->
+         Resilience.Inject.disable ();
+         let lines =
+           List.init 12 (fun i ->
+               let st = Crossbar.Rng.state 7 ("cache-determinism", i) in
+               let v () =
+                 [| "a"; "b"; "c"; "d"; "e" |].(Random.State.int st 5)
+               in
+               let expr =
+                 Printf.sprintf "(%s & %s) | (%s ^ ~%s)" (v ()) (v ())
+                   (v ()) (v ())
+               in
+               synth_line ~id:(i + 1) expr)
+         in
+         let r1 = Engine.handle_batch (engine ~jobs:1 ()) lines in
+         let r4 = Engine.handle_batch (engine ~jobs:4 ()) lines in
+         check (Alcotest.list ts) "identical response lists" r1 r4);
+  ]
+
+let () =
+  Alcotest.run "cache"
+    [
+      "hit-identity", hit_identity_tests;
+      "collisions", collision_tests;
+      "lru", lru_tests;
+      "single-flight", single_flight_tests;
+      "determinism", determinism_tests;
+    ]

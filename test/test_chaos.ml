@@ -200,6 +200,65 @@ let trace_tests =
         | None -> Alcotest.fail "inject.timeout counter missing");
   ]
 
+(* PR-7 server point: faults injected while compactd serves a request
+   must surface as structured error responses (or clean successes when
+   the fault misses / the sequential retry absorbs it) — never a cache
+   entry produced under injection, never a wedged engine.  After the
+   storm, the same request must solve cleanly and byte-match a
+   reference engine that never saw a fault. *)
+let server_tests =
+  let module Engine = Server.Engine in
+  let module J = Obs.Json in
+  let ti = Alcotest.int in
+  let line = {|{"op":"synth","id":1,"expr":"((a & b) | (c & ~d)) ^ (b & ~c)"}|} in
+  let response_structured resp =
+    match J.parse resp with
+    | exception J.Parse_error msg ->
+      Alcotest.failf "unparsable response %s: %s" resp msg
+    | j ->
+      (match J.member "ok" j with
+       | Some (J.Bool true) -> ()
+       | Some (J.Bool false) ->
+         (match J.member "error" j with
+          | Some err ->
+            (match J.member "code" err, J.member "message" err with
+             | Some (J.Str _), Some (J.Str _) -> ()
+             | _ -> Alcotest.failf "malformed error object in %s" resp)
+          | None -> Alcotest.failf "ok:false without error in %s" resp)
+       | _ -> Alcotest.failf "response without ok field: %s" resp)
+  in
+  let storm point =
+    Alcotest.test_case
+      (Printf.sprintf "%s during in-flight requests" (Inject.name point))
+      `Slow
+      (fun () ->
+         let e = Engine.create { Engine.default_config with Engine.jobs } in
+         List.iter
+           (fun seed ->
+              Inject.with_points ~seed [ point ] (fun () ->
+                  List.iter response_structured
+                    (Engine.handle_batch e [ line; line; line ])))
+           seeds;
+         (* Nothing produced under injection may have entered the
+            cache: every insert requires the pristine verdict, which is
+            false while any point is armed. *)
+         check ti "cache uncorrupted: no inserts under injection" 0
+           (Engine.stats e).Engine.cache.Server.Cache.inserts;
+         (* The engine is not wedged: the identical request now solves
+            cleanly and matches an engine that never saw a fault. *)
+         Inject.disable ();
+         let after = Engine.handle e line in
+         let reference =
+           Engine.handle (Engine.create Engine.default_config) line
+         in
+         (match J.member "ok" (J.parse after) with
+          | Some (J.Bool true) -> ()
+          | _ -> Alcotest.failf "clean request after storm failed: %s" after);
+         check Alcotest.string "clean solve matches a fault-free engine"
+           reference after)
+  in
+  [ storm Inject.Timeout; storm Inject.Pool_poison; storm Inject.Oom ]
+
 let () =
   Alcotest.run "chaos"
     [
@@ -207,4 +266,5 @@ let () =
       "all-armed", all_armed_tests;
       "deadline", deadline_tests;
       "trace", trace_tests;
+      "server", server_tests;
     ]

@@ -1,0 +1,363 @@
+(* compactd protocol and serving-loop battery.
+
+   Conformance goldens for the JSONL wire protocol (valid requests,
+   malformed JSON, unknown ops, option overrides, the oversized-line
+   error), socket-level tests against a real [Sock.serve] loop running
+   in a companion domain (round-trips, client disconnect mid-request,
+   oversized lines), and the pipeline-reentrancy regression backing the
+   serving core: back-to-back in-process syntheses are byte-identical.
+
+   Run via the @server alias at COMPACT_JOBS=1 and COMPACT_JOBS=4. *)
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+let ts = Alcotest.string
+
+module J = Obs.Json
+module Protocol = Server.Protocol
+module Engine = Server.Engine
+
+let defaults = Compact.Pipeline.default_options
+
+let parse line = Protocol.parse_request ~defaults line
+
+let code_of = function
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e -> Protocol.error_code_name e.Protocol.code
+
+(* ------------------------------------------------------------------ *)
+(* Protocol conformance goldens *)
+
+let parse_tests =
+  [
+    Alcotest.test_case "valid synth with expr" `Quick (fun () ->
+        match parse {|{"op":"synth","id":7,"expr":"a & b"}|} with
+        | Ok (Protocol.Synth s) ->
+          check tb "id round-trips" true (s.Protocol.id = J.Num 7.);
+          (match s.Protocol.source with
+           | Protocol.Expr e -> check ts "expr" "a & b" e
+           | _ -> Alcotest.fail "wrong source")
+        | _ -> Alcotest.fail "expected Synth");
+    Alcotest.test_case "valid synth with circuit and options" `Quick
+      (fun () ->
+         match
+           parse
+             {|{"op":"synth","id":"x","circuit":"dec","options":{"gamma":0.75,"solver":"heuristic","alignment":false}}|}
+         with
+         | Ok (Protocol.Synth s) ->
+           (match s.Protocol.source with
+            | Protocol.Circuit c -> check ts "circuit" "dec" c
+            | _ -> Alcotest.fail "wrong source");
+           check (Alcotest.float 1e-9) "gamma" 0.75
+             s.Protocol.options.Compact.Pipeline.gamma;
+           check tb "alignment off" false
+             s.Protocol.options.Compact.Pipeline.alignment;
+           check ts "solver" "heuristic"
+             (Compact.Pipeline.solver_name
+                s.Protocol.options.Compact.Pipeline.solver)
+         | _ -> Alcotest.fail "expected Synth");
+    Alcotest.test_case "status / stats / shutdown" `Quick (fun () ->
+        (match parse {|{"op":"status","id":1}|} with
+         | Ok (Protocol.Status _) -> ()
+         | _ -> Alcotest.fail "expected Status");
+        (match parse {|{"op":"stats"}|} with
+         | Ok (Protocol.Stats id) -> check tb "null id" true (id = J.Null)
+         | _ -> Alcotest.fail "expected Stats");
+        match parse {|{"op":"shutdown","id":[1,2]}|} with
+        | Ok (Protocol.Shutdown id) ->
+          check tb "structured id" true (id = J.Arr [ J.Num 1.; J.Num 2. ])
+        | _ -> Alcotest.fail "expected Shutdown");
+    Alcotest.test_case "malformed JSON is a parse error" `Quick (fun () ->
+        check ts "code" "parse" (code_of (parse "not json"));
+        check ts "code" "parse" (code_of (parse "{\"op\":")));
+    Alcotest.test_case "non-object JSON is a parse error" `Quick (fun () ->
+        check ts "code" "parse" (code_of (parse "[1,2,3]")));
+    Alcotest.test_case "unknown op" `Quick (fun () ->
+        check ts "code" "unknown-op"
+          (code_of (parse {|{"op":"frobnicate","id":1}|})));
+    Alcotest.test_case "synth without a source is bad-request" `Quick
+      (fun () ->
+         check ts "code" "bad-request"
+           (code_of (parse {|{"op":"synth","id":1}|})));
+    Alcotest.test_case "synth with two sources is bad-request" `Quick
+      (fun () ->
+         check ts "code" "bad-request"
+           (code_of
+              (parse {|{"op":"synth","id":1,"expr":"a","circuit":"dec"}|})));
+    Alcotest.test_case "server-side options are not settable" `Quick
+      (fun () ->
+         check ts "jobs rejected" "bad-request"
+           (code_of
+              (parse
+                 {|{"op":"synth","id":1,"expr":"a","options":{"jobs":8}}|}));
+         check ts "deadline rejected" "bad-request"
+           (code_of
+              (parse
+                 {|{"op":"synth","id":1,"expr":"a","options":{"deadline":1}}|})));
+    Alcotest.test_case "error responses carry the id back" `Quick
+      (fun () ->
+         let e = Engine.create Engine.default_config in
+         let resp = Engine.handle e {|{"op":"frobnicate","id":42}|} in
+         let j = J.parse resp in
+         check tb "id preserved" true (J.member "id" j = Some (J.Num 42.));
+         check tb "not ok" true (J.member "ok" j = Some (J.Bool false)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level op handling *)
+
+let engine_tests =
+  [
+    Alcotest.test_case "status reports engine version and protocol" `Quick
+      (fun () ->
+         let e = Engine.create Engine.default_config in
+         let j = J.parse (Engine.handle e {|{"op":"status","id":1}|}) in
+         check tb "engine string" true
+           (J.member "engine" j = Some (J.Str Server.Version.engine));
+         check tb "protocol" true
+           (J.member "protocol" j = Some (J.Str "jsonl/1")));
+    Alcotest.test_case "admission control rejects past max_queue" `Quick
+      (fun () ->
+         Resilience.Inject.disable ();
+         let e =
+           Engine.create { Engine.default_config with Engine.max_queue = 2 }
+         in
+         let line i =
+           Printf.sprintf
+             {|{"op":"synth","id":%d,"expr":"a & b%d"}|} i (i mod 5)
+         in
+         let responses = Engine.handle_batch e (List.init 5 line) in
+         let overloaded =
+           List.filter
+             (fun r ->
+                match J.member "error" (J.parse r) with
+                | Some err ->
+                  J.member "code" err = Some (J.Str "overload")
+                | None -> false)
+             responses
+         in
+         check ti "three rejected" 3 (List.length overloaded);
+         check ti "rejected counter" 3 (Engine.stats e).Engine.rejected);
+    Alcotest.test_case "shutdown sets the flag" `Quick (fun () ->
+        let e = Engine.create Engine.default_config in
+        check tb "clear before" false (Engine.wants_shutdown e);
+        let resp = Engine.handle e {|{"op":"shutdown","id":1}|} in
+        check tb "ok" true
+          (J.member "ok" (J.parse resp) = Some (J.Bool true));
+        check tb "set after" true (Engine.wants_shutdown e));
+    Alcotest.test_case "infeasible capacity is a structured error" `Quick
+      (fun () ->
+         Resilience.Inject.disable ();
+         let e = Engine.create Engine.default_config in
+         let resp =
+           Engine.handle e
+             {|{"op":"synth","id":1,"expr":"(a&b)|(c&d)|(e&f)","options":{"max_rows":1,"max_cols":1}}|}
+         in
+         let j = J.parse resp in
+         check tb "not ok" true (J.member "ok" j = Some (J.Bool false));
+         match J.member "error" j with
+         | Some err ->
+           (match J.member "code" err with
+            | Some (J.Str ("infeasible" | "exhausted")) -> ()
+            | c ->
+              Alcotest.failf "unexpected code %s"
+                (match c with Some v -> J.to_string v | None -> "<none>"))
+         | None -> Alcotest.fail "no error object");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Socket-level tests: a real serving loop in a companion domain. *)
+
+let socket_path tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "compactd-test-%d-%s.sock" (Unix.getpid ()) tag)
+
+let with_server ?(jobs = 1) tag k =
+  Resilience.Inject.disable ();
+  let path = socket_path tag in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let config =
+    {
+      (Server.Sock.default_config ~socket_path:path) with
+      Server.Sock.engine = { Engine.default_config with Engine.jobs };
+    }
+  in
+  let server = Domain.spawn (fun () -> Server.Sock.serve config) in
+  let finish () =
+    (match Server.Client.connect ~retries:10 path with
+     | c ->
+       (try ignore (Server.Client.request c {|{"op":"shutdown"}|})
+        with End_of_file -> ());
+       Server.Client.close c
+     | exception _ -> ());
+    Domain.join server
+  in
+  match k path with
+  | r ->
+    let stats = finish () in
+    r, stats
+  | exception e ->
+    ignore (finish ());
+    raise e
+
+let socket_tests =
+  [
+    Alcotest.test_case "round-trip: solve, hit, stats" `Slow (fun () ->
+        let (), _stats =
+          with_server "roundtrip" (fun path ->
+              let c = Server.Client.connect path in
+              let line = {|{"op":"synth","id":1,"expr":"(a & b) | c"}|} in
+              let cold = Server.Client.request c line in
+              let hot = Server.Client.request c line in
+              let jc = J.parse cold and jh = J.parse hot in
+              check tb "cold ok" true
+                (J.member "ok" jc = Some (J.Bool true));
+              check tb "cold not cached" true
+                (J.member "cached" jc = Some (J.Bool false));
+              check tb "hot cached" true
+                (J.member "cached" jh = Some (J.Bool true));
+              check tb "same key" true
+                (J.member "key" jc = J.member "key" jh);
+              let stats =
+                J.parse (Server.Client.request c {|{"op":"stats"}|})
+              in
+              (match J.member "cache" stats with
+               | Some cache ->
+                 check tb "one hit" true
+                   (J.member "hits" cache = Some (J.Num 1.))
+               | None -> Alcotest.fail "no cache stats");
+              Server.Client.close c)
+        in
+        ());
+    Alcotest.test_case "oversized line gets a structured error" `Slow
+      (fun () ->
+         let (), _stats =
+           with_server "oversized" (fun path ->
+               let c = Server.Client.connect path in
+               let huge =
+                 {|{"op":"synth","id":1,"expr":"|}
+                 ^ String.make (Protocol.max_line + 64) 'a'
+                 ^ {|"}|}
+               in
+               let resp = J.parse (Server.Client.request c huge) in
+               (match J.member "error" resp with
+                | Some err ->
+                  check tb "oversized code" true
+                    (J.member "code" err = Some (J.Str "oversized"))
+                | None -> Alcotest.fail "expected an error response");
+               (* The connection survives and serves the next request. *)
+               let ok =
+                 J.parse
+                   (Server.Client.request c
+                      {|{"op":"synth","id":2,"expr":"a & b"}|})
+               in
+               check tb "next request ok" true
+                 (J.member "ok" ok = Some (J.Bool true));
+               Server.Client.close c)
+         in
+         ());
+    Alcotest.test_case "client disconnect mid-request" `Slow (fun () ->
+        let (), stats =
+          with_server "disconnect" (fun path ->
+              (* Wait until the listener is up, then immediately hang
+                 up — a connection that never says anything. *)
+              let ready = Server.Client.connect path in
+              Server.Client.close ready;
+              (* Half a request — no terminating newline — then vanish. *)
+              let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+              Unix.connect fd (Unix.ADDR_UNIX path);
+              let partial = Bytes.of_string {|{"op":"synth","id":1,"ex|} in
+              ignore (Unix.write fd partial 0 (Bytes.length partial));
+              (* Give the serving loop a chance to read the fragment
+                 before the EOF lands. *)
+              Unix.sleepf 0.05;
+              Unix.close fd;
+              (* A full request whose response has no reader. *)
+              let c2 = Server.Client.connect path in
+              Server.Client.send c2
+                {|{"op":"synth","id":2,"expr":"a & b & c"}|};
+              Server.Client.close c2;
+              (* The server must still answer a healthy client. *)
+              let c3 = Server.Client.connect path in
+              let resp =
+                J.parse
+                  (Server.Client.request c3
+                     {|{"op":"synth","id":3,"expr":"(a ^ b) & c"}|})
+              in
+              check tb "healthy client served" true
+                (J.member "ok" resp = Some (J.Bool true));
+              Server.Client.close c3)
+        in
+        check tb "server processed requests" true
+          (stats.Engine.served >= 1));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Reentrancy regression: the serving core assumes [Pipeline.synthesize]
+   has no mutable global state, so two back-to-back in-process runs must
+   produce the same bytes. *)
+
+let reentrancy_tests =
+  [
+    Alcotest.test_case "back-to-back syntheses are byte-identical" `Quick
+      (fun () ->
+         Resilience.Inject.disable ();
+         let e =
+           Logic.Parse.expr "((a & b) | (b & c) | (a & c)) ^ (~a & d)"
+         in
+         let nl =
+           Logic.Netlist.create ~name:"maj" ~inputs:(Logic.Expr.vars e)
+             ~outputs:[ "f" ] [ Logic.Netlist.n_expr "f" e ]
+         in
+         let run () =
+           let r = Compact.Pipeline.synthesize ~options:defaults nl in
+           (* The canonical serialization: design plus the report minus
+              its wall-clock fields, which legitimately differ run to
+              run. *)
+           J.to_string (Protocol.design_json r.Compact.Pipeline.design)
+           ^ J.to_string (Protocol.report_json r.Compact.Pipeline.report)
+         in
+         let first = run () in
+         let second = run () in
+         check ts "identical design and report" first second);
+    Alcotest.test_case "repeated syntheses do not re-register counters"
+      `Quick (fun () ->
+          Resilience.Inject.disable ();
+          let saved = Obs.enabled () in
+          Obs.set_enabled true;
+          Obs.reset ();
+          let e = Engine.create Engine.default_config in
+          let line = {|{"op":"synth","id":1,"expr":"(a | b) & ~c"}|} in
+          ignore (Engine.handle e line : string);
+          ignore (Engine.handle e line : string);
+          let snap = Obs.drain () in
+          Obs.set_enabled saved;
+          let names = List.map fst snap.Obs.counters in
+          check ti "counter names unique across repeated runs"
+            (List.length names)
+            (List.length (List.sort_uniq compare names)));
+    Alcotest.test_case "interleaved engines do not interfere" `Quick
+      (fun () ->
+         Resilience.Inject.disable ();
+         let line = {|{"op":"synth","id":1,"expr":"(a & ~b) | (b & c)"}|} in
+         let e1 = Engine.create Engine.default_config in
+         let e2 = Engine.create Engine.default_config in
+         let r1 = Engine.handle e1 line in
+         let r2 = Engine.handle e2 line in
+         let r1' = Engine.handle e1 line in
+         check ts "cold responses identical across engines" r1 r2;
+         check tb "second engine's cache untouched by the first" true
+           ((Engine.stats e2).Engine.cache.Server.Cache.entries = 1);
+         check tb "hit on the first engine" true
+           (J.member "cached" (J.parse r1') = Some (J.Bool true)));
+  ]
+
+let () =
+  Alcotest.run "server"
+    [
+      "protocol", parse_tests;
+      "engine", engine_tests;
+      "socket", socket_tests;
+      "reentrancy", reentrancy_tests;
+    ]
