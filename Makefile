@@ -1,5 +1,5 @@
 .PHONY: all test examples bench smoke proptest margin trace chaos server \
-	loadgen ci clean
+	server-restart loadgen restart-recovery ci clean
 
 all:
 	dune build
@@ -37,10 +37,22 @@ chaos:
 server:
 	dune build @server
 
+# Crash-safety battery: SIGKILL mid-journal-write then byte-identical
+# recovered hits; loadgen across a mid-run kill with zero lost
+# requests; graceful SIGTERM drain.  At jobs=1 and jobs=4.
+server-restart:
+	dune build @server-restart
+
 # Seeded mixed workload against a live compactd; regenerates
 # BENCH_pr7.json (throughput, latency percentiles, cache hit rate).
 loadgen:
 	dune exec bench/main.exe -- loadgen -j 4
+
+# Durable-cache costs; regenerates BENCH_pr8.json (recovery time vs
+# cache size for the journal and snapshot paths, hit-path persistence
+# overhead against the 5% budget).
+restart-recovery:
+	dune exec bench/main.exe -- restart-recovery
 
 # Tier-1 runs twice: once sequential, once with a 4-wide domain pool.
 # Every parallel consumer is bit-identical across jobs counts, so the
@@ -58,6 +70,7 @@ ci:
 	dune build @trace
 	dune build @chaos
 	dune build @server
+	dune build @server-restart
 
 clean:
 	dune clean

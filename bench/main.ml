@@ -14,7 +14,7 @@ let usage () =
   print_endline
     "usage: main.exe [--quick] [--time-limit S] [--json FILE] [--jobs N] \
      [--trace FILE] \
-     [all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|robustness|variation|ablation|perf|obs-overhead|resilience-overhead|loadgen]...";
+     [all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|robustness|variation|ablation|perf|obs-overhead|resilience-overhead|loadgen|restart-recovery]...";
   exit 1
 
 (* The jobs knob: --jobs N, defaulting to COMPACT_JOBS then 1. Read by
@@ -538,6 +538,142 @@ let run_loadgen ?json () =
   Printf.printf "loadgen results written to %s\n%!" file
 
 (* ------------------------------------------------------------------ *)
+(* Restart/recovery costs for the durable design cache (PR-8):
+
+   - recovery wall time against cache size, for both recovery paths —
+     replaying a journal and loading a snapshot — over synthetic
+     entries sized like real synth payloads (~1 KiB);
+   - hit-path overhead of running the engine with a cache-dir versus
+     purely in memory.  Hits never touch the journal, so the measured
+     overhead should sit well inside the 5% budget.
+
+   The committed BENCH_pr8.json is this target's output. *)
+
+let run_restart_recovery ?json () =
+  Resilience.Inject.disable ();
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "compactd-bench-recovery-%d" (Unix.getpid ()))
+  in
+  let clean () =
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f ->
+           try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir)
+  in
+  let payload i =
+    (* Deterministic ~1 KiB value, the size of a small synth payload. *)
+    let b = Buffer.create 1024 in
+    Buffer.add_string b (Printf.sprintf "{\"design\":\"entry-%06d\"," i);
+    let st = Crossbar.Rng.state 0x5eed ("bench-recovery", i) in
+    while Buffer.length b < 1000 do
+      Buffer.add_string b
+        (Printf.sprintf "\"f%d\":%.6f," (Buffer.length b)
+           (Random.State.float st 1.))
+    done;
+    Buffer.add_string b "\"end\":0}";
+    Buffer.contents b
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    r, (Unix.gettimeofday () -. t0) *. 1e3
+  in
+  let recovery_rows =
+    List.map
+      (fun n ->
+         clean ();
+         (* Journal path: n appends, no snapshot, then recover. *)
+         let p, _ = Server.Persist.open_dir dir in
+         for i = 0 to n - 1 do
+           Server.Persist.append p (Printf.sprintf "key-%06d" i) (payload i)
+         done;
+         let journal_bytes = Server.Persist.journal_bytes p in
+         Server.Persist.close p;
+         let (p2, rec1), journal_ms =
+           time (fun () -> Server.Persist.open_dir dir)
+         in
+         assert (List.length rec1.Server.Persist.entries = n);
+         (* Snapshot path: compact, then recover again. *)
+         Server.Persist.snapshot p2 rec1.Server.Persist.entries;
+         let snapshot_bytes = Server.Persist.snapshot_bytes p2 in
+         Server.Persist.close p2;
+         let (p3, rec2), snapshot_ms =
+           time (fun () -> Server.Persist.open_dir dir)
+         in
+         assert (List.length rec2.Server.Persist.entries = n);
+         Server.Persist.close p3;
+         Printf.printf
+           "recovery n=%-5d journal %7.2f ms (%7d B)   snapshot %7.2f ms \
+            (%7d B)\n%!"
+           n journal_ms journal_bytes snapshot_ms snapshot_bytes;
+         n, journal_ms, journal_bytes, snapshot_ms, snapshot_bytes)
+      [ 16; 64; 256; 1024 ]
+  in
+  clean ();
+  (* Hit-path overhead: identical hit streams against an in-memory
+     engine and a durable one. *)
+  let line = {|{"op":"synth","id":1,"expr":"(a & b) | (c & ~d)"}|} in
+  let hits = 2000 in
+  let hit_stream config =
+    let e = Server.Engine.create config in
+    ignore (Server.Engine.handle e line : string);
+    (* warm the path before timing *)
+    for _ = 1 to 100 do
+      ignore (Server.Engine.handle e line : string)
+    done;
+    (* Level the heap: the in-memory engine just ran a cold solve, the
+       durable one may have recovered instead; without a compaction the
+       difference in floating garbage reads as persistence overhead. *)
+    Gc.compact ();
+    let (), ms =
+      time (fun () ->
+          for _ = 1 to hits do
+            ignore (Server.Engine.handle e line : string)
+          done)
+    in
+    Server.Engine.close e;
+    ms *. 1e3 /. float_of_int hits (* us per hit *)
+  in
+  (* Alternate the two configurations and keep each one's best run, so
+     scheduler noise does not masquerade as persistence overhead. *)
+  let durable_config =
+    { Server.Engine.default_config with Server.Engine.cache_dir = Some dir }
+  in
+  let mem_us = ref infinity and persist_us = ref infinity in
+  for _ = 1 to 5 do
+    mem_us := Float.min !mem_us (hit_stream Server.Engine.default_config);
+    persist_us := Float.min !persist_us (hit_stream durable_config)
+  done;
+  let mem_us = !mem_us and persist_us = !persist_us in
+  clean ();
+  let overhead_pct = (persist_us -. mem_us) /. mem_us *. 100. in
+  Printf.printf
+    "hit path: %.2f us/hit in memory, %.2f us/hit durable (%+.2f%%)\n%!"
+    mem_us persist_us overhead_pct;
+  let file = match json with Some f -> f | None -> "BENCH_pr8.json" in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"restart-recovery\",\n  \"payload_bytes\": 1000,\n\
+    \  \"recovery\": [\n";
+  List.iteri
+    (fun i (n, jms, jb, sms, sb) ->
+       Printf.fprintf oc
+         "    {\"entries\": %d, \"journal_ms\": %.3f, \"journal_bytes\": \
+          %d, \"snapshot_ms\": %.3f, \"snapshot_bytes\": %d}%s\n"
+         n jms jb sms sb
+         (if i = List.length recovery_rows - 1 then "" else ","))
+    recovery_rows;
+  Printf.fprintf oc
+    "  ],\n  \"hit_path\": {\"hits\": %d, \"mem_us_per_hit\": %.3f, \
+     \"persist_us_per_hit\": %.3f, \"overhead_pct\": %.3f, \
+     \"budget_pct\": 5.0}\n}\n"
+    hits mem_us persist_us overhead_pct;
+  close_out oc;
+  Printf.printf "restart-recovery results written to %s\n%!" file
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -594,6 +730,7 @@ let () =
     | "obs-overhead" -> run_obs_overhead ?json:!json ()
     | "resilience-overhead" -> run_resilience_overhead ?json:!json ()
     | "loadgen" -> run_loadgen ?json:!json ()
+    | "restart-recovery" -> run_restart_recovery ?json:!json ()
     | other ->
       Printf.eprintf "unknown target %s\n" other;
       usage ()

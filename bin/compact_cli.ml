@@ -1106,7 +1106,8 @@ let socket_term ~required:_ =
            ~doc:"Unix-domain socket path of the compactd server.")
 
 let serve_run options socket jobs max_queue request_deadline batch_window
-    cache_entries cache_bytes =
+    cache_entries cache_bytes cache_dir fsync journal_ratio drain_deadline
+    read_deadline max_pending =
   let engine =
     {
       Server.Engine.defaults = options;
@@ -1116,19 +1117,30 @@ let serve_run options socket jobs max_queue request_deadline batch_window
       verify_trials = Server.Engine.default_config.Server.Engine.verify_trials;
       cache_entries;
       cache_bytes;
+      cache_dir;
+      fsync;
+      journal_ratio;
     }
   in
   let config =
     { (Server.Sock.default_config ~socket_path:socket) with engine;
-      batch_window }
+      batch_window; drain_deadline; read_deadline; max_pending;
+      handle_signals = true }
   in
-  Printf.eprintf "compactd: serving on %s (jobs=%d)\n%!" socket jobs;
-  let stats = Server.Sock.serve config in
-  Printf.eprintf
-    "compactd: shut down after %d requests (%d solves, %d cache hits)\n%!"
-    stats.Server.Engine.served stats.Server.Engine.solves
-    stats.Server.Engine.cache.Server.Cache.hits;
-  Ok ()
+  Printf.eprintf "compactd: serving on %s (jobs=%d%s)\n%!" socket jobs
+    (match cache_dir with
+     | None -> ""
+     | Some d -> Printf.sprintf ", cache-dir=%s" d);
+  match Server.Sock.serve config with
+  | stats ->
+    Printf.eprintf
+      "compactd: shut down after %d requests (%d solves, %d cache hits, %d \
+       recovered)\n%!"
+      stats.Server.Engine.served stats.Server.Engine.solves
+      stats.Server.Engine.cache.Server.Cache.hits
+      stats.Server.Engine.recovered;
+    Ok ()
+  | exception Server.Sock.Busy msg -> Error (`Msg msg)
 
 let serve_cmd =
   let max_queue =
@@ -1159,12 +1171,56 @@ let serve_cmd =
          & info [ "cache-bytes" ] ~docv:"B"
              ~doc:"Design cache capacity in payload bytes.")
   in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~env:(Cmd.Env.info "COMPACT_CACHE_DIR"
+                     ~doc:"Default cache directory when $(b,--cache-dir) \
+                           is absent.")
+             ~doc:"Persist the design cache in $(docv) (checksummed \
+                   snapshot + append-only journal). On restart the cache \
+                   is recovered — torn or corrupt tails are truncated and \
+                   damaged entries dropped, never served. Omit for a \
+                   memory-only cache.")
+  in
+  let fsync =
+    Arg.(value & flag
+         & info [ "fsync" ]
+             ~doc:"fsync the journal after every append (survives power \
+                   loss, not just process crash; slower hit path).")
+  in
+  let journal_ratio =
+    Arg.(value & opt float 4.
+         & info [ "journal-ratio" ] ~docv:"R"
+             ~doc:"Compact the journal into a fresh snapshot once it \
+                   outgrows $(docv) times the snapshot size.")
+  in
+  let drain_deadline =
+    Arg.(value & opt float 5.
+         & info [ "drain-deadline" ] ~docv:"SEC"
+             ~doc:"On SIGTERM/SIGINT, how long in-flight requests may \
+                   keep finishing before the rest are shed with \
+                   retry-after and the server exits.")
+  in
+  let read_deadline =
+    Arg.(value & opt float 10.
+         & info [ "read-deadline" ] ~docv:"SEC"
+             ~doc:"Close a connection that sits on a half-sent request \
+                   line longer than $(docv) seconds (slowloris guard).")
+  in
+  let max_pending =
+    Arg.(value & opt int 256
+         & info [ "max-pending" ] ~docv:"N"
+             ~doc:"Queued request lines beyond $(docv) are shed with a \
+                   structured retry-after error.")
+  in
   let term =
     Term.(
       term_result
         (const serve_run $ options_term $ socket_term ~required:true
          $ jobs_term $ max_queue $ request_deadline $ batch_window
-         $ cache_entries $ cache_bytes))
+         $ cache_entries $ cache_bytes $ cache_dir $ fsync $ journal_ratio
+         $ drain_deadline $ read_deadline $ max_pending))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1190,7 +1246,8 @@ let client_run socket expr lines =
     match Server.Client.connect socket with
     | client ->
       List.iter
-        (fun line -> print_endline (Server.Client.request client line))
+        (fun line ->
+           print_endline (Server.Client.request_idempotent client line))
         lines;
       Server.Client.close client;
       Ok ()
@@ -1223,8 +1280,11 @@ let client_cmd =
     (Cmd.info "client" ~doc:"Send requests to a running compactd server")
     term
 
-let loadgen_run socket requests hot_frac seed out =
-  match Server.Loadgen.run ~seed ~requests ~hot_frac ~socket () with
+let loadgen_run socket requests hot_frac seed out no_retry =
+  match
+    Server.Loadgen.run ~seed ~requests ~hot_frac ~retry:(not no_retry)
+      ~socket ()
+  with
   | result ->
     Format.printf "%a@." Server.Loadgen.pp result;
     (match out with
@@ -1266,11 +1326,17 @@ let loadgen_cmd =
              ~doc:"Write the benchmark document (BENCH_pr7.json shape) to \
                    $(docv).")
   in
+  let no_retry =
+    Arg.(value & flag
+         & info [ "no-retry" ]
+             ~doc:"Disable idempotent replay: a dropped connection or shed \
+                   request fails instead of being retried.")
+  in
   let term =
     Term.(
       term_result
         (const loadgen_run $ socket_term ~required:true $ requests
-         $ hot_frac $ seed $ out))
+         $ hot_frac $ seed $ out $ no_retry))
   in
   Cmd.v
     (Cmd.info "loadgen"

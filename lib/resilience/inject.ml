@@ -1,6 +1,18 @@
-type point = Timeout | Oom | Cg_divergence | Pool_poison | Defect_truncate
+type point =
+  | Timeout
+  | Oom
+  | Cg_divergence
+  | Pool_poison
+  | Defect_truncate
+  | Disk_torn_write
+  | Disk_corrupt
 
-let all = [ Timeout; Oom; Cg_divergence; Pool_poison; Defect_truncate ]
+let all =
+  [
+    Timeout; Oom; Cg_divergence; Pool_poison; Defect_truncate;
+    Disk_torn_write; Disk_corrupt;
+  ]
+
 let num_points = List.length all
 
 let index = function
@@ -9,6 +21,8 @@ let index = function
   | Cg_divergence -> 2
   | Pool_poison -> 3
   | Defect_truncate -> 4
+  | Disk_torn_write -> 5
+  | Disk_corrupt -> 6
 
 let name = function
   | Timeout -> "timeout"
@@ -16,6 +30,8 @@ let name = function
   | Cg_divergence -> "cg-divergence"
   | Pool_poison -> "pool-poison"
   | Defect_truncate -> "defect-truncate"
+  | Disk_torn_write -> "disk-torn-write"
+  | Disk_corrupt -> "disk-corrupt"
 
 let of_name s = List.find_opt (fun p -> String.equal (name p) s) all
 
@@ -49,6 +65,11 @@ let configure ?(seed = 0) points =
 
 let disable () = Atomic.set current None
 let enabled () = Atomic.get current <> None
+
+let armed p =
+  match Atomic.get current with
+  | None -> false
+  | Some st -> st.armed.(index p)
 
 let with_points ?seed points f =
   configure ?seed points;
@@ -130,6 +151,48 @@ let truncate s =
       else
         String.sub s 0
           (Hashtbl.hash (st.seed, `Truncate, Atomic.get st.call_counts.(index Defect_truncate)) mod len)
+
+(* Disk-fault shaping shares the idiom of [truncate]: when the point
+   fires, the bytes handed to the write syscall are cut (a torn write at
+   crash time) or have one seeded byte flipped (media corruption).  The
+   storage layer's CRCs must catch both on recovery. *)
+
+let torn_write s =
+  if not (fire Disk_torn_write) then s
+  else
+    match Atomic.get current with
+    | None -> s
+    | Some st ->
+      let len = String.length s in
+      if len < 2 then s
+      else
+        (* A strict cut in [1, len-1]: always partial bytes on disk.  A
+           torn write that lands nothing is the same as crashing before
+           the write, which the kill/restart battery covers anyway. *)
+        String.sub s 0
+          (1
+           + Hashtbl.hash
+               (st.seed, `Torn,
+                Atomic.get st.call_counts.(index Disk_torn_write))
+             mod (len - 1))
+
+let corrupt s =
+  if not (fire Disk_corrupt) then s
+  else
+    match Atomic.get current with
+    | None -> s
+    | Some st ->
+      let len = String.length s in
+      if len = 0 then s
+      else begin
+        let b = Bytes.of_string s in
+        let n = Atomic.get st.call_counts.(index Disk_corrupt) in
+        let pos = Hashtbl.hash (st.seed, `CorruptPos, n) mod len in
+        let bit = Hashtbl.hash (st.seed, `CorruptBit, n) land 7 in
+        Bytes.set b pos
+          (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+        Bytes.to_string b
+      end
 
 let counter_get cells p =
   match Atomic.get current with

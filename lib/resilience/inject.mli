@@ -24,6 +24,8 @@ type point =
   | Cg_divergence  (** the analog CG watchdog declares divergence *)
   | Pool_poison  (** a domain-pool task dies with [Out_of_memory] *)
   | Defect_truncate  (** defect-map text truncated before parsing *)
+  | Disk_torn_write  (** a durable-cache write cut short, as by a crash *)
+  | Disk_corrupt  (** one bit of a durable-cache write flipped on media *)
 
 val all : point list
 val name : point -> string
@@ -41,6 +43,11 @@ val disable : unit -> unit
 (** Return to the no-op state. *)
 
 val enabled : unit -> bool
+
+val armed : point -> bool
+(** Whether this specific point is armed.  Lets a caller distinguish
+    solver-affecting points (which poison cache admission) from
+    storage-layer points (whose faults the CRCs catch on recovery). *)
 
 val with_points : ?seed:int -> point list -> (unit -> 'a) -> 'a
 (** [configure], run, then [disable] (also on exceptions). *)
@@ -67,6 +74,15 @@ val poison_pool : unit -> unit
 val truncate : string -> string
 (** When {!fire}[ Defect_truncate], cut the string at a
     seed-deterministic offset; otherwise return it unchanged. *)
+
+val torn_write : string -> string
+(** When {!fire}[ Disk_torn_write], cut the byte string about to be
+    written at a seed-deterministic offset — the bytes that would have
+    reached the disk had the process died mid-[write]. *)
+
+val corrupt : string -> string
+(** When {!fire}[ Disk_corrupt], flip one seed-deterministic bit of the
+    byte string about to be written. *)
 
 (** {1 Introspection (for the chaos battery)} *)
 

@@ -129,6 +129,15 @@ let stats t : stats =
     max_bytes = t.max_bytes;
   }
 
+(* Oldest (least recently used) first, so replaying the list through
+   [add] rebuilds both the contents and the recency order. *)
+let to_list t =
+  let rec go acc = function
+    | None -> acc
+    | Some e -> go ((e.key, e.value) :: acc) e.prev
+  in
+  go [] t.tail |> List.rev
+
 let clear t =
   Hashtbl.reset t.table;
   t.head <- None;

@@ -40,5 +40,11 @@ val add : t -> string -> string -> unit
     larger than [max_bytes] on its own is not admitted. *)
 
 val stats : t -> stats
+
+val to_list : t -> (string * string) list
+(** Every (key, value) pair, least recently used first — replaying the
+    list through {!add} on an empty cache rebuilds contents and recency.
+    This is the order {!Persist.snapshot} stores. *)
+
 val clear : t -> unit
 (** Drop every entry; counters are kept. *)

@@ -1,25 +1,69 @@
-type t = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
+type t = {
+  path : string;
+  seed : int;
+  base : float;
+  cap : float;
+  retries : int;
+  mutable fd : Unix.file_descr;
+  buf : Buffer.t;
+  chunk : Bytes.t;
+}
 
-let connect ?(retries = 200) path =
-  let rec go n =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX path) with
-    | () -> { fd; buf = Buffer.create 4096; chunk = Bytes.create 8192 }
-    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) when n > 0 ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Unix.sleepf 0.02;
-      go (n - 1)
-    | exception e ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      raise e
+(* Capped exponential backoff with seeded jitter: attempt [k] sleeps
+   [min cap (base * 2^k)] scaled into [0.5, 1.0] by a deterministic
+   draw, so concurrent clients decorrelate without tests losing
+   reproducibility. *)
+let backoff_delay ~seed ~base ~cap k =
+  let raw = base *. (2. ** float_of_int (min k 30)) in
+  let capped = Float.min cap raw in
+  let u =
+    Random.State.float (Crossbar.Rng.state seed ("client-backoff", k)) 1.
   in
-  go retries
+  capped *. (0.5 +. (0.5 *. u))
+
+let rec connect_fd ~retries ~seed ~base ~cap path k =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> fd
+  | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
+    when k < retries ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Unix.sleepf (backoff_delay ~seed ~base ~cap k);
+    connect_fd ~retries ~seed ~base ~cap path (k + 1)
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let connect ?(retries = 100) ?(base = 0.005) ?(cap = 0.1)
+    ?(seed = Crossbar.Rng.default_seed) path =
+  let fd = connect_fd ~retries ~seed ~base ~cap path 0 in
+  {
+    path;
+    seed;
+    base;
+    cap;
+    retries;
+    fd;
+    buf = Buffer.create 4096;
+    chunk = Bytes.create 8192;
+  }
+
+let reconnect t =
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  (* Anything half-read from the dead connection is garbage now. *)
+  Buffer.clear t.buf;
+  t.fd <-
+    connect_fd ~retries:t.retries ~seed:t.seed ~base:t.base ~cap:t.cap
+      t.path 0
 
 let send t line =
   let data = Bytes.of_string (line ^ "\n") in
   let len = Bytes.length data in
   let rec go off =
-    if off < len then go (off + Unix.write t.fd data off (len - off))
+    if off < len then
+      match Unix.write t.fd data off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
   in
   go 0
 
@@ -35,10 +79,74 @@ let rec recv t =
      | 0 -> raise End_of_file
      | n ->
        Buffer.add_subbytes t.buf t.chunk 0 n;
-       recv t)
+       recv t
+     | exception Unix.Unix_error (EINTR, _, _) -> recv t)
 
 let request t line =
   send t line;
   recv t
+
+(* ------------------------------------------------------------------ *)
+(* Idempotent replay.  A synth request is a pure function of its line
+   (the engine is deterministic and the cache serves identical bytes),
+   so replaying the same line — same id — against a restarted server is
+   safe.  Three things trigger a replay: the connection dying
+   mid-request (server crash or restart), a structured [retry-after]
+   shed, and a stale response whose id does not match (skipped, then the
+   read continues). *)
+
+let connection_lost = function
+  | End_of_file -> true
+  | Unix.Unix_error ((EPIPE | ECONNRESET | EBADF | ENOTCONN | ESHUTDOWN),
+                     _, _) -> true
+  | _ -> false
+
+let line_id line =
+  match Obs.Json.parse line with
+  | exception Obs.Json.Parse_error _ -> None
+  | j -> Obs.Json.member "id" j
+
+let request_idempotent ?(replays = 16) t line =
+  let want_id = line_id line in
+  let id_matches resp =
+    match want_id with
+    | None -> true
+    | Some id ->
+      (match Obs.Json.parse resp with
+       | exception Obs.Json.Parse_error _ -> true
+       | j -> Obs.Json.member "id" j = Some id || id = Obs.Json.Null)
+  in
+  let rec attempt k =
+    let fail_or_retry e =
+      if k >= replays then raise e
+      else begin
+        (* A reconnect that exhausts its own retries raises the last
+           connect error: the server really is gone. *)
+        reconnect t;
+        attempt (k + 1)
+      end
+    in
+    match
+      send t line;
+      (* Swallow stale responses (an earlier request abandoned between
+         send and recv) until the id lines up. *)
+      let rec read_matching budget =
+        let resp = recv t in
+        if id_matches resp || budget = 0 then resp
+        else read_matching (budget - 1)
+      in
+      read_matching 8
+    with
+    | resp ->
+      (match Protocol.retry_after_hint resp with
+       | Some after when k < replays ->
+         Unix.sleepf
+           (Float.max (backoff_delay ~seed:t.seed ~base:t.base ~cap:t.cap k)
+              (Float.min after 1.));
+         attempt (k + 1)
+       | _ -> resp)
+    | exception e when connection_lost e -> fail_or_retry e
+  in
+  attempt 0
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -9,6 +9,9 @@ type config = {
   verify_trials : int;
   cache_entries : int;
   cache_bytes : int;
+  cache_dir : string option;
+  fsync : bool;
+  journal_ratio : float;
 }
 
 let default_config =
@@ -20,12 +23,18 @@ let default_config =
     verify_trials = 64;
     cache_entries = 512;
     cache_bytes = 16 * 1024 * 1024;
+    cache_dir = None;
+    fsync = false;
+    journal_ratio = 4.;
   }
 
 type t = {
   config : config;
   cache : Cache.t;
+  persist : Persist.t option;
   started : float;
+  recovered : int;
+  dropped : int;
   mutable served : int;
   mutable synth_ok : int;
   mutable synth_err : int;
@@ -42,6 +51,8 @@ type stats = {
   solves : int;
   coalesced : int;
   rejected : int;
+  recovered : int;
+  dropped : int;
   cache : Cache.stats;
 }
 
@@ -50,16 +61,46 @@ let c_solves = Obs.Counter.make "server.solves"
 let c_coalesced = Obs.Counter.make "server.coalesced"
 let c_rejected = Obs.Counter.make "server.rejected"
 
+(* The fingerprint-consistency check every recovered value must pass
+   before admission, on top of the record CRCs [Persist] already
+   enforced: the payload parses, and the cache key embedded in it is the
+   record's own key — a spliced or mis-keyed record is dropped, never
+   served.  Entries written by another engine version keep their old
+   keys and simply never match a fresh request's fingerprint. *)
+let recovered_payload_ok key value =
+  match J.parse ("{" ^ value ^ "}") with
+  | exception J.Parse_error _ -> false
+  | j ->
+    J.member "key" j = Some (J.Str key)
+    && J.member "design" j <> None
+    && J.member "report" j <> None
+
 let create config =
   if config.jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
   if config.max_queue < 1 then
     invalid_arg "Engine.create: max_queue must be >= 1";
+  let cache =
+    Cache.create ~max_entries:config.cache_entries
+      ~max_bytes:config.cache_bytes ()
+  in
+  let persist, recovered, dropped =
+    match config.cache_dir with
+    | None -> None, 0, 0
+    | Some dir ->
+      let p, r =
+        Persist.open_dir ~verify:recovered_payload_ok ~fsync:config.fsync
+          ~journal_ratio:config.journal_ratio dir
+      in
+      List.iter (fun (k, v) -> Cache.add cache k v) r.Persist.entries;
+      Some p, List.length r.Persist.entries, r.Persist.dropped
+  in
   {
     config;
-    cache =
-      Cache.create ~max_entries:config.cache_entries
-        ~max_bytes:config.cache_bytes ();
+    cache;
+    persist;
     started = Obs.Clock.now ();
+    recovered;
+    dropped;
     served = 0;
     synth_ok = 0;
     synth_err = 0;
@@ -77,11 +118,25 @@ let stats (t : t) : stats =
     solves = t.solves;
     coalesced = t.coalesced;
     rejected = t.rejected;
+    recovered = t.recovered;
+    dropped = t.dropped;
     cache = Cache.stats t.cache;
   }
 
 let cache (t : t) = t.cache
 let wants_shutdown (t : t) = t.shutdown
+
+let flush (t : t) =
+  match t.persist with
+  | None -> ()
+  | Some p -> Persist.snapshot p (Cache.to_list t.cache)
+
+let close (t : t) =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+    Persist.snapshot p (Cache.to_list t.cache);
+    Persist.close p
 
 (* ------------------------------------------------------------------ *)
 (* Structured error mapping: anything a request can end in becomes an
@@ -196,11 +251,23 @@ let solve t p =
     (* Pristine = safe to serve to any future identical request: the
        solver path never degraded under time pressure (watchdog
        fallbacks and expired deadlines are timing-dependent) and no
-       fault injection was armed while solving. *)
+       solver-affecting fault injection was armed while solving.  The
+       disk points are deliberately exempt: they fault the storage
+       layer, whose CRCs catch the damage on recovery, and blocking
+       admission under them would leave the crash-restart battery
+       nothing to recover. *)
+    let solver_injection_armed =
+      List.exists Resilience.Inject.armed
+        [
+          Resilience.Inject.Timeout; Resilience.Inject.Oom;
+          Resilience.Inject.Cg_divergence; Resilience.Inject.Pool_poison;
+          Resilience.Inject.Defect_truncate;
+        ]
+    in
     let pristine =
       (not report.Compact.Report.deadline_hit)
       && List.length report.Compact.Report.solver_path = 1
-      && not (Resilience.Inject.enabled ())
+      && not solver_injection_armed
     in
     payload, pristine
   with
@@ -224,7 +291,7 @@ let status_response (t : t) id =
 let stats_response (t : t) id =
   let s = stats t in
   Protocol.ok_response ~id
-    [
+    ([
       ( "server",
         J.Obj
           [
@@ -246,6 +313,22 @@ let stats_response (t : t) id =
             "bytes", J.Num (float_of_int s.cache.Cache.bytes);
           ] );
     ]
+    @
+    (match t.persist with
+     | None -> []
+     | Some p ->
+       [
+         ( "persist",
+           J.Obj
+             [
+               "recovered", J.Num (float_of_int s.recovered);
+               "dropped", J.Num (float_of_int s.dropped);
+               ( "journal_bytes",
+                 J.Num (float_of_int (Persist.journal_bytes p)) );
+               ( "snapshot_bytes",
+                 J.Num (float_of_int (Persist.snapshot_bytes p)) );
+             ] );
+       ]))
 
 let handle_batch (t : t) lines =
   let lines = Array.of_list lines in
@@ -364,8 +447,17 @@ let handle_batch (t : t) lines =
               fill_err i { e with Protocol.err_id = p.p_id })
            members
        | Ok (payload, pristine) ->
-         if pristine then Cache.add t.cache (List.hd members |> snd).p_key
-             payload;
+         if pristine then begin
+           let key = (List.hd members |> snd).p_key in
+           Cache.add t.cache key payload;
+           match t.persist with
+           | None -> ()
+           | Some p ->
+             Persist.append p key payload;
+             ignore
+               (Persist.maybe_compact p (lazy (Cache.to_list t.cache))
+                : bool)
+         end;
          List.iteri
            (fun k (i, (p : prepared)) ->
               t.synth_ok <- t.synth_ok + 1;

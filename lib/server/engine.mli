@@ -40,11 +40,21 @@ type config = {
   verify_trials : int;  (** {!Crossbar.Verify.auto} trials per cold solve *)
   cache_entries : int;
   cache_bytes : int;
+  cache_dir : string option;
+      (** when set, the cache is durable: recovered from this directory
+          on {!create} (via {!Persist.open_dir} with a fingerprint-
+          consistency check on every entry), journaled on every pristine
+          admission, snapshotted by {!flush}/{!close} *)
+  fsync : bool;  (** force journal appends and snapshots to disk *)
+  journal_ratio : float;
+      (** compact (re-snapshot) once the journal outgrows this multiple
+          of the snapshot *)
 }
 
 val default_config : config
 (** jobs 1, max_queue 64, request_deadline 30 s, verify_trials 64,
-    cache bounds per {!Cache.create} defaults. *)
+    cache bounds per {!Cache.create} defaults, no cache_dir, no fsync,
+    journal_ratio 4. *)
 
 type t
 
@@ -57,6 +67,9 @@ type stats = {
   solves : int;  (** cold solves actually run *)
   coalesced : int;  (** misses answered by another request's solve *)
   rejected : int;  (** admission-control rejections *)
+  recovered : int;  (** entries admitted from the cache-dir on create *)
+  dropped : int;
+      (** corrupt/torn/mis-keyed persisted entries discarded on create *)
   cache : Cache.stats;
 }
 
@@ -65,6 +78,13 @@ val cache : t -> Cache.t
 val wants_shutdown : t -> bool
 (** Set once a [shutdown] request has been answered; the socket loop
     exits after flushing. *)
+
+val flush : t -> unit
+(** Snapshot the cache to the cache-dir (no-op without one). *)
+
+val close : t -> unit
+(** {!flush}, then release the persistence handle.  The engine itself
+    stays usable in memory; only durability stops. *)
 
 val handle_batch : t -> string list -> string list
 (** Process one batch of request lines; responses in request order,

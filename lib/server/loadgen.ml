@@ -35,12 +35,19 @@ let percentile sorted p =
   else sorted.(min (n - 1) (p * n / 100))
 
 let run ?(seed = Crossbar.Rng.default_seed) ?(requests = 200) ?(hot = 4)
-    ?(hot_frac = 0.4) ~socket () =
+    ?(hot_frac = 0.4) ?(retry = true) ~socket () =
   let hot_exprs =
     Array.init hot (fun i ->
         gen_expr (Crossbar.Rng.state seed ("loadgen-hot", i)) 4)
   in
-  let client = Client.connect socket in
+  let client = Client.connect ~seed socket in
+  (* With [retry] the run rides through server restarts: a request whose
+     connection dies is replayed verbatim (same id) against whoever next
+     owns the socket, so a mid-run SIGKILL costs latency, not errors. *)
+  let issue line =
+    if retry then Client.request_idempotent client line
+    else Client.request client line
+  in
   let lat_all = ref [] and lat_hit = ref [] and lat_miss = ref [] in
   let ok = ref 0 and errors = ref 0 and hits = ref 0 and coalesced = ref 0 in
   let t0 = Obs.Clock.now () in
@@ -61,7 +68,7 @@ let run ?(seed = Crossbar.Rng.default_seed) ?(requests = 200) ?(hot = 4)
            ])
     in
     let rt0 = Obs.Clock.now () in
-    let resp = Client.request client line in
+    let resp = issue line in
     let ms = (Obs.Clock.now () -. rt0) *. 1e3 in
     lat_all := ms :: !lat_all;
     (match J.parse resp with
@@ -83,7 +90,11 @@ let run ?(seed = Crossbar.Rng.default_seed) ?(requests = 200) ?(hot = 4)
   done;
   let wall_s = Obs.Clock.now () -. t0 in
   let stats_line =
-    Client.request client "{\"op\":\"stats\",\"id\":\"loadgen\"}"
+    (* Best-effort: a server killed right after the last request should
+       not turn a clean run into an exception. *)
+    match issue "{\"op\":\"stats\",\"id\":\"loadgen\"}" with
+    | line -> line
+    | exception (End_of_file | Unix.Unix_error _) -> "{}"
   in
   Client.close client;
   let sorted l =

@@ -24,6 +24,7 @@ val run :
   ?requests:int ->
   ?hot:int ->
   ?hot_frac:float ->
+  ?retry:bool ->
   socket:string ->
   unit ->
   result
@@ -31,7 +32,13 @@ val run :
     connection: with probability [hot_frac] (default 0.4) the request
     repeats one of [hot] (default 4) fixed expressions, otherwise it is
     a fresh seeded random expression. Every choice derives from [seed]
-    via {!Crossbar.Rng}, so a run is reproducible. *)
+    via {!Crossbar.Rng}, so a run is reproducible.
+
+    With [retry] (the default) every request goes through
+    {!Client.request_idempotent}: a server restart or shed mid-run costs
+    latency, never a lost request — the kill-and-restart chaos battery
+    asserts exactly that. [~retry:false] restores the brittle one-shot
+    behaviour for tests that want the failure. *)
 
 val json_of_result :
   seed:int -> hot:int -> hot_frac:float -> result -> string

@@ -1,0 +1,380 @@
+module Inject = Resilience.Inject
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3), table-driven.  Every record carries one; the
+   snapshot carries a whole-file one on top. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_sub s pos len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let crc32 s = crc32_sub s 0 (String.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Record framing: [u32 len][u32 crc][payload], payload = [u32 keylen]
+   [key][value], all little-endian.  [max_record] bounds the length
+   field so a corrupt header cannot make the parser swallow the rest of
+   the file as one giant bogus record. *)
+
+let snapshot_magic = "COMPACTSNAP1\n"
+let journal_magic = "COMPACTJRNL1\n"
+let max_record = 1 lsl 26
+
+let put_u32 buf n =
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
+let get_u32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let encode_record key value =
+  let payload = Buffer.create (String.length key + String.length value + 4) in
+  put_u32 payload (String.length key);
+  Buffer.add_string payload key;
+  Buffer.add_string payload value;
+  let payload = Buffer.contents payload in
+  let buf = Buffer.create (String.length payload + 8) in
+  put_u32 buf (String.length payload);
+  put_u32 buf (crc32 payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(* Parse records from [s] starting at [pos], stopping at [limit] records
+   (or end of string when [limit] is [max_int]).  Framing damage — a
+   short header, an oversized length, a CRC mismatch, a truncated
+   payload — ends the scan: everything at and past the bad record is
+   unrecoverable because record boundaries are gone.  A [verify]
+   rejection only drops that entry; the framing is intact, so the scan
+   continues. *)
+type scan = {
+  sc_entries : (string * string) list;  (* reverse order *)
+  sc_admitted : int;
+  sc_dropped : int;
+  sc_end : int;  (* offset just past the last structurally-valid record *)
+  sc_clean : bool;  (* false when the scan stopped on damage *)
+}
+
+let scan_records ~verify s pos0 =
+  let len = String.length s in
+  let rec go acc admitted dropped pos =
+    if pos = len then
+      { sc_entries = acc; sc_admitted = admitted; sc_dropped = dropped;
+        sc_end = pos; sc_clean = true }
+    else if len - pos < 8 then
+      (* torn header *)
+      { sc_entries = acc; sc_admitted = admitted; sc_dropped = dropped + 1;
+        sc_end = pos; sc_clean = false }
+    else begin
+      let n = get_u32 s pos in
+      let crc = get_u32 s (pos + 4) in
+      if n < 4 || n > max_record || pos + 8 + n > len then
+        { sc_entries = acc; sc_admitted = admitted; sc_dropped = dropped + 1;
+          sc_end = pos; sc_clean = false }
+      else if crc32_sub s (pos + 8) n <> crc then
+        { sc_entries = acc; sc_admitted = admitted; sc_dropped = dropped + 1;
+          sc_end = pos; sc_clean = false }
+      else begin
+        let keylen = get_u32 s (pos + 8) in
+        if keylen > n - 4 then
+          { sc_entries = acc; sc_admitted = admitted;
+            sc_dropped = dropped + 1; sc_end = pos; sc_clean = false }
+        else begin
+          let key = String.sub s (pos + 12) keylen in
+          let value = String.sub s (pos + 12 + keylen) (n - 4 - keylen) in
+          let pos' = pos + 8 + n in
+          if verify key value then
+            go ((key, value) :: acc) (admitted + 1) dropped pos'
+          else go acc admitted (dropped + 1) pos'
+        end
+      end
+    end
+  in
+  go [] 0 0 pos0
+
+(* ------------------------------------------------------------------ *)
+
+type recovery = {
+  entries : (string * string) list;
+  from_snapshot : int;
+  from_journal : int;
+  dropped : int;
+  truncated_bytes : int;
+}
+
+type t = {
+  dirname : string;
+  fsync : bool;
+  ratio : float;
+  floor : int;
+  mutable jfd : Unix.file_descr;
+  mutable jbytes : int;
+  mutable sbytes : int;
+  mutable closed : bool;
+}
+
+let c_appends = Obs.Counter.make "persist.appends"
+let c_snapshots = Obs.Counter.make "persist.snapshots"
+let c_recovered = Obs.Counter.make "persist.recovered"
+let c_dropped = Obs.Counter.make "persist.dropped"
+let c_write_errors = Obs.Counter.make "persist.write-errors"
+
+let dir t = t.dirname
+let journal_bytes t = t.jbytes
+let snapshot_bytes t = t.sbytes
+
+let snapshot_path t = Filename.concat t.dirname "snapshot"
+let snapshot_tmp t = Filename.concat t.dirname "snapshot.tmp"
+let journal_path t = Filename.concat t.dirname "journal"
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (pos + n) (len - n)
+  end
+
+let fsync_dir dirname =
+  match Unix.openfile dirname [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Recovery *)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* The snapshot: magic, declared count, records, whole-file CRC.  Each
+   record self-validates, so individually-intact entries are admitted
+   even when the trailing file CRC is damaged; the declared count lets
+   recovery report how many entries a damaged tail swallowed. *)
+let load_snapshot ~verify path =
+  match read_file path with
+  | None -> [], 0, 0
+  | Some s ->
+    let mlen = String.length snapshot_magic in
+    if not (has_prefix ~prefix:snapshot_magic s) then
+      [], 0, (if String.length s = 0 then 0 else 1)
+    else if String.length s < mlen + 8 then [], 0, 1
+    else begin
+      let declared = get_u32 s mlen in
+      (* Records run from past the count up to the trailing whole-file
+         CRC.  The declared count is used for damage accounting only —
+         parsing from it would let a bit-flipped count silently shrink
+         the recovery without a dropped report. *)
+      let body = String.sub s 0 (String.length s - 4) in
+      let sc = scan_records ~verify body (mlen + 4) in
+      let seen = sc.sc_admitted + sc.sc_dropped in
+      let missing = if declared > seen then declared - seen else 0 in
+      (* The trailing file CRC only adds detection for damage the
+         per-record CRCs and the count accounting already localise, so
+         a mismatch is informational: entries that individually
+         verified stay admitted. *)
+      List.rev sc.sc_entries, sc.sc_admitted, sc.sc_dropped + missing
+    end
+
+let load_journal ~verify path =
+  match read_file path with
+  | None -> [], 0, 0, 0, 0 (* entries, admitted, dropped, valid_end, cut *)
+  | Some s ->
+    let len = String.length s in
+    if not (has_prefix ~prefix:journal_magic s) then
+      (* Unrecognizable journal: everything goes. *)
+      [], 0, (if len = 0 then 0 else 1), 0, len
+    else begin
+      let sc = scan_records ~verify s (String.length journal_magic) in
+      List.rev sc.sc_entries, sc.sc_admitted, sc.sc_dropped, sc.sc_end,
+      len - sc.sc_end
+    end
+
+let fresh_journal path =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  write_all fd journal_magic 0 (String.length journal_magic);
+  fd
+
+let open_dir ?(verify = fun _ _ -> true) ?(fsync = false)
+    ?(journal_ratio = 4.) ?(compact_floor = 64 * 1024) dirname =
+  if journal_ratio <= 0. then
+    invalid_arg "Persist.open_dir: journal_ratio must be positive";
+  mkdir_p dirname;
+  let t =
+    {
+      dirname;
+      fsync;
+      ratio = journal_ratio;
+      floor = compact_floor;
+      jfd = Unix.stdin;  (* replaced below *)
+      jbytes = 0;
+      sbytes = 0;
+      closed = false;
+    }
+  in
+  (* A snapshot.tmp left behind by a crash mid-snapshot is garbage by
+     definition: the rename never happened, the journal it would have
+     folded in is still intact. *)
+  (try Sys.remove (snapshot_tmp t) with Sys_error _ -> ());
+  let snap_entries, from_snapshot, snap_dropped =
+    load_snapshot ~verify (snapshot_path t)
+  in
+  t.sbytes <-
+    (match read_file (snapshot_path t) with
+     | Some s -> String.length s
+     | None -> 0);
+  let jrnl_entries, from_journal, jrnl_dropped, valid_end, cut =
+    load_journal ~verify (journal_path t)
+  in
+  (* Reopen the journal on a clean record boundary: cut the torn or
+     corrupt tail so the next append is recoverable. *)
+  if Sys.file_exists (journal_path t) && valid_end > 0 then begin
+    let fd = Unix.openfile (journal_path t) [ Unix.O_WRONLY ] 0o644 in
+    (try Unix.ftruncate fd valid_end with Unix.Unix_error _ -> ());
+    ignore (Unix.lseek fd 0 Unix.SEEK_END : int);
+    t.jfd <- fd;
+    t.jbytes <- valid_end
+  end
+  else begin
+    t.jfd <- fresh_journal (journal_path t);
+    t.jbytes <- String.length journal_magic
+  end;
+  let dropped = snap_dropped + jrnl_dropped in
+  let recovered = from_snapshot + from_journal in
+  Obs.Counter.add c_recovered recovered;
+  Obs.Counter.add c_dropped dropped;
+  ( t,
+    {
+      entries = snap_entries @ jrnl_entries;
+      from_snapshot;
+      from_journal;
+      dropped;
+      truncated_bytes = cut;
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* Writing *)
+
+let append t key value =
+  if not t.closed then begin
+    let record = encode_record key value in
+    (* Fault-injection points for the chaos battery: a bit flipped on
+       media, or the write cut short as the process dies. *)
+    let record = Inject.corrupt record in
+    let record = Inject.torn_write record in
+    (match write_all t.jfd record 0 (String.length record) with
+     | () ->
+       t.jbytes <- t.jbytes + String.length record;
+       if t.fsync then (try Unix.fsync t.jfd with Unix.Unix_error _ -> ());
+       Obs.Counter.incr c_appends
+     | exception Unix.Unix_error _ ->
+       (* Disk full or worse: the in-memory cache stays correct, and
+          recovery truncates whatever half-record landed. *)
+       Obs.Counter.incr c_write_errors)
+  end
+
+let render_snapshot entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf snapshot_magic;
+  put_u32 buf (List.length entries);
+  List.iter
+    (fun (key, value) -> Buffer.add_string buf (encode_record key value))
+    entries;
+  let body = Buffer.contents buf in
+  let tail = Buffer.create 4 in
+  put_u32 tail (crc32 body);
+  body ^ Buffer.contents tail
+
+let snapshot t entries =
+  if not t.closed then begin
+    let image = Inject.corrupt (render_snapshot entries) in
+    let torn = Inject.fire Inject.Disk_torn_write in
+    let tmp = snapshot_tmp t in
+    match
+      let fd =
+        Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      let len =
+        if torn then String.length image / 2 else String.length image
+      in
+      write_all fd image 0 len;
+      if t.fsync || torn then
+        (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+    with
+    | exception Unix.Unix_error _ -> Obs.Counter.incr c_write_errors
+    | () ->
+      if not torn then begin
+        (* The atomic publish: readers see the old snapshot or the new
+           one, never a half-written file. *)
+        Unix.rename tmp (snapshot_path t);
+        fsync_dir t.dirname;
+        t.sbytes <- String.length image;
+        (try Unix.close t.jfd with Unix.Unix_error _ -> ());
+        t.jfd <- fresh_journal (journal_path t);
+        t.jbytes <- String.length journal_magic;
+        if t.fsync then
+          (try Unix.fsync t.jfd with Unix.Unix_error _ -> ());
+        Obs.Counter.incr c_snapshots
+      end
+      (* A torn snapshot write models a crash mid-snapshot: the tmp file
+         stays unpublished and the journal keeps accumulating, exactly
+         the state recovery expects. *)
+  end
+
+let should_compact t =
+  t.jbytes > t.floor
+  && float_of_int t.jbytes
+     > t.ratio *. float_of_int (max t.sbytes (String.length snapshot_magic))
+
+let maybe_compact t entries =
+  if should_compact t then begin
+    snapshot t (Lazy.force entries);
+    true
+  end
+  else false
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.jfd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,91 @@
+(** Durable backing store for the design cache: a checksummed snapshot
+    plus an append-only journal under one [--cache-dir].
+
+    Layout:
+
+    {v
+    <dir>/snapshot       full cache image, written atomically
+    <dir>/snapshot.tmp   transient (write-to-temp, then rename)
+    <dir>/journal        admissions since the last snapshot
+    v}
+
+    Both files are sequences of CRC-tagged records (4-byte LE payload
+    length, 4-byte LE CRC-32 of the payload, then the payload: 4-byte LE
+    key length, key bytes, value bytes).  The snapshot adds a magic
+    header, a declared entry count and a whole-file CRC; the journal has
+    a magic header only and is append-only, so a crash can leave at most
+    a torn tail.
+
+    Recovery ({!open_dir}) admits an entry only when every checksum on
+    its path holds {e and} the caller's [verify] accepts it — a torn,
+    truncated or corrupt record is dropped and counted, never returned.
+    A bad journal tail is truncated back to the last valid record before
+    the file is reopened for appending, so the next append lands on a
+    clean boundary.
+
+    Not thread-safe: like {!Cache}, the engine drives it from the
+    serving loop only. *)
+
+type t
+
+type recovery = {
+  entries : (string * string) list;
+      (** recovered (key, value) pairs, oldest first — replaying them
+          through [Cache.add] in order rebuilds the pre-crash recency *)
+  from_snapshot : int;  (** entries admitted from the snapshot *)
+  from_journal : int;  (** entries admitted from the journal *)
+  dropped : int;
+      (** records discarded: bad CRC, bad framing, truncated mid-record,
+          or rejected by [verify] *)
+  truncated_bytes : int;
+      (** journal tail bytes cut back to the last valid record *)
+}
+
+val open_dir :
+  ?verify:(string -> string -> bool) ->
+  ?fsync:bool ->
+  ?journal_ratio:float ->
+  ?compact_floor:int ->
+  string ->
+  t * recovery
+(** Create [dir] if needed, recover whatever survives in it, and open
+    the journal for appending.  [verify key value] (default: accept) is
+    consulted once per candidate entry; rejects count as dropped.
+    [fsync] (default [false]) forces every append and snapshot to disk.
+    [journal_ratio] (default [4.]) and [compact_floor] (default 64 KiB)
+    drive {!should_compact}.
+    @raise Unix.Unix_error when the directory cannot be created or the
+    journal cannot be opened. *)
+
+val append : t -> string -> string -> unit
+(** Journal one admission. Write errors (disk full, …) degrade to a
+    dropped record: the cache stays correct in memory and recovery
+    drops the bad tail. *)
+
+val snapshot : t -> (string * string) list -> unit
+(** Atomically replace the snapshot with the given entries (oldest
+    first, as {!Cache.to_list} yields) and reset the journal. *)
+
+val should_compact : t -> bool
+(** The journal has outgrown [journal_ratio] times the snapshot (with
+    [compact_floor] as the minimum journal size worth compacting). *)
+
+val maybe_compact : t -> (string * string) list lazy_t -> bool
+(** {!snapshot} from the lazy entry list when {!should_compact}; returns
+    whether a compaction ran. *)
+
+val journal_bytes : t -> int
+val snapshot_bytes : t -> int
+val dir : t -> string
+val close : t -> unit
+
+(** {1 Record plumbing (exposed for the fuzz battery)} *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3), as the low 32 bits of an [int]. *)
+
+val encode_record : string -> string -> string
+(** The exact bytes {!append} writes for one (key, value) pair. *)
+
+val snapshot_magic : string
+val journal_magic : string

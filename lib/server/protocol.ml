@@ -20,6 +20,7 @@ type error_code =
   | Bad_request
   | Oversized
   | Overload
+  | Retry_after
   | Exhausted
   | Infeasible
   | Size_limit
@@ -31,6 +32,7 @@ let error_code_name = function
   | Bad_request -> "bad-request"
   | Oversized -> "oversized"
   | Overload -> "overload"
+  | Retry_after -> "retry-after"
   | Exhausted -> "exhausted"
   | Infeasible -> "infeasible"
   | Size_limit -> "size-limit"
@@ -219,6 +221,36 @@ let synth_response ~id ~cached ~coalesced ~payload =
 
 let ok_response ~id fields =
   J.to_string (J.Obj (("id", id) :: ("ok", J.Bool true) :: fields))
+
+(* A shed request is not a failure of the request, it is a failure of
+   the moment: the structured [retry-after] error carries a machine-
+   readable delay hint so a retrying client can replay the identical
+   request (same id) once the server has drained or restarted. *)
+let retry_after_response ~id ~after_s ~message =
+  J.to_string
+    (J.Obj
+       [
+         "id", id;
+         "ok", J.Bool false;
+         ( "error",
+           J.Obj
+             [
+               "code", J.Str (error_code_name Retry_after);
+               "message", J.Str message;
+               "retry_after_s", J.Num after_s;
+             ] );
+       ])
+
+let retry_after_hint line =
+  match J.parse line with
+  | exception J.Parse_error _ -> None
+  | j ->
+    (match J.member "error" j with
+     | Some err when J.member "code" err = Some (J.Str "retry-after") ->
+       (match J.member "retry_after_s" err with
+        | Some (J.Num s) when s >= 0. -> Some s
+        | _ -> Some 0.)
+     | _ -> None)
 
 let error_response { err_id; code; message } =
   J.to_string

@@ -56,6 +56,9 @@ type error_code =
   | Bad_request  (** missing/conflicting source, bad option field … *)
   | Oversized  (** line longer than {!max_line} bytes *)
   | Overload  (** admission control rejected the request *)
+  | Retry_after
+      (** shed by the serving loop (queue full, or draining for
+          shutdown); the error object carries a ["retry_after_s"] hint *)
   | Exhausted  (** the per-request budget ran out with no result *)
   | Infeasible  (** capacity constraints unsatisfiable *)
   | Size_limit  (** BDD node budget exceeded *)
@@ -96,6 +99,17 @@ val ok_response : id:Obs.Json.t -> (string * Obs.Json.t) list -> string
 (** Generic success envelope with extra fields. *)
 
 val error_response : error -> string
+
+val retry_after_response :
+  id:Obs.Json.t -> after_s:float -> message:string -> string
+(** A structured shed response:
+    [{"id":…,"ok":false,"error":{"code":"retry-after","message":…,
+    "retry_after_s":N}}]. *)
+
+val retry_after_hint : string -> float option
+(** Client side: [Some delay] when the response line is a [retry-after]
+    error (the hint clamps to 0 when absent or negative), [None] for
+    every other response. *)
 
 val parse_response : string -> Obs.Json.t
 (** Client-side: parse one response line.

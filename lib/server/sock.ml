@@ -1,8 +1,16 @@
+module Budget = Resilience.Budget
+
+exception Busy of string
+
 type config = {
   socket_path : string;
   engine : Engine.config;
   batch_window : float;
   max_batch : int;
+  max_pending : int;
+  read_deadline : float;
+  drain_deadline : float;
+  handle_signals : bool;
 }
 
 let default_config ~socket_path =
@@ -11,6 +19,10 @@ let default_config ~socket_path =
     engine = Engine.default_config;
     batch_window = 0.02;
     max_batch = 64;
+    max_pending = 256;
+    read_deadline = 10.;
+    drain_deadline = 5.;
+    handle_signals = false;
   }
 
 type conn = {
@@ -18,7 +30,12 @@ type conn = {
   buf : Buffer.t;
   mutable discarding : bool;  (* inside an oversized line: drop to EOL *)
   mutable alive : bool;
+  mutable last_read : float;  (* Obs.Clock time of the last byte read *)
 }
+
+let c_shed = Obs.Counter.make "sock.shed"
+let c_slowloris = Obs.Counter.make "sock.slowloris-closed"
+let c_drains = Obs.Counter.make "sock.drains"
 
 let write_line conn line =
   if conn.alive then begin
@@ -28,6 +45,7 @@ let write_line conn line =
       if off < len then
         match Unix.write conn.fd data off (len - off) with
         | n -> go (off + n)
+        | exception Unix.Unix_error (EINTR, _, _) -> go off
         | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
           (* The client went away: drop the response, keep serving. *)
           conn.alive <- false
@@ -48,6 +66,14 @@ let oversized_response =
         Printf.sprintf "request line exceeds the %d-byte limit"
           Protocol.max_line;
     }
+
+(* The id of a request line we are about to shed without fully parsing
+   it: best-effort, [null] for garbage — the retrying client matches
+   replays by id, so carrying it back matters. *)
+let line_id line =
+  match Obs.Json.parse line with
+  | exception Obs.Json.Parse_error _ -> Obs.Json.Null
+  | j -> Option.value ~default:Obs.Json.Null (Obs.Json.member "id" j)
 
 (* Pull every complete line out of the connection's read buffer.  A
    buffer that outgrows the line limit without a newline answers with a
@@ -75,87 +101,265 @@ let rec drain_lines conn enqueue =
     end
     else if conn.discarding then Buffer.clear conn.buf
 
+(* Probe an existing socket file before replacing it.  Unconditionally
+   unlinking would silently hijack the path from a live server: two
+   compactds would race on accepts and the first one's clients would
+   strand.  A refused connection means the file is a stale leftover of a
+   dead server — that one is safe to clear. *)
+let claim_socket_path path =
+  if Sys.file_exists path then begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let outcome =
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> `Live
+      | exception Unix.Unix_error (ECONNREFUSED, _, _) -> `Stale
+      | exception Unix.Unix_error (ENOENT, _, _) -> `Gone
+      | exception Unix.Unix_error _ -> `Not_a_socket
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    match outcome with
+    | `Live ->
+      raise
+        (Busy
+           (Printf.sprintf
+              "another live compactd already owns %s; stop it or pick \
+               another --socket"
+              path))
+    | `Not_a_socket ->
+      raise
+        (Busy
+           (Printf.sprintf
+              "%s exists and is not a compactd socket; refusing to \
+               replace it"
+              path))
+    | `Stale -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | `Gone -> ()
+  end
+
 let serve config =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  let engine = Engine.create config.engine in
-  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
-  Unix.listen listen_fd 64;
-  let conns = ref [] in
-  (* Pending requests in arrival order: (owning connection, line). *)
-  let pending = ref [] in
-  let first_pending = ref 0. in
-  let enqueue conn line =
-    if !pending = [] then first_pending := Obs.Clock.now ();
-    pending := (conn, line) :: !pending
+  (* Graceful drain: the flag flips in a signal handler (async, possibly
+     mid-select), the loop notices at its next iteration. *)
+  let stop = Atomic.make false in
+  let saved_signals =
+    if not config.handle_signals then []
+    else
+      List.filter_map
+        (fun sg ->
+           match
+             Sys.signal sg
+               (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+           with
+           | prev -> Some (sg, prev)
+           | exception (Invalid_argument _ | Sys_error _) -> None)
+        [ Sys.sigterm; Sys.sigint ]
   in
-  let read_chunk = Bytes.create 8192 in
-  let pump conn =
-    match Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
-    | 0 ->
-      (* EOF: already-queued requests from this client still execute
-         (their responses are dropped on write). *)
-      mark_dead conn
-    | n ->
-      Buffer.add_subbytes conn.buf read_chunk 0 n;
-      drain_lines conn (enqueue conn)
-    | exception Unix.Unix_error (ECONNRESET, _, _) -> mark_dead conn
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
-  in
-  let flush_batch () =
-    let batch = List.rev !pending in
-    pending := [];
-    let responses = Engine.handle_batch engine (List.map snd batch) in
-    List.iter2 (fun (conn, _) resp -> write_line conn resp) batch responses
-  in
-  let finished = ref false in
-  while not !finished do
-    (* With requests pending, poll at zero timeout: the batch flushes
-       the moment the socket set goes quiescent, so a lone synchronous
-       client never waits out the batch window — the window only caps
-       how long a stream of arrivals can keep extending one batch. *)
-    let timeout = if !pending = [] then 0.25 else 0. in
-    let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
-    let readable, _, _ =
-      match Unix.select fds [] [] timeout with
-      | r -> r
-      | exception Unix.Unix_error (EINTR, _, _) -> [], [], []
-    in
-    if List.mem listen_fd readable then begin
-      match Unix.accept listen_fd with
-      | fd, _ ->
-        conns :=
-          { fd; buf = Buffer.create 256; discarding = false; alive = true }
-          :: !conns
-      | exception Unix.Unix_error _ -> ()
-    end;
+  let restore_signals () =
     List.iter
-      (fun conn -> if conn.alive && List.memq conn.fd readable then pump conn)
-      !conns;
-    conns :=
-      List.filter
+      (fun (sg, prev) ->
+         try Sys.set_signal sg prev
+         with Invalid_argument _ | Sys_error _ -> ())
+      saved_signals
+  in
+  match
+    claim_socket_path config.socket_path;
+    let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (* Two servers can race through the claim probe before either has
+       bound; the loser's bind fails EADDRINUSE.  That is the same
+       situation the probe exists to detect, so report it the same way.
+       The engine (and with it the persistence dir) is only opened once
+       the bind is won, so a loser never touches the winner's journal. *)
+    (match Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path) with
+     | () -> ()
+     | exception Unix.Unix_error (EADDRINUSE, _, _) ->
+       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+       raise
+         (Busy
+            (Printf.sprintf
+               "lost the bind race for %s to another compactd"
+               config.socket_path)));
+    Unix.listen listen_fd 64;
+    let engine =
+      try Engine.create config.engine
+      with e ->
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+        raise e
+    in
+    engine, listen_fd
+  with
+  | exception e ->
+    restore_signals ();
+    raise e
+  | engine, listen_fd ->
+    let conns = ref [] in
+    (* Pending requests in arrival order: (owning connection, line). *)
+    let pending = ref [] in
+    let npending = ref 0 in
+    let first_pending = ref 0. in
+    let draining = ref false in
+    let drain_budget = ref Budget.unlimited in
+    let listener_open = ref true in
+    let close_listener () =
+      if !listener_open then begin
+        listener_open := false;
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        (* Unlink early so a client's reconnect fails fast with ENOENT
+           and its backoff lands on the restarted server, instead of
+           queueing on a listener that will never accept again. *)
+        (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ())
+      end
+    in
+    let shed conn line ~after_s ~message =
+      Obs.Counter.incr c_shed;
+      write_line conn
+        (Protocol.retry_after_response ~id:(line_id line) ~after_s ~message)
+    in
+    let enqueue conn line =
+      if !draining then
+        shed conn line ~after_s:1.0
+          ~message:"server is draining for shutdown; retry shortly"
+      else if !npending >= config.max_pending then
+        shed conn line ~after_s:0.1
+          ~message:
+            (Printf.sprintf "request queue full (%d pending); retry \
+                             shortly" !npending)
+      else begin
+        if !pending = [] then first_pending := Obs.Clock.now ();
+        pending := (conn, line) :: !pending;
+        incr npending
+      end
+    in
+    let read_chunk = Bytes.create 8192 in
+    let pump conn =
+      match Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
+      | 0 ->
+        (* EOF: already-queued requests from this client still execute
+           (their responses are dropped on write). *)
+        mark_dead conn
+      | n ->
+        conn.last_read <- Obs.Clock.now ();
+        Buffer.add_subbytes conn.buf read_chunk 0 n;
+        drain_lines conn (enqueue conn)
+      | exception Unix.Unix_error (ECONNRESET, _, _) -> mark_dead conn
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        ()
+    in
+    let flush_batch () =
+      let batch = List.rev !pending in
+      pending := [];
+      npending := 0;
+      let responses = Engine.handle_batch engine (List.map snd batch) in
+      List.iter2 (fun (conn, _) resp -> write_line conn resp) batch responses
+    in
+    (* Drain-mode flush: in-flight requests finish while the drain
+       budget holds; past it, the remainder is shed with retry-after so
+       the process can still exit by its deadline. *)
+    let flush_or_shed () =
+      if Budget.exhausted !drain_budget then begin
+        let batch = List.rev !pending in
+        pending := [];
+        npending := 0;
+        List.iter
+          (fun (conn, line) ->
+             shed conn line ~after_s:1.0
+               ~message:"drain deadline reached before this request ran; \
+                         retry against the restarted server")
+          batch
+      end
+      else flush_batch ()
+    in
+    let finished = ref false in
+    while not !finished do
+      if Atomic.get stop && not !draining then begin
+        draining := true;
+        Obs.Counter.incr c_drains;
+        drain_budget := Budget.seconds config.drain_deadline;
+        close_listener ()
+      end;
+      (* With requests pending, poll at zero timeout: the batch flushes
+         the moment the socket set goes quiescent, so a lone synchronous
+         client never waits out the batch window — the window only caps
+         how long a stream of arrivals can keep extending one batch. *)
+      let timeout = if !pending = [] then 0.25 else 0. in
+      let fds =
+        (if !listener_open then [ listen_fd ] else [])
+        @ List.map (fun c -> c.fd) !conns
+      in
+      let readable, _, _ =
+        match Unix.select fds [] [] timeout with
+        | r -> r
+        | exception Unix.Unix_error (EINTR, _, _) -> [], [], []
+      in
+      if !listener_open && List.mem listen_fd readable then begin
+        match Unix.accept listen_fd with
+        | fd, _ ->
+          conns :=
+            {
+              fd;
+              buf = Buffer.create 256;
+              discarding = false;
+              alive = true;
+              last_read = Obs.Clock.now ();
+            }
+            :: !conns
+        | exception Unix.Unix_error _ -> ()
+      end;
+      List.iter
         (fun conn ->
-           if conn.alive then true
-           else begin
-             (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-             false
+           if conn.alive && List.memq conn.fd readable then pump conn)
+        !conns;
+      (* Slowloris guard: a connection sitting on a half-sent request
+         line past the read deadline is holding buffer memory hostage;
+         close it.  Idle connections with nothing buffered are welcome
+         to stay. *)
+      let now = Obs.Clock.now () in
+      List.iter
+        (fun conn ->
+           if
+             conn.alive
+             && Buffer.length conn.buf > 0
+             && now -. conn.last_read > config.read_deadline
+           then begin
+             Obs.Counter.incr c_slowloris;
+             mark_dead conn
            end)
         !conns;
-    if
-      !pending <> []
-      && (readable = []
-          || List.length !pending >= config.max_batch
-          || Obs.Clock.now () -. !first_pending >= config.batch_window)
-    then begin
-      flush_batch ();
-      if Engine.wants_shutdown engine then finished := true
-    end
-  done;
-  List.iter
-    (fun conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ())
-    !conns;
-  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
-  Engine.stats engine
+      conns :=
+        List.filter
+          (fun conn ->
+             if conn.alive then true
+             else begin
+               (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+               false
+             end)
+          !conns;
+      if
+        !pending <> []
+        && (!draining
+            || readable = []
+            || !npending >= config.max_batch
+            || Obs.Clock.now () -. !first_pending >= config.batch_window)
+      then begin
+        if !draining then flush_or_shed () else flush_batch ();
+        if Engine.wants_shutdown engine then begin
+          (* A shutdown op drains exactly like a signal, minus the wait:
+             stop accepting, flush state, leave. *)
+          draining := true;
+          close_listener ();
+          finished := true
+        end
+      end;
+      if !draining && !pending = [] then finished := true
+    done;
+    (* Durability before disconnection: the snapshot lands while the
+       socket path is already gone, so a restarted server cannot race
+       this one for the journal. *)
+    Engine.close engine;
+    List.iter
+      (fun conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ())
+      !conns;
+    close_listener ();
+    restore_signals ();
+    Engine.stats engine

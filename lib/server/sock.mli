@@ -10,8 +10,22 @@
     has its response dropped (the server survives, the batch's other
     responses still flush).
 
-    The loop exits after answering a [shutdown] request, closing every
-    connection and unlinking the socket path. *)
+    {b Overload protection.}  Request lines past [max_pending] are shed
+    with a structured [retry-after] error instead of being dropped or
+    queued unboundedly, and a connection that sits on a half-sent line
+    longer than [read_deadline] (slowloris) is closed.
+
+    {b Graceful drain.}  With [handle_signals] set, SIGTERM/SIGINT flip
+    a shutdown flag: the listener closes and the socket path unlinks
+    immediately (so retrying clients fail fast and land on the restarted
+    server), in-flight requests finish under a [drain_deadline]
+    {!Resilience.Budget} (stragglers are shed with [retry-after]), the
+    engine's durable cache is snapshotted, and the loop exits cleanly.
+    A [shutdown] request drains the same way, without the signal. *)
+
+exception Busy of string
+(** The socket path is owned by another live server (probed with a test
+    connect before binding), or exists and is not a socket. *)
 
 type config = {
   socket_path : string;
@@ -20,13 +34,28 @@ type config = {
       (** seconds to keep collecting once a request is pending
           (default 0.02) *)
   max_batch : int;  (** lines that force a batch out early (default 64) *)
+  max_pending : int;
+      (** request lines queued before shedding with [retry-after]
+          (default 256) *)
+  read_deadline : float;
+      (** seconds a connection may sit on a partial request line before
+          being closed (default 10) *)
+  drain_deadline : float;
+      (** seconds the drain may keep finishing in-flight work after a
+          shutdown signal (default 5) *)
+  handle_signals : bool;
+      (** install SIGTERM/SIGINT drain handlers for the duration of
+          {!serve} (default false — process-global state, so opt-in;
+          the CLI opts in, in-process test servers do not) *)
 }
 
 val default_config : socket_path:string -> config
-(** {!Engine.default_config} engine, 20 ms window, 64-line batches. *)
+(** {!Engine.default_config} engine, 20 ms window, 64-line batches,
+    256-line shed threshold, 10 s read deadline, 5 s drain. *)
 
 val serve : config -> Engine.stats
-(** Bind, listen and serve until shutdown; returns the engine's final
-    stats. Ignores [SIGPIPE]. An existing socket file at the path is
-    replaced.
+(** Bind, listen and serve until shutdown or drain; returns the engine's
+    final stats. Ignores [SIGPIPE]. A {e stale} socket file at the path
+    (no listener behind it) is replaced; a live one raises {!Busy}.
+    @raise Busy when another server owns the path
     @raise Unix.Unix_error when the socket cannot be bound. *)

@@ -1,0 +1,391 @@
+(* Durable design-cache battery for [Server.Persist].
+
+   The store's one promise: whatever recovery returns is byte-identical
+   to something that was appended or snapshotted — a torn, truncated or
+   bit-flipped record is dropped and counted, never served.  This file
+   attacks that promise mechanically: the journal is truncated at every
+   byte boundary, then mutated at 500 seeded byte positions (the
+   defect-map parser-fuzz idiom), and recovery is checked after each.
+
+   Run via the @server alias at COMPACT_JOBS=1 and COMPACT_JOBS=4. *)
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+
+module P = Server.Persist
+
+(* ------------------------------------------------------------------ *)
+(* Scratch directories *)
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "compact-test-persist-%d-%d" (Unix.getpid ())
+         !dir_counter)
+  in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f ->
+         try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+  dir
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let entry i tag =
+  ( Printf.sprintf "%s-key-%02d" tag i,
+    Printf.sprintf "{\"design\":\"%s-%02d-%s\"}" tag i
+      (String.make ((i mod 7) + 5) (Char.chr (Char.code 'a' + (i mod 26))))
+  )
+
+(* Every recovered entry must be byte-identical to a written one. *)
+let assert_only_written ~label written (r : P.recovery) =
+  List.iter
+    (fun (k, v) ->
+       match List.assoc_opt k written with
+       | Some v' when String.equal v v' -> ()
+       | Some _ -> Alcotest.failf "%s: corrupt value served for %S" label k
+       | None -> Alcotest.failf "%s: unknown key served: %S" label k)
+    r.P.entries
+
+(* ------------------------------------------------------------------ *)
+(* Basics *)
+
+let basic_tests =
+  [
+    Alcotest.test_case "crc32 known answer" `Quick (fun () ->
+        (* The IEEE 802.3 check value: crc32("123456789"). *)
+        check ti "check value" 0xCBF43926 (P.crc32 "123456789");
+        check ti "empty string" 0 (P.crc32 ""));
+    Alcotest.test_case "journal round-trip preserves order and bytes"
+      `Quick (fun () ->
+          Resilience.Inject.disable ();
+          let dir = fresh_dir () in
+          let written = List.init 10 (fun i -> entry i "rt") in
+          let p, r0 = P.open_dir dir in
+          check ti "fresh dir recovers nothing" 0 (List.length r0.P.entries);
+          List.iter (fun (k, v) -> P.append p k v) written;
+          P.close p;
+          let p2, r = P.open_dir dir in
+          P.close p2;
+          check tb "entries byte-identical, oldest first" true
+            (r.P.entries = written);
+          check ti "all from the journal" 10 r.P.from_journal;
+          check ti "none dropped" 0 r.P.dropped;
+          check ti "nothing truncated" 0 r.P.truncated_bytes);
+    Alcotest.test_case "snapshot + journal tail recover in order" `Quick
+      (fun () ->
+         Resilience.Inject.disable ();
+         let dir = fresh_dir () in
+         let snap = List.init 6 (fun i -> entry i "snap") in
+         let tail = List.init 4 (fun i -> entry i "tail") in
+         let p, _ = P.open_dir dir in
+         List.iter (fun (k, v) -> P.append p k v) snap;
+         P.snapshot p snap;
+         List.iter (fun (k, v) -> P.append p k v) tail;
+         P.close p;
+         let p2, r = P.open_dir dir in
+         P.close p2;
+         check tb "snapshot entries then journal entries" true
+           (r.P.entries = snap @ tail);
+         check ti "from snapshot" 6 r.P.from_snapshot;
+         check ti "from journal" 4 r.P.from_journal;
+         check ti "none dropped" 0 r.P.dropped);
+    Alcotest.test_case "snapshot resets the journal" `Quick (fun () ->
+        Resilience.Inject.disable ();
+        let dir = fresh_dir () in
+        let written = List.init 8 (fun i -> entry i "rs") in
+        let p, _ = P.open_dir dir in
+        List.iter (fun (k, v) -> P.append p k v) written;
+        let before = P.journal_bytes p in
+        P.snapshot p written;
+        check tb "journal shrank to its magic" true
+          (P.journal_bytes p < before
+           && P.journal_bytes p = String.length P.journal_magic);
+        check tb "snapshot grew" true (P.snapshot_bytes p > 0);
+        P.close p);
+    Alcotest.test_case "a stale snapshot.tmp is discarded on open" `Quick
+      (fun () ->
+         Resilience.Inject.disable ();
+         let dir = fresh_dir () in
+         let p, _ = P.open_dir dir in
+         P.append p "k" "v";
+         P.close p;
+         let tmp = Filename.concat dir "snapshot.tmp" in
+         write_file tmp "half a snapshot that never renamed";
+         let p2, r = P.open_dir dir in
+         P.close p2;
+         check tb "tmp removed" false (Sys.file_exists tmp);
+         check tb "journal entry survived" true
+           (r.P.entries = [ "k", "v" ]));
+    Alcotest.test_case "verify rejection drops the entry, scan continues"
+      `Quick (fun () ->
+          Resilience.Inject.disable ();
+          let dir = fresh_dir () in
+          let p, _ = P.open_dir dir in
+          List.iter (fun (k, v) -> P.append p k v)
+            [ "good-1", "a"; "bad", "b"; "good-2", "c" ];
+          P.close p;
+          let verify k _ = k <> "bad" in
+          let p2, r = P.open_dir ~verify dir in
+          P.close p2;
+          check tb "survivors in order" true
+            (r.P.entries = [ "good-1", "a"; "good-2", "c" ]);
+          check ti "reject counted as dropped" 1 r.P.dropped;
+          (* Framing was intact: nothing needed truncating. *)
+          check ti "no truncation" 0 r.P.truncated_bytes);
+    Alcotest.test_case "unrecognizable journal is dropped whole" `Quick
+      (fun () ->
+         Resilience.Inject.disable ();
+         let dir = fresh_dir () in
+         let p, _ = P.open_dir dir in
+         P.close p;
+         write_file (Filename.concat dir "journal") "GARBAGEGARBAGE";
+         let p2, r = P.open_dir dir in
+         check ti "nothing recovered" 0 (List.length r.P.entries);
+         check ti "counted" 1 r.P.dropped;
+         check ti "whole file cut" 14 r.P.truncated_bytes;
+         (* The store is usable again: a fresh magic was laid down. *)
+         P.append p2 "after" "garbage";
+         P.close p2;
+         let p3, r3 = P.open_dir dir in
+         P.close p3;
+         check tb "post-recovery append recovers" true
+           (r3.P.entries = [ "after", "garbage" ]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Torn tails: truncate the journal at every byte boundary.  Recovery
+   must admit exactly the records that fit in the prefix, drop the torn
+   one, truncate back to the last record boundary — and the store must
+   accept appends cleanly afterwards. *)
+
+let truncation_tests =
+  [
+    Alcotest.test_case "every truncation boundary recovers a clean prefix"
+      `Quick (fun () ->
+          Resilience.Inject.disable ();
+          let dir = fresh_dir () in
+          let written = List.init 6 (fun i -> entry i "cut") in
+          let p, _ = P.open_dir dir in
+          List.iter (fun (k, v) -> P.append p k v) written;
+          P.close p;
+          let journal = Filename.concat dir "journal" in
+          let full = read_file journal in
+          let magic = String.length P.journal_magic in
+          (* Record boundaries, for deciding how many entries a prefix
+             of length [n] should yield. *)
+          let boundaries =
+            let ends = ref [] and pos = ref magic in
+            List.iter
+              (fun (k, v) ->
+                 pos := !pos + String.length (P.encode_record k v);
+                 ends := !pos :: !ends)
+              written;
+            List.rev !ends
+          in
+          let expect_entries n =
+            List.length (List.filter (fun e -> e <= n) boundaries)
+          in
+          for n = 0 to String.length full do
+            write_file journal (String.sub full 0 n);
+            let p2, r = P.open_dir dir in
+            assert_only_written ~label:(Printf.sprintf "cut@%d" n) written r;
+            let expected = expect_entries n in
+            if List.length r.P.entries <> expected then
+              Alcotest.failf "cut@%d: recovered %d entries, wanted %d" n
+                (List.length r.P.entries) expected;
+            check tb
+              (Printf.sprintf "cut@%d: prefix of the written list" n)
+              true
+              (r.P.entries
+               = List.filteri (fun i _ -> i < expected) written);
+            (* A torn record is reported: anything between two
+               boundaries means bytes were cut back. *)
+            let on_boundary = n = 0 || n = magic || List.mem n boundaries in
+            if (not on_boundary) && r.P.dropped = 0 then
+              Alcotest.failf "cut@%d: torn tail not counted" n;
+            (* The reopened journal accepts appends on a clean
+               boundary: the new record must recover. *)
+            P.append p2 "fresh" "post-cut";
+            P.close p2;
+            let p3, r3 = P.open_dir dir in
+            P.close p3;
+            (match List.rev r3.P.entries with
+             | ("fresh", "post-cut") :: _ -> ()
+             | _ -> Alcotest.failf "cut@%d: post-truncation append lost" n);
+            check ti
+              (Printf.sprintf "cut@%d: prior entries intact" n)
+              expected
+              (List.length r3.P.entries - 1)
+          done);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Seeded byte-mutation fuzz, the defect-map parser idiom: flip one
+   seeded byte of the file, recover, and require that nothing corrupt is
+   ever served.  A mutation may legally shrink what recovers (CRC
+   rejection, framing damage) — it must never change bytes that still
+   get served. *)
+
+let mutate_one ~seed s =
+  let st = Random.State.make [| 0x9e3779b9; seed |] in
+  let b = Bytes.of_string s in
+  let pos = Random.State.int st (Bytes.length b) in
+  let old = Char.code (Bytes.get b pos) in
+  let bit = 1 lsl Random.State.int st 8 in
+  Bytes.set b pos (Char.chr (old lxor bit));
+  Bytes.to_string b
+
+let fuzz_file ~label ~path ~written ~dir ~mutations =
+  let full = read_file path in
+  let served_drop = ref 0 in
+  for seed = 1 to mutations do
+    write_file path (mutate_one ~seed full);
+    match P.open_dir dir with
+    | exception e ->
+      Alcotest.failf "%s seed=%d: recovery raised %s" label seed
+        (Printexc.to_string e)
+    | p, r ->
+      P.close p;
+      assert_only_written ~label:(Printf.sprintf "%s seed=%d" label seed)
+        written r;
+      if List.length r.P.entries < List.length written then
+        incr served_drop;
+      if List.length r.P.entries < List.length written && r.P.dropped = 0
+      then
+        (* The only unreported shrink is the journal losing its file
+           entirely, which a one-bit flip cannot do. *)
+        Alcotest.failf "%s seed=%d: entries lost but dropped=0" label seed
+  done;
+  (* Sanity on the fuzz itself: a single flipped bit must damage a
+     record most of the time — a fuzz that never bites tests nothing. *)
+  if !served_drop = 0 then
+    Alcotest.failf "%s: no mutation ever dropped an entry" label
+
+let fuzz_tests =
+  [
+    Alcotest.test_case "500 seeded journal mutations never serve corruption"
+      `Quick (fun () ->
+          Resilience.Inject.disable ();
+          let dir = fresh_dir () in
+          let written = List.init 8 (fun i -> entry i "fz") in
+          let p, _ = P.open_dir dir in
+          List.iter (fun (k, v) -> P.append p k v) written;
+          P.close p;
+          fuzz_file ~label:"journal-fuzz"
+            ~path:(Filename.concat dir "journal")
+            ~written ~dir ~mutations:500);
+    Alcotest.test_case "snapshot mutations never serve corruption" `Quick
+      (fun () ->
+         Resilience.Inject.disable ();
+         let dir = fresh_dir () in
+         let written = List.init 8 (fun i -> entry i "sf") in
+         let p, _ = P.open_dir dir in
+         List.iter (fun (k, v) -> P.append p k v) written;
+         P.snapshot p written;
+         P.close p;
+         (* Remove the journal so only the snapshot is under test; an
+            open_dir recreates an empty one each round. *)
+         fuzz_file ~label:"snapshot-fuzz"
+           ~path:(Filename.concat dir "snapshot")
+           ~written ~dir ~mutations:200);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Compaction *)
+
+let compaction_tests =
+  [
+    Alcotest.test_case "journal outgrowing the snapshot compacts" `Quick
+      (fun () ->
+         Resilience.Inject.disable ();
+         let dir = fresh_dir () in
+         let p, _ = P.open_dir ~journal_ratio:2. ~compact_floor:256 dir in
+         let written = ref [] in
+         let compacted = ref false in
+         for i = 0 to 63 do
+           let k, v = entry i "cp" in
+           written := !written @ [ k, v ];
+           P.append p k v;
+           if P.maybe_compact p (lazy !written) then compacted := true
+         done;
+         check tb "a compaction ran" true !compacted;
+         check tb "snapshot holds the image" true (P.snapshot_bytes p > 0);
+         P.close p;
+         let p2, r = P.open_dir dir in
+         P.close p2;
+         check tb "every entry survives compaction" true
+           (r.P.entries = !written);
+         check ti "none dropped" 0 r.P.dropped);
+    Alcotest.test_case "below the floor nothing compacts" `Quick (fun () ->
+        Resilience.Inject.disable ();
+        let dir = fresh_dir () in
+        let p, _ = P.open_dir dir in
+        (* default floor: 64 KiB *)
+        P.append p "k" "v";
+        check tb "not worth compacting" false (P.should_compact p);
+        check tb "maybe_compact declines" false
+          (P.maybe_compact p (lazy [ "k", "v" ]));
+        P.close p);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The injection points themselves: armed disk faults damage writes,
+   and recovery reports the damage it drops. *)
+
+let injection_tests =
+  [
+    Alcotest.test_case "armed disk-corrupt appends are dropped, not served"
+      `Quick (fun () ->
+          let dir = fresh_dir () in
+          let written = List.init 24 (fun i -> entry i "inj") in
+          Resilience.Inject.with_points ~seed:3
+            [ Resilience.Inject.Disk_corrupt ] (fun () ->
+              let p, _ = P.open_dir dir in
+              List.iter (fun (k, v) -> P.append p k v) written;
+              P.close p);
+          Resilience.Inject.disable ();
+          let p2, r = P.open_dir dir in
+          P.close p2;
+          assert_only_written ~label:"disk-corrupt" written r;
+          (* The point fires on a quarter of draws: over 24 appends at
+             least one record must be damaged and counted. *)
+          check tb "some damage landed" true (r.P.dropped >= 1));
+    Alcotest.test_case "armed disk-torn-write cuts the tail, prefix survives"
+      `Quick (fun () ->
+          let dir = fresh_dir () in
+          let written = List.init 24 (fun i -> entry i "torn") in
+          Resilience.Inject.with_points ~seed:7
+            [ Resilience.Inject.Disk_torn_write ] (fun () ->
+              let p, _ = P.open_dir dir in
+              List.iter (fun (k, v) -> P.append p k v) written;
+              P.close p);
+          Resilience.Inject.disable ();
+          let p2, r = P.open_dir dir in
+          P.close p2;
+          assert_only_written ~label:"disk-torn" written r;
+          check tb "recovered a strict prefix" true
+            (List.length r.P.entries < List.length written);
+          check tb "the torn record is counted" true (r.P.dropped >= 1);
+          check tb "tail bytes were truncated" true
+            (r.P.truncated_bytes >= 1));
+  ]
+
+let () =
+  Alcotest.run "persist"
+    [
+      "basics", basic_tests;
+      "truncation", truncation_tests;
+      "fuzz", fuzz_tests;
+      "compaction", compaction_tests;
+      "injection", injection_tests;
+    ]

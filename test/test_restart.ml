@@ -1,0 +1,330 @@
+(* Kill-and-restart battery for compactd's crash safety (PR-8).
+
+   Three phases, each against a real [Sock.serve] loop in a forked
+   child process:
+
+   A. SIGKILL with torn journal writes armed: the server dies without a
+      snapshot flush and with a genuinely torn journal tail.  A
+      restarted server must recover at least one design, serve it as a
+      cache hit, and answer every pre-crash request byte-identically
+      (modulo the [cached] flag).
+
+   B. Mid-run kill under load: a monkey process SIGKILLs the server
+      while [Loadgen.run ~retry:true] is in flight, then takes over the
+      socket itself.  The run must finish with zero errors — replay
+      costs latency, never a lost request.
+
+   C. Graceful drain: SIGTERM exits cleanly (status 0), unlinks the
+      socket, and flushes the snapshot, so a restart recovers the whole
+      cache and serves it hot.
+
+   Fork discipline: children are forked before this process spawns any
+   domain, and leave through [Unix._exit] only.  Run via the
+   @server-restart alias at COMPACT_JOBS=1 and COMPACT_JOBS=4. *)
+
+module J = Obs.Json
+
+let jobs = Parallel.default_jobs ()
+let failures = ref 0
+
+let failf fmt =
+  Printf.ksprintf
+    (fun msg ->
+       incr failures;
+       Printf.eprintf "FAIL [jobs=%d] %s\n%!" jobs msg)
+    fmt
+
+let checkf cond fmt =
+  Printf.ksprintf (fun msg -> if not cond then failf "%s" msg) fmt
+
+let tmp name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "compact-restart-%d-%s" (Unix.getpid ()) name)
+
+let clean_dir dir =
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f ->
+         try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)
+
+let clean_path p = try Unix.unlink p with Unix.Unix_error _ -> ()
+
+(* Fork a server child on [socket] backed by [cache_dir].  [inject]
+   arms fault points inside the child only.  The child never returns:
+   it serves until shutdown/drain and leaves with [_exit 0]. *)
+let start_server ?(inject = []) ?(inject_seed = 1) ~socket ~cache_dir () =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (try
+       if inject <> [] then
+         Resilience.Inject.configure ~seed:inject_seed inject;
+       let config =
+         {
+           (Server.Sock.default_config ~socket_path:socket) with
+           Server.Sock.engine =
+             {
+               Server.Engine.default_config with
+               Server.Engine.jobs;
+               cache_dir = Some cache_dir;
+             };
+           handle_signals = true;
+           drain_deadline = 5.;
+         }
+       in
+       ignore (Server.Sock.serve config : Server.Engine.stats);
+       Unix._exit 0
+     with _ -> Unix._exit 3)
+  | pid -> pid
+
+let wait pid = snd (Unix.waitpid [] pid)
+
+let shutdown_server socket pid =
+  (match Server.Client.connect ~retries:20 socket with
+   | c ->
+     (try ignore (Server.Client.request c {|{"op":"shutdown"}|} : string)
+      with End_of_file | Unix.Unix_error _ -> ());
+     Server.Client.close c
+   | exception _ -> ());
+  wait pid
+
+(* The only legitimate byte difference between a pre-crash cold
+   response and a post-restart hit. *)
+let replace ~sub ~by s =
+  match
+    let n = String.length sub in
+    let rec find i =
+      if i + n > String.length s then None
+      else if String.sub s i n = sub then Some i
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> s
+  | Some i ->
+    String.sub s 0 i ^ by
+    ^ String.sub s (i + String.length sub)
+        (String.length s - i - String.length sub)
+
+let uncached s = replace ~sub:{|"cached":true|} ~by:{|"cached":false|} s
+
+let is_cached s =
+  match J.member "cached" (J.parse s) with
+  | Some (J.Bool b) -> b
+  | _ -> false
+
+let persist_stat stats_line field =
+  match J.member "persist" (J.parse stats_line) with
+  | Some p ->
+    (match J.member field p with
+     | Some (J.Num n) -> int_of_float n
+     | _ -> -1)
+  | _ -> -1
+
+let exprs =
+  [
+    "(a & b) | (c & ~d)";
+    "(a ^ b) & (c | d)";
+    "~a | (b & c)";
+    "(a | b) & (c ^ ~d)";
+    "(a & ~c) ^ (b | d)";
+    "(~b | d) & (a ^ c)";
+  ]
+
+let synth_line i e =
+  J.to_string
+    (J.Obj
+       [
+         "op", J.Str "synth";
+         "id", J.Num (float_of_int (i + 1));
+         "expr", J.Str e;
+       ])
+
+(* ------------------------------------------------------------------ *)
+
+let phase_a () =
+  Printf.printf "phase A: SIGKILL with torn journal writes (jobs=%d)\n%!"
+    jobs;
+  let socket = tmp "a.sock" and dir = tmp "a.cache" in
+  clean_path socket;
+  clean_dir dir;
+  (* Torn writes armed in the server: some journal appends are cut
+     short, exactly the tail a crash mid-write leaves. *)
+  let pid =
+    start_server
+      ~inject:[ Resilience.Inject.Disk_torn_write ]
+      ~inject_seed:2 ~socket ~cache_dir:dir ()
+  in
+  let c = Server.Client.connect socket in
+  let before =
+    List.mapi
+      (fun i e -> Server.Client.request_idempotent c (synth_line i e))
+      exprs
+  in
+  Server.Client.close c;
+  List.iter
+    (fun r ->
+       checkf
+         (J.member "ok" (J.parse r) = Some (J.Bool true))
+         "A: pre-crash request failed: %s" r)
+    before;
+  (* No drain, no snapshot: the only durable state is the journal,
+     torn tail and all. *)
+  Unix.kill pid Sys.sigkill;
+  (match wait pid with
+   | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+   | _ -> failf "A: server did not die of SIGKILL");
+  (* Restart, injection-free, on the same directory and socket. *)
+  let pid2 = start_server ~socket ~cache_dir:dir () in
+  let c2 = Server.Client.connect socket in
+  let stats =
+    Server.Client.request_idempotent c2 {|{"op":"stats","id":"s"}|}
+  in
+  let recovered = persist_stat stats "recovered" in
+  checkf (recovered >= 1) "A: expected recovered >= 1, got %d (stats %s)"
+    recovered stats;
+  let after =
+    List.mapi
+      (fun i e -> Server.Client.request_idempotent c2 (synth_line i e))
+      exprs
+  in
+  Server.Client.close c2;
+  let hits = List.length (List.filter is_cached after) in
+  checkf (hits >= 1) "A: expected at least one recovered cache hit";
+  checkf (hits = recovered)
+    "A: %d hits but %d recovered entries — recovery served something it \
+     should not have, or lost something it had" hits recovered;
+  List.iteri
+    (fun i (b, a) ->
+       checkf
+         (String.equal b (uncached a))
+         "A: request %d not byte-identical across restart:\n  pre:  \
+          %s\n  post: %s" (i + 1) b a)
+    (List.combine before after);
+  ignore (shutdown_server socket pid2);
+  Printf.printf
+    "phase A: ok (%d/%d recovered hits, all responses byte-identical)\n%!"
+    hits (List.length exprs)
+
+(* ------------------------------------------------------------------ *)
+
+let phase_b () =
+  Printf.printf "phase B: loadgen across a mid-run SIGKILL (jobs=%d)\n%!"
+    jobs;
+  let socket = tmp "b.sock" and dir = tmp "b.cache" in
+  clean_path socket;
+  clean_dir dir;
+  let pid = start_server ~socket ~cache_dir:dir () in
+  (* The monkey: kill the server mid-run, then take over the socket as
+     the replacement server.  Replayed requests land here. *)
+  flush stdout;
+  flush stderr;
+  let monkey =
+    match Unix.fork () with
+    | 0 ->
+      (try
+         Unix.sleepf 0.5;
+         Unix.kill pid Sys.sigkill;
+         let config =
+           {
+             (Server.Sock.default_config ~socket_path:socket) with
+             Server.Sock.engine =
+               {
+                 Server.Engine.default_config with
+                 Server.Engine.jobs;
+                 cache_dir = Some dir;
+               };
+             handle_signals = true;
+           }
+         in
+         (* The SIGKILLed server's listener can linger for an instant
+            after kill() returns, so the socket probe may still see it
+            "live": retry like any restart loop would. *)
+         let rec serve_when_free n =
+           match Server.Sock.serve config with
+           | (_ : Server.Engine.stats) -> ()
+           | exception Server.Sock.Busy _ when n > 0 ->
+             Unix.sleepf 0.05;
+             serve_when_free (n - 1)
+         in
+         serve_when_free 100;
+         Unix._exit 0
+       with _ -> Unix._exit 3)
+    | p -> p
+  in
+  let result =
+    Server.Loadgen.run ~seed:42 ~requests:40 ~hot_frac:0.5 ~retry:true
+      ~socket ()
+  in
+  checkf
+    (result.Server.Loadgen.errors = 0)
+    "B: %d requests lost across the kill" result.Server.Loadgen.errors;
+  checkf
+    (result.Server.Loadgen.ok = 40)
+    "B: only %d/40 requests succeeded" result.Server.Loadgen.ok;
+  (match wait pid with
+   | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+   | _ -> failf "B: first server did not die of SIGKILL");
+  (match shutdown_server socket monkey with
+   | Unix.WEXITED 0 -> ()
+   | _ -> failf "B: replacement server did not exit cleanly");
+  Printf.printf "phase B: ok (40/40 requests, zero lost)\n%!"
+
+(* ------------------------------------------------------------------ *)
+
+let phase_c () =
+  Printf.printf "phase C: graceful drain on SIGTERM (jobs=%d)\n%!" jobs;
+  let socket = tmp "c.sock" and dir = tmp "c.cache" in
+  clean_path socket;
+  clean_dir dir;
+  let pid = start_server ~socket ~cache_dir:dir () in
+  let c = Server.Client.connect socket in
+  let lines = List.filteri (fun i _ -> i < 3) exprs in
+  List.iteri
+    (fun i e ->
+       let r = Server.Client.request_idempotent c (synth_line i e) in
+       checkf
+         (J.member "ok" (J.parse r) = Some (J.Bool true))
+         "C: request failed before drain: %s" r)
+    lines;
+  Server.Client.close c;
+  Unix.kill pid Sys.sigterm;
+  (match wait pid with
+   | Unix.WEXITED 0 -> ()
+   | Unix.WEXITED n -> failf "C: drain exited with status %d" n
+   | _ -> failf "C: drain did not exit cleanly");
+  checkf
+    (not (Sys.file_exists socket))
+    "C: socket path survived the drain";
+  (* The drain's snapshot makes the restart complete: every design is
+     recovered and serves hot. *)
+  let pid2 = start_server ~socket ~cache_dir:dir () in
+  let c2 = Server.Client.connect socket in
+  let stats =
+    Server.Client.request_idempotent c2 {|{"op":"stats","id":"s"}|}
+  in
+  let recovered = persist_stat stats "recovered" in
+  checkf (recovered = 3) "C: expected 3 recovered after drain, got %d"
+    recovered;
+  List.iteri
+    (fun i e ->
+       let r = Server.Client.request_idempotent c2 (synth_line i e) in
+       checkf (is_cached r) "C: request %d missed after a clean drain"
+         (i + 1))
+    lines;
+  Server.Client.close c2;
+  ignore (shutdown_server socket pid2);
+  Printf.printf "phase C: ok (3/3 recovered, all hot)\n%!"
+
+let () =
+  Resilience.Inject.disable ();
+  phase_a ();
+  phase_b ();
+  phase_c ();
+  if !failures > 0 then begin
+    Printf.eprintf "test_restart: %d failure(s)\n%!" !failures;
+    exit 1
+  end;
+  Printf.printf "test_restart: all phases passed (jobs=%d)\n%!" jobs

@@ -257,6 +257,46 @@ let socket_tests =
                Server.Client.close c)
          in
          ());
+    Alcotest.test_case "a live socket raises Busy, a stale file is replaced"
+      `Slow (fun () ->
+          let (), _stats =
+            with_server "busy" (fun path ->
+                (* Wait until the first server's listener is actually up
+                   — probing during its startup would win the bind race
+                   and turn this process into the server. *)
+                let ready = Server.Client.connect path in
+                Server.Client.close ready;
+                (* A second server on the same path must refuse rather
+                   than hijack the live one's socket. *)
+                let config = Server.Sock.default_config ~socket_path:path in
+                (match Server.Sock.serve config with
+                 | _ -> Alcotest.fail "second server bound a live socket"
+                 | exception Server.Sock.Busy _ -> ()))
+          in
+          (* The first server has shut down; its socket file would be
+             stale now — but shutdown unlinks it, so fabricate a stale
+             one: bind and close without unlinking. *)
+          let path = socket_path "busy" in
+          check tb "drain unlinked the socket" false (Sys.file_exists path);
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.bind fd (Unix.ADDR_UNIX path);
+          Unix.close fd;
+          check tb "stale file present" true (Sys.file_exists path);
+          (* No pre-unlink here: serve itself must probe the file,
+             find no listener behind it, and reclaim the path. *)
+          let config = Server.Sock.default_config ~socket_path:path in
+          let server = Domain.spawn (fun () -> Server.Sock.serve config) in
+          let c = Server.Client.connect path in
+          let r =
+            J.parse
+              (Server.Client.request c {|{"op":"synth","id":1,"expr":"a & b"}|})
+          in
+          check tb "serving on the reclaimed path" true
+            (J.member "ok" r = Some (J.Bool true));
+          (try ignore (Server.Client.request c {|{"op":"shutdown"}|} : string)
+           with End_of_file -> ());
+          Server.Client.close c;
+          ignore (Domain.join server : Engine.stats));
     Alcotest.test_case "client disconnect mid-request" `Slow (fun () ->
         let (), stats =
           with_server "disconnect" (fun path ->
@@ -291,6 +331,151 @@ let socket_tests =
         in
         check tb "server processed requests" true
           (stats.Engine.served >= 1));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Durable cache: engine-level recovery round-trip (PR-8). *)
+
+let persist_dir tag =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "compactd-test-persist-%d-%s" (Unix.getpid ()) tag)
+  in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f ->
+         try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+  dir
+
+(* The only legitimate byte difference across a recovery: the hit flag. *)
+let uncached s =
+  let sub = {|"cached":true|} and by = {|"cached":false|} in
+  let n = String.length sub in
+  let rec find i =
+    if i + n > String.length s then s
+    else if String.sub s i n = sub then
+      String.sub s 0 i ^ by ^ String.sub s (i + n) (String.length s - i - n)
+    else find (i + 1)
+  in
+  find 0
+
+let persistence_tests =
+  [
+    Alcotest.test_case "engine recovers its cache across a close" `Quick
+      (fun () ->
+         Resilience.Inject.disable ();
+         let dir = persist_dir "roundtrip" in
+         let config =
+           { Engine.default_config with Engine.cache_dir = Some dir }
+         in
+         let lines =
+           [
+             {|{"op":"synth","id":1,"expr":"(a & b) | ~c"}|};
+             {|{"op":"synth","id":2,"expr":"(a ^ c) & (b | d)"}|};
+           ]
+         in
+         let e1 = Engine.create config in
+         let before = List.map (Engine.handle e1) lines in
+         Engine.close e1;
+         let e2 = Engine.create config in
+         check ti "both entries recovered" 2 (Engine.stats e2).Engine.recovered;
+         check ti "nothing dropped" 0 (Engine.stats e2).Engine.dropped;
+         let after = List.map (Engine.handle e2) lines in
+         List.iter2
+           (fun b a ->
+              check tb "recovered entry serves as a hit" true
+                (J.member "cached" (J.parse a) = Some (J.Bool true));
+              check ts "byte-identical modulo the hit flag" b (uncached a))
+           before after;
+         Engine.close e2);
+    Alcotest.test_case "a cold engine without cache_dir reports no persist"
+      `Quick (fun () ->
+          Resilience.Inject.disable ();
+          let e = Engine.create Engine.default_config in
+          let stats = Engine.handle e {|{"op":"stats","id":1}|} in
+          check tb "no persist object" true
+            (J.member "persist" (J.parse stats) = None));
+    Alcotest.test_case "stats expose the persist counters" `Quick (fun () ->
+        Resilience.Inject.disable ();
+        let dir = persist_dir "stats" in
+        let e =
+          Engine.create
+            { Engine.default_config with Engine.cache_dir = Some dir }
+        in
+        ignore (Engine.handle e {|{"op":"synth","id":1,"expr":"a & b"}|});
+        let j = J.parse (Engine.handle e {|{"op":"stats","id":2}|}) in
+        (match J.member "persist" j with
+         | Some p ->
+           check tb "recovered field" true (J.member "recovered" p <> None);
+           check tb "journal grew past its magic" true
+             (match J.member "journal_bytes" p with
+              | Some (J.Num n) ->
+                n > float_of_int (String.length Server.Persist.journal_magic)
+              | _ -> false)
+         | None -> Alcotest.fail "no persist stats with cache_dir set");
+        Engine.close e);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Client resilience plumbing: the retry-after wire format and the
+   seeded backoff schedule (pure pieces; the full replay behaviour is
+   covered end-to-end by the @server-restart battery). *)
+
+let resilience_tests =
+  [
+    Alcotest.test_case "retry-after golden" `Quick (fun () ->
+        check ts "wire format"
+          {|{"id":7,"ok":false,"error":{"code":"retry-after","message":"busy","retry_after_s":0.25}}|}
+          (Protocol.retry_after_response ~id:(J.Num 7.) ~after_s:0.25
+             ~message:"busy"));
+    Alcotest.test_case "retry_after_hint parses the hint" `Quick (fun () ->
+        (match
+           Protocol.retry_after_hint
+             (Protocol.retry_after_response ~id:J.Null ~after_s:0.5
+                ~message:"drain")
+         with
+         | Some s -> check (Alcotest.float 1e-9) "hint" 0.5 s
+         | None -> Alcotest.fail "hint not parsed");
+        check tb "ok responses carry no hint" true
+          (Protocol.retry_after_hint
+             (Protocol.ok_response ~id:J.Null [])
+           = None);
+        check tb "other errors carry no hint" true
+          (Protocol.retry_after_hint
+             (Protocol.error_response
+                {
+                  Protocol.err_id = J.Null;
+                  code = Protocol.Overload;
+                  message = "full";
+                })
+           = None));
+    Alcotest.test_case "backoff is deterministic, capped and jittered"
+      `Quick (fun () ->
+          let d k = Server.Client.backoff_delay ~seed:9 ~base:0.005 ~cap:0.1 k in
+          List.iter
+            (fun k ->
+               check (Alcotest.float 1e-12)
+                 (Printf.sprintf "attempt %d replays" k)
+                 (d k) (d k))
+            [ 0; 1; 5; 40 ];
+          List.iter
+            (fun k ->
+               let v = d k in
+               check tb "within the cap" true (v <= 0.1);
+               check tb "positive" true (v > 0.);
+               (* Jitter scales into [0.5, 1.0] of the capped value. *)
+               let raw = Float.min 0.1 (0.005 *. (2. ** float_of_int k)) in
+               check tb "above half the raw delay" true (v >= (0.5 *. raw)))
+            [ 0; 1; 2; 3; 10; 63 ];
+          (* Different seeds decorrelate the jitter draw. *)
+          let a =
+            Server.Client.backoff_delay ~seed:1 ~base:0.005 ~cap:0.1 6
+          in
+          let b =
+            Server.Client.backoff_delay ~seed:2 ~base:0.005 ~cap:0.1 6
+          in
+          check tb "seeds differ" true (a <> b));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -358,6 +543,8 @@ let () =
     [
       "protocol", parse_tests;
       "engine", engine_tests;
+      "persistence", persistence_tests;
+      "resilience", resilience_tests;
       "socket", socket_tests;
       "reentrancy", reentrancy_tests;
     ]
