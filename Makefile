@@ -1,5 +1,5 @@
 .PHONY: all test examples bench smoke proptest margin trace chaos server \
-	server-restart loadgen restart-recovery ci clean
+	server-restart loadgen restart-recovery portfolio portfolio-bench ci clean
 
 all:
 	dune build
@@ -43,6 +43,18 @@ server:
 server-restart:
 	dune build @server-restart
 
+# Portfolio battery: the racing determinism contract (byte-identical
+# design and solver path at jobs=1 and jobs=4, winner reproducible
+# standalone, clean races cacheable).
+portfolio:
+	dune build @portfolio
+
+# Race and sifting kernels; regenerates BENCH_pr9.json (portfolio vs
+# sequential Auto wall time on a budget-exhausting kernel, in-place
+# sifting vs anneal-rebuild on the 8-bit multiplier).
+portfolio-bench:
+	dune exec bench/main.exe -- portfolio -j 4
+
 # Seeded mixed workload against a live compactd; regenerates
 # BENCH_pr7.json (throughput, latency percentiles, cache hit rate).
 loadgen:
@@ -69,6 +81,7 @@ ci:
 	dune build @smoke
 	dune build @trace
 	dune build @chaos
+	dune build @portfolio
 	dune build @server
 	dune build @server-restart
 

@@ -73,23 +73,12 @@ let source_term =
 (* Synthesis options *)
 
 let solver_conv =
-  let parse = function
-    | "oct" -> Ok Compact.Pipeline.Oct_exact
-    | "oct-greedy" -> Ok Compact.Pipeline.Oct_greedy
-    | "mip" -> Ok Compact.Pipeline.Mip
-    | "heuristic" -> Ok Compact.Pipeline.Heuristic
-    | "auto" -> Ok Compact.Pipeline.Auto
-    | s -> Error (`Msg (Printf.sprintf "unknown solver %s" s))
+  let parse s =
+    match Compact.Pipeline.solver_of_name s with
+    | Some solver -> Ok solver
+    | None -> Error (`Msg (Printf.sprintf "unknown solver %s" s))
   in
-  let print ppf s =
-    Format.pp_print_string ppf
-      (match s with
-       | Compact.Pipeline.Oct_exact -> "oct"
-       | Compact.Pipeline.Oct_greedy -> "oct-greedy"
-       | Compact.Pipeline.Mip -> "mip"
-       | Compact.Pipeline.Heuristic -> "heuristic"
-       | Compact.Pipeline.Auto -> "auto")
-  in
+  let print ppf s = Format.pp_print_string ppf (Compact.Pipeline.solver_name s) in
   Arg.conv (parse, print)
 
 (* [-j]/[--jobs] rides on the shared options term, so every synthesis
@@ -214,7 +203,27 @@ let options_term =
   let solver =
     Arg.(value & opt solver_conv Compact.Pipeline.Auto
          & info [ "solver" ] ~docv:"S"
-             ~doc:"VH-labeling solver: auto, oct, oct-greedy, mip, heuristic.")
+             ~doc:"VH-labeling solver: auto, oct, oct-greedy, mip, \
+                   heuristic, or portfolio (the auto ladder raced \
+                   concurrently on the -j domain pool; deterministic \
+                   winner, so the design is identical for any jobs \
+                   count).")
+  in
+  let race_orders =
+    let arg =
+      Arg.(value & opt int 1
+           & info [ "race-orders" ] ~docv:"K"
+               ~doc:"Under --solver portfolio, race each solver rung on up \
+                     to $(docv) candidate variable orders (default 1: the \
+                     build order only).")
+    in
+    let check n =
+      if n >= 1 then Ok n
+      else
+        Error
+          (`Msg (Printf.sprintf "invalid --race-orders %d: needs >= 1" n))
+    in
+    Term.(term_result (const check $ arg))
   in
   let time_limit =
     Arg.(value & opt float 30.
@@ -260,12 +269,13 @@ let options_term =
     Arg.(value & opt (some int) None
          & info [ "max-cols" ] ~docv:"N" ~doc:"Hard bitline capacity.")
   in
-  let make gamma solver time_limit deadline no_alignment max_rows max_cols
-      jobs =
+  let make gamma solver race_orders time_limit deadline no_alignment max_rows
+      max_cols jobs =
     {
       Compact.Pipeline.default_options with
       gamma;
       solver;
+      race_orders;
       time_limit;
       deadline;
       alignment = not no_alignment;
@@ -275,8 +285,8 @@ let options_term =
     }
   in
   Term.(
-    const make $ gamma $ solver $ time_limit $ deadline $ no_alignment
-    $ max_rows $ max_cols $ jobs_term)
+    const make $ gamma $ solver $ race_orders $ time_limit $ deadline
+    $ no_alignment $ max_rows $ max_cols $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 
@@ -287,16 +297,59 @@ let print_grid =
 let print_stats =
   Arg.(value & flag
        & info [ "stats" ]
-           ~doc:"Print the BDD engine's unique-table and op-cache counters.")
+           ~doc:"Print the BDD engine's unique-table, op-cache and \
+                 reordering counters.")
+
+(* [--reorder] is order *pre-processing*: it computes an improved
+   variable order up front and feeds it to the pipeline as an explicit
+   [options.order], leaving the pipeline itself untouched. [sift] builds
+   once under the best static candidate order and runs in-place Rudell
+   sifting; [anneal] is the older rebuild-per-move annealing search,
+   retained as a cross-check. *)
+let reorder_conv =
+  let parse = function
+    | "none" -> Ok `None
+    | "sift" -> Ok `Sift
+    | "anneal" -> Ok `Anneal
+    | s -> Error (`Msg (Printf.sprintf "unknown reorder mode %s" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with `None -> "none" | `Sift -> "sift" | `Anneal -> "anneal")
+  in
+  Arg.conv (parse, print)
+
+let reorder_term =
+  Arg.(value & opt reorder_conv `None
+       & info [ "reorder" ] ~docv:"MODE"
+           ~doc:"Variable-order optimisation before synthesis: none \
+                 (default), sift (build once, then in-place Rudell \
+                 sifting), or anneal (simulated annealing over rebuilds).")
+
+let reordered_order reorder options nl =
+  match reorder with
+  | `None -> (options : Compact.Pipeline.options).order
+  | `Sift ->
+    let sbdd =
+      Bdd.Reorder.improve_sbdd ~node_limit:options.Compact.Pipeline.bdd_node_limit
+        nl
+    in
+    Some (Array.to_list sbdd.Bdd.Sbdd.input_order)
+  | `Anneal ->
+    let order, _ =
+      Bdd.Reorder.anneal ~node_limit:options.Compact.Pipeline.bdd_node_limit nl
+    in
+    Some order
 
 let report_stats result =
   match (result : Compact.Pipeline.result).report.bdd_stats with
   | Some s -> Format.printf "%a@." Bdd.Manager.pp_stats s
   | None -> Format.printf "no BDD engine statistics recorded@."
 
-let synth_run trace source options grid stats =
+let synth_run trace source options reorder grid stats =
   with_trace trace @@ fun () ->
   let nl = netlist_of_source source in
+  let options = { options with Compact.Pipeline.order = reordered_order reorder options nl } in
   match Compact.Pipeline.synthesize ~options nl with
   | result ->
     Format.printf "%a@." Compact.Report.pp result.report;
@@ -318,8 +371,8 @@ let synth_cmd =
   let term =
     Term.(
       term_result
-        (const synth_run $ trace_term $ source_term $ options_term $ print_grid
-         $ print_stats))
+        (const synth_run $ trace_term $ source_term $ options_term
+         $ reorder_term $ print_grid $ print_stats))
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesise a crossbar design with COMPACT")

@@ -10,6 +10,9 @@ type stats = {
   cache_hits : int;
   growths : int;
   peak_nodes : int;
+  level_swaps : int;
+  sift_passes : int;
+  cache_invalidations : int;
 }
 
 (* The manager is laid out CUDD-style for cache locality and zero
@@ -63,6 +66,12 @@ type t = {
   mutable cache_lookups : int;
   mutable cache_hits : int;
   mutable growths : int;
+  mutable level_swaps : int;
+  mutable sift_passes : int;
+  mutable cache_invalidations : int;
+  (* true while the lossy op caches are known empty, so a burst of level
+     swaps pays for at most one invalidation *)
+  mutable caches_clean : bool;
 }
 
 let zero = 0
@@ -106,6 +115,10 @@ let create ?(node_limit = max_int) ~num_vars () =
     cache_lookups = 0;
     cache_hits = 0;
     growths = 0;
+    level_swaps = 0;
+    sift_passes = 0;
+    cache_invalidations = 0;
+    caches_clean = true;
   }
 
 let num_vars t = t.nvars
@@ -120,6 +133,9 @@ let stats t =
     cache_hits = t.cache_hits;
     growths = t.growths;
     peak_nodes = t.next;
+    level_swaps = t.level_swaps;
+    sift_passes = t.sift_passes;
+    cache_invalidations = t.cache_invalidations;
   }
 
 let pp_stats ppf (s : stats) =
@@ -129,13 +145,14 @@ let pp_stats ppf (s : stats) =
   Format.fprintf ppf
     "@[<v>unique table: %d lookups, %d hits (%.1f%%), %d collisions, %d \
      growths@,\
-     op caches: %d lookups, %d hits (%.1f%%)@,\
+     op caches: %d lookups, %d hits (%.1f%%), %d invalidations@,\
+     reordering: %d level swaps, %d sift passes@,\
      peak nodes: %d@]"
     s.unique_lookups s.unique_hits
     (pct s.unique_hits s.unique_lookups)
     s.unique_collisions s.growths s.cache_lookups s.cache_hits
     (pct s.cache_hits s.cache_lookups)
-    s.peak_nodes
+    s.cache_invalidations s.level_swaps s.sift_passes s.peak_nodes
 
 (* Multiplicative triple mix; the low bits index the power-of-two tables. *)
 let hash3 a b c =
@@ -209,11 +226,16 @@ let rehash_unique t =
   let mask = size - 1 in
   let table = Array.make size (-1) in
   for n = 2 to t.next - 1 do
-    let i = ref (hash3 t.levels.(n) t.lows.(n) t.highs.(n) land mask) in
-    while table.(!i) <> -1 do
-      i := (!i + 1) land mask
-    done;
-    table.(!i) <- n
+    (* level -1 marks a node killed by reordering: its slot is dead and
+       must never be resurrected into the table with its stale
+       pre-swap structure *)
+    if t.levels.(n) >= 0 then begin
+      let i = ref (hash3 t.levels.(n) t.lows.(n) t.highs.(n) land mask) in
+      while table.(!i) <> -1 do
+        i := (!i + 1) land mask
+      done;
+      table.(!i) <- n
+    end
   done;
   t.table <- table;
   t.table_mask <- mask;
@@ -333,7 +355,8 @@ let ite_insert t f g h r =
   t.ite_k1.(i) <- f;
   t.ite_k2.(i) <- g;
   t.ite_k3.(i) <- h;
-  t.ite_r.(i) <- r
+  t.ite_r.(i) <- r;
+  t.caches_clean <- false
 
 let bop_cached t k1 k2 =
   t.cache_lookups <- t.cache_lookups + 1;
@@ -349,7 +372,8 @@ let bop_insert t k1 k2 r =
   let i = hash3 k1 k2 0 land t.bop_mask in
   t.bop_k1.(i) <- k1;
   t.bop_k2.(i) <- k2;
-  t.bop_r.(i) <- r
+  t.bop_r.(i) <- r;
+  t.caches_clean <- false
 
 (* Top-level ITE invocations (not worklist steps). The disabled path is
    a single load-and-branch, guarded by the PR's bench overhead gate. *)
@@ -561,4 +585,340 @@ let any_sat t f =
 
 let clear_caches t =
   Array.fill t.ite_k1 0 (Array.length t.ite_k1) (-1);
-  Array.fill t.bop_k1 0 (Array.length t.bop_k1) (-1)
+  Array.fill t.bop_k1 0 (Array.length t.bop_k1) (-1);
+  t.caches_clean <- true
+
+(* ------------------------------------------------------------------ *)
+(* In-place dynamic reordering (adjacent-level exchange + Rudell
+   sifting).
+
+   An exchange of levels [i] and [i+1] rewrites only the nodes at those
+   two levels, in place over the packed arrays: every handle keeps
+   denoting the same Boolean function modulo the variable exchange, so
+   root handles stay valid and the levels above and below are untouched.
+   The caller receives the accumulated level permutation and re-maps
+   whatever it keyed by level ([Sbdd] permutes its [input_order]).
+
+   Case analysis for one exchange (upper = live nodes at level i, lower
+   = live nodes at level i+1):
+
+   - an upper node with no child at level i+1 ("independent") still
+     tests the same variable, which now lives at level i+1: it is
+     relabelled and rehashed, keeping its handle;
+   - a dependent upper node [f = A ? f1 : f0] is restructured in place
+     to test the other variable on top: [f = B ? (A ? f11 : f01)
+     : (A ? f10 : f00)], its two fresh-or-shared children created at
+     level i+1 through the unique table;
+   - a lower node still referenced afterwards (from above level i, or a
+     root) keeps its structure and moves to level i; one referenced only
+     through the old cofactor edges dies: it is removed from the table
+     (backward-shift deletion), marked dead with level -1, and its slot
+     is never reused — [rehash_unique] skips dead slots so a stale
+     structure can never be resurrected.
+
+   The lossy op caches mix pre- and post-exchange meanings of dead
+   handles, so a reordering session invalidates them (once per burst,
+   counted in [cache_invalidations]).  Array and table growth happen
+   before any node is touched, so the only allocation points (including
+   the injected-OOM checkpoint) see a consistent diagram.
+
+   The session's reference counts are seeded from [roots]; any handle
+   not in the cone of [roots] is treated as garbage and invalidated. *)
+
+type session = {
+  m : t;
+  mutable rc : int array;  (* per-handle refcounts, roots get +1 *)
+  perm : int array;  (* perm.(lvl) = session-start level now living at lvl *)
+  mutable live : int;  (* live internal nodes *)
+}
+
+(* Raw table insertion: the key is known absent, find the free slot. *)
+let table_insert t n =
+  let mask = t.table_mask in
+  let i = ref (hash3 t.levels.(n) t.lows.(n) t.highs.(n) land mask) in
+  while t.table.(!i) <> -1 do
+    i := (!i + 1) land mask
+  done;
+  t.table.(!i) <- n
+
+(* Backward-shift deletion for linear probing: after emptying n's slot,
+   slide the rest of the cluster back so no probe sequence crosses a
+   hole it should not. *)
+let table_remove t n =
+  let mask = t.table_mask in
+  let i = ref (hash3 t.levels.(n) t.lows.(n) t.highs.(n) land mask) in
+  while t.table.(!i) <> n do
+    i := (!i + 1) land mask
+  done;
+  t.table.(!i) <- -1;
+  let j = ref ((!i + 1) land mask) in
+  while t.table.(!j) <> -1 do
+    let m = t.table.(!j) in
+    let home = hash3 t.levels.(m) t.lows.(m) t.highs.(m) land mask in
+    if (!j - home) land mask >= (!j - !i) land mask then begin
+      t.table.(!i) <- m;
+      t.table.(!j) <- -1;
+      i := !j
+    end;
+    j := (!j + 1) land mask
+  done
+
+let invalidate_for_reorder t =
+  if not t.caches_clean then begin
+    t.cache_invalidations <- t.cache_invalidations + 1;
+    clear_caches t
+  end
+
+let open_session t roots =
+  invalidate_for_reorder t;
+  let rc = Array.make (Array.length t.levels) 0 in
+  let mark = Bytes.make (max t.next 2) '\000' in
+  let rec visit = function
+    | [] -> ()
+    | n :: rest ->
+      if is_terminal n || Bytes.get mark n = '\001' then visit rest
+      else begin
+        Bytes.set mark n '\001';
+        let lo = t.lows.(n) and hi = t.highs.(n) in
+        if not (is_terminal lo) then rc.(lo) <- rc.(lo) + 1;
+        if not (is_terminal hi) then rc.(hi) <- rc.(hi) + 1;
+        visit (lo :: hi :: rest)
+      end
+  in
+  visit roots;
+  List.iter (fun r -> if not (is_terminal r) then rc.(r) <- rc.(r) + 1) roots;
+  (* Table hygiene: drop allocated-but-unreachable nodes so an exchange
+     can never find (and share) a stale structure through the table. *)
+  let live = ref 0 in
+  for n = 2 to t.next - 1 do
+    if t.levels.(n) >= 0 then begin
+      if Bytes.get mark n = '\001' then incr live
+      else begin
+        table_remove t n;
+        t.levels.(n) <- -1
+      end
+    end
+  done;
+  { m = t; rc; perm = Array.init t.nvars (fun l -> l); live = !live }
+
+(* Grow node arrays and unique table ahead of an exchange so nothing
+   allocates (or hits the injected-OOM checkpoint) mid-rewrite. *)
+let ensure_swap_capacity s extra =
+  let t = s.m in
+  while t.next + extra > Array.length t.levels do
+    grow_nodes t
+  done;
+  while 4 * (t.next + extra - 2) > 3 * (t.table_mask + 1) do
+    rehash_unique t
+  done;
+  if Array.length s.rc < Array.length t.levels then begin
+    let bigger = Array.make (Array.length t.levels) 0 in
+    Array.blit s.rc 0 bigger 0 (Array.length s.rc);
+    s.rc <- bigger
+  end
+
+let swap_adjacent s i =
+  let t = s.m in
+  let upper = ref [] and lower = ref [] in
+  for n = t.next - 1 downto 2 do
+    if s.rc.(n) > 0 then
+      if t.levels.(n) = i then upper := n :: !upper
+      else if t.levels.(n) = i + 1 then lower := n :: !lower
+  done;
+  let upper = !upper and lower = !lower in
+  if upper <> [] || lower <> [] then begin
+    ensure_swap_capacity s (2 * List.length upper);
+    (* 1. Detach both levels: their keys are about to change, and a
+       detached lower node cannot be found with its pre-exchange
+       meaning while fresh children are interned. *)
+    List.iter (fun n -> table_remove t n) upper;
+    List.iter (fun n -> table_remove t n) lower;
+    (* Drop one reference; a node whose last reference this was dies
+       and cascades. Dying lower nodes are already detached. *)
+    let rec deref n =
+      if not (is_terminal n) then begin
+        s.rc.(n) <- s.rc.(n) - 1;
+        if s.rc.(n) = 0 then begin
+          if t.levels.(n) > i + 1 then table_remove t n;
+          s.live <- s.live - 1;
+          let lo = t.lows.(n) and hi = t.highs.(n) in
+          t.levels.(n) <- -1;
+          deref lo;
+          deref hi
+        end
+      end
+    in
+    (* 2. Independent upper nodes keep their variable, which now lives
+       at level i+1. Moving them first lets step 3 share them. *)
+    let dependent = ref [] in
+    List.iter
+      (fun n ->
+         let lo = t.lows.(n) and hi = t.highs.(n) in
+         if t.levels.(lo) = i + 1 || t.levels.(hi) = i + 1 then
+           dependent := n :: !dependent
+         else begin
+           t.levels.(n) <- i + 1;
+           table_insert t n
+         end)
+      upper;
+    let dependent = List.rev !dependent in
+    (* Intern a level-(i+1) node for the restructuring, taking a
+       reference. Capacity was assured above, so nothing allocates. *)
+    let mk_swap lo hi =
+      if lo = hi then begin
+        if not (is_terminal lo) then s.rc.(lo) <- s.rc.(lo) + 1;
+        lo
+      end
+      else begin
+        t.unique_lookups <- t.unique_lookups + 1;
+        let p = probe t (i + 1) lo hi (hash3 (i + 1) lo hi land t.table_mask) in
+        if p < 0 then begin
+          t.unique_hits <- t.unique_hits + 1;
+          s.rc.(-p) <- s.rc.(-p) + 1;
+          -p
+        end
+        else begin
+          let n = t.next in
+          t.next <- n + 1;
+          t.levels.(n) <- i + 1;
+          t.lows.(n) <- lo;
+          t.highs.(n) <- hi;
+          t.table.(p) <- n;
+          s.rc.(n) <- 1;
+          if not (is_terminal lo) then s.rc.(lo) <- s.rc.(lo) + 1;
+          if not (is_terminal hi) then s.rc.(hi) <- s.rc.(hi) + 1;
+          s.live <- s.live + 1;
+          n
+        end
+      end
+    in
+    (* 3. Restructure dependent upper nodes in place: the handle stays,
+       the node now tests the other variable on top. *)
+    List.iter
+      (fun n ->
+         let f0 = t.lows.(n) and f1 = t.highs.(n) in
+         let f00, f01 =
+           if t.levels.(f0) = i + 1 then (t.lows.(f0), t.highs.(f0))
+           else (f0, f0)
+         and f10, f11 =
+           if t.levels.(f1) = i + 1 then (t.lows.(f1), t.highs.(f1))
+           else (f1, f1)
+         in
+         let g0 = mk_swap f00 f10 in
+         let g1 = mk_swap f01 f11 in
+         t.lows.(n) <- g0;
+         t.highs.(n) <- g1;
+         table_insert t n;
+         deref f0;
+         deref f1)
+      dependent;
+    (* 4. Lower nodes still referenced (crossing edges from above level
+       i, or roots) keep their structure and move up to level i; the
+       ones that died in step 3 are already marked. *)
+    List.iter
+      (fun n ->
+         if s.rc.(n) > 0 then begin
+           t.levels.(n) <- i;
+           table_insert t n
+         end)
+      lower
+  end;
+  let tmp = s.perm.(i) in
+  s.perm.(i) <- s.perm.(i + 1);
+  s.perm.(i + 1) <- tmp;
+  t.level_swaps <- t.level_swaps + 1
+
+(* Sift the variable currently at level [l0] to its best position:
+   down to the bottom, back up to the top, then settle on the smallest
+   diagram seen (ties keep the position encountered first, which is
+   deterministic). [max_growth] aborts a direction once the diagram
+   exceeds that ratio of the best size; the budget is polled at swap
+   boundaries and exhaustion stops the exploration (the settle phase
+   always runs so the diagram lands in a consistent best-known spot). *)
+let sift_var s ~max_growth ~budget l0 =
+  let t = s.m in
+  let nv = t.nvars in
+  let best = ref s.live in
+  let best_pos = ref l0 in
+  let pos = ref l0 in
+  let bound () =
+    int_of_float (max_growth *. float_of_int !best) + 2
+  in
+  let explore step lo_limit hi_limit =
+    try
+      while !pos > lo_limit && !pos < hi_limit do
+        if Resilience.Budget.exhausted budget then raise Exit;
+        if step > 0 then begin
+          swap_adjacent s !pos;
+          incr pos
+        end
+        else begin
+          swap_adjacent s (!pos - 1);
+          decr pos
+        end;
+        if s.live < !best then begin
+          best := s.live;
+          best_pos := !pos
+        end
+        else if s.live > bound () then raise Exit
+      done
+    with Exit -> ()
+  in
+  explore 1 (-1) (nv - 1);
+  explore (-1) 0 nv;
+  while !pos < !best_pos do
+    swap_adjacent s !pos;
+    incr pos
+  done;
+  while !pos > !best_pos do
+    swap_adjacent s (!pos - 1);
+    decr pos
+  done
+
+let level_of_orig s orig =
+  let rec find l = if s.perm.(l) = orig then l else find (l + 1) in
+  find 0
+
+let sift_pass s ~max_growth ~budget =
+  let t = s.m in
+  t.sift_passes <- t.sift_passes + 1;
+  (* Process variables by live population of their current level,
+     largest first; ties (and the whole order) break on the original
+     variable index so a pass is deterministic. *)
+  let popn = Array.make (max t.nvars 1) 0 in
+  for n = 2 to t.next - 1 do
+    let l = t.levels.(n) in
+    if l >= 0 && l < t.nvars && s.rc.(n) > 0 then popn.(l) <- popn.(l) + 1
+  done;
+  let weight = Array.init t.nvars (fun orig -> popn.(level_of_orig s orig)) in
+  let vars = Array.init t.nvars (fun orig -> orig) in
+  Array.sort
+    (fun a b ->
+       if weight.(a) <> weight.(b) then compare weight.(b) weight.(a)
+       else compare a b)
+    vars;
+  Array.iter
+    (fun orig ->
+       if weight.(orig) > 0 && not (Resilience.Budget.exhausted budget) then
+         sift_var s ~max_growth ~budget (level_of_orig s orig))
+    vars
+
+let sift ?(budget = Resilience.Budget.unlimited) ?(max_growth = 1.2) t roots =
+  let s = open_session t roots in
+  sift_pass s ~max_growth ~budget;
+  s.perm
+
+let sift_to_convergence ?(budget = Resilience.Budget.unlimited)
+    ?(max_growth = 1.2) ?(max_passes = 8) t roots =
+  let s = open_session t roots in
+  let prev = ref max_int in
+  let passes = ref 0 in
+  while
+    s.live < !prev && !passes < max_passes
+    && not (Resilience.Budget.exhausted budget)
+  do
+    prev := s.live;
+    sift_pass s ~max_growth ~budget;
+    incr passes
+  done;
+  s.perm

@@ -28,6 +28,10 @@ type stats = {
   cache_hits : int;
   growths : int;  (** unique-table rehashes (the op caches grow along) *)
   peak_nodes : int;  (** [allocated], never decreases *)
+  level_swaps : int;  (** adjacent-level exchanges done by reordering *)
+  sift_passes : int;  (** full sifting passes over the variables *)
+  cache_invalidations : int;
+      (** op-cache wipes forced by reordering sessions *)
 }
 (** Counters of the packed unique table and the lossy direct-mapped
     operation caches; cheap to read at any time. *)
@@ -115,6 +119,44 @@ val iter_edges : t -> node list -> (node -> node -> bool -> unit) -> unit
 
 val clear_caches : t -> unit
 (** Drop operation memo tables (the unique table is kept). *)
+
+(** {1 Dynamic reordering}
+
+    In-place Rudell sifting over the packed arrays: adjacent-level
+    exchanges rewrite only the two affected unique-table levels, so a
+    sift costs swaps proportional to the diagram instead of full
+    rebuilds per candidate order.
+
+    {b Contract.} [roots] must cover {e every} handle the caller intends
+    to keep using: reordering garbage-collects the rest of the manager
+    (handles outside the cone of [roots] become invalid), and the lossy
+    operation caches are dropped.  Handles in the cone stay valid but
+    their meaning is permuted — after the call, the variable at level
+    [l] is the one that was at level [perm.(l)] when the call began,
+    where [perm] is the returned permutation.  Callers that name
+    variables re-map their own tables ([Sbdd.sift] permutes
+    [input_order]). *)
+
+val sift :
+  ?budget:Resilience.Budget.t -> ?max_growth:float -> t -> node list ->
+  int array
+(** One sifting pass: each variable (largest level population first,
+    original index breaking ties) moves to its locally best level.
+    [max_growth] (default 1.2) aborts a direction of exploration once
+    the diagram exceeds that ratio of the best size seen.  The budget is
+    polled at swap boundaries; exhaustion stops exploring but still
+    settles on the best position found, so the diagram is always left
+    consistent.  Returns the level permutation. *)
+
+val sift_to_convergence :
+  ?budget:Resilience.Budget.t ->
+  ?max_growth:float ->
+  ?max_passes:int ->
+  t ->
+  node list ->
+  int array
+(** Repeat sifting passes until a pass fails to shrink the diagram, up
+    to [max_passes] (default 8). Returns the accumulated permutation. *)
 
 (** {1 Instrumentation} *)
 

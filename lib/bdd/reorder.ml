@@ -96,6 +96,12 @@ let anneal ?(seed = 0x0d4) ?(steps = 150) ?(budget = Resilience.Budget.unlimited
       accepted = !accepted;
     } )
 
-let improve_sbdd ?seed ?steps ?budget ?node_limit nl =
-  let order, _ = anneal ?seed ?steps ?budget ?node_limit nl in
-  Sbdd.of_netlist ?budget ~order ?node_limit nl
+(* The dynamic-reordering default: build once under the best static
+   candidate order, then sift in place. Unlike the anneal path this
+   never rebuilds the SBDD per move, so it scales to the arith circuits
+   where rebuild-scored search is the bottleneck. *)
+let improve_sbdd ?budget ?node_limit nl =
+  let order, _ = Sbdd.best_order ?node_limit nl in
+  let sbdd = Sbdd.of_netlist ?budget ~order ?node_limit nl in
+  ignore (Sbdd.sift ?budget sbdd : int * int);
+  sbdd

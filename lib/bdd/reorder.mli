@@ -1,14 +1,18 @@
-(** Variable-order optimisation by local search.
+(** Variable-order optimisation.
 
-    CUDD improves orders dynamically (sifting); here the same end is
-    reached by a simulated-annealing search over permutations, scoring
-    each candidate by rebuilding the SBDD (hash-consed construction is
-    fast at the sizes where order search matters). Moves are adjacent
-    transpositions and random block rotations — the neighbourhood sifting
-    explores, without the in-place level-swap machinery.
+    The default path is CUDD-style dynamic reordering: build the SBDD
+    once (best static candidate order) and run in-place Rudell sifting
+    over the packed arrays ({!Manager.sift_to_convergence} via
+    {!Sbdd.sift}), so each move costs an adjacent-level exchange instead
+    of a full rebuild — this is what makes the arith multiplier and
+    comparator sizes tractable.
 
-    Intended for small/medium netlists (rebuild cost × steps); callers
-    gate it by size. *)
+    {!anneal} keeps the older simulated-annealing search over
+    permutations, scoring each candidate by rebuilding the SBDD. It
+    explores a wider neighbourhood (random transpositions and single
+    moves, not just adjacent swaps) and is retained as a cross-check for
+    sifting ([--reorder anneal]) and for small netlists where rebuild
+    cost is negligible. *)
 
 type stats = {
   initial_size : int;
@@ -33,11 +37,11 @@ val anneal :
     the starting one. *)
 
 val improve_sbdd :
-  ?seed:int ->
-  ?steps:int ->
   ?budget:Resilience.Budget.t ->
   ?node_limit:int ->
   Logic.Netlist.t ->
   Sbdd.t
-(** Convenience: run {!anneal} and build the SBDD under the winning
-    order (the final build shares the same [budget]). *)
+(** Build under the best static candidate order, then sift in place
+    ({!Sbdd.sift}) — no per-move rebuilds. The budget covers both the
+    build (raises on exhaustion, as any build does) and the sift (which
+    just stops improving). *)

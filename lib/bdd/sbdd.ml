@@ -66,6 +66,21 @@ let of_netlist_separate ?order ?(node_limit = max_int) (nl : Logic.Netlist.t) =
 let size t = Manager.size t.man (List.map snd t.roots)
 let stats t = Manager.stats t.man
 
+(* In-place sifting: root handles survive, but the manager's levels are
+   permuted, so the level -> input-name map is re-threaded through the
+   returned permutation. The [input_order] array is mutated in place —
+   every alias of this SBDD sees the new order, which is exactly what
+   handle stability requires. *)
+let sift ?budget ?max_growth ?max_passes t =
+  let before = size t in
+  let perm =
+    Manager.sift_to_convergence ?budget ?max_growth ?max_passes t.man
+      (List.map snd t.roots)
+  in
+  let old = Array.copy t.input_order in
+  Array.iteri (fun lvl o -> t.input_order.(lvl) <- old.(o)) perm;
+  (before, size t)
+
 let num_edges t =
   let c = ref 0 in
   Manager.iter_edges t.man (List.map snd t.roots) (fun _ _ _ -> incr c);

@@ -49,6 +49,20 @@ val best_order :
 val size : t -> int
 (** Distinct reachable nodes, including reached terminals. *)
 
+val sift :
+  ?budget:Resilience.Budget.t ->
+  ?max_growth:float ->
+  ?max_passes:int ->
+  t ->
+  int * int
+(** In-place dynamic reordering ({!Manager.sift_to_convergence} seeded
+    with this SBDD's roots). Root handles stay valid; [input_order] is
+    permuted in place so level → input-name lookups remain correct.
+    Any other handle into this manager is invalidated (the reordering
+    session garbage-collects everything outside the roots' cone).
+    Returns [(size_before, size_after)]; the budget is polled at swap
+    boundaries and exhaustion just stops improving. *)
+
 val stats : t -> Manager.stats
 (** Unique-table / op-cache counters of the underlying manager. *)
 

@@ -1,4 +1,4 @@
-type solver = Oct_exact | Oct_greedy | Mip | Heuristic | Auto
+type solver = Oct_exact | Oct_greedy | Mip | Heuristic | Auto | Portfolio
 
 type options = {
   gamma : float;
@@ -11,6 +11,7 @@ type options = {
   max_rows : int option;
   max_cols : int option;
   jobs : int;
+  race_orders : int;
 }
 
 let mip_node_threshold = 160
@@ -27,6 +28,7 @@ let default_options =
     max_rows = None;
     max_cols = None;
     jobs = 1;
+    race_orders = 1;
   }
 
 (* The run's global budget: an explicit one from the caller wins,
@@ -53,6 +55,7 @@ let solver_name = function
   | Mip -> "mip"
   | Heuristic -> "heuristic"
   | Auto -> "auto"
+  | Portfolio -> "portfolio"
 
 let solver_of_name = function
   | "oct" -> Some Oct_exact
@@ -60,6 +63,7 @@ let solver_of_name = function
   | "mip" -> Some Mip
   | "heuristic" -> Some Heuristic
   | "auto" -> Some Auto
+  | "portfolio" -> Some Portfolio
   | _ -> None
 
 let run_one ~budget options bg solver =
@@ -85,20 +89,194 @@ let run_one ~budget options bg solver =
     in
     Label_mip.solve ~budget ~alignment ~gamma
       ~warm_start:warm ~oct_cut ?max_rows ?max_cols ~jobs:options.jobs bg
-  | Auto -> assert false
+  | Auto | Portfolio -> assert false
 
-(* Returns the labeling together with the path of solver rungs attempted.
+(* The Auto/Portfolio rung ladder for a given graph: MIP while the
+   branch & bound is tractable, the combinatorial heuristic above that,
+   and the linear-time greedy transversal as the terminal rung that
+   always completes. *)
+let auto_ladder bg =
+  let primary =
+    if Graphs.Ugraph.num_nodes bg.Types.graph <= mip_node_threshold then Mip
+    else Heuristic
+  in
+  primary :: List.filter (fun s -> s <> primary) [ Heuristic; Oct_greedy ]
+
+(* ------------------------------------------------------------------ *)
+(* Racing portfolio ([Portfolio] mode): the Auto ladder's rungs — times
+   up to [race_orders] candidate variable orders — run concurrently on
+   the domain pool instead of sequentially, so wall time is the fastest
+   acceptable entrant instead of the sum of timed-out rungs. The winner
+   is decided by the jobs-independent staged rule of {!Parallel.race}
+   (solver priority is the group order) plus a deterministic within-group
+   tie-break (semiperimeter, then order index) — never wall-clock — so
+   the chosen design is byte-identical at any [-j]. *)
+
+let c_races = Obs.Counter.make "portfolio.races"
+let c_entrants = Obs.Counter.make "portfolio.entrants"
+let c_entrants_cut = Obs.Counter.make "portfolio.entrants_cut"
+let c_entrants_failed = Obs.Counter.make "portfolio.entrants_failed"
+
+type entrant_result = {
+  er_order : int;
+  er_labeling : Types.labeling;
+  er_accepted : bool;
+}
+
+let run_portfolio ~budget options (graphs : Types.bdd_graph array) =
+  (* One ladder for the whole race, derived from the order-0 graph, so
+     the group structure (and with it the decision rule) does not depend
+     on which candidate orders happened to be available. *)
+  let ladder = auto_ladder graphs.(0) in
+  let terminal_rank = List.length ladder - 1 in
+  let norders = Array.length graphs in
+  let entrants =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun rank s -> List.init norders (fun oi -> rank, s, oi))
+            ladder))
+  in
+  let groups = Array.map (fun (rank, _, _) -> rank) entrants in
+  (* Entrants must not open nested pools: the race already owns the
+     domain-level parallelism. *)
+  let solve_opts = { options with jobs = 1 } in
+  let thunk (rank, s, oi) rb =
+    (* Non-terminal entrants get half the race's remaining wall budget
+       capped at a staggered share of [time_limit]: rank r of R
+       non-terminal ranks is cut off at (r+1)/R of the limit. The race
+       cannot decide before every higher-priority group has reported, so
+       a stuck primary would otherwise stall the decision for the full
+       limit even though its fallback finished long ago — the staggering
+       bounds that stall at half the limit while the last non-terminal
+       rank keeps the full per-rung budget sequential Auto gives it.
+       (The tradeoff, documented on {!Portfolio}: a primary proof that
+       needs more than its share loses to the fallback, where Auto would
+       have waited for it.) Terminal-rung entrants keep the race's
+       cooperative cancel but no wall deadline — some entrant must be
+       able to finish. *)
+    let eb =
+      if rank = terminal_rank then Resilience.Budget.untimed rb
+      else
+        let cap =
+          options.time_limit
+          *. float_of_int (rank + 1)
+          /. float_of_int terminal_rank
+        in
+        Resilience.Budget.limited (Resilience.Budget.slice rb ~frac:0.5) cap
+    in
+    Obs.Span.with_
+      (Printf.sprintf "entrant:%s@%d" (solver_name s) oi)
+      (fun () ->
+         let l = run_one ~budget:eb solve_opts graphs.(oi) s in
+         (* Acceptance mirrors the Auto keep rule but is judged here, by
+            the entrant's own wall deadline only ([Budget.remaining]
+            ignores cancellation): the winner's cancel latch arriving
+            between an entrant finishing and the outcome scan must not
+            flip a completed loser's verdict, or the outcome array would
+            depend on the jobs count. *)
+         let accepted =
+           l.Types.optimal || Resilience.Budget.remaining eb > 0.
+         in
+         Obs.Span.add_attr "optimal" (string_of_bool l.Types.optimal);
+         Obs.Span.add_attr "accepted" (string_of_bool accepted);
+         { er_order = oi; er_labeling = l; er_accepted = accepted })
+  in
+  Obs.Counter.incr c_races;
+  Obs.Counter.add c_entrants (Array.length entrants);
+  let outcomes =
+    Parallel.with_pool ~jobs:options.jobs (fun pool ->
+        Parallel.race ~budget ~groups pool
+          (Array.map (fun e rb -> thunk e rb) entrants)
+          ~acceptable:(fun er -> er.er_accepted))
+  in
+  Array.iter
+    (function
+      | Parallel.Cut -> Obs.Counter.incr c_entrants_cut
+      | Parallel.Failed _ -> Obs.Counter.incr c_entrants_failed
+      | Parallel.Finished _ -> ())
+    outcomes;
+  (* Winner: within the deciding group — the earliest group that ran
+     completely (no member cut) and holds an accepted result — the
+     accepted labeling with the smallest semiperimeter, then the
+     smallest order index. Mirrors [Parallel.race]'s decision scan, so
+     the index found here is the entrant whose completion latched the
+     cancel. *)
+  let n = Array.length outcomes in
+  let winner = ref (-1) in
+  let s = ref 0 in
+  while !winner < 0 && !s < n do
+    let e = ref !s in
+    while !e < n && groups.(!e) = groups.(!s) do incr e done;
+    let cut = ref false in
+    let best = ref None in
+    for j = !s to !e - 1 do
+      match outcomes.(j) with
+      | Parallel.Cut -> cut := true
+      | Parallel.Finished er when er.er_accepted ->
+        let key = (Types.semiperimeter er.er_labeling, er.er_order) in
+        (match !best with
+         | Some (bk, _) when bk <= key -> ()
+         | _ -> best := Some (key, j))
+      | Parallel.Finished _ | Parallel.Failed _ -> ()
+    done;
+    (match !best with
+     | Some (_, j) when not !cut -> winner := j
+     | _ -> ());
+    s := !e
+  done;
+  (* The full raced field goes into the report: every entrant with its
+     outcome, so a portfolio run is as auditable as a watchdog ladder. *)
+  let path =
+    Array.to_list
+      (Array.mapi
+         (fun i o ->
+            let _, s, oi = entrants.(i) in
+            let tag =
+              match o with
+              | Parallel.Cut -> "cut"
+              | Parallel.Failed _ -> "error"
+              | Parallel.Finished er ->
+                if i = !winner then "win"
+                else if er.er_accepted then "ok"
+                else "partial"
+            in
+            Printf.sprintf "%s@%d:%s" (solver_name s) oi tag)
+         outcomes)
+  in
+  if !winner >= 0 then
+    match outcomes.(!winner) with
+    | Parallel.Finished er -> er.er_labeling, er.er_order, path
+    | _ -> assert false
+  else begin
+    (* Rescue: every entrant timed out, failed or was cut (e.g. the
+       caller's own deadline expired mid-race). Run the terminal rung
+       directly and unbudgeted so the portfolio, like Auto, always ends
+       with a labeling. *)
+    Obs.Span.event "portfolio-rescue" ~attrs:[ "entrants", string_of_int n ];
+    let l =
+      Obs.Span.with_ ("rung:" ^ solver_name Oct_greedy) (fun () ->
+          run_one ~budget:Resilience.Budget.unlimited solve_opts graphs.(0)
+            Oct_greedy)
+    in
+    l, 0, path @ [ solver_name Oct_greedy ^ "@0:win" ]
+  end
+
+(* Returns the labeling, the index of the graph it labels (always 0
+   outside the portfolio), and the path of solver rungs attempted.
    Under [Auto] a watchdog ladder applies: a rung whose labeling is not
    proven optimal and whose wall time reached the budget has merely
    returned its best-so-far incumbent ("partial"), so the next cheaper
    rung runs instead; [Oct_greedy], the terminal rung, has no internal
    budget and always completes. A rung that raises (other than the last)
-   also falls through. Explicitly chosen solvers run exactly once — the
-   user asked for that method and a substitution would be silent — and
-   capacity-constrained runs always use the MIP, the only formulation
-   that can express them. *)
-let run_labeler ~budget options bg =
+   also falls through. [Portfolio] races the same ladder concurrently —
+   see {!run_portfolio}. Explicitly chosen solvers run exactly once —
+   the user asked for that method and a substitution would be silent —
+   and capacity-constrained runs always use the MIP, the only
+   formulation that can express them. *)
+let run_labeler ~budget options (graphs : Types.bdd_graph array) =
   let { time_limit; max_rows; max_cols; _ } = options in
+  let bg = graphs.(0) in
   let constrained = max_rows <> None || max_cols <> None in
   (* A rung's budget: a deterministic fraction of the run's remaining
      wall budget, never more than the per-rung [time_limit]. With no
@@ -117,20 +295,13 @@ let run_labeler ~budget options bg =
         l)
   in
   if constrained then
-    run_rung ~budget:(rung_budget 1.0) Mip, [ solver_name Mip ]
+    run_rung ~budget:(rung_budget 1.0) Mip, 0, [ solver_name Mip ]
   else
     match options.solver with
     | (Oct_exact | Oct_greedy | Mip | Heuristic) as s ->
-      run_rung ~budget:(rung_budget 1.0) s, [ solver_name s ]
+      run_rung ~budget:(rung_budget 1.0) s, 0, [ solver_name s ]
+    | Portfolio -> run_portfolio ~budget options graphs
     | Auto ->
-      let primary =
-        if Graphs.Ugraph.num_nodes bg.Types.graph <= mip_node_threshold then
-          Mip
-        else Heuristic
-      in
-      let ladder =
-        primary :: List.filter (fun s -> s <> primary) [ Heuristic; Oct_greedy ]
-      in
       let fall_through s reason =
         Obs.Span.event "watchdog-fallback"
           ~attrs:[ "after", solver_name s; "reason", reason ]
@@ -141,6 +312,7 @@ let run_labeler ~budget options bg =
           (* Terminal rung: deterministic and internally unbudgeted, so
              the ladder always ends with a labeling. *)
           run_rung ~budget:Resilience.Budget.unlimited last,
+          0,
           List.rev (solver_name last :: path)
         | s :: rest ->
           (* Half the remaining wall budget per non-terminal rung: two
@@ -151,7 +323,7 @@ let run_labeler ~budget options bg =
            | labeling ->
              if labeling.Types.optimal
                 || not (Resilience.Budget.exhausted rb)
-             then labeling, List.rev (solver_name s :: path)
+             then labeling, 0, List.rev (solver_name s :: path)
              else begin
                fall_through s "budget";
                attempt (solver_name s :: path) rest
@@ -160,18 +332,22 @@ let run_labeler ~budget options bg =
              fall_through s "exception";
              attempt (solver_name s :: path) rest)
       in
-      attempt [] ladder
+      attempt [] (auto_ladder bg)
 
-let synthesize_graph ?(options = default_options) ?budget ~name bg =
-  let budget = budget_of_options ?budget options in
+(* The shared back half of every entry point: label (racing across
+   [graphs] under the portfolio, on [graphs.(0)] otherwise), map the
+   winning graph, report. Returns the winning graph index so SBDD-level
+   wrappers can attribute engine stats to the diagram that won. *)
+let synthesize_graphs ~options ~budget ~name graphs =
   Resilience.Budget.protect_oom @@ fun () ->
   let start = Obs.Clock.now () in
-  let labeling, solver_path =
+  let labeling, widx, solver_path =
     Obs.Span.with_ "labeling" (fun () ->
-        let labeling, solver_path = run_labeler ~budget options bg in
+        let labeling, widx, solver_path = run_labeler ~budget options graphs in
         Obs.Span.add_attr "solver_path" (String.concat "->" solver_path);
-        labeling, solver_path)
+        labeling, widx, solver_path)
   in
+  let bg = graphs.(widx) in
   let design = Obs.Span.with_ "mapping" (fun () -> Mapping.run bg labeling) in
   let synthesis_time = Obs.Clock.now () -. start in
   let deadline_hit = Resilience.Budget.exhausted budget in
@@ -179,22 +355,32 @@ let synthesize_graph ?(options = default_options) ?budget ~name bg =
     Report.of_design ~solver_path ~deadline_hit ~circuit:name ~bdd_graph:bg
       ~labeling ~synthesis_time design
   in
-  { design; labeling; bdd_graph = bg; report }
+  { design; labeling; bdd_graph = bg; report }, widx
 
-let synthesize_sbdd ?(options = default_options) ?budget ~name sbdd =
+let synthesize_graph ?(options = default_options) ?budget ~name bg =
   let budget = budget_of_options ?budget options in
+  fst (synthesize_graphs ~options ~budget ~name [| bg |])
+
+let synthesize_sbdds ~options ~budget ~name sbdds =
   let start = Obs.Clock.now () in
-  let bg = Obs.Span.with_ "preprocess" (fun () -> Preprocess.of_sbdd sbdd) in
-  let inner = synthesize_graph ~options ~budget ~name bg in
+  let graphs =
+    Obs.Span.with_ "preprocess" (fun () ->
+        Array.map Preprocess.of_sbdd sbdds)
+  in
+  let inner, widx = synthesize_graphs ~options ~budget ~name graphs in
   let synthesis_time = Obs.Clock.now () -. start in
   let report =
     {
       inner.report with
       Report.synthesis_time;
-      bdd_stats = Some (Bdd.Sbdd.stats sbdd);
+      bdd_stats = Some (Bdd.Sbdd.stats sbdds.(widx));
     }
   in
   { inner with report }
+
+let synthesize_sbdd ?(options = default_options) ?budget ~name sbdd =
+  let budget = budget_of_options ?budget options in
+  synthesize_sbdds ~options ~budget ~name [| sbdd |]
 
 (* Snapshot the BDD engine's raw stats counters into the metric
    registry at a span boundary — the engine's own hot loops stay on
@@ -205,6 +391,9 @@ let c_unique_hits = Obs.Counter.make "bdd.unique_hits"
 let c_cache_lookups = Obs.Counter.make "bdd.cache_lookups"
 let c_cache_hits = Obs.Counter.make "bdd.cache_hits"
 let c_growths = Obs.Counter.make "bdd.growths"
+let c_level_swaps = Obs.Counter.make "bdd.level_swaps"
+let c_sift_passes = Obs.Counter.make "bdd.sift_passes"
+let c_cache_invalidations = Obs.Counter.make "bdd.cache_invalidations"
 
 let record_bdd_stats (s : Bdd.Manager.stats) =
   if Obs.enabled () then begin
@@ -213,6 +402,9 @@ let record_bdd_stats (s : Bdd.Manager.stats) =
     Obs.Counter.add c_cache_lookups s.cache_lookups;
     Obs.Counter.add c_cache_hits s.cache_hits;
     Obs.Counter.add c_growths s.growths;
+    Obs.Counter.add c_level_swaps s.level_swaps;
+    Obs.Counter.add c_sift_passes s.sift_passes;
+    Obs.Counter.add c_cache_invalidations s.cache_invalidations;
     Obs.Gauge.set g_peak_nodes (float_of_int s.peak_nodes)
   end
 
@@ -222,24 +414,54 @@ let synthesize ?(options = default_options) ?budget netlist =
   Obs.Span.with_ ~attrs:[ "circuit", netlist.Logic.Netlist.name ] "synthesize"
   @@ fun () ->
   let start = Obs.Clock.now () in
-  let sbdd =
+  (* The build keeps the budget's cancellation/node/memory state but not
+     the wall deadline: a partial diagram is useless, the build is
+     already bounded by [bdd_node_limit], and an expired deadline should
+     degrade the labeling rungs — which can return incumbents — rather
+     than abort with no output. *)
+  let build_budget = Resilience.Budget.untimed budget in
+  let build ?order () =
+    let sbdd =
+      Bdd.Sbdd.of_netlist ~budget:build_budget ?order
+        ~node_limit:options.bdd_node_limit netlist
+    in
+    record_bdd_stats (Bdd.Sbdd.stats sbdd);
+    sbdd
+  in
+  let sbdds =
     Obs.Span.with_ "bdd-build" (fun () ->
-        let sbdd =
-          (* The build keeps the budget's cancellation/node/memory state
-             but not the wall deadline: a partial diagram is useless, the
-             build is already bounded by [bdd_node_limit], and an expired
-             deadline should degrade the labeling rungs — which can
-             return incumbents — rather than abort with no output. *)
-          Bdd.Sbdd.of_netlist
-            ~budget:(Resilience.Budget.untimed budget)
-            ?order:options.order
-            ~node_limit:options.bdd_node_limit netlist
+        let first = build ?order:options.order () in
+        (* Portfolio order racing: build up to [race_orders - 1] further
+           diagrams under the remaining static candidate orders (skipping
+           any that duplicates the first build's order) so the race can
+           pit (solver, order) entrants against each other. Extra builds
+           are bounded by the same node limit; one that blows it is
+           simply not an entrant. *)
+        let extra =
+          if options.solver <> Portfolio || options.race_orders <= 1 then []
+          else begin
+            let first_order =
+              Array.to_list first.Bdd.Sbdd.input_order
+            in
+            let picked = ref [] in
+            let n = ref 0 in
+            List.iter
+              (fun order ->
+                 if !n < options.race_orders - 1 && order <> first_order then begin
+                   match build ~order () with
+                   | sbdd ->
+                     incr n;
+                     picked := sbdd :: !picked
+                   | exception Bdd.Manager.Size_limit _ -> ()
+                 end)
+              (Bdd.Order.candidates netlist);
+            List.rev !picked
+          end
         in
-        record_bdd_stats (Bdd.Sbdd.stats sbdd);
-        sbdd)
+        Array.of_list (first :: extra))
   in
   let inner =
-    synthesize_sbdd ~options ~budget ~name:netlist.Logic.Netlist.name sbdd
+    synthesize_sbdds ~options ~budget ~name:netlist.Logic.Netlist.name sbdds
   in
   let synthesis_time = Obs.Clock.now () -. start in
   let report = { inner.report with Report.synthesis_time } in

@@ -21,6 +21,24 @@ type solver =
   | Auto
       (** Mip below {!mip_node_threshold} graph nodes, otherwise
           [Heuristic] *)
+  | Portfolio
+      (** the [Auto] ladder raced concurrently on the domain pool —
+          optionally across several candidate variable orders
+          ([race_orders]) — instead of run sequentially. Wall time is
+          the fastest acceptable entrant, not the sum of timed-out
+          rungs; the winner is picked by a deterministic staged rule
+          (solver priority, then semiperimeter, then order index —
+          never wall-clock), so the design is byte-identical at any
+          [jobs] count. Every entrant and its outcome is recorded in
+          {!Report.t.solver_path} as ["solver@order:outcome"].
+
+          Entrant deadlines are staggered: non-terminal rank [r] of [R]
+          is cut off at [(r+1)/R] of [time_limit] (the last non-terminal
+          rank keeps the full per-rung limit Auto would give it). A
+          stuck primary therefore stalls the decision for at most half
+          the limit instead of all of it — the price is that a primary
+          needing more than its share to prove optimality loses to its
+          fallback, where sequential [Auto] would have waited. *)
 
 type options = {
   gamma : float;  (** objective weight (default 0.5, §VIII-A) *)
@@ -55,9 +73,18 @@ type options = {
           {!Compact.Label_mip.Infeasible} escapes when unsatisfiable *)
   max_cols : int option;  (** same for bitlines *)
   jobs : int;
-      (** domain-pool width for the parallelisable stages (currently the
-          MIP branch & bound; default 1, the exact sequential path).
-          See {!Milp.Branch_bound.solve} for the determinism contract. *)
+      (** domain-pool width for the parallelisable stages (the MIP
+          branch & bound, and the [Portfolio] race; default 1, the exact
+          sequential path). See {!Milp.Branch_bound.solve} and
+          {!Parallel.race} for the determinism contracts. *)
+  race_orders : int;
+      (** under [Portfolio], how many candidate variable orders to race
+          per solver rung (default 1: the build order only). Additional
+          entrants build separate SBDDs under the remaining
+          {!Bdd.Order.candidates} orders; only {!synthesize} (which
+          holds the netlist) can build them — the SBDD- and graph-level
+          entry points race solvers on the single diagram they were
+          given. *)
 }
 
 val default_options : options
@@ -65,7 +92,7 @@ val mip_node_threshold : int
 
 val solver_name : solver -> string
 (** Stable lowercase name (["oct"], ["oct-greedy"], ["mip"],
-    ["heuristic"], ["auto"]) — the spelling used in
+    ["heuristic"], ["auto"], ["portfolio"]) — the spelling used in
     {!Report.t.solver_path}, the CLI [--solver] flag, and the [compactd]
     wire protocol / cache key. *)
 

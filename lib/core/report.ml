@@ -55,6 +55,25 @@ let check r =
 
 let rungs r = String.concat "->" r.solver_path
 
+(* A solver path safe to serve from a cache to any future identical
+   request: nothing in it is timing-dependent. A sequential path
+   qualifies only as a single rung — a watchdog fallback means an
+   earlier rung ran out of wall time, which another run might not.
+   A portfolio path (entries shaped ["solver@order:outcome"]) qualifies
+   when every entrant's outcome follows from the deterministic staged
+   decision — "win", "ok" and "cut" do; "partial" (an entrant hit its
+   own wall deadline) and "error" do not. *)
+let path_pristine = function
+  | [] -> false
+  | [ _ ] -> true
+  | entries ->
+    List.for_all
+      (fun e ->
+         List.exists
+           (fun suffix -> Filename.check_suffix e suffix)
+           [ ":win"; ":ok"; ":cut" ])
+      entries
+
 let of_design ?solver_path ?(deadline_hit = false) ?bdd_stats ~circuit
     ~bdd_graph ~labeling ~synthesis_time design =
   let gap =
@@ -159,4 +178,9 @@ let pp ppf r =
       (rate s.unique_hits s.unique_lookups)
       s.unique_lookups
       (rate s.cache_hits s.cache_lookups)
-      s.cache_lookups s.growths
+      s.cache_lookups s.growths;
+    if s.level_swaps > 0 || s.sift_passes > 0 then
+      Format.fprintf ppf
+        "@,reordering: %d level swaps in %d sift passes, %d cache \
+         invalidations"
+        s.level_swaps s.sift_passes s.cache_invalidations

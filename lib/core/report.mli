@@ -40,7 +40,11 @@ type t = {
   solver_path : string list;
       (** solver rungs attempted by the pipeline's watchdog, in order;
           the last produced this labeling. Singleton when the first
-          choice succeeded. *)
+          choice succeeded. Under the portfolio solver every raced
+          entrant appears as ["solver@order:outcome"] with outcome one
+          of [win] (the deterministic winner), [ok] (acceptable loser),
+          [partial] (hit its own wall deadline), [error] (raised) or
+          [cut] (deterministically skipped). *)
   solver_retries : int;  (** [List.length solver_path - 1] *)
   deadline_hit : bool;
       (** the run's work budget (e.g. a [--deadline]) exhausted during
@@ -76,6 +80,12 @@ val of_design :
 val rungs : t -> string
 (** The watchdog rung chain, e.g. ["mip->heuristic"]. Singleton paths
     render as the bare method name. *)
+
+val path_pristine : string list -> bool
+(** Whether a {!t.solver_path} is free of timing-dependent degradation —
+    a single sequential rung, or a portfolio field whose entrants all
+    ended [win]/[ok]/[cut] — and its result therefore safe to cache for
+    any future identical request. *)
 
 val check : t -> t
 (** Assert the [solver_retries = List.length solver_path - 1] invariant

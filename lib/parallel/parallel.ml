@@ -218,6 +218,197 @@ let run (type a) ?(budget = Resilience.Budget.unlimited) p
       results
   end
 
+(* ------------------------------------------------------------------ *)
+(* First-acceptable racing.
+
+   Entrants are grouped (nondecreasing [groups]; default one group per
+   entrant, i.e. a pure priority order). The decision rule is staged so
+   the outcome array is jobs-independent: a group may decide the race
+   only once it — and every group before it — is fully recorded, and it
+   decides iff it ran completely (no member was cut) and contains an
+   acceptable [Finished] result. The first decision latches a cancel on
+   the race-local budget fork, so unstarted losers skip; after the
+   drain, every entrant in a group after the deciding one is
+   reclassified [Cut] even if it happened to finish first — exactly the
+   entrants a sequential evaluation would never have started.
+
+   Entrant exceptions never escape: they land as [Failed] and cannot
+   wedge the pool or the race (chaos-battery contract). *)
+
+type 'a outcome = Finished of 'a | Cut | Failed of exn
+
+let group_end groups n s =
+  let e = ref s in
+  while !e < n && groups.(!e) = groups.(s) do
+    incr e
+  done;
+  !e
+
+let race (type a) ?(budget = Resilience.Budget.unlimited) ?groups p
+    (thunks : (Resilience.Budget.t -> a) array) ~(acceptable : a -> bool) :
+    a outcome array =
+  if p.closed then invalid_arg "Parallel.race: pool is shut down";
+  let n = Array.length thunks in
+  let groups =
+    match groups with
+    | Some g ->
+      if Array.length g <> n then
+        invalid_arg "Parallel.race: groups length mismatch";
+      Array.iteri
+        (fun i gi ->
+           if i > 0 && gi < g.(i - 1) then
+             invalid_arg "Parallel.race: groups must be nondecreasing")
+        g;
+      g
+    | None -> Array.init n (fun i -> i)
+  in
+  (* The race-local latch: cancelling [rb] stops the losers without
+     touching the caller's budget, which still reaches every entrant
+     through the fork's parent link. *)
+  let rb = Resilience.Budget.fork budget in
+  if n = 0 then [||]
+  else if p.n_jobs = 1 || n = 1 then begin
+    (* Priority-order sequential evaluation with early exit across
+       groups: a group runs completely, then decides. *)
+    let results = Array.make n Cut in
+    let decided = ref false in
+    let s = ref 0 in
+    while !s < n && not !decided do
+      let e = group_end groups n !s in
+      for j = !s to e - 1 do
+        results.(j) <-
+          (match Resilience.Budget.state rb with
+           | Some _ -> Cut
+           | None ->
+             (match
+                Resilience.Inject.poison_pool ();
+                thunks.(j) rb
+              with
+              | v -> Finished v
+              | exception exn -> Failed exn))
+      done;
+      for j = !s to e - 1 do
+        match results.(j) with
+        | Finished v when acceptable v -> decided := true
+        | _ -> ()
+      done;
+      (* a cut member (caller budget exhausted mid-group) voids the
+         group's decision, mirroring the pooled rule *)
+      for j = !s to e - 1 do
+        if results.(j) = Cut then decided := false
+      done;
+      s := e
+    done;
+    results
+  end
+  else begin
+    let results : a outcome option array = Array.make n None in
+    let remaining = ref n in
+    let ctx = Obs.context () in
+    (* Under the mutex: is there a deciding group among the fully
+       recorded prefix? *)
+    let decision_ready () =
+      let rec scan s =
+        if s >= n then false
+        else begin
+          let e = group_end groups n s in
+          let all = ref true and ok = ref false and cut = ref false in
+          for j = s to e - 1 do
+            match results.(j) with
+            | None -> all := false
+            | Some (Finished v) -> if acceptable v then ok := true
+            | Some Cut -> cut := true
+            | Some (Failed _) -> ()
+          done;
+          if not !all then false
+          else if !ok && not !cut then true
+          else scan e
+        end
+      in
+      scan 0
+    in
+    let record i outcome =
+      Mutex.lock p.mutex;
+      (match results.(i) with
+       | None ->
+         results.(i) <- Some outcome;
+         decr remaining;
+         if decision_ready () then Resilience.Budget.cancel rb;
+         if !remaining = 0 then Condition.broadcast p.batch_done
+       | Some _ -> ());
+      Mutex.unlock p.mutex
+    in
+    let task i () =
+      match
+        let outcome =
+          match Resilience.Budget.state rb with
+          | Some _ ->
+            Obs.Counter.incr c_skipped;
+            Cut
+          | None ->
+            (match
+               Obs.with_context ctx (fun () ->
+                   Resilience.Inject.poison_pool ();
+                   thunks.(i) rb)
+             with
+             | v -> Finished v
+             | exception exn -> Failed exn)
+        in
+        record i outcome
+      with
+      | () -> ()
+      | exception exn -> record i (Failed exn)
+    in
+    Obs.Counter.add c_submitted n;
+    Mutex.lock p.mutex;
+    for i = 0 to n - 1 do
+      Queue.push (task i) p.queue
+    done;
+    Condition.broadcast p.work;
+    let rec help () =
+      if !remaining = 0 then Mutex.unlock p.mutex
+      else if not (Queue.is_empty p.queue) then begin
+        let task = Queue.pop p.queue in
+        Mutex.unlock p.mutex;
+        Obs.Counter.incr c_helped;
+        (try task () with _ -> ());
+        Mutex.lock p.mutex;
+        help ()
+      end
+      else begin
+        Condition.wait p.batch_done p.mutex;
+        help ()
+      end
+    in
+    help ();
+    let out =
+      Array.map
+        (function Some o -> o | None -> assert false)
+        results
+    in
+    (* Deterministic discard: everything after the deciding group is a
+       loser a sequential race would never have started. *)
+    let rec finalize s =
+      if s < n then begin
+        let e = group_end groups n s in
+        let ok = ref false and cut = ref false in
+        for j = s to e - 1 do
+          match out.(j) with
+          | Finished v -> if acceptable v then ok := true
+          | Cut -> cut := true
+          | Failed _ -> ()
+        done;
+        if !ok && not !cut then
+          for j = e to n - 1 do
+            out.(j) <- Cut
+          done
+        else finalize e
+      end
+    in
+    finalize 0;
+    out
+  end
+
 let chunks_of ~chunk xs =
   let rec take k acc rest =
     match rest with

@@ -66,6 +66,47 @@ val run :
     between elements so sequential and pooled runs share one abort
     surface. *)
 
+type 'a outcome =
+  | Finished of 'a  (** the entrant ran to completion *)
+  | Cut
+      (** never started: a sequential evaluation would not have reached
+          it (deterministically discarded loser, skipped after the
+          race's cancel latch, or caller-budget exhaustion) *)
+  | Failed of exn  (** the entrant raised; never re-raised by the race *)
+
+val race :
+  ?budget:Resilience.Budget.t ->
+  ?groups:int array ->
+  pool ->
+  (Resilience.Budget.t -> 'a) array ->
+  acceptable:('a -> bool) ->
+  'a outcome array
+(** First-acceptable racing with a jobs-independent outcome array.
+
+    Entrants are partitioned by [groups] (nondecreasing ints, same
+    length as the thunk array; default: one group per entrant, a pure
+    priority order). Each thunk receives the race-local budget — a
+    {!Resilience.Budget.fork} of [budget] — and should derive its own
+    slice from it so the winner's cancel reaches the losers
+    cooperatively.
+
+    Decision rule: the {e earliest} group that ran completely (every
+    member [Finished] or [Failed] — none cut) and contains an
+    acceptable [Finished] result decides the race; when it does, the
+    race budget is cancelled, unstarted entrants are skipped, and after
+    the drain every entrant in a later group is reported [Cut] even if
+    it happened to finish — exactly the set a sequential evaluation
+    would never have started. Members of the deciding group keep their
+    real outcomes, so the caller applies its own within-group
+    tie-break over the acceptable results.
+
+    At jobs = 1 (or a single entrant) this degrades to priority-order
+    sequential evaluation with early exit after the first deciding
+    group — no domain, mutex, or cancellation involved — so outcome
+    arrays are byte-comparable across jobs counts for deterministic
+    thunks. Entrant exceptions land as [Failed] and never wedge the
+    pool; the race itself never raises. *)
+
 val map :
   ?budget:Resilience.Budget.t ->
   ?chunk:int ->

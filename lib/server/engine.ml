@@ -250,12 +250,13 @@ let solve t p =
     in
     (* Pristine = safe to serve to any future identical request: the
        solver path never degraded under time pressure (watchdog
-       fallbacks and expired deadlines are timing-dependent) and no
-       solver-affecting fault injection was armed while solving.  The
-       disk points are deliberately exempt: they fault the storage
-       layer, whose CRCs catch the damage on recovery, and blocking
-       admission under them would leave the crash-restart battery
-       nothing to recover. *)
+       fallbacks, expired deadlines and partial portfolio entrants are
+       timing-dependent — [Report.path_pristine] knows both path
+       shapes) and no solver-affecting fault injection was armed while
+       solving.  The disk points are deliberately exempt: they fault
+       the storage layer, whose CRCs catch the damage on recovery, and
+       blocking admission under them would leave the crash-restart
+       battery nothing to recover. *)
     let solver_injection_armed =
       List.exists Resilience.Inject.armed
         [
@@ -266,7 +267,7 @@ let solve t p =
     in
     let pristine =
       (not report.Compact.Report.deadline_hit)
-      && List.length report.Compact.Report.solver_path = 1
+      && Compact.Report.path_pristine report.Compact.Report.solver_path
       && not solver_injection_armed
     in
     payload, pristine

@@ -18,10 +18,9 @@ let qcheck_case ?(count = 150) name gen prop =
 
 let e = Logic.Parse.expr
 
-(* Random expressions over x0..x3 (levels 0..3). *)
-let expr_gen =
+(* Random expressions over the given variables. *)
+let expr_gen_over var_names =
   let open QCheck2.Gen in
-  let var_names = [ "x0"; "x1"; "x2"; "x3" ] in
   sized @@ fix (fun self n ->
       if n <= 0 then map Logic.Expr.var (oneofl var_names)
       else
@@ -31,6 +30,8 @@ let expr_gen =
             2, map2 (fun a b -> Logic.Expr.and_ [ a; b ]) (self (n / 2)) (self (n / 2));
             2, map2 (fun a b -> Logic.Expr.or_ [ a; b ]) (self (n / 2)) (self (n / 2));
             1, map2 Logic.Expr.xor (self (n / 2)) (self (n / 2)) ])
+
+let expr_gen = expr_gen_over [ "x0"; "x1"; "x2"; "x3" ]
 
 let level_of v = int_of_string (String.sub v 1 (String.length v - 1))
 
@@ -410,7 +411,7 @@ let reorder_tests =
          check tb "improved" true (stats.final_size < bad_size));
     Alcotest.test_case "improve_sbdd preserves semantics" `Quick (fun () ->
         let nl = Lazy.force adder in
-        let sbdd = Bdd.Reorder.improve_sbdd ~steps:30 nl in
+        let sbdd = Bdd.Reorder.improve_sbdd nl in
         let env v = String.length v = 2 in
         let expected =
           Logic.Netlist.eval nl env
@@ -425,6 +426,98 @@ let reorder_tests =
         check Alcotest.(list string) "same" o1 o2);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* In-place sifting. *)
+
+let inputs6 = List.init 6 (Printf.sprintf "x%d")
+
+let sift_tests =
+  [
+    (* The core reordering contract on random multi-rooted forests:
+       every assignment evaluates identically before and after, the
+       diagram never grows, and the in-place result is exactly the
+       canonical diagram of the new order (a fresh build under the
+       sifted order has the same size). The manager is also still
+       usable: combining the sifted roots afterwards exercises the
+       unique table across the rewritten levels. *)
+    qcheck_case ~count:60 "sifting preserves canonicity and semantics"
+      QCheck2.Gen.(pair (expr_gen_over inputs6) (expr_gen_over inputs6))
+      (fun (f, g) ->
+         let named = [ "f", f; "g", g ] in
+         let sbdd = Bdd.Sbdd.of_exprs ~inputs:inputs6 named in
+         let env_of bits v = bits land (1 lsl level_of v) <> 0 in
+         let snapshot () =
+           List.init 64 (fun bits -> Bdd.Sbdd.eval sbdd (env_of bits))
+         in
+         let before_tables = snapshot () in
+         let before, after = Bdd.Sbdd.sift sbdd in
+         after <= before
+         && after = Bdd.Sbdd.size sbdd
+         && snapshot () = before_tables
+         && (let rebuilt =
+               Bdd.Sbdd.of_exprs
+                 ~order:(Array.to_list sbdd.input_order)
+                 ~inputs:inputs6 named
+             in
+             Bdd.Sbdd.size rebuilt = after)
+         &&
+         let fr = List.assoc "f" sbdd.roots
+         and gr = List.assoc "g" sbdd.roots in
+         let conj = Bdd.Manager.and_ sbdd.man fr gr in
+         List.for_all
+           (fun bits ->
+              let env = env_of bits in
+              let env_lvl lvl = env sbdd.input_order.(lvl) in
+              Bdd.Manager.eval sbdd.man conj env_lvl
+              = (Logic.Expr.eval env f && Logic.Expr.eval env g))
+           (List.init 64 Fun.id));
+    Alcotest.test_case "sift rescues a bad comparator order" `Quick (fun () ->
+        let nl = Circuits.Arith.comparator ~bits:6 () in
+        let bad =
+          List.init 6 (Printf.sprintf "a%d") @ List.init 6 (Printf.sprintf "b%d")
+        in
+        let sbdd = Bdd.Sbdd.of_netlist ~order:bad nl in
+        let before, after = Bdd.Sbdd.sift sbdd in
+        check tb "improved" true (after < before);
+        let env v = v.[0] = 'a' in
+        let expected = Logic.Netlist.eval nl env in
+        List.iter
+          (fun (o, value) -> check tb o (List.assoc o expected) value)
+          (Bdd.Sbdd.eval sbdd env));
+    Alcotest.test_case "sift is deterministic" `Quick (fun () ->
+        let nl = Lazy.force adder in
+        let run () =
+          let sbdd = Bdd.Sbdd.of_netlist nl in
+          let _, after = Bdd.Sbdd.sift sbdd in
+          Array.to_list sbdd.input_order, after
+        in
+        let o1, s1 = run () and o2, s2 = run () in
+        check Alcotest.(list string) "same order" o1 o2;
+        check ti "same size" s1 s2);
+    Alcotest.test_case "sift counters surface in stats" `Quick (fun () ->
+        let nl = Circuits.Arith.comparator ~bits:4 () in
+        let sbdd = Bdd.Sbdd.of_netlist nl in
+        ignore (Bdd.Sbdd.sift sbdd);
+        let s = Bdd.Sbdd.stats sbdd in
+        check tb "swaps counted" true (s.level_swaps > 0);
+        check tb "passes counted" true (s.sift_passes >= 1);
+        check tb "invalidation counted" true (s.cache_invalidations >= 1));
+    Alcotest.test_case "exhausted budget still leaves a consistent SBDD"
+      `Quick (fun () ->
+        let nl = Lazy.force adder in
+        let budget = Resilience.Budget.seconds 0. in
+        let sbdd = Bdd.Sbdd.of_netlist nl in
+        ignore (Bdd.Sbdd.sift ~budget sbdd);
+        List.iter
+          (fun seed ->
+             let env v = Hashtbl.hash (seed, v) land 1 = 1 in
+             let expected = Logic.Netlist.eval nl env in
+             List.iter
+               (fun (o, value) -> check tb o (List.assoc o expected) value)
+               (Bdd.Sbdd.eval sbdd env))
+          [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+  ]
+
 let () =
   Alcotest.run "bdd"
     [
@@ -434,4 +527,5 @@ let () =
       "extra_ops", extra_ops_tests;
       "quantifiers", quantifier_tests;
       "reorder", reorder_tests;
+      "sift", sift_tests;
     ]
