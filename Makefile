@@ -1,5 +1,6 @@
 .PHONY: all test examples bench smoke proptest margin trace chaos server \
-	server-restart loadgen restart-recovery portfolio portfolio-bench ci clean
+	server-restart loadgen restart-recovery portfolio portfolio-bench \
+	metrics metrics-overhead ci clean
 
 all:
 	dune build
@@ -55,6 +56,18 @@ portfolio:
 portfolio-bench:
 	dune exec bench/main.exe -- portfolio -j 4
 
+# Telemetry battery: metrics/health wire goldens, histogram byte-
+# determinism across jobs counts, flight-recorder dump round-trips.
+# At jobs=1 and jobs=4.
+metrics:
+	dune build @metrics
+
+# Armed-telemetry hit-path cost; regenerates BENCH_pr10.json
+# (cache-hit latency with the metrics plane and flight recorder off
+# vs armed, against the 5% budget).
+metrics-overhead:
+	dune exec bench/main.exe -- metrics-overhead
+
 # Seeded mixed workload against a live compactd; regenerates
 # BENCH_pr7.json (throughput, latency percentiles, cache hit rate).
 loadgen:
@@ -83,6 +96,7 @@ ci:
 	dune build @chaos
 	dune build @portfolio
 	dune build @server
+	dune build @metrics
 	dune build @server-restart
 
 clean:

@@ -14,7 +14,7 @@ let usage () =
   print_endline
     "usage: main.exe [--quick] [--time-limit S] [--json FILE] [--jobs N] \
      [--trace FILE] \
-     [all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|robustness|variation|ablation|perf|obs-overhead|resilience-overhead|loadgen|restart-recovery|portfolio]...";
+     [all|table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|robustness|variation|ablation|perf|obs-overhead|resilience-overhead|loadgen|restart-recovery|portfolio|metrics-overhead]...";
   exit 1
 
 (* The jobs knob: --jobs N, defaulting to COMPACT_JOBS then 1. Read by
@@ -674,6 +674,76 @@ let run_restart_recovery ?json () =
   Printf.printf "restart-recovery results written to %s\n%!" file
 
 (* ------------------------------------------------------------------ *)
+(* PR-10: the telemetry plane's hit-path cost.
+
+   The serve loop arms the metrics registry and the flight recorder for
+   its whole lifetime, so the question that matters is what an armed
+   telemetry plane costs on the cheapest request the server handles —
+   the cache hit, where there is no solve to hide behind.  Same
+   discipline as the PR-8 persistence bench: identical hit streams with
+   telemetry off and on, alternated, best of five, so scheduler noise
+   does not masquerade as recorder overhead.  Budget: the same <=5%%
+   hit-path envelope PR 8 set for persistence. *)
+
+let run_metrics_overhead ?json () =
+  Resilience.Inject.disable ();
+  let line = {|{"op":"synth","id":1,"expr":"(a & b) | (c & ~d)"}|} in
+  let block = 200 and rounds = 50 in
+  let hits = block * rounds in
+  (* One shared engine, telemetry toggled around short interleaved
+     blocks: frequency drift over a multi-second run then lands on both
+     configurations equally, where back-to-back whole streams let a
+     thermal ramp masquerade as telemetry overhead. *)
+  let e = Server.Engine.create Server.Engine.default_config in
+  ignore (Server.Engine.handle e line : string);
+  for _ = 1 to 100 do
+    ignore (Server.Engine.handle e line : string)
+  done;
+  let arm on =
+    Obs.set_metrics_enabled on;
+    Obs.Recorder.set_enabled on
+  in
+  (* One armed warmup block so the flight ring's one-time allocation
+     is not billed to the first timed block. *)
+  arm true;
+  for _ = 1 to block do
+    ignore (Server.Engine.handle e line : string)
+  done;
+  arm false;
+  Gc.compact ();
+  let timed_block () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to block do
+      ignore (Server.Engine.handle e line : string)
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int block
+  in
+  let off_us = ref infinity and on_us = ref infinity in
+  for _ = 1 to rounds do
+    arm false;
+    off_us := Float.min !off_us (timed_block ());
+    arm true;
+    on_us := Float.min !on_us (timed_block ())
+  done;
+  arm false;
+  Server.Engine.close e;
+  Obs.reset ();
+  let off_us = !off_us and on_us = !on_us in
+  let overhead_pct = (on_us -. off_us) /. off_us *. 100. in
+  Printf.printf
+    "hit path: %.2f us/hit telemetry off, %.2f us/hit armed (%+.2f%%)\n%!"
+    off_us on_us overhead_pct;
+  let file = match json with Some f -> f | None -> "BENCH_pr10.json" in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"metrics-overhead\",\n  \"hits\": %d,\n\
+    \  \"off_us_per_hit\": %.3f,\n  \"on_us_per_hit\": %.3f,\n\
+    \  \"overhead_pct\": %.3f,\n  \"budget_pct\": 5.0\n}\n"
+    hits off_us on_us overhead_pct;
+  close_out oc;
+  Printf.printf "metrics-overhead results written to %s\n%!" file
+
+(* ------------------------------------------------------------------ *)
 (* PR-9: the racing portfolio and in-place sifting.
 
    Kernel 1 — portfolio/synth: wall time of sequential [Auto] versus the
@@ -877,6 +947,7 @@ let () =
     | "loadgen" -> run_loadgen ?json:!json ()
     | "restart-recovery" -> run_restart_recovery ?json:!json ()
     | "portfolio" -> run_portfolio_bench ?json:!json ()
+    | "metrics-overhead" -> run_metrics_overhead ?json:!json ()
     | other ->
       Printf.eprintf "unknown target %s\n" other;
       usage ()

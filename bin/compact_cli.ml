@@ -57,17 +57,28 @@ let source_term =
   in
   let combine expr blif pla verilog circuit =
     match expr, blif, pla, verilog, circuit with
-    | Some e, None, None, None, None -> Ok (Src_expr e)
-    | None, Some f, None, None, None -> Ok (Src_blif f)
-    | None, None, Some f, None, None -> Ok (Src_pla f)
-    | None, None, None, Some f, None -> Ok (Src_verilog f)
-    | None, None, None, None, Some c -> Ok (Src_circuit c)
-    | None, None, None, None, None ->
-      Error
-        (`Msg "one of --expr, --blif, --pla, --verilog, --circuit is required")
+    | Some e, None, None, None, None -> Ok (Some (Src_expr e))
+    | None, Some f, None, None, None -> Ok (Some (Src_blif f))
+    | None, None, Some f, None, None -> Ok (Some (Src_pla f))
+    | None, None, None, Some f, None -> Ok (Some (Src_verilog f))
+    | None, None, None, None, Some c -> Ok (Some (Src_circuit c))
+    | None, None, None, None, None -> Ok None
     | _ -> Error (`Msg "give exactly one input source")
   in
   Term.(term_result (const combine $ expr $ blif $ pla $ verilog $ circuit))
+
+(* Most subcommands require an input; [profile] alone also accepts
+   [--from FILE] instead, so it consumes the optional variant. *)
+let source_opt_term = source_term
+
+let source_term =
+  let require = function
+    | Some s -> Ok s
+    | None ->
+      Error
+        (`Msg "one of --expr, --blif, --pla, --verilog, --circuit is required")
+  in
+  Term.(term_result (const require $ source_opt_term))
 
 (* ------------------------------------------------------------------ *)
 (* Synthesis options *)
@@ -1052,14 +1063,75 @@ let profile_run source options =
     end;
     Ok ()
 
+(* Replay mode: aggregate an existing JSONL trace (typically a
+   flight-recorder dump) into the same per-phase table, no synthesis. *)
+let profile_from_run file =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error msg -> Error (`Msg msg)
+  | contents ->
+    (match Obs.Export.parse_jsonl contents with
+     | exception Obs.Json.Parse_error msg ->
+       Error (`Msg (file ^ ": invalid JSONL trace: " ^ msg))
+     | snap ->
+       let rows = Obs.Agg.phases snap in
+       let total =
+         List.fold_left
+           (fun acc (r : Obs.Agg.row) ->
+              if r.r_path = "" then acc +. r.r_total else acc)
+           0. rows
+       in
+       let mwords w = Printf.sprintf "%.2f" (w /. 1e6) in
+       let table_rows =
+         List.map
+           (fun (r : Obs.Agg.row) ->
+              let depth =
+                if r.r_path = "" then 0
+                else List.length (String.split_on_char '/' r.r_path)
+              in
+              [ String.make (2 * depth) ' ' ^ r.r_name;
+                string_of_int r.r_count;
+                Printf.sprintf "%.4f" r.r_total;
+                Harness.Table.fmt_pct
+                  (if total > 0. then r.r_total /. total else 0.);
+                mwords r.r_minor_words;
+                mwords r.r_major_words ])
+           rows
+       in
+       Harness.Table.print
+         ~title:(Printf.sprintf "profile: %s (replayed)"
+                   (Filename.basename file))
+         ~columns:
+           [ "phase", Harness.Table.L; "calls", Harness.Table.R;
+             "time(s)", Harness.Table.R; "share", Harness.Table.R;
+             "minor Mw", Harness.Table.R; "major Mw", Harness.Table.R ]
+         table_rows;
+       Format.printf "%d events, %d distinct phases@."
+         (List.length snap.Obs.events) (List.length rows);
+       Ok ())
+
 let profile_cmd =
+  let from =
+    Arg.(value & opt (some file) None
+         & info [ "from" ] ~docv:"FILE"
+             ~doc:"Aggregate an existing JSONL trace (e.g. a \
+                   flight-recorder dump) instead of synthesising.")
+  in
+  let run from source options =
+    match from, source with
+    | Some file, None -> profile_from_run file
+    | None, Some src -> profile_run src options
+    | Some _, Some _ ->
+      Error (`Msg "--from conflicts with an input source")
+    | None, None ->
+      Error (`Msg "give an input source or --from FILE")
+  in
   let term =
-    Term.(term_result (const profile_run $ source_term $ options_term))
+    Term.(term_result (const run $ from $ source_opt_term $ options_term))
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Synthesise with tracing on and print a per-phase time and \
-             allocation breakdown")
+             allocation breakdown (or replay one with --from)")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1160,7 +1232,7 @@ let socket_term ~required:_ =
 
 let serve_run options socket jobs max_queue request_deadline batch_window
     cache_entries cache_bytes cache_dir fsync journal_ratio drain_deadline
-    read_deadline max_pending =
+    read_deadline max_pending metrics_file metrics_interval flight_file =
   let engine =
     {
       Server.Engine.defaults = options;
@@ -1175,15 +1247,27 @@ let serve_run options socket jobs max_queue request_deadline batch_window
       journal_ratio;
     }
   in
+  (* The flight recorder is always armed; "none" opts out of writing
+     its dump file. *)
+  let flight_path =
+    match flight_file with
+    | Some "none" -> None
+    | Some f -> Some f
+    | None -> Some (socket ^ ".flight.jsonl")
+  in
   let config =
     { (Server.Sock.default_config ~socket_path:socket) with engine;
       batch_window; drain_deadline; read_deadline; max_pending;
-      handle_signals = true }
+      handle_signals = true; flight_path; metrics_path = metrics_file;
+      metrics_interval }
   in
-  Printf.eprintf "compactd: serving on %s (jobs=%d%s)\n%!" socket jobs
+  Printf.eprintf "compactd: serving on %s (jobs=%d%s%s)\n%!" socket jobs
     (match cache_dir with
      | None -> ""
-     | Some d -> Printf.sprintf ", cache-dir=%s" d);
+     | Some d -> Printf.sprintf ", cache-dir=%s" d)
+    (match flight_path with
+     | None -> ""
+     | Some f -> Printf.sprintf ", flight-file=%s" f);
   match Server.Sock.serve config with
   | stats ->
     Printf.eprintf
@@ -1267,13 +1351,34 @@ let serve_cmd =
              ~doc:"Queued request lines beyond $(docv) are shed with a \
                    structured retry-after error.")
   in
+  let metrics_file =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-file" ] ~docv:"FILE"
+             ~doc:"Atomically rewrite a Prometheus text-exposition \
+                   snapshot of every registered metric to $(docv) every \
+                   $(b,--metrics-interval) seconds (and once at exit).")
+  in
+  let metrics_interval =
+    Arg.(value & opt float 5.
+         & info [ "metrics-interval" ] ~docv:"SEC"
+             ~doc:"Seconds between $(b,--metrics-file) snapshots.")
+  in
+  let flight_file =
+    Arg.(value & opt (some string) None
+         & info [ "flight-file" ] ~docv:"FILE"
+             ~doc:"Where the flight-recorder ring is dumped (JSONL) on \
+                   SIGUSR1, on graceful drain, and on a fatal engine \
+                   error. Defaults to SOCKET.flight.jsonl; pass \
+                   $(b,none) to disable the dump file.")
+  in
   let term =
     Term.(
       term_result
         (const serve_run $ options_term $ socket_term ~required:true
          $ jobs_term $ max_queue $ request_deadline $ batch_window
          $ cache_entries $ cache_bytes $ cache_dir $ fsync $ journal_ratio
-         $ drain_deadline $ read_deadline $ max_pending))
+         $ drain_deadline $ read_deadline $ max_pending $ metrics_file
+         $ metrics_interval $ flight_file))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1331,6 +1436,97 @@ let client_cmd =
   in
   Cmd.v
     (Cmd.info "client" ~doc:"Send requests to a running compactd server")
+    term
+
+(* One metrics (or health) round trip: connect, ask, render. Prometheus
+   rendering happens client-side from the JSON reply — the wire stays
+   one-line JSONL either way. *)
+let metrics_fetch socket ~health ~prometheus =
+  match Server.Client.connect socket with
+  | client ->
+    let op = if health then "health" else "metrics" in
+    let line =
+      Obs.Json.to_string
+        (Obs.Json.Obj
+           [ "op", Obs.Json.Str op; "id", Obs.Json.Str "cli" ])
+    in
+    let reply = Server.Client.request_idempotent client line in
+    Server.Client.close client;
+    (match Obs.Json.parse reply with
+     | exception Obs.Json.Parse_error msg ->
+       Error (`Msg (Printf.sprintf "malformed %s reply: %s" op msg))
+     | j ->
+       (match Obs.Json.member "ok" j with
+        | Some (Obs.Json.Bool true) ->
+          if prometheus && not health then
+            match Obs.Metrics.of_json j with
+            | Some view -> Ok (Obs.Metrics.prometheus view)
+            | None ->
+              Error (`Msg ("metrics reply missing sections: " ^ reply))
+          else Ok reply
+        | _ -> Error (`Msg (Printf.sprintf "server refused %s: %s" op reply))))
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      (`Msg
+         (Printf.sprintf "cannot reach compactd at %s: %s" socket
+            (Unix.error_message err)))
+
+let metrics_run socket health prometheus watch =
+  match watch with
+  | None ->
+    Result.map print_string
+      (Result.map (fun s -> if String.length s > 0
+                            && s.[String.length s - 1] = '\n'
+                            then s else s ^ "\n")
+         (metrics_fetch socket ~health ~prometheus))
+  | Some interval ->
+    if interval <= 0. then Error (`Msg "--watch SEC must be positive")
+    else begin
+      (* Watch mode keeps polling through transient failures (a
+         restarting server) and only stops on ctrl-C. *)
+      let rec loop () =
+        (match metrics_fetch socket ~health ~prometheus with
+         | Ok s ->
+           print_string s;
+           if not (String.length s > 0 && s.[String.length s - 1] = '\n')
+           then print_newline ();
+           flush stdout
+         | Error (`Msg m) -> Printf.eprintf "metrics: %s\n%!" m);
+        Unix.sleepf interval;
+        loop ()
+      in
+      loop ()
+    end
+
+let metrics_cmd =
+  let health =
+    Arg.(value & flag
+         & info [ "health" ]
+             ~doc:"Ask for the $(b,health) summary (uptime, drain state, \
+                   in-flight count, cache recovery) instead of the full \
+                   metrics snapshot.")
+  in
+  let prometheus =
+    Arg.(value & flag
+         & info [ "prometheus" ]
+             ~doc:"Render the snapshot as Prometheus text exposition \
+                   instead of raw JSON.")
+  in
+  let watch =
+    Arg.(value & opt (some float) None
+         & info [ "watch" ] ~docv:"SEC"
+             ~doc:"Keep polling every $(docv) seconds until interrupted.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const metrics_run $ socket_term ~required:true $ health
+         $ prometheus $ watch))
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Fetch the live metrics (or health) snapshot from a running \
+             compactd server")
     term
 
 let loadgen_run socket requests hot_frac seed out no_retry =
@@ -1418,4 +1614,4 @@ let () =
           [ synth_cmd; sweep_cmd; validate_cmd; repair_cmd; yield_cmd;
             margin_cmd; harden_cmd; profile_cmd; trace_check_cmd; suite_cmd;
             export_cmd; experiments_cmd; serve_cmd; client_cmd;
-            loadgen_cmd ]))
+            metrics_cmd; loadgen_cmd ]))

@@ -338,17 +338,28 @@ let run_labeler ~budget options (graphs : Types.bdd_graph array) =
    [graphs] under the portfolio, on [graphs.(0)] otherwise), map the
    winning graph, report. Returns the winning graph index so SBDD-level
    wrappers can attribute engine stats to the diagram that won. *)
+(* Stage-duration histograms mirroring the stage spans, so a serving
+   process exposes per-stage latency distributions without tracing. *)
+let h_labeling = Obs.Hist.make_ms "pipeline.labeling-ms"
+let h_mapping = Obs.Hist.make_ms "pipeline.mapping-ms"
+let h_preprocess = Obs.Hist.make_ms "pipeline.preprocess-ms"
+let h_bdd_build = Obs.Hist.make_ms "pipeline.bdd-build-ms"
+
 let synthesize_graphs ~options ~budget ~name graphs =
   Resilience.Budget.protect_oom @@ fun () ->
   let start = Obs.Clock.now () in
   let labeling, widx, solver_path =
+    Obs.Hist.time h_labeling @@ fun () ->
     Obs.Span.with_ "labeling" (fun () ->
         let labeling, widx, solver_path = run_labeler ~budget options graphs in
         Obs.Span.add_attr "solver_path" (String.concat "->" solver_path);
         labeling, widx, solver_path)
   in
   let bg = graphs.(widx) in
-  let design = Obs.Span.with_ "mapping" (fun () -> Mapping.run bg labeling) in
+  let design =
+    Obs.Hist.time h_mapping @@ fun () ->
+    Obs.Span.with_ "mapping" (fun () -> Mapping.run bg labeling)
+  in
   let synthesis_time = Obs.Clock.now () -. start in
   let deadline_hit = Resilience.Budget.exhausted budget in
   let report =
@@ -364,6 +375,7 @@ let synthesize_graph ?(options = default_options) ?budget ~name bg =
 let synthesize_sbdds ~options ~budget ~name sbdds =
   let start = Obs.Clock.now () in
   let graphs =
+    Obs.Hist.time h_preprocess @@ fun () ->
     Obs.Span.with_ "preprocess" (fun () ->
         Array.map Preprocess.of_sbdd sbdds)
   in
@@ -396,7 +408,7 @@ let c_sift_passes = Obs.Counter.make "bdd.sift_passes"
 let c_cache_invalidations = Obs.Counter.make "bdd.cache_invalidations"
 
 let record_bdd_stats (s : Bdd.Manager.stats) =
-  if Obs.enabled () then begin
+  if Obs.recording () then begin
     Obs.Counter.add c_unique_lookups s.unique_lookups;
     Obs.Counter.add c_unique_hits s.unique_hits;
     Obs.Counter.add c_cache_lookups s.cache_lookups;
@@ -429,6 +441,7 @@ let synthesize ?(options = default_options) ?budget netlist =
     sbdd
   in
   let sbdds =
+    Obs.Hist.time h_bdd_build @@ fun () ->
     Obs.Span.with_ "bdd-build" (fun () ->
         let first = build ?order:options.order () in
         (* Portfolio order racing: build up to [race_orders - 1] further

@@ -11,6 +11,23 @@ let enabled_flag = Atomic.make (Sys.getenv_opt "COMPACT_TRACE" <> None)
 let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
 
+(* The metrics plane is armed independently of tracing: a serving
+   process keeps counters/gauges/histograms live (and readable without
+   draining) while the span buffers stay off.  [recording] is the gate
+   every metric-cell write uses. *)
+let metrics_flag = Atomic.make false
+let metrics_enabled () = Atomic.get metrics_flag
+let set_metrics_enabled b = Atomic.set metrics_flag b
+let recording () = enabled () || metrics_enabled ()
+
+(* The flight recorder keeps spans flowing into bounded per-domain
+   rings even with tracing off; [span_active] widens the span entry
+   gate accordingly. *)
+let recorder_flag = Atomic.make false
+let recorder_enabled () = Atomic.get recorder_flag
+let set_recorder_enabled b = Atomic.set recorder_flag b
+let span_active () = Atomic.get enabled_flag || Atomic.get recorder_flag
+
 module Clock = struct
   let now_ns () = Monotonic_clock.now ()
   let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
@@ -49,6 +66,10 @@ type dbuf = {
   mutable d_seq : int;
   mutable d_stack : frame list;  (* innermost first *)
   mutable d_base : string;  (* context root when stack is empty *)
+  (* Flight-recorder ring: bounded, allocated on first recorded event. *)
+  mutable d_ring : event array;  (* [||] until first use *)
+  mutable d_rpos : int;  (* next write slot *)
+  mutable d_rlen : int;  (* live entries, saturates at capacity *)
 }
 
 let registry_mutex = Mutex.create ()
@@ -61,7 +82,10 @@ let dls_key =
           d_events = [];
           d_seq = 0;
           d_stack = [];
-          d_base = "" }
+          d_base = "";
+          d_ring = [||];
+          d_rpos = 0;
+          d_rlen = 0 }
       in
       Mutex.protect registry_mutex (fun () -> registry := b :: !registry);
       b)
@@ -75,7 +99,16 @@ let current_path b =
   | f :: _ -> join_path f.f_path f.f_name
   | [] -> b.d_base
 
-let record b ev = b.d_events <- ev :: b.d_events
+let ring_capacity = 512
+
+let record b ev =
+  if enabled () then b.d_events <- ev :: b.d_events;
+  if recorder_enabled () then begin
+    if Array.length b.d_ring = 0 then b.d_ring <- Array.make ring_capacity ev;
+    b.d_ring.(b.d_rpos) <- ev;
+    b.d_rpos <- (b.d_rpos + 1) mod ring_capacity;
+    if b.d_rlen < ring_capacity then b.d_rlen <- b.d_rlen + 1
+  end
 
 let next_seq b =
   b.d_seq <- b.d_seq + 1;
@@ -96,11 +129,17 @@ module Span = struct
     in
     pop b.d_stack;
     let t1 = Clock.now () in
-    let q = Gc.quick_stat () in
     let attrs =
-      fr.f_attrs
-      @ [ "gc.minor_words", fmt_words (q.Gc.minor_words -. fr.f_minor);
-          "gc.major_words", fmt_words (q.Gc.major_words -. fr.f_major) ]
+      (* GC deltas exist only when full tracing captured a baseline:
+         [Gc.quick_stat] merges counters across live domains and costs
+         whole microseconds once a solver pool is up, so the always-on
+         recorder path must never touch it. *)
+      if Float.is_nan fr.f_minor then fr.f_attrs
+      else
+        let q = Gc.quick_stat () in
+        fr.f_attrs
+        @ [ "gc.minor_words", fmt_words (q.Gc.minor_words -. fr.f_minor);
+            "gc.major_words", fmt_words (q.Gc.major_words -. fr.f_major) ]
     in
     record b
       { ev_path = fr.f_path;
@@ -113,16 +152,21 @@ module Span = struct
         ev_attrs = attrs }
 
   let with_ ?(attrs = []) name f =
-    if not (enabled ()) then f ()
+    if not (span_active ()) then f ()
     else begin
       let b = buf () in
-      let q = Gc.quick_stat () in
+      let minor, major =
+        if enabled () then
+          let q = Gc.quick_stat () in
+          q.Gc.minor_words, q.Gc.major_words
+        else (nan, nan)
+      in
       let fr =
         { f_name = name;
           f_path = current_path b;
           f_start = Clock.now ();
-          f_minor = q.Gc.minor_words;
-          f_major = q.Gc.major_words;
+          f_minor = minor;
+          f_major = major;
           f_attrs = attrs }
       in
       b.d_stack <- fr :: b.d_stack;
@@ -136,7 +180,7 @@ module Span = struct
     end
 
   let add_attr k v =
-    if enabled () then begin
+    if span_active () then begin
       let b = buf () in
       match b.d_stack with
       | fr :: _ -> fr.f_attrs <- fr.f_attrs @ [ (k, v) ]
@@ -144,7 +188,7 @@ module Span = struct
     end
 
   let event ?(attrs = []) name =
-    if enabled () then begin
+    if span_active () then begin
       let b = buf () in
       record b
         { ev_path = current_path b;
@@ -160,10 +204,10 @@ end
 
 type context = string
 
-let context () = if enabled () then current_path (buf ()) else ""
+let context () = if span_active () then current_path (buf ()) else ""
 
 let with_context ctx f =
-  if not (enabled ()) then f ()
+  if not (span_active ()) then f ()
   else begin
     let b = buf () in
     let saved_stack = b.d_stack and saved_base = b.d_base in
@@ -180,7 +224,22 @@ let with_context ctx f =
 
 type counter = { c_name : string; c_cell : int Atomic.t; mutable c_reg : bool }
 type gauge = { g_name : string; g_cell : float Atomic.t; mutable g_reg : bool }
-type metric = C of counter | G of gauge
+
+(* Log-bucketed histogram: bucket 0 holds values <= h_lo (and NaN),
+   the last bucket is the overflow, and bucket i (0 < i < n-1) holds
+   values in (lo * 2^((i-1)/sub), lo * 2^(i/sub)].  One atomic cell per
+   bucket keeps observation lock-free from any domain and makes the
+   merged export an integer sum — byte-deterministic at any -j. *)
+type hist = {
+  h_name : string;
+  h_unit : string;  (* "ms", "count", ... *)
+  h_lo : float;
+  h_sub : int;  (* sub-buckets per octave *)
+  h_cells : int Atomic.t array;
+  mutable h_reg : bool;
+}
+
+type metric = C of counter | G of gauge | H of hist
 
 let metrics : metric list ref = ref []
 
@@ -197,7 +256,7 @@ module Counter = struct
         end)
 
   let add c n =
-    if enabled () then begin
+    if recording () then begin
       if not c.c_reg then register c;
       ignore (Atomic.fetch_and_add c.c_cell n)
     end
@@ -218,9 +277,119 @@ module Gauge = struct
         end)
 
   let set g v =
-    if enabled () then begin
+    if recording () then begin
       if not g.g_reg then register g;
       Atomic.set g.g_cell v
+    end
+end
+
+module Hist = struct
+  type t = hist
+
+  let make ?(lo = 0.001) ?(sub = 4) ?(octaves = 28) ~unit_ name =
+    let n = (octaves * sub) + 2 in
+    { h_name = name;
+      h_unit = unit_;
+      h_lo = lo;
+      h_sub = sub;
+      h_cells = Array.init n (fun _ -> Atomic.make 0);
+      h_reg = false }
+
+  (* Latency in milliseconds: 1 us .. ~268 s at 4 buckets/octave. *)
+  let make_ms name = make ~unit_:"ms" name
+
+  (* Small integer sizes: powers of two 1 .. 2^20. *)
+  let make_count name = make ~lo:1. ~sub:1 ~octaves:20 ~unit_:"count" name
+
+  let register h =
+    Mutex.protect registry_mutex (fun () ->
+        if not h.h_reg then begin
+          metrics := H h :: !metrics;
+          h.h_reg <- true
+        end)
+
+  let bucket_of h v =
+    let n = Array.length h.h_cells in
+    if Float.is_nan v || v <= h.h_lo then 0
+    else
+      let i =
+        1 + int_of_float (Float.log2 (v /. h.h_lo) *. float_of_int h.h_sub)
+      in
+      if i < 1 then 1 else if i >= n then n - 1 else i
+
+  let observe h v =
+    if recording () then begin
+      if not h.h_reg then register h;
+      ignore (Atomic.fetch_and_add h.h_cells.(bucket_of h v) 1)
+    end
+
+  (* Time [f] and record its duration in milliseconds. *)
+  let time h f =
+    if not (recording ()) then f ()
+    else begin
+      let t0 = Clock.now () in
+      match f () with
+      | v ->
+        observe h ((Clock.now () -. t0) *. 1e3);
+        v
+      | exception e ->
+        observe h ((Clock.now () -. t0) *. 1e3);
+        raise e
+    end
+
+  let counts h = Array.map Atomic.get h.h_cells
+
+  let total counts = Array.fold_left ( + ) 0 counts
+
+  (* Upper bound of bucket [i]; the overflow bucket reports its lower
+     bound (its upper bound is infinite). *)
+  let bound h i =
+    let n = Array.length h.h_cells in
+    if i = 0 then h.h_lo
+    else
+      let i = if i >= n - 1 then n - 2 else i in
+      h.h_lo *. Float.pow 2. (float_of_int i /. float_of_int h.h_sub)
+
+  (* Nearest-rank quantile over bucket upper bounds: the value below
+     which at least ceil(p/100 * total) observations fall.  Returns 0.
+     on an empty histogram. *)
+  let quantile_of_counts h counts p =
+    let n = total counts in
+    if n = 0 then 0.
+    else begin
+      let rank =
+        max 1 (int_of_float (Float.ceil (float_of_int p /. 100. *. float_of_int n)))
+      in
+      let i = ref 0 and seen = ref 0 in
+      (try
+         Array.iteri
+           (fun j c ->
+             seen := !seen + c;
+             if !seen >= rank then begin
+               i := j;
+               raise Exit
+             end)
+           counts
+       with Exit -> ());
+      bound h !i
+    end
+
+  let quantile h p = quantile_of_counts h (counts h) p
+
+  (* Exact nearest-rank percentile over raw samples (for client-side
+     report math): empty input yields 0., a single sample is returned
+     for every p, and p is clamped to [0, 100]. *)
+  let percentile_exact samples p =
+    let n = Array.length samples in
+    if n = 0 then 0.
+    else begin
+      let a = Array.copy samples in
+      Array.sort compare a;
+      let p = max 0 (min 100 p) in
+      let rank =
+        max 1 (int_of_float (Float.ceil (float_of_int p /. 100. *. float_of_int n)))
+      in
+      a.(min (n - 1) (rank - 1))
     end
 end
 
@@ -245,22 +414,28 @@ let drain () =
             let evs = List.rev b.d_events in
             b.d_events <- [];
             b.d_seq <- 0;
+            b.d_rpos <- 0;
+            b.d_rlen <- 0;
             evs)
           (List.rev !registry)
       in
       let counters =
-        List.map
+        List.filter_map
           (function
             | C c ->
               let v = Atomic.get c.c_cell in
               Atomic.set c.c_cell 0;
               c.c_reg <- false;
-              (c.c_name, float_of_int v)
+              Some (c.c_name, float_of_int v)
             | G g ->
               let v = Atomic.get g.g_cell in
               Atomic.set g.g_cell 0.;
               g.g_reg <- false;
-              (g.g_name, v))
+              Some (g.g_name, v)
+            | H h ->
+              Array.iter (fun cell -> Atomic.set cell 0) h.h_cells;
+              h.h_reg <- false;
+              None)
           !metrics
       in
       metrics := [];
@@ -614,8 +789,268 @@ module Export = struct
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc contents)
 
+  (* Write-then-rename so readers never observe a torn file — the same
+     discipline the persistent cache snapshot uses. *)
+  let write_file_atomic path contents =
+    let tmp = path ^ ".tmp" in
+    write_file tmp contents;
+    Sys.rename tmp path
+
   let write_jsonl path snap = write_file path (jsonl snap)
   let write_chrome path snap = write_file path (chrome snap)
+
+  (* Parse a JSONL export back into a snapshot (flight-recorder replay
+     for `profile --from`).  Raises [Json.Parse_error] on lines missing
+     the path/name/kind fields. *)
+  let parse_jsonl text =
+    let parse_line i line =
+      let j = Json.parse line in
+      let str k =
+        match Json.member k j with
+        | Some (Json.Str s) -> s
+        | _ -> raise (Json.Parse_error ("missing \"" ^ k ^ "\""))
+      in
+      let num k =
+        match Json.member k j with Some (Json.Num f) -> f | _ -> 0.
+      in
+      let attrs =
+        match Json.member "attrs" j with
+        | Some (Json.Obj fields) ->
+          List.map
+            (fun (k, v) ->
+              (k, match v with Json.Str s -> s | v -> Json.to_string v))
+            fields
+        | _ -> []
+      in
+      { ev_path = str "path";
+        ev_name = str "name";
+        ev_instant = str "kind" = "instant";
+        ev_start = num "ts";
+        ev_dur = num "dur";
+        ev_domain = 0;
+        ev_seq = i + 1;
+        ev_attrs = attrs }
+    in
+    let lines =
+      String.split_on_char '\n' text
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    { events = List.mapi parse_line lines; counters = [] }
+end
+
+(* --- metrics snapshot + renderers ---------------------------------- *)
+
+module Metrics = struct
+  type hist_view = {
+    hv_name : string;
+    hv_unit : string;
+    hv_count : int;
+    hv_buckets : (float option * int) list;
+        (* (upper bound, count) for non-empty buckets; None = overflow *)
+    hv_p50 : float;
+    hv_p90 : float;
+    hv_p99 : float;
+    hv_max : float;
+  }
+
+  type view = {
+    m_counters : (string * int) list;
+    m_gauges : (string * float) list;
+    m_hists : hist_view list;
+  }
+
+  let hist_view h =
+    let counts = Hist.counts h in
+    let n = Array.length counts in
+    let buckets = ref [] in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          let le = if i = n - 1 then None else Some (Hist.bound h i) in
+          buckets := (le, c) :: !buckets
+        end)
+      counts;
+    { hv_name = h.h_name;
+      hv_unit = h.h_unit;
+      hv_count = Hist.total counts;
+      hv_buckets = List.rev !buckets;
+      hv_p50 = Hist.quantile_of_counts h counts 50;
+      hv_p90 = Hist.quantile_of_counts h counts 90;
+      hv_p99 = Hist.quantile_of_counts h counts 99;
+      hv_max = Hist.quantile_of_counts h counts 100 }
+
+  (* Non-destructive read of every registered metric: unlike [drain],
+     nothing is zeroed or unregistered, so a serving process can answer
+     `metrics` requests forever.  Sorted by name for determinism. *)
+  let snapshot () =
+    Mutex.protect registry_mutex (fun () ->
+        let cs = ref [] and gs = ref [] and hs = ref [] in
+        List.iter
+          (function
+            | C c -> cs := (c.c_name, Atomic.get c.c_cell) :: !cs
+            | G g -> gs := (g.g_name, Atomic.get g.g_cell) :: !gs
+            | H h -> hs := hist_view h :: !hs)
+          !metrics;
+        { m_counters = List.sort compare !cs;
+          m_gauges = List.sort compare !gs;
+          m_hists = List.sort (fun a b -> compare a.hv_name b.hv_name) !hs })
+
+  let hist_json hv =
+    Json.Obj
+      [ "name", Json.Str hv.hv_name;
+        "unit", Json.Str hv.hv_unit;
+        "count", Json.Num (float_of_int hv.hv_count);
+        "buckets",
+        Json.Arr
+          (List.map
+             (fun (le, c) ->
+               Json.Arr
+                 [ (match le with Some b -> Json.Num b | None -> Json.Null);
+                   Json.Num (float_of_int c) ])
+             hv.hv_buckets);
+        "p50", Json.Num hv.hv_p50;
+        "p90", Json.Num hv.hv_p90;
+        "p99", Json.Num hv.hv_p99;
+        "max", Json.Num hv.hv_max ]
+
+  let json_fields v =
+    [ "counters",
+      Json.Obj (List.map (fun (k, n) -> (k, Json.Num (float_of_int n))) v.m_counters);
+      "gauges", Json.Obj (List.map (fun (k, x) -> (k, Json.Num x)) v.m_gauges);
+      "hists", Json.Arr (List.map hist_json v.m_hists) ]
+
+  let to_json v = Json.Obj (json_fields v)
+
+  (* Accepts any object carrying counters/gauges/hists members — in
+     particular a whole `metrics` wire reply. *)
+  let of_json j =
+    let num = function Json.Num f -> f | _ -> 0. in
+    match
+      (Json.member "counters" j, Json.member "gauges" j, Json.member "hists" j)
+    with
+    | Some (Json.Obj cs), Some (Json.Obj gs), Some (Json.Arr hs) ->
+      let hist hj =
+        match hj with
+        | Json.Obj _ ->
+          let str k =
+            match Json.member k hj with Some (Json.Str s) -> s | _ -> ""
+          in
+          let fnum k =
+            match Json.member k hj with Some (Json.Num f) -> f | _ -> 0.
+          in
+          let buckets =
+            match Json.member "buckets" hj with
+            | Some (Json.Arr bs) ->
+              List.filter_map
+                (function
+                  | Json.Arr [ le; Json.Num c ] ->
+                    let le =
+                      match le with Json.Num b -> Some b | _ -> None
+                    in
+                    Some (le, int_of_float c)
+                  | _ -> None)
+                bs
+            | _ -> []
+          in
+          Some
+            { hv_name = str "name";
+              hv_unit = str "unit";
+              hv_count = int_of_float (fnum "count");
+              hv_buckets = buckets;
+              hv_p50 = fnum "p50";
+              hv_p90 = fnum "p90";
+              hv_p99 = fnum "p99";
+              hv_max = fnum "max" }
+        | _ -> None
+      in
+      Some
+        { m_counters =
+            List.map (fun (k, v) -> (k, int_of_float (num v))) cs;
+          m_gauges = List.map (fun (k, v) -> (k, num v)) gs;
+          m_hists = List.filter_map hist hs }
+    | _ -> None
+
+  let mangle name =
+    "compact_"
+    ^ String.map
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+          | _ -> '_')
+        name
+
+  (* Prometheus text exposition.  Histogram buckets are cumulative; the
+     _sum is approximated from bucket upper bounds in a fixed order, so
+     the rendering of a given snapshot is deterministic. *)
+  let prometheus v =
+    let buf = Buffer.create 1024 in
+    let num = Json.num_to_string in
+    List.iter
+      (fun (k, n) ->
+        let m = mangle k in
+        Printf.bprintf buf "# TYPE %s counter\n%s %d\n" m m n)
+      v.m_counters;
+    List.iter
+      (fun (k, x) ->
+        let m = mangle k in
+        Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" m m (num x))
+      v.m_gauges;
+    List.iter
+      (fun hv ->
+        let m = mangle hv.hv_name in
+        Printf.bprintf buf "# TYPE %s histogram\n" m;
+        let cum = ref 0 and sum = ref 0. in
+        let saw_inf = ref false in
+        List.iter
+          (fun (le, c) ->
+            cum := !cum + c;
+            let le_s =
+              match le with
+              | Some b ->
+                sum := !sum +. (b *. float_of_int c);
+                num b
+              | None ->
+                saw_inf := true;
+                "+Inf"
+            in
+            Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" m le_s !cum)
+          hv.hv_buckets;
+        if not !saw_inf then
+          Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" m !cum;
+        Printf.bprintf buf "%s_sum %s\n" m (num !sum);
+        Printf.bprintf buf "%s_count %d\n" m hv.hv_count)
+      v.m_hists;
+    Buffer.contents buf
+end
+
+(* --- flight recorder ------------------------------------------------ *)
+
+module Recorder = struct
+  let capacity = ring_capacity
+  let set_enabled = set_recorder_enabled
+  let enabled = recorder_enabled
+
+  (* Non-destructive: collect every domain's ring oldest-first and
+     canonicalise like [drain] so dumps are stable for a given set of
+     recorded spans. *)
+  let snapshot () =
+    Mutex.protect registry_mutex (fun () ->
+        let events =
+          List.concat_map
+            (fun b ->
+              let n = b.d_rlen in
+              if n = 0 then []
+              else begin
+                let cap = Array.length b.d_ring in
+                let start = if n < cap then 0 else b.d_rpos in
+                List.init n (fun i -> b.d_ring.((start + i) mod cap))
+              end)
+            (List.rev !registry)
+        in
+        { events = canonical events; counters = [] })
+
+  let dump_jsonl () = Export.jsonl (snapshot ())
+  let dump_file path = Export.write_file_atomic path (dump_jsonl ())
 end
 
 (* --- aggregation --------------------------------------------------- *)

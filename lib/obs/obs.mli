@@ -33,11 +33,23 @@
     in-tree callers guarantee by draining outside [Parallel.run]. *)
 
 val enabled : unit -> bool
-(** Whether recording is on.  Defaults to [true] iff the
+(** Whether span tracing is on.  Defaults to [true] iff the
     [COMPACT_TRACE] environment variable is set (to anything). *)
 
 val set_enabled : bool -> unit
-(** Turn recording on or off at runtime. *)
+(** Turn span tracing on or off at runtime. *)
+
+val metrics_enabled : unit -> bool
+(** Whether the always-on metrics plane is armed.  Independent of
+    {!enabled}: a serving process keeps counters/gauges/histograms
+    recording (readable via {!Metrics.snapshot} without draining)
+    while span buffers stay off.  Defaults to [false]. *)
+
+val set_metrics_enabled : bool -> unit
+
+val recording : unit -> bool
+(** [enabled () || metrics_enabled ()] — the gate every metric-cell
+    write uses. *)
 
 module Clock : sig
   val now : unit -> float
@@ -100,6 +112,46 @@ module Gauge : sig
   val set : t -> float -> unit
 end
 
+module Hist : sig
+  type t
+  (** Log-bucketed histogram with one atomic cell per bucket:
+      observation is lock-free from any domain, and the export is an
+      integer bucket-count vector, so merged results are
+      byte-deterministic at any jobs count. *)
+
+  val make : ?lo:float -> ?sub:int -> ?octaves:int -> unit_:string -> string -> t
+  (** [make ~unit_ name] allocates a histogram whose first bucket holds
+      values [<= lo] (default [0.001]), with [sub] sub-buckets per
+      doubling (default [4]) over [octaves] doublings (default [28]),
+      plus an overflow bucket.  Like {!Counter.make}, allocation is
+      pure; registration happens on the first {!observe} while
+      {!recording} is true. *)
+
+  val make_ms : string -> t
+  (** Milliseconds-unit latency histogram: 1 us .. ~268 s. *)
+
+  val make_count : string -> t
+  (** Integer-size histogram: power-of-two buckets 1 .. 2^20. *)
+
+  val observe : t -> float -> unit
+  (** Record one value.  NaN lands in the underflow bucket. *)
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** Run a thunk and {!observe} its duration in milliseconds (even on
+      exceptional exit).  Calls the thunk directly when not
+      {!recording}. *)
+
+  val quantile : t -> int -> float
+  (** [quantile h p] is the nearest-rank p-th percentile over bucket
+      upper bounds (the overflow bucket reports its lower bound);
+      [0.] when empty. *)
+
+  val percentile_exact : float array -> int -> float
+  (** Nearest-rank percentile over raw samples: [0.] for an empty
+      array, the sample itself for a singleton, [p] clamped to
+      [0, 100].  The input array is not modified. *)
+end
+
 (** {1 Draining} *)
 
 type event = {
@@ -119,7 +171,9 @@ type snapshot = {
 }
 
 val drain : unit -> snapshot
-(** Take and reset all recorded events and registered metrics.  Only
+(** Take and reset all recorded events and registered metrics
+    (histogram buckets and flight-recorder rings are reset too, though
+    only counters/gauges appear in the returned [counters]).  Only
     call at quiescent points. *)
 
 val reset : unit -> unit
@@ -171,6 +225,81 @@ module Export : sig
 
   val write_jsonl : string -> snapshot -> unit
   val write_chrome : string -> snapshot -> unit
+
+  val write_file_atomic : string -> string -> unit
+  (** Write contents to a temp file, then rename over the target, so
+      concurrent readers never observe a torn file. *)
+
+  val parse_jsonl : string -> snapshot
+  (** Parse a {!jsonl} export back into a snapshot (timestamps stay
+      relative; domain ids are synthesized).  Raises
+      {!Json.Parse_error} on lines that are not valid event objects. *)
+end
+
+(** {1 Metrics snapshot} *)
+
+module Metrics : sig
+  type hist_view = {
+    hv_name : string;
+    hv_unit : string;
+    hv_count : int;
+    hv_buckets : (float option * int) list;
+        (** (upper bound, count) for non-empty buckets, ascending;
+            [None] is the overflow bucket. *)
+    hv_p50 : float;
+    hv_p90 : float;
+    hv_p99 : float;
+    hv_max : float;
+  }
+
+  type view = {
+    m_counters : (string * int) list;  (** Sorted by name. *)
+    m_gauges : (string * float) list;  (** Sorted by name. *)
+    m_hists : hist_view list;  (** Sorted by name. *)
+  }
+
+  val snapshot : unit -> view
+  (** Non-destructive read of every registered metric — unlike
+      {!drain}, nothing is zeroed or unregistered. *)
+
+  val json_fields : view -> (string * Json.t) list
+  (** The [counters]/[gauges]/[hists] members of the wire encoding. *)
+
+  val to_json : view -> Json.t
+
+  val of_json : Json.t -> view option
+  (** Inverse of {!to_json}; accepts any object carrying the three
+      members (e.g. a whole [metrics] wire reply). *)
+
+  val prometheus : view -> string
+  (** Prometheus text exposition: [compact_]-prefixed mangled names,
+      counters and gauges as-is, histograms as cumulative
+      [_bucket{le="..."}] series plus approximate [_sum] and exact
+      [_count].  Deterministic for a given view. *)
+end
+
+(** {1 Flight recorder} *)
+
+module Recorder : sig
+  val capacity : int
+  (** Per-domain ring capacity (events). *)
+
+  val enabled : unit -> bool
+  val set_enabled : bool -> unit
+  (** Arm the always-on flight recorder: spans and events keep flowing
+      into bounded per-domain rings even with tracing off, overwriting
+      the oldest entries.  Defaults to [false]. *)
+
+  val snapshot : unit -> snapshot
+  (** Non-destructive capture of every domain's ring, oldest-first per
+      domain, canonically ordered.  [counters] is empty. *)
+
+  val dump_jsonl : unit -> string
+  (** {!Export.jsonl} of {!snapshot} — replayable through
+      [trace-check] and [profile --from]. *)
+
+  val dump_file : string -> unit
+  (** Atomically write {!dump_jsonl} to a path. *)
 end
 
 (** {1 Aggregation} *)

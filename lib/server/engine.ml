@@ -42,6 +42,10 @@ type t = {
   mutable coalesced : int;
   mutable rejected : int;
   mutable shutdown : bool;
+  (* Health surface, updated by the serving loop (Sock) so `health`
+     replies reflect socket-level load, not just engine internals. *)
+  mutable draining : bool;
+  mutable in_flight : int;
 }
 
 type stats = {
@@ -60,6 +64,14 @@ let c_requests = Obs.Counter.make "server.requests"
 let c_solves = Obs.Counter.make "server.solves"
 let c_coalesced = Obs.Counter.make "server.coalesced"
 let c_rejected = Obs.Counter.make "server.rejected"
+
+(* Phase-latency histograms (armed whenever the metrics plane or
+   tracing is on; see Obs.recording). *)
+let h_request = Obs.Hist.make_ms "server.request-ms"
+let h_solve = Obs.Hist.make_ms "server.solve-ms"
+let h_verify = Obs.Hist.make_ms "server.verify-ms"
+let h_probe = Obs.Hist.make_ms "server.cache-probe-ms"
+let h_batch = Obs.Hist.make_count "server.batch-size"
 
 (* The fingerprint-consistency check every recovered value must pass
    before admission, on top of the record CRCs [Persist] already
@@ -108,7 +120,13 @@ let create config =
     coalesced = 0;
     rejected = 0;
     shutdown = false;
+    draining = false;
+    in_flight = 0;
   }
+
+let set_load (t : t) ~draining ~in_flight =
+  t.draining <- draining;
+  t.in_flight <- in_flight
 
 let stats (t : t) : stats =
   {
@@ -225,6 +243,7 @@ let prepare t (s : Protocol.synth) =
 let solve t p =
   match
     Budget.protect_oom @@ fun () ->
+    Obs.Hist.time h_solve @@ fun () ->
     Obs.Span.with_ ~attrs:[ "key", p.p_key ] "solve" @@ fun () ->
     let budget = Budget.seconds t.config.request_deadline in
     let result =
@@ -232,6 +251,7 @@ let solve t p =
         ~name:p.p_netlist.Logic.Netlist.name p.p_sbdd
     in
     let verified =
+      Obs.Hist.time h_verify @@ fun () ->
       Obs.Span.with_ "verify" @@ fun () ->
       Crossbar.Verify.auto ~trials:t.config.verify_trials
         result.Compact.Pipeline.design
@@ -296,6 +316,7 @@ let stats_response (t : t) id =
       ( "server",
         J.Obj
           [
+            "uptime_s", J.Num (Obs.Clock.now () -. t.started);
             "served", J.Num (float_of_int s.served);
             "synth_ok", J.Num (float_of_int s.synth_ok);
             "synth_err", J.Num (float_of_int s.synth_err);
@@ -331,11 +352,35 @@ let stats_response (t : t) id =
              ] );
        ]))
 
+(* Every registered counter/gauge/histogram, non-destructively — the
+   registry keeps accumulating after the reply is rendered. *)
+let metrics_response (_ : t) id =
+  Protocol.ok_response ~id (Obs.Metrics.json_fields (Obs.Metrics.snapshot ()))
+
+let health_response (t : t) id =
+  let s = stats t in
+  Protocol.ok_response ~id
+    [
+      "status", J.Str (if t.draining then "draining" else "ok");
+      "uptime_s", J.Num (Obs.Clock.now () -. t.started);
+      "draining", J.Bool t.draining;
+      "in_flight", J.Num (float_of_int t.in_flight);
+      "recovered", J.Num (float_of_int s.recovered);
+      "dropped", J.Num (float_of_int s.dropped);
+      "cache_entries", J.Num (float_of_int s.cache.Cache.entries);
+    ]
+
 let handle_batch (t : t) lines =
+  let t_batch = Obs.Clock.now () in
   let lines = Array.of_list lines in
   let n = Array.length lines in
+  Obs.Hist.observe h_batch (float_of_int n);
   let slots = Array.make n None in
-  let fill i r = slots.(i) <- Some r in
+  let fill i r =
+    (* Request latency = arrival at the batch to response fill. *)
+    Obs.Hist.observe h_request ((Obs.Clock.now () -. t_batch) *. 1e3);
+    slots.(i) <- Some r
+  in
   let fill_err i (e : Protocol.error) =
     t.synth_err <- t.synth_err + 1;
     fill i (Protocol.error_response e)
@@ -354,6 +399,8 @@ let handle_batch (t : t) lines =
        | Error e -> fill_err i e
        | Ok (Protocol.Status id) -> fill i (status_response t id)
        | Ok (Protocol.Stats id) -> fill i (stats_response t id)
+       | Ok (Protocol.Metrics id) -> fill i (metrics_response t id)
+       | Ok (Protocol.Health id) -> fill i (health_response t id)
        | Ok (Protocol.Shutdown id) ->
          t.shutdown <- true;
          fill i (Protocol.ok_response ~id [ "shutting_down", J.Bool true ])
@@ -387,9 +434,16 @@ let handle_batch (t : t) lines =
        match prepare t s with
        | Error e -> fill_err i e
        | Ok p ->
+         (* The probe span is traced-only: recording a span costs more
+            than the probe it would log, so the always-on flight ring
+            keeps just the request span on the hit path (h_probe still
+            times every probe for the metrics plane). *)
+         let find () = Cache.find t.cache p.p_key in
          let hit =
-           Obs.Span.with_ ~attrs:[ "key", p.p_key ] "cache-probe" (fun () ->
-               Cache.find t.cache p.p_key)
+           Obs.Hist.time h_probe @@ fun () ->
+           if Obs.enabled () then
+             Obs.Span.with_ ~attrs:[ "key", p.p_key ] "cache-probe" find
+           else find ()
          in
          (match hit with
           | Some payload ->

@@ -79,6 +79,11 @@ val wants_shutdown : t -> bool
 (** Set once a [shutdown] request has been answered; the socket loop
     exits after flushing. *)
 
+val set_load : t -> draining:bool -> in_flight:int -> unit
+(** Publish the serving loop's load state ([draining], queued request
+    count) so [health] replies reflect socket-level reality.  Defaults
+    to not-draining / 0 for engines used without a socket loop. *)
+
 val flush : t -> unit
 (** Snapshot the cache to the cache-dir (no-op without one). *)
 

@@ -29,10 +29,11 @@ let rec gen_expr st depth =
     let op = [| " & "; " | "; " ^ " |].(Random.State.int st 3) in
     "(" ^ gen_expr st (depth - 1) ^ op ^ gen_expr st (depth - 1) ^ ")"
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then nan
-  else sorted.(min (n - 1) (p * n / 100))
+(* Nearest-rank percentile over raw samples, shared with the server's
+   histogram quantiles: 0. on empty input, well-defined on singletons
+   (the old ad-hoc [p * n / 100] index under-read small samples and
+   yielded nan on empty ones). *)
+let percentile samples p = Obs.Hist.percentile_exact samples p
 
 let run ?(seed = Crossbar.Rng.default_seed) ?(requests = 200) ?(hot = 4)
     ?(hot_frac = 0.4) ?(retry = true) ~socket () =
@@ -97,12 +98,8 @@ let run ?(seed = Crossbar.Rng.default_seed) ?(requests = 200) ?(hot = 4)
     | exception (End_of_file | Unix.Unix_error _) -> "{}"
   in
   Client.close client;
-  let sorted l =
-    let a = Array.of_list l in
-    Array.sort compare a;
-    a
-  in
-  let all = sorted !lat_all in
+  let samples l = Array.of_list l in
+  let all = samples !lat_all in
   {
     requests;
     ok = !ok;
@@ -114,8 +111,8 @@ let run ?(seed = Crossbar.Rng.default_seed) ?(requests = 200) ?(hot = 4)
     rps = float_of_int requests /. (if wall_s > 0. then wall_s else nan);
     p50_ms = percentile all 50;
     p99_ms = percentile all 99;
-    hit_p50_ms = percentile (sorted !lat_hit) 50;
-    miss_p50_ms = percentile (sorted !lat_miss) 50;
+    hit_p50_ms = percentile (samples !lat_hit) 50;
+    miss_p50_ms = percentile (samples !lat_miss) 50;
     stats_line;
   }
 

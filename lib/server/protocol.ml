@@ -12,6 +12,8 @@ type request =
   | Synth of synth
   | Status of J.t
   | Stats of J.t
+  | Metrics of J.t
+  | Health of J.t
   | Shutdown of J.t
 
 type error_code =
@@ -43,7 +45,9 @@ type error = { err_id : J.t; code : error_code; message : string }
 let max_line = 65536
 
 let request_id = function
-  | Synth { id; _ } | Status id | Stats id | Shutdown id -> id
+  | Synth { id; _ } | Status id | Stats id | Metrics id | Health id
+  | Shutdown id ->
+    id
 
 (* ------------------------------------------------------------------ *)
 (* Request parsing *)
@@ -132,6 +136,8 @@ let parse_request ~defaults line =
             Error { err_id = id; code = Bad_request; message = msg })
        | Some (J.Str "status") -> Ok (Status id)
        | Some (J.Str "stats") -> Ok (Stats id)
+       | Some (J.Str "metrics") -> Ok (Metrics id)
+       | Some (J.Str "health") -> Ok (Health id)
        | Some (J.Str "shutdown") -> Ok (Shutdown id)
        | Some (J.Str op) ->
          Error
@@ -269,3 +275,43 @@ let error_response { err_id; code; message } =
        ])
 
 let parse_response = J.parse
+
+(* Wall-clock isolation for metrics/health replies, mirroring how
+   [report_json] omits timing fields: latency ("ms"-unit) histogram
+   buckets and quantiles are timing-dependent, gauges are last-write
+   instantaneous values, and uptime is wall-clock — all are zeroed so
+   what remains (counter values, histogram observation counts,
+   size-unit bucket shapes, every metric name) must be byte-identical
+   across jobs counts. *)
+let normalize_metrics line =
+  match J.parse line with
+  | exception J.Parse_error _ -> line
+  | j ->
+    let rec norm = function
+      | J.Obj fields ->
+        J.Obj
+          (List.map
+             (fun (k, v) ->
+               match k, v with
+               | "uptime_s", _ -> (k, J.Num 0.)
+               | "gauges", J.Obj gs ->
+                 (k, J.Obj (List.map (fun (gk, _) -> (gk, J.Num 0.)) gs))
+               | "hists", J.Arr hs -> (k, J.Arr (List.map norm_hist hs))
+               | _ -> (k, norm v))
+             fields)
+      | J.Arr items -> J.Arr (List.map norm items)
+      | v -> v
+    and norm_hist h =
+      match h with
+      | J.Obj fields when J.member "unit" h = Some (J.Str "ms") ->
+        J.Obj
+          (List.map
+             (fun (k, v) ->
+               match k with
+               | "buckets" -> (k, J.Arr [])
+               | "p50" | "p90" | "p99" | "max" -> (k, J.Num 0.)
+               | _ -> (k, v))
+             fields)
+      | h -> h
+    in
+    J.to_string (norm j)

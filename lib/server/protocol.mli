@@ -13,6 +13,8 @@
                 "max_rows":N?, "max_cols":N?}?}
     {"op":"status", "id":J?}
     {"op":"stats",  "id":J?}
+    {"op":"metrics","id":J?}
+    {"op":"health", "id":J?}
     {"op":"shutdown","id":J?}
     v}
 
@@ -48,6 +50,12 @@ type request =
   | Synth of synth
   | Status of Obs.Json.t
   | Stats of Obs.Json.t
+  | Metrics of Obs.Json.t
+      (** Non-destructive dump of every registered counter, gauge and
+          histogram (buckets + nearest-rank quantiles). *)
+  | Health of Obs.Json.t
+      (** Liveness probe: uptime, drain state, in-flight count, cache
+          recovery tallies. *)
   | Shutdown of Obs.Json.t
 
 type error_code =
@@ -114,3 +122,11 @@ val retry_after_hint : string -> float option
 val parse_response : string -> Obs.Json.t
 (** Client-side: parse one response line.
     @raise Obs.Json.Parse_error on garbage. *)
+
+val normalize_metrics : string -> string
+(** Zero the wall-clock-dependent parts of a [metrics]/[health] reply
+    line — [uptime_s], gauge values, and the buckets/quantiles of
+    "ms"-unit histograms (their observation [count]s are kept) — so
+    replies are byte-comparable across jobs counts, the same isolation
+    [report_json] applies by omitting timing fields.  Returns
+    unparsable lines unchanged.  Idempotent. *)

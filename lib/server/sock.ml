@@ -11,6 +11,9 @@ type config = {
   read_deadline : float;
   drain_deadline : float;
   handle_signals : bool;
+  flight_path : string option;
+  metrics_path : string option;
+  metrics_interval : float;
 }
 
 let default_config ~socket_path =
@@ -23,6 +26,9 @@ let default_config ~socket_path =
     read_deadline = 10.;
     drain_deadline = 5.;
     handle_signals = false;
+    flight_path = None;
+    metrics_path = None;
+    metrics_interval = 5.;
   }
 
 type conn = {
@@ -36,6 +42,8 @@ type conn = {
 let c_shed = Obs.Counter.make "sock.shed"
 let c_slowloris = Obs.Counter.make "sock.slowloris-closed"
 let c_drains = Obs.Counter.make "sock.drains"
+let c_flight_dumps = Obs.Counter.make "sock.flight-dumps"
+let h_queue = Obs.Hist.make_count "sock.queue-depth"
 
 let write_line conn line =
   if conn.alive then begin
@@ -142,18 +150,22 @@ let serve config =
   (* Graceful drain: the flag flips in a signal handler (async, possibly
      mid-select), the loop notices at its next iteration. *)
   let stop = Atomic.make false in
+  (* SIGUSR1 asks for a flight-recorder dump without disturbing
+     service; like [stop], the handler only flips a flag the loop
+     notices on its next iteration. *)
+  let usr1 = Atomic.make false in
   let saved_signals =
     if not config.handle_signals then []
     else
       List.filter_map
-        (fun sg ->
+        (fun (sg, flag) ->
            match
              Sys.signal sg
-               (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+               (Sys.Signal_handle (fun _ -> Atomic.set flag true))
            with
            | prev -> Some (sg, prev)
            | exception (Invalid_argument _ | Sys_error _) -> None)
-        [ Sys.sigterm; Sys.sigint ]
+        [ (Sys.sigterm, stop); (Sys.sigint, stop); (Sys.sigusr1, usr1) ]
   in
   let restore_signals () =
     List.iter
@@ -193,6 +205,36 @@ let serve config =
     restore_signals ();
     raise e
   | engine, listen_fd ->
+    (* Telemetry is armed for the lifetime of the serve loop: the
+       metrics plane so counters/gauges/histograms answer `metrics`
+       requests, the flight recorder so there is always a post-mortem
+       ring to dump.  Previous states are restored on exit so
+       in-process test servers leave no global residue. *)
+    let prev_metrics = Obs.metrics_enabled () in
+    let prev_recorder = Obs.Recorder.enabled () in
+    Obs.set_metrics_enabled true;
+    Obs.Recorder.set_enabled true;
+    let dump_flight reason =
+      match config.flight_path with
+      | None -> ()
+      | Some path ->
+        (try
+           Obs.Recorder.dump_file path;
+           Obs.Counter.incr c_flight_dumps;
+           Printf.eprintf "compactd: flight recorder dumped to %s (%s)\n%!"
+             path reason
+         with Sys_error _ | Unix.Unix_error _ -> ())
+    in
+    let write_metrics () =
+      match config.metrics_path with
+      | None -> ()
+      | Some path ->
+        (try
+           Obs.Export.write_file_atomic path
+             (Obs.Metrics.prometheus (Obs.Metrics.snapshot ()))
+         with Sys_error _ | Unix.Unix_error _ -> ())
+    in
+    let last_metrics = ref (Obs.Clock.now ()) in
     let conns = ref [] in
     (* Pending requests in arrival order: (owning connection, line). *)
     let pending = ref [] in
@@ -248,9 +290,20 @@ let serve config =
     in
     let flush_batch () =
       let batch = List.rev !pending in
+      let depth = !npending in
       pending := [];
       npending := 0;
-      let responses = Engine.handle_batch engine (List.map snd batch) in
+      Obs.Hist.observe h_queue (float_of_int depth);
+      Engine.set_load engine ~draining:!draining ~in_flight:depth;
+      let responses =
+        try Engine.handle_batch engine (List.map snd batch)
+        with e ->
+          (* handle_batch promises never to raise; if it ever does the
+             process is about to die, so leave a post-mortem trail. *)
+          dump_flight "fatal-engine-error";
+          raise e
+      in
+      Engine.set_load engine ~draining:!draining ~in_flight:0;
       List.iter2 (fun (conn, _) resp -> write_line conn resp) batch responses
     in
     (* Drain-mode flush: in-flight requests finish while the drain
@@ -272,11 +325,14 @@ let serve config =
     in
     let finished = ref false in
     while not !finished do
+      if Atomic.exchange usr1 false then dump_flight "sigusr1";
       if Atomic.get stop && not !draining then begin
         draining := true;
         Obs.Counter.incr c_drains;
         drain_budget := Budget.seconds config.drain_deadline;
-        close_listener ()
+        close_listener ();
+        Engine.set_load engine ~draining:true ~in_flight:!npending;
+        dump_flight "drain"
       end;
       (* With requests pending, poll at zero timeout: the batch flushes
          the moment the socket set goes quiescent, so a lone synchronous
@@ -348,18 +404,29 @@ let serve config =
              stop accepting, flush state, leave. *)
           draining := true;
           close_listener ();
+          dump_flight "drain";
           finished := true
         end
       end;
+      (match config.metrics_path with
+       | Some _
+         when Obs.Clock.now () -. !last_metrics >= config.metrics_interval
+         ->
+         last_metrics := Obs.Clock.now ();
+         write_metrics ()
+       | _ -> ());
       if !draining && !pending = [] then finished := true
     done;
     (* Durability before disconnection: the snapshot lands while the
        socket path is already gone, so a restarted server cannot race
        this one for the journal. *)
     Engine.close engine;
+    write_metrics ();
     List.iter
       (fun conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ())
       !conns;
     close_listener ();
     restore_signals ();
+    Obs.set_metrics_enabled prev_metrics;
+    Obs.Recorder.set_enabled prev_recorder;
     Engine.stats engine

@@ -44,14 +44,27 @@ type config = {
       (** seconds the drain may keep finishing in-flight work after a
           shutdown signal (default 5) *)
   handle_signals : bool;
-      (** install SIGTERM/SIGINT drain handlers for the duration of
-          {!serve} (default false — process-global state, so opt-in;
+      (** install SIGTERM/SIGINT drain handlers (and a SIGUSR1
+          flight-dump handler) for the duration of {!serve}
+          (default false — process-global state, so opt-in;
           the CLI opts in, in-process test servers do not) *)
+  flight_path : string option;
+      (** when set, the flight-recorder ring is dumped here (atomic
+          write-then-rename, normalized JSONL) on SIGUSR1, at the start
+          of a graceful drain, and if {!Engine.handle_batch} ever lets
+          an exception escape (default [None]) *)
+  metrics_path : string option;
+      (** when set, a Prometheus text-exposition snapshot of every
+          registered metric is atomically rewritten here every
+          [metrics_interval] seconds and once at exit
+          (default [None]) *)
+  metrics_interval : float;  (** seconds between snapshots (default 5) *)
 }
 
 val default_config : socket_path:string -> config
 (** {!Engine.default_config} engine, 20 ms window, 64-line batches,
-    256-line shed threshold, 10 s read deadline, 5 s drain. *)
+    256-line shed threshold, 10 s read deadline, 5 s drain, no flight
+    or metrics files. *)
 
 val serve : config -> Engine.stats
 (** Bind, listen and serve until shutdown or drain; returns the engine's

@@ -348,6 +348,104 @@ let server_tests =
   in
   [ storm Inject.Timeout; storm Inject.Pool_poison; storm Inject.Oom ]
 
+(* SIGUSR1 must produce a readable flight dump even while a fault storm
+   is chewing through the serving loop: the recorder is exactly for
+   diagnosing a misbehaving server, so it is tested under misbehaviour.
+   Runs a real [Sock.serve] (signal handlers installed) in a companion
+   domain, drives faulted traffic, then kills itself with USR1. *)
+let flight_tests =
+  let module J = Obs.Json in
+  let module Client = Server.Client in
+  let line = {|{"op":"synth","id":1,"expr":"((a & b) | (c & ~d)) ^ (b & ~c)"}|} in
+  [
+    Alcotest.test_case "SIGUSR1 dumps a valid flight file mid-storm" `Slow
+      (fun () ->
+         let tmp = Filename.get_temp_dir_name () in
+         let path =
+           Filename.concat tmp
+             (Printf.sprintf "chaos-usr1-%d.sock" (Unix.getpid ()))
+         in
+         let flight = path ^ ".flight.jsonl" in
+         List.iter
+           (fun f -> try Sys.remove f with Sys_error _ -> ())
+           [ path; flight ];
+         let config =
+           { (Server.Sock.default_config ~socket_path:path) with
+             Server.Sock.engine =
+               { Server.Engine.default_config with Server.Engine.jobs };
+             handle_signals = true;
+             flight_path = Some flight }
+         in
+         let server =
+           Domain.spawn (fun () ->
+               ignore (Server.Sock.serve config : Server.Engine.stats))
+         in
+         Fun.protect
+           ~finally:(fun () ->
+             Domain.join server;
+             List.iter
+               (fun f -> try Sys.remove f with Sys_error _ -> ())
+               [ path; flight ])
+           (fun () ->
+              (* Wait for the socket (and with it the signal handlers)
+                 to come up. *)
+              let deadline = Unix.gettimeofday () +. 10. in
+              let rec wait () =
+                match Client.connect path with
+                | c -> c
+                | exception Unix.Unix_error _ ->
+                  if Unix.gettimeofday () > deadline then
+                    Alcotest.fail "server did not come up"
+                  else begin
+                    Unix.sleepf 0.05;
+                    wait ()
+                  end
+              in
+              let client = wait () in
+              (* Faulted traffic, then the signal while the engine is
+                 still warm. *)
+              Inject.with_points ~seed:11 [ Inject.Timeout ] (fun () ->
+                  ignore (Client.request_idempotent client line : string);
+                  ignore (Client.request_idempotent client line : string));
+              ignore (Client.request_idempotent client line : string);
+              Unix.kill (Unix.getpid ()) Sys.sigusr1;
+              (* The serving loop notices the flag on its next select
+                 tick; poll for the dump. *)
+              let rec poll d =
+                if Sys.file_exists flight then ()
+                else if Unix.gettimeofday () > d then
+                  Alcotest.fail "no flight dump after SIGUSR1"
+                else begin
+                  Unix.sleepf 0.05;
+                  poll d
+                end
+              in
+              poll (Unix.gettimeofday () +. 10.);
+              let ic = open_in flight in
+              let n = in_channel_length ic in
+              let body = really_input_string ic n in
+              close_in ic;
+              let lines =
+                List.filter
+                  (fun l -> l <> "")
+                  (String.split_on_char '\n' body)
+              in
+              check tb "dump has events" true (lines <> []);
+              List.iter
+                (fun l ->
+                   let j = J.parse l in
+                   match J.member "kind" j, J.member "name" j with
+                   | Some (J.Str _), Some (J.Str _) -> ()
+                   | _ -> Alcotest.failf "malformed flight line: %s" l)
+                lines;
+              (* Drain the server; reuses the graceful-shutdown path,
+                 which rewrites the dump. *)
+              ignore
+                (Client.request client {|{"op":"shutdown","id":"x"}|}
+                 : string);
+              Client.close client))
+  ]
+
 let () =
   Alcotest.run "chaos"
     [
@@ -357,4 +455,5 @@ let () =
       "deadline", deadline_tests;
       "trace", trace_tests;
       "server", server_tests;
+      "flight", flight_tests;
     ]

@@ -1,0 +1,301 @@
+(* Telemetry battery: the metrics/health wire plane and the flight
+   recorder.
+
+   Wire goldens for the new [metrics] and [health] ops, the
+   determinism contract for metrics replies (byte-identical after
+   {!Server.Protocol.normalize_metrics} whichever jobs count solved
+   the warming traffic), Prometheus rendering, and the flight
+   recorder's bounded-ring and dump-round-trip contracts (every dumped
+   line must satisfy what [trace-check]'s JSONL branch asserts: a JSON
+   object carrying [kind] and [name]).
+
+   Run via the @metrics alias at COMPACT_JOBS=1 and COMPACT_JOBS=4. *)
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+let ts = Alcotest.string
+
+module J = Obs.Json
+module Protocol = Server.Protocol
+module Engine = Server.Engine
+
+let defaults = Compact.Pipeline.default_options
+
+let parse line = Protocol.parse_request ~defaults line
+
+(* Arm the metrics plane around [f] the way [Sock.serve] does, leaving
+   no global residue for the other test binaries sharing this process'
+   registry. *)
+let with_metrics f =
+  Resilience.Inject.disable ();
+  Obs.set_metrics_enabled true;
+  Obs.reset ();
+  Fun.protect f ~finally:(fun () ->
+      Obs.set_metrics_enabled false;
+      Obs.reset ())
+
+let with_recorder f =
+  Resilience.Inject.disable ();
+  Obs.Recorder.set_enabled true;
+  Obs.reset ();
+  Fun.protect f ~finally:(fun () ->
+      Obs.Recorder.set_enabled false;
+      Obs.reset ())
+
+(* ------------------------------------------------------------------ *)
+(* Wire-protocol goldens *)
+
+let parse_tests =
+  [
+    Alcotest.test_case "metrics and health parse" `Quick (fun () ->
+        (match parse {|{"op":"metrics","id":"m"}|} with
+         | Ok (Protocol.Metrics id) ->
+           check tb "id round-trips" true (id = J.Str "m")
+         | _ -> Alcotest.fail "expected Metrics");
+        match parse {|{"op":"health"}|} with
+        | Ok (Protocol.Health id) -> check tb "null id" true (id = J.Null)
+        | _ -> Alcotest.fail "expected Health");
+    Alcotest.test_case "normalize_metrics passes junk through" `Quick
+      (fun () ->
+         check ts "non-JSON unchanged" "not json"
+           (Protocol.normalize_metrics "not json"));
+    Alcotest.test_case "health reply golden" `Quick (fun () ->
+        with_metrics @@ fun () ->
+        let e = Engine.create Engine.default_config in
+        ignore (Engine.handle e {|{"op":"synth","id":1,"expr":"a & b"}|}
+                : string);
+        let reply = Engine.handle e {|{"op":"health","id":"h"}|} in
+        Engine.close e;
+        check ts "normalized health reply"
+          {|{"id":"h","ok":true,"status":"ok","uptime_s":0,"draining":false,"in_flight":0,"recovered":0,"dropped":0,"cache_entries":1}|}
+          (Protocol.normalize_metrics reply));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The metrics reply: coverage and byte-determinism *)
+
+let warm_lines =
+  [
+    {|{"op":"synth","id":1,"expr":"(a & b) | (c & ~d)"}|};
+    {|{"op":"synth","id":2,"expr":"(a & b) | (c & ~d)"}|};
+    {|{"op":"synth","id":3,"expr":"a ^ (b | c)"}|};
+  ]
+
+let metrics_reply_after ~jobs =
+  let e = Engine.create { Engine.default_config with Engine.jobs } in
+  List.iter (fun l -> ignore (Engine.handle e l : string)) warm_lines;
+  let reply = Engine.handle e {|{"op":"metrics","id":"m"}|} in
+  Engine.close e;
+  reply
+
+let member_exn k j =
+  match J.member k j with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "reply lacks %S" k)
+
+let hist_names j =
+  match member_exn "hists" j with
+  | J.Arr hs ->
+    List.map
+      (fun h ->
+         match J.member "name" h with
+         | Some (J.Str n) -> n
+         | _ -> Alcotest.fail "histogram without a name")
+      hs
+  | _ -> Alcotest.fail "hists is not an array"
+
+let metrics_tests =
+  [
+    Alcotest.test_case "reply carries every server metric with quantiles"
+      `Quick (fun () ->
+        with_metrics @@ fun () ->
+        let j = J.parse (metrics_reply_after ~jobs:1) in
+        check tb "ok" true (J.member "ok" j = Some (J.Bool true));
+        let counters =
+          match member_exn "counters" j with
+          | J.Obj kvs -> List.map fst kvs
+          | _ -> Alcotest.fail "counters is not an object"
+        in
+        List.iter
+          (fun c ->
+             check tb (c ^ " counted") true (List.mem c counters))
+          [ "server.requests"; "server.solves"; "cache.hits";
+            "cache.misses" ];
+        let hists = hist_names j in
+        List.iter
+          (fun h -> check tb (h ^ " present") true (List.mem h hists))
+          [ "server.request-ms"; "server.solve-ms"; "server.verify-ms";
+            "server.cache-probe-ms"; "server.batch-size" ];
+        (* Every histogram carries the full quantile block and a
+           consistent bucket total. *)
+        match member_exn "hists" j with
+        | J.Arr hs ->
+          List.iter
+            (fun h ->
+               List.iter
+                 (fun q ->
+                    match J.member q h with
+                    | Some (J.Num _) -> ()
+                    | _ -> Alcotest.fail (q ^ " missing"))
+                 [ "count"; "p50"; "p90"; "p99"; "max" ];
+               match J.member "count" h, J.member "buckets" h with
+               | Some (J.Num n), Some (J.Arr buckets) ->
+                 let total =
+                   List.fold_left
+                     (fun acc b ->
+                        match b with
+                        | J.Arr [ _; J.Num c ] -> acc + int_of_float c
+                        | _ -> Alcotest.fail "malformed bucket")
+                     0 buckets
+                 in
+                 check ti "bucket counts sum to count" (int_of_float n)
+                   total
+               | _ -> Alcotest.fail "count/buckets missing")
+            hs
+        | _ -> assert false);
+    Alcotest.test_case "normalized reply byte-identical at jobs 1 and 4"
+      `Quick (fun () ->
+        let run jobs =
+          with_metrics @@ fun () ->
+          Protocol.normalize_metrics (metrics_reply_after ~jobs)
+        in
+        let r1 = run 1 and r4 = run 4 in
+        check ts "metrics replies agree" r1 r4);
+    Alcotest.test_case "prometheus rendering round-trips the reply" `Quick
+      (fun () ->
+        with_metrics @@ fun () ->
+        let j = J.parse (metrics_reply_after ~jobs:1) in
+        match Obs.Metrics.of_json j with
+        | None -> Alcotest.fail "reply did not parse as a metrics view"
+        | Some view ->
+          let text = Obs.Metrics.prometheus view in
+          check tb "counter series present" true
+            (let re = "compact_server_requests " in
+             let rec find i =
+               i + String.length re <= String.length text
+               && (String.sub text i (String.length re) = re || find (i + 1))
+             in
+             find 0);
+          check tb "histogram +Inf bucket present" true
+            (let re = {|le="+Inf"|} in
+             let rec find i =
+               i + String.length re <= String.length text
+               && (String.sub text i (String.length re) = re || find (i + 1))
+             in
+             find 0));
+    Alcotest.test_case "drain resets histograms" `Quick (fun () ->
+        with_metrics @@ fun () ->
+        ignore (metrics_reply_after ~jobs:1 : string);
+        ignore (Obs.drain () : Obs.snapshot);
+        let j = J.parse (metrics_reply_after ~jobs:1) in
+        match member_exn "hists" j with
+        | J.Arr hs ->
+          List.iter
+            (fun h ->
+               match J.member "name" h, J.member "count" h with
+               | Some (J.Str "server.batch-size"), Some (J.Num n) ->
+                 (* Only the post-drain warming traffic: 3 synth
+                    batches plus the metrics request's own batch. *)
+                 check ti "batch count restarted" 4 (int_of_float n)
+               | _ -> ())
+            hs
+        | _ -> assert false);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+let recorder_tests =
+  [
+    Alcotest.test_case "ring stays bounded under span floods" `Quick
+      (fun () ->
+         with_recorder @@ fun () ->
+         for i = 1 to (2 * Obs.Recorder.capacity) + 17 do
+           Obs.Span.with_ "flood" (fun () -> ignore i)
+         done;
+         let snap = Obs.Recorder.snapshot () in
+         check tb "at most one ring's worth on this domain" true
+           (List.length snap.Obs.events <= Obs.Recorder.capacity);
+         check tb "ring kept the newest events" true
+           (List.length snap.Obs.events = Obs.Recorder.capacity));
+    Alcotest.test_case "dump satisfies the trace-check JSONL contract"
+      `Quick (fun () ->
+        with_recorder @@ fun () ->
+        let e = Engine.create Engine.default_config in
+        List.iter (fun l -> ignore (Engine.handle e l : string)) warm_lines;
+        Engine.close e;
+        let dump = Obs.Recorder.dump_jsonl () in
+        let lines =
+          List.filter (fun l -> l <> "") (String.split_on_char '\n' dump)
+        in
+        check tb "dump is non-empty" true (lines <> []);
+        List.iter
+          (fun line ->
+             let j = J.parse line in
+             (match J.member "kind" j with
+              | Some (J.Str ("span" | "instant")) -> ()
+              | _ -> Alcotest.fail "line lacks a kind");
+             match J.member "name" j with
+             | Some (J.Str _) -> ()
+             | _ -> Alcotest.fail "line lacks a name")
+          lines;
+        check tb "request spans made it into the ring" true
+          (List.exists
+             (fun l ->
+                match J.member "name" (J.parse l) with
+                | Some (J.Str "request") -> true
+                | _ -> false)
+             lines));
+    Alcotest.test_case "dump_file writes atomically and normalizes" `Quick
+      (fun () ->
+        with_recorder @@ fun () ->
+        Obs.Span.with_ "alpha" (fun () ->
+            Obs.Span.with_ "beta" (fun () -> ()));
+        let path =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "flight-test-%d.jsonl" (Unix.getpid ()))
+        in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+             Obs.Recorder.dump_file path;
+             let ic = open_in path in
+             let n = in_channel_length ic in
+             let body = really_input_string ic n in
+             close_in ic;
+             let snap = Obs.Export.parse_jsonl body in
+             let events = snap.Obs.events in
+             check tb "both spans present" true
+               (List.exists (fun ev -> ev.Obs.ev_name = "beta") events
+                && List.exists (fun ev -> ev.Obs.ev_name = "alpha") events);
+             (* The replay path the dump feeds: phases must aggregate. *)
+             let rows = Obs.Agg.phases snap in
+             check tb "profile --from sees phases" true
+               (List.length rows >= 2)));
+    Alcotest.test_case "recorder alone leaves tracing buffers empty" `Quick
+      (fun () ->
+        (* Recorder-only semantics: force tracing off even when the
+           whole run is traced (COMPACT_TRACE=1 in CI). *)
+        let saved = Obs.enabled () in
+        Obs.set_enabled false;
+        Fun.protect
+          ~finally:(fun () -> Obs.set_enabled saved)
+          (fun () ->
+             with_recorder @@ fun () ->
+             for _ = 1 to 50 do
+               Obs.Span.with_ "quiet" (fun () -> ())
+             done;
+             let snap = Obs.drain () in
+             check ti "no traced events accumulate" 0
+               (List.length snap.Obs.events)));
+  ]
+
+let () =
+  Alcotest.run "metrics"
+    [
+      "protocol", parse_tests;
+      "metrics", metrics_tests;
+      "recorder", recorder_tests;
+    ]

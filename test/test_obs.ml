@@ -300,6 +300,71 @@ let test_agg_phases =
   check bool "durations summed" true (q.Obs.Agg.r_total >= 0.)
 
 (* ------------------------------------------------------------------ *)
+(* Histograms: bucketing, quantiles and the exact-percentile helper
+   the load generator shares. *)
+
+let with_metrics f =
+  Obs.set_metrics_enabled true;
+  Obs.reset ();
+  Fun.protect f ~finally:(fun () ->
+      Obs.set_metrics_enabled false;
+      Obs.reset ())
+
+let test_hist_quantiles () =
+  with_metrics @@ fun () ->
+  let h = Obs.Hist.make_ms "test.h-quantiles" in
+  check (Alcotest.float 0.) "empty histogram quantile" 0.
+    (Obs.Hist.quantile h 50);
+  for i = 1 to 100 do
+    Obs.Hist.observe h (float_of_int i)
+  done;
+  (* Log buckets report an upper bound: the quantile may overshoot the
+     exact value by one bucket width (<= 2^(1/4) here) but never
+     undershoots it. *)
+  List.iter
+    (fun p ->
+       let q = Obs.Hist.quantile h p in
+       let exact = float_of_int p in
+       check bool
+         (Printf.sprintf "p%d in [exact, exact * 2^(1/4)]" p)
+         true
+         (q >= exact && q <= exact *. Float.exp2 0.25 *. 1.0001))
+    [ 50; 90; 99 ]
+
+let test_hist_nan_and_overflow () =
+  with_metrics @@ fun () ->
+  let h = Obs.Hist.make_ms "test.h-edges" in
+  Obs.Hist.observe h Float.nan;
+  Obs.Hist.observe h 1e12;
+  (* Both land in real buckets: the quantile walk still terminates and
+     the total still counts them. *)
+  check bool "underflow + overflow counted" true
+    (Obs.Hist.quantile h 100 > 0.)
+
+let test_percentile_exact () =
+  let pe = Obs.Hist.percentile_exact in
+  check (Alcotest.float 0.) "empty is 0, not nan" 0. (pe [||] 50);
+  check (Alcotest.float 0.) "singleton" 42. (pe [| 42. |] 50);
+  check (Alcotest.float 0.) "two samples, p50 is the lower" 1.
+    (pe [| 2.; 1. |] 50);
+  check (Alcotest.float 0.) "two samples, p99 is the upper" 2.
+    (pe [| 2.; 1. |] 99);
+  check (Alcotest.float 0.) "p clamped above" 3. (pe [| 1.; 2.; 3. |] 200);
+  check (Alcotest.float 0.) "input left unsorted" 2.
+    (let a = [| 2.; 1. |] in
+     ignore (pe a 99 : float);
+     a.(0))
+
+let test_hist_gated_off () =
+  (* Like counters, histograms record nothing when neither tracing nor
+     the metrics plane is armed. *)
+  let h = Obs.Hist.make_ms "test.h-gated" in
+  Obs.Hist.observe h 5.;
+  with_metrics @@ fun () ->
+  check (Alcotest.float 0.) "observation before arming dropped" 0.
+    (Obs.Hist.quantile h 100)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -315,6 +380,17 @@ let () =
         [ Alcotest.test_case "no events, no metrics" `Quick
             test_disabled_no_events ] );
       "metrics", [ Alcotest.test_case "counters and gauges" `Quick test_counters ];
+      ( "hist",
+        [
+          Alcotest.test_case "log-bucket quantiles" `Quick
+            test_hist_quantiles;
+          Alcotest.test_case "nan and overflow land in buckets" `Quick
+            test_hist_nan_and_overflow;
+          Alcotest.test_case "percentile_exact edge cases" `Quick
+            test_percentile_exact;
+          Alcotest.test_case "gated off when unarmed" `Quick
+            test_hist_gated_off;
+        ] );
       ( "drain",
         [
           Alcotest.test_case "deterministic across jobs" `Quick
